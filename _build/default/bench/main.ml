@@ -1,0 +1,571 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (DAC'92, section 6), plus the runtime comparison its §1
+   claims and ablations over the design choices in DESIGN.md.
+
+   Sections (run all by default, or select on the command line):
+     table1    MFS balanced schedules per example and time budget
+     table2    MFSA RTL results, design styles 1 and 2
+     figure1   the 2-D placement table with an operation's move
+     figure2   PF/RF/FF/MF frames of a typical operation
+     speed     Bechamel timings: MFS/MFSA vs list, FDS, annealing
+     versus    MFSA vs an FDS + single-function binding flow
+     ablation  Liapunov weight sweep, library and sharing ablations
+
+   Numbers land in EXPERIMENTS.md next to the paper's; the shapes (who
+   wins, by what factor, where the crossovers fall) are the deliverable. *)
+
+let fus schedule =
+  Core.Schedule.fu_counts schedule
+  |> List.filter (fun (_, k) -> k > 0)
+  |> List.map (fun (c, k) -> String.concat "" (List.init k (fun _ -> c)))
+  |> String.concat ","
+
+let fu_count s klass =
+  Option.value ~default:0 (List.assoc_opt klass (Core.Schedule.fu_counts s))
+
+let ok = function
+  | Ok v -> v
+  | Error e ->
+      prerr_endline ("bench: " ^ e);
+      exit 1
+
+(* --- Table 1 ----------------------------------------------------------- *)
+
+type t1_row = {
+  r_name : string;
+  r_feature : string;
+  r_graph : Dfg.Graph.t;
+  r_config : Core.Config.t;
+  r_budgets : int list;
+  r_latencies : int list;  (* functional pipelining rows *)
+}
+
+let two_cycle_cfg =
+  {
+    Core.Config.default with
+    Core.Config.delays = (function Dfg.Op.Mul | Dfg.Op.Div -> 2 | _ -> 1);
+  }
+
+let pipelined_cfg =
+  {
+    two_cycle_cfg with
+    Core.Config.pipelined = (function Dfg.Op.Mul | Dfg.Op.Div -> true | _ -> false);
+  }
+
+let chain_cfg =
+  {
+    Core.Config.default with
+    Core.Config.chaining =
+      Some
+        {
+          Core.Config.prop_delay = Celllib.Ncr.default.Celllib.Library.prop_delay;
+          clock = 100.;
+        };
+  }
+
+let table1_rows () =
+  [
+    { r_name = "ex1 (tseng)"; r_feature = "1"; r_graph = Workloads.Classic.tseng ();
+      r_config = Core.Config.default; r_budgets = [ 4; 5 ]; r_latencies = [] };
+    { r_name = "ex2 (chained)"; r_feature = "1,C"; r_graph = Workloads.Classic.chained_sum ();
+      r_config = chain_cfg; r_budgets = [ 3; 4 ]; r_latencies = [] };
+    { r_name = "ex3 (ar)"; r_feature = "1,F"; r_graph = Workloads.Classic.ar_filter ();
+      r_config = Core.Config.default; r_budgets = [ 13 ]; r_latencies = [ 4; 6; 8 ] };
+    { r_name = "ex4 (fir16)"; r_feature = "1"; r_graph = Workloads.Classic.fir16 ();
+      r_config = Core.Config.default; r_budgets = [ 5; 7; 9 ]; r_latencies = [] };
+    { r_name = "ex5 (dct8)"; r_feature = "2"; r_graph = Workloads.Classic.dct8 ();
+      r_config = two_cycle_cfg; r_budgets = [ 6; 8; 10 ]; r_latencies = [] };
+    { r_name = "ex5 (dct8)"; r_feature = "2,S"; r_graph = Workloads.Classic.dct8 ();
+      r_config = pipelined_cfg; r_budgets = [ 6; 8; 10 ]; r_latencies = [] };
+    { r_name = "ex6 (ewf)"; r_feature = "2"; r_graph = Workloads.Classic.ewf ();
+      r_config = two_cycle_cfg; r_budgets = [ 17; 19; 21 ]; r_latencies = [] };
+    { r_name = "ex6 (ewf)"; r_feature = "2,S"; r_graph = Workloads.Classic.ewf ();
+      r_config = pipelined_cfg; r_budgets = [ 17; 19; 21 ]; r_latencies = [] };
+  ]
+
+let table1 () =
+  print_endline "== Table 1: MFS balanced schedules ==";
+  print_endline
+    "(feature column: 1/2 = cycles per multiply, C = chaining, F =\n\
+     functional pipelining with latency L, S = structural pipelining)";
+  let rows =
+    List.concat_map
+      (fun r ->
+        let time_rows =
+          List.map
+            (fun cs ->
+              match Core.Mfs.schedule ~config:r.r_config r.r_graph (Core.Mfs.Time { cs }) with
+              | Ok s ->
+                  [ r.r_name; r.r_feature; Printf.sprintf "T=%d" cs; fus s;
+                    (match Core.Schedule.check s with Ok () -> "yes" | Error _ -> "NO") ]
+              | Error e -> [ r.r_name; r.r_feature; Printf.sprintf "T=%d" cs; "error: " ^ e; "-" ])
+            r.r_budgets
+        in
+        let latency_rows =
+          List.map
+            (fun latency ->
+              let config =
+                { (r.r_config) with Core.Config.functional_latency = Some latency }
+              in
+              let cs = Core.Timeframe.min_cs config r.r_graph in
+              match Core.Mfs.schedule ~config r.r_graph (Core.Mfs.Time { cs }) with
+              | Ok s ->
+                  [ r.r_name; r.r_feature; Printf.sprintf "L=%d" latency; fus s;
+                    (match Core.Schedule.check s with Ok () -> "yes" | Error _ -> "NO") ]
+              | Error e ->
+                  [ r.r_name; r.r_feature; Printf.sprintf "L=%d" latency; "error: " ^ e; "-" ])
+            r.r_latencies
+        in
+        time_rows @ latency_rows)
+      (table1_rows ())
+  in
+  print_string
+    (Report.Table.render
+       ~header:[ "example"; "feature"; "budget"; "functional units"; "valid" ]
+       rows);
+  print_newline ()
+
+(* --- Table 2 ----------------------------------------------------------- *)
+
+let mfsa_for style g cs =
+  let lib = Celllib.Ncr.for_graph g in
+  let config = Core.Config.of_library lib in
+  ok (Core.Mfsa.run ~config ~style ~library:lib ~cs g)
+
+let table2 () =
+  print_endline "== Table 2: MFSA scheduling-allocation (styles 1 and 2) ==";
+  let rows = ref [] in
+  let overheads = ref [] in
+  List.iter
+    (fun (name, g) ->
+      let cs = Dfg.Bounds.critical_path g + 1 in
+      let o1 = mfsa_for Core.Mfsa.Unrestricted g cs in
+      let o2 = mfsa_for Core.Mfsa.No_self_loop g cs in
+      let row style (o : Core.Mfsa.outcome) =
+        [ name; Printf.sprintf "T=%d" cs; style;
+          Rtl.Cost.alu_config o.Core.Mfsa.datapath;
+          Printf.sprintf "%.0f" o.Core.Mfsa.cost.Rtl.Cost.total;
+          string_of_int o.Core.Mfsa.cost.Rtl.Cost.n_regs;
+          string_of_int o.Core.Mfsa.cost.Rtl.Cost.n_mux;
+          string_of_int o.Core.Mfsa.cost.Rtl.Cost.n_mux_inputs ]
+      in
+      rows := !rows @ [ row "1" o1; row "2" o2 ];
+      overheads :=
+        (name,
+         100.
+         *. (o2.Core.Mfsa.cost.Rtl.Cost.total -. o1.Core.Mfsa.cost.Rtl.Cost.total)
+         /. o1.Core.Mfsa.cost.Rtl.Cost.total)
+        :: !overheads)
+    (Workloads.Classic.all ());
+  print_string
+    (Report.Table.render
+       ~header:[ "example"; "T"; "style"; "ALUs"; "cost um2"; "REG"; "MUX"; "MUXin" ]
+       !rows);
+  print_endline "style-2 overhead over style 1 (paper: 2-11%):";
+  List.iter
+    (fun (name, pct) -> Printf.printf "  %-12s %+.1f%%\n" name pct)
+    (List.rev !overheads);
+  print_newline ()
+
+(* --- Figures ----------------------------------------------------------- *)
+
+let figure1 () =
+  print_endline "== Figure 1: placement table (diffeq, T=4, class '*') ==";
+  let g = Workloads.Classic.diffeq () in
+  let o = ok (Core.Mfs.run g (Core.Mfs.Time { cs = 4 })) in
+  let s = o.Core.Mfs.schedule in
+  let col = Option.get s.Core.Schedule.col in
+  let label pos =
+    List.find_map
+      (fun nd ->
+        let i = nd.Dfg.Graph.id in
+        if
+          String.equal (Dfg.Op.fu_class nd.Dfg.Graph.kind) "*"
+          && col.(i) = pos.Core.Frames.col
+          && s.Core.Schedule.start.(i) = pos.Core.Frames.step
+        then Some nd.Dfg.Graph.name
+        else None)
+      (Dfg.Graph.nodes g)
+  in
+  print_string
+    (Report.Grid_art.render_occupancy ~title:"multiplier placement table"
+       ~steps:4 ~cols:(fu_count s "*") ~label);
+  (* The multiplication with the longest trajectory: ALFAP corner ->
+     chosen position. *)
+  let gap e = e.Core.Liapunov.Trace.from_value - e.Core.Liapunov.Trace.to_value in
+  (match
+     List.sort
+       (fun a b -> compare (gap b) (gap a))
+       (List.filter
+          (fun e ->
+            String.equal
+              (Dfg.Op.fu_class (Dfg.Graph.node g e.Core.Liapunov.Trace.op).Dfg.Graph.kind)
+              "*")
+          (Core.Liapunov.Trace.entries o.Core.Mfs.trace))
+   with
+  | e :: _ ->
+      Format.printf
+        "move of %s: present position %a (V=%d) -> next position %a (V=%d)@."
+        (Dfg.Graph.node g e.Core.Liapunov.Trace.op).Dfg.Graph.name
+        Core.Frames.pp_pos e.Core.Liapunov.Trace.from_pos
+        e.Core.Liapunov.Trace.from_value Core.Frames.pp_pos
+        e.Core.Liapunov.Trace.to_pos e.Core.Liapunov.Trace.to_value
+  | [] -> ());
+  print_newline ()
+
+let figure2 () =
+  print_endline "== Figure 2: PF / RF / FF / MF frames of a typical op ==";
+  print_endline
+    "(operation r with two placed predecessors; K1/K2 occupied, R =\n\
+     redundant frame, F = forbidden steps, . = move frame, > = chosen)";
+  let pf = Core.Frames.primary ~step_lo:1 ~step_hi:6 ~max_cols:4 in
+  let rf = Core.Frames.redundant ~current:2 ~max_cols:4 ~step_lo:1 ~step_hi:6 in
+  let forbidden s = s <= 2 in
+  let occupied pos =
+    match (pos.Core.Frames.col, pos.Core.Frames.step) with
+    | 1, 2 -> Some "K1"
+    | 2, 1 -> Some "K2"
+    | 1, 3 -> Some "X"
+    | 2, 4 -> Some "X"
+    | _ -> None
+  in
+  let free p = occupied p = None in
+  let mf = Core.Frames.move_frame ~pf ~rf ~forbidden ~free in
+  let chosen = Core.Liapunov.best (Core.Liapunov.Time_constrained { n = 4 }) mf in
+  print_string
+    (Report.Grid_art.render_frames ~steps:6 ~cols:4 ~pf ~rf ~forbidden
+       ~occupied ~chosen);
+  (match chosen with
+  | Some p -> Format.printf "minimum-energy position in MF: %a@." Core.Frames.pp_pos p
+  | None -> ());
+  print_newline ()
+
+(* --- Speed (Bechamel) -------------------------------------------------- *)
+
+let speed () =
+  print_endline "== Runtime: MFS/MFSA vs baselines (Bechamel, ns/run) ==";
+  let open Bechamel in
+  let ewf = Workloads.Classic.ewf () in
+  let lib = Celllib.Ncr.for_graph ewf in
+  let cfg_lib = Core.Config.of_library lib in
+  let big = Workloads.Random_dag.generate
+      ~spec:{ Workloads.Random_dag.default with Workloads.Random_dag.ops = 200 }
+      ~seed:9 ()
+  in
+  let big_cs = Dfg.Bounds.critical_path big + 2 in
+  let staged name f = Test.make ~name (Staged.stage f) in
+  let tests =
+    Test.make_grouped ~name:"schedulers"
+      [
+        staged "mfs/ewf-18" (fun () ->
+            ok (Core.Mfs.schedule ewf (Core.Mfs.Time { cs = 18 })));
+        staged "list/ewf-18" (fun () -> ok (Baselines.List_sched.time ewf ~cs:18));
+        staged "fds/ewf-18" (fun () -> ok (Baselines.Fds.run ewf ~cs:18));
+        staged "annealing/ewf-18" (fun () -> ok (Baselines.Annealing.run ewf ~cs:18));
+        staged "mfsa/ewf-18" (fun () ->
+            ok (Core.Mfsa.run ~config:cfg_lib ~library:lib ~cs:18 ewf));
+        staged "mfs/random-200" (fun () ->
+            ok (Core.Mfs.schedule big (Core.Mfs.Time { cs = big_cs })));
+        staged "list/random-200" (fun () ->
+            ok (Baselines.List_sched.time big ~cs:big_cs));
+      ]
+  in
+  let benchmark_cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ()
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let raw = Benchmark.all benchmark_cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name est ->
+      let ns =
+        match Analyze.OLS.estimates est with
+        | Some [ v ] -> Printf.sprintf "%.0f" v
+        | _ -> "?"
+      in
+      rows := [ name; ns ] :: !rows)
+    results;
+  print_string
+    (Report.Table.render
+       ~header:[ "scheduler/workload"; "time (ns/run)" ]
+       (List.sort compare !rows));
+  print_newline ()
+
+(* --- Scaling: the O(l^3) worst-case claim ------------------------------ *)
+
+let time_once f =
+  let t0 = Sys.time () in
+  f ();
+  Sys.time () -. t0
+
+let time_best ?(reps = 3) f =
+  let rec go best k =
+    if k = 0 then best else go (Float.min best (time_once f)) (k - 1)
+  in
+  go (time_once f) (reps - 1)
+
+let scaling () =
+  print_endline "== Scaling: MFS runtime vs problem size (paper: O(l^3)) ==";
+  let sizes = [ 50; 100; 200; 400 ] in
+  let measurements =
+    List.map
+      (fun ops ->
+        let g =
+          Workloads.Random_dag.generate
+            ~spec:{ Workloads.Random_dag.default with Workloads.Random_dag.ops }
+            ~seed:17 ()
+        in
+        let cs = Dfg.Bounds.critical_path g + 2 in
+        let t =
+          time_best (fun () ->
+              ignore (ok (Core.Mfs.schedule g (Core.Mfs.Time { cs }))))
+        in
+        (ops, t))
+      sizes
+  in
+  let rows =
+    List.mapi
+      (fun idx (ops, t) ->
+        let exponent =
+          if idx = 0 then "-"
+          else
+            let prev_ops, prev_t = List.nth measurements (idx - 1) in
+            Printf.sprintf "%.2f"
+              (log (t /. prev_t)
+              /. log (float_of_int ops /. float_of_int prev_ops))
+        in
+        [ string_of_int ops; Printf.sprintf "%.2f" (t *. 1e3); exponent ])
+      measurements
+  in
+  print_string
+    (Report.Table.render
+       ~header:[ "ops"; "time (ms)"; "local exponent" ]
+       rows);
+  print_endline
+    "(exponent = log-log slope between consecutive sizes; the paper's bound\n\
+     is cubic, typical graphs sit well below it)";
+  print_newline ()
+
+(* --- Exact: the size-explosion contrast --------------------------------- *)
+
+let exact () =
+  print_endline
+    "== Exact branch-and-bound vs MFS (the paper's size-explosion claim) ==";
+  print_endline
+    "(the paper positions MFS against exact/LP formulations: same answers\n\
+     on small graphs, exponentially diverging runtime)";
+  let rows =
+    List.map
+      (fun ops ->
+        let spec =
+          { Workloads.Random_dag.default with
+            Workloads.Random_dag.ops; locality = 14 }
+        in
+        let g = Workloads.Random_dag.generate ~spec ~seed:23 () in
+        let cs = Dfg.Bounds.critical_path g + 3 in
+        let t_mfs =
+          time_best (fun () ->
+              ignore (ok (Core.Mfs.schedule g (Core.Mfs.Time { cs }))))
+        in
+        let mfs_units =
+          match Core.Mfs.schedule g (Core.Mfs.Time { cs }) with
+          | Ok s ->
+              List.fold_left (fun a (_, k) -> a + k) 0 (Core.Schedule.fu_counts s)
+          | Error _ -> -1
+        in
+        let t0 = Sys.time () in
+        match Baselines.Exact.run ~node_budget:20_000_000 g ~cs with
+        | Error _ ->
+            [ string_of_int ops; string_of_int cs; "(budget blown)"; ">sec";
+              string_of_int mfs_units; Printf.sprintf "%.2f" (t_mfs *. 1e3) ]
+        | Ok o ->
+            let t_exact = Sys.time () -. t0 in
+            [ string_of_int ops; string_of_int cs;
+              Printf.sprintf "%.0f%s" o.Baselines.Exact.optimum
+                (if o.Baselines.Exact.proven then "" else " (unproven)");
+              Printf.sprintf "%.2f" (t_exact *. 1e3);
+              string_of_int mfs_units;
+              Printf.sprintf "%.2f" (t_mfs *. 1e3) ])
+      [ 8; 12; 16; 20; 24; 28 ]
+  in
+  print_string
+    (Report.Table.render
+       ~header:
+         [ "ops"; "T"; "exact units"; "exact ms"; "MFS units"; "MFS ms" ]
+       rows);
+  print_newline ()
+
+(* --- Versus: MFSA against an FDS + binding flow ------------------------ *)
+
+let single_function_cost g (s : Core.Schedule.t) lib =
+  let col =
+    match s.Core.Schedule.col with
+    | Some c -> c
+    | None ->
+        Baselines.Colbind.columns s.Core.Schedule.config g
+          ~start:s.Core.Schedule.start
+  in
+  let by_unit = Hashtbl.create 16 in
+  List.iter
+    (fun nd ->
+      let key = (Dfg.Op.fu_class nd.Dfg.Graph.kind, col.(nd.Dfg.Graph.id)) in
+      let cur = Option.value ~default:[] (Hashtbl.find_opt by_unit key) in
+      Hashtbl.replace by_unit key (nd.Dfg.Graph.id :: cur))
+    (Dfg.Graph.nodes g);
+  let assignments =
+    Hashtbl.fold
+      (fun (klass, _) ops acc ->
+        let kind = Option.get (Dfg.Op.of_string klass) in
+        (Celllib.Library.single_function lib kind, ops) :: acc)
+      by_unit []
+  in
+  let delay i =
+    Core.Config.delay s.Core.Schedule.config (Dfg.Graph.node g i).Dfg.Graph.kind
+  in
+  let dp =
+    ok
+      (Rtl.Datapath.elaborate g ~start:s.Core.Schedule.start ~delay
+         ~cs:s.Core.Schedule.cs ~assignments)
+  in
+  (Rtl.Cost.of_datapath lib dp).Rtl.Cost.total
+
+let versus () =
+  print_endline
+    "== Versus: MFSA style 1 against FDS + single-function binding ==";
+  print_endline "(paper reports -4% .. +5% against published flows)";
+  let rows =
+    List.map
+      (fun (name, g) ->
+        let cs = Dfg.Bounds.critical_path g + 1 in
+        let lib = Celllib.Ncr.for_graph g in
+        let mfsa = mfsa_for Core.Mfsa.Unrestricted g cs in
+        let fds = ok (Baselines.Fds.run g ~cs) in
+        let fds_cost = single_function_cost g fds lib in
+        let mfsa_cost = mfsa.Core.Mfsa.cost.Rtl.Cost.total in
+        [ name;
+          Printf.sprintf "%.0f" mfsa_cost;
+          Printf.sprintf "%.0f" fds_cost;
+          Printf.sprintf "%+.1f%%" (100. *. (mfsa_cost -. fds_cost) /. fds_cost) ])
+      (Workloads.Classic.all ())
+  in
+  print_string
+    (Report.Table.render
+       ~header:[ "example"; "MFSA um2"; "FDS+bind um2"; "MFSA vs FDS" ]
+       rows);
+  print_newline ()
+
+(* --- Ablations ---------------------------------------------------------- *)
+
+let ablation () =
+  print_endline "== Ablation 1: Liapunov weight sweep (EWF, T=18) ==";
+  let g = Workloads.Classic.ewf () in
+  let lib = Celllib.Ncr.for_graph g in
+  let config = Core.Config.of_library lib in
+  let sweep =
+    [ ("balanced 1/1/1/1", Core.Mfsa.equal_weights);
+      ("no ALU term  1/0/1/1", { Core.Mfsa.equal_weights with Core.Mfsa.w_alu = 0. });
+      ("no MUX term  1/1/0/1", { Core.Mfsa.equal_weights with Core.Mfsa.w_mux = 0. });
+      ("no REG term  1/1/1/0", { Core.Mfsa.equal_weights with Core.Mfsa.w_reg = 0. });
+      ("REG-heavy    1/1/1/20", { Core.Mfsa.equal_weights with Core.Mfsa.w_reg = 20. }) ]
+  in
+  let rows =
+    List.map
+      (fun (label, weights) ->
+        let o = ok (Core.Mfsa.run ~config ~weights ~library:lib ~cs:18 g) in
+        [ label;
+          Printf.sprintf "%.0f" o.Core.Mfsa.cost.Rtl.Cost.total;
+          Printf.sprintf "%.0f" o.Core.Mfsa.cost.Rtl.Cost.alu_area;
+          Printf.sprintf "%.0f" o.Core.Mfsa.cost.Rtl.Cost.mux_area;
+          string_of_int o.Core.Mfsa.cost.Rtl.Cost.n_regs ])
+      sweep
+  in
+  print_string
+    (Report.Table.render
+       ~header:[ "weights (T/ALU/MUX/REG)"; "total"; "ALU area"; "MUX area"; "REG" ]
+       rows);
+  print_endline "== Ablation 2: multifunction allocation on/off (tseng, T=5) ==";
+  let g = Workloads.Classic.tseng () in
+  let lib = Celllib.Ncr.for_graph g in
+  let singles =
+    { lib with
+      Celllib.Library.alus =
+        List.filter
+          (fun a -> Celllib.Op_set.cardinal a.Celllib.Library.ops = 1)
+          lib.Celllib.Library.alus }
+  in
+  let full = ok (Core.Mfsa.run ~library:lib ~cs:5 g) in
+  let single = ok (Core.Mfsa.run ~library:singles ~cs:5 g) in
+  Printf.printf
+    "  full library: %.0f um2 {%s}\n  single-function only: %.0f um2 {%s}\n"
+    full.Core.Mfsa.cost.Rtl.Cost.total
+    (Rtl.Cost.alu_config full.Core.Mfsa.datapath)
+    single.Core.Mfsa.cost.Rtl.Cost.total
+    (Rtl.Cost.alu_config single.Core.Mfsa.datapath);
+  print_endline "== Ablation 3: mutual-exclusion sharing on/off (cond) ==";
+  let g = Workloads.Classic.cond_example () in
+  let cp = Dfg.Bounds.critical_path g in
+  let total s =
+    List.fold_left (fun a (_, k) -> a + k) 0 (Core.Schedule.fu_counts s)
+  in
+  let on = ok (Core.Mfs.schedule g (Core.Mfs.Time { cs = cp })) in
+  let off =
+    ok
+      (Core.Mfs.schedule
+         ~config:{ Core.Config.default with Core.Config.share_mutex = false }
+         g (Core.Mfs.Time { cs = cp }))
+  in
+  Printf.printf "  sharing on: %d units [%s]; sharing off: %d units [%s]\n"
+    (total on) (fus on) (total off) (fus off);
+  print_endline "== Ablation 4: chaining on/off (ex2) ==";
+  let g = Workloads.Classic.chained_sum () in
+  let plain = Dfg.Bounds.critical_path g in
+  let chained = Core.Timeframe.min_cs chain_cfg g in
+  Printf.printf "  minimum steps without chaining: %d; with chaining: %d\n"
+    plain chained;
+  print_endline "== Ablation 5: multiplexer vs bus interconnect ==";
+  let rows =
+    List.map
+      (fun (name, g) ->
+        let lib = Celllib.Ncr.for_graph g in
+        let cs = Dfg.Bounds.critical_path g + 1 in
+        let o = ok (Core.Mfsa.run ~library:lib ~cs g) in
+        let buses = Rtl.Bus.allocate o.Core.Mfsa.datapath in
+        [ name;
+          Printf.sprintf "%.0f" o.Core.Mfsa.cost.Rtl.Cost.mux_area;
+          string_of_int buses.Rtl.Bus.buses;
+          Printf.sprintf "%.0f" (Rtl.Bus.cost buses) ])
+      (Workloads.Classic.all ())
+  in
+  print_string
+    (Report.Table.render
+       ~header:[ "example"; "MUX area"; "buses"; "bus area" ]
+       rows);
+  print_endline
+    "(wide parallel designs favour multiplexers, serial ones buses)\n"
+
+(* --- Driver ------------------------------------------------------------ *)
+
+let sections =
+  [ ("table1", table1); ("table2", table2); ("figure1", figure1);
+    ("figure2", figure2); ("speed", speed); ("scaling", scaling); ("exact", exact);
+    ("versus", versus); ("ablation", ablation) ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as args) -> args
+    | _ -> List.map fst sections
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown section %S (have: %s)\n" name
+            (String.concat ", " (List.map fst sections));
+          exit 1)
+    requested

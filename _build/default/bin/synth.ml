@@ -1,0 +1,329 @@
+(* Command-line front end: schedule and allocate DFGs from files or the
+   built-in benchmark set.
+
+     synth show   <dfg>                 inspect a graph
+     synth mfs    <dfg> --cs 8          Move Frame Scheduling
+     synth mfsa   <dfg> --cs 8 --style 2   mixed scheduling-allocation
+     synth compare <dfg> --cs 8         MFS vs the baseline schedulers
+
+   <dfg> is a file in the textual DFG format (see Dfg.Parser) or the name of
+   a built-in example (ex1..ex6, diffeq, ewf, ...). *)
+
+open Cmdliner
+
+let load_graph spec =
+  if Sys.file_exists spec then
+    if Filename.check_suffix spec ".beh" then Dfg.Frontend.compile_file spec
+    else Dfg.Parser.parse_file spec
+  else
+    match Workloads.Classic.by_name spec with
+    | Some g -> Ok g
+    | None ->
+        Error
+          (Printf.sprintf
+             "%s: no such file or built-in example (try ex1..ex6, diffeq, \
+              ewf, fir16, dct8, ar, tseng, chained, facet, cond)"
+             spec)
+
+let apply_cse g = function
+  | false -> Ok g
+  | true -> Dfg.Cse.eliminate g
+
+let cse_arg =
+  let doc = "Run common-subexpression elimination before synthesis." in
+  Arg.(value & flag & info [ "cse" ] ~doc)
+
+let graph_arg =
+  let doc = "DFG file or built-in example name." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"DFG" ~doc)
+
+let cs_arg =
+  let doc = "Time budget in control steps (0 = critical path)." in
+  Arg.(value & opt int 0 & info [ "cs"; "steps" ] ~docv:"N" ~doc)
+
+let two_cycle_arg =
+  let doc = "Multiplication and division take two control steps." in
+  Arg.(value & flag & info [ "two-cycle-mult" ] ~doc)
+
+let pipelined_arg =
+  let doc =
+    "Run two-cycle multiplications on two-stage pipelined units (structural \
+     pipelining)."
+  in
+  Arg.(value & flag & info [ "pipelined-mult" ] ~doc)
+
+let latency_arg =
+  let doc = "Functional-pipelining latency (loop folding)." in
+  Arg.(value & opt (some int) None & info [ "latency" ] ~docv:"L" ~doc)
+
+let clock_arg =
+  let doc = "Clock period in ns; enables operation chaining." in
+  Arg.(value & opt (some float) None & info [ "clock"; "chain" ] ~docv:"NS" ~doc)
+
+let limits_arg =
+  let doc =
+    "Resource limits per FU class, e.g. --limit '*=2' --limit '+=1'. With \
+     limits, MFS minimises control steps instead of units."
+  in
+  let parse s =
+    match String.split_on_char '=' s with
+    | [ c; n ] -> (
+        match int_of_string_opt n with
+        | Some k -> Ok (c, k)
+        | None -> Error (`Msg (s ^ ": expected CLASS=COUNT")))
+    | _ -> Error (`Msg (s ^ ": expected CLASS=COUNT"))
+  in
+  let print ppf (c, k) = Format.fprintf ppf "%s=%d" c k in
+  Arg.(value & opt_all (conv (parse, print)) [] & info [ "limit" ] ~docv:"CLASS=COUNT" ~doc)
+
+let style_arg =
+  let doc = "RTL design style: 1 = unrestricted, 2 = no ALU self loop." in
+  Arg.(value & opt int 1 & info [ "style" ] ~docv:"1|2" ~doc)
+
+let verilog_arg =
+  let doc = "Emit structural Verilog for the synthesised design." in
+  Arg.(value & flag & info [ "verilog" ] ~doc)
+
+let simulate_arg =
+  let doc = "Check the design against the golden model on random inputs." in
+  Arg.(value & flag & info [ "simulate" ] ~doc)
+
+let vcd_arg =
+  let doc =
+    "Execute one iteration on small deterministic inputs and dump the \
+     waveform to $(docv) (VCD, viewable in GTKWave)."
+  in
+  Arg.(value & opt (some string) None & info [ "vcd" ] ~docv:"FILE" ~doc)
+
+let netlist_arg =
+  let doc = "Print the datapath netlist as Graphviz DOT." in
+  Arg.(value & flag & info [ "dot-netlist" ] ~doc)
+
+let fsm_arg =
+  let doc = "Print the controller's FSM/microcode table ($(docv): binary, \
+             one-hot, gray)." in
+  let enc =
+    Arg.enum
+      [ ("binary", Rtl.Fsm.Binary); ("one-hot", Rtl.Fsm.One_hot);
+        ("gray", Rtl.Fsm.Gray) ]
+  in
+  Arg.(value & opt (some enc) None & info [ "fsm" ] ~docv:"ENCODING" ~doc)
+
+let make_library g ~two_cycle ~pipelined =
+  let lib = Celllib.Ncr.for_graph g in
+  if pipelined then Celllib.Ncr.pipelined_multiplier lib
+  else if two_cycle then Celllib.Ncr.two_cycle_multiplier lib
+  else lib
+
+let make_config lib ~clock ~latency =
+  let cfg = Core.Config.of_library lib in
+  let cfg =
+    match clock with
+    | None -> cfg
+    | Some clk ->
+        { cfg with
+          Core.Config.chaining =
+            Some { Core.Config.prop_delay = lib.Celllib.Library.prop_delay;
+                   clock = clk } }
+  in
+  { cfg with Core.Config.functional_latency = latency }
+
+let effective_cs cfg g cs = if cs <= 0 then Core.Timeframe.min_cs cfg g else cs
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+      prerr_endline ("error: " ^ msg);
+      exit 1
+
+let fu_string s =
+  String.concat ", "
+    (List.map
+       (fun (c, k) -> Printf.sprintf "%d x %s" k c)
+       (Core.Schedule.fu_counts s))
+
+(* --- show ------------------------------------------------------------- *)
+
+let show_cmd =
+  let doc = "Inspect a DFG: listing, classes, critical path, DOT." in
+  let dot =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Print Graphviz DOT instead.")
+  in
+  let run spec dot =
+    let g = or_die (load_graph spec) in
+    if dot then print_string (Dfg.Dot.of_graph g)
+    else begin
+      Format.printf "%a@." Dfg.Graph.pp g;
+      Format.printf "%a@." Dfg.Stats.pp (Dfg.Stats.compute g);
+      let savings = Dfg.Cse.savings g in
+      if savings > 0 then
+        Printf.printf "note: CSE would remove %d duplicate op(s) (--cse)\n"
+          savings
+    end
+  in
+  Cmd.v (Cmd.info "show" ~doc) Term.(const run $ graph_arg $ dot)
+
+(* --- mfs -------------------------------------------------------------- *)
+
+let mfs_cmd =
+  let doc = "Move Frame Scheduling (time- or resource-constrained)." in
+  let run spec cs two_cycle pipelined latency clock limits cse =
+    let g = or_die (load_graph spec) in
+    let g = or_die (apply_cse g cse) in
+    let lib = make_library g ~two_cycle ~pipelined in
+    let config = make_config lib ~clock ~latency in
+    let spec_kind =
+      if limits = [] then Core.Mfs.Time { cs = effective_cs config g cs }
+      else Core.Mfs.Resource { limits }
+    in
+    let outcome = or_die (Core.Mfs.run ~config g spec_kind) in
+    let s = outcome.Core.Mfs.schedule in
+    Format.printf "%a@." Core.Schedule.pp s;
+    print_string
+      (Report.Table.render_kv
+         [
+           ("control steps", string_of_int s.Core.Schedule.cs);
+           ("functional units", fu_string s);
+           ("local reschedulings", string_of_int outcome.Core.Mfs.restarts);
+           ( "Liapunov trace",
+             Printf.sprintf "monotone=%b positive=%b"
+               (Core.Liapunov.Trace.non_increasing outcome.Core.Mfs.trace)
+               (Core.Liapunov.Trace.positive outcome.Core.Mfs.trace) );
+           ( "valid",
+             match Core.Schedule.check s with
+             | Ok () -> "yes"
+             | Error errs -> "NO: " ^ String.concat "; " errs );
+         ])
+  in
+  Cmd.v (Cmd.info "mfs" ~doc)
+    Term.(
+      const run $ graph_arg $ cs_arg $ two_cycle_arg $ pipelined_arg
+      $ latency_arg $ clock_arg $ limits_arg $ cse_arg)
+
+(* --- mfsa ------------------------------------------------------------- *)
+
+let mfsa_cmd =
+  let doc = "Mixed scheduling-allocation: schedule, bind ALUs/REGs/MUXes." in
+  let run spec cs two_cycle pipelined latency clock style verilog simulate cse
+      vcd netlist fsm =
+    let g = or_die (load_graph spec) in
+    let g = or_die (apply_cse g cse) in
+    let lib = make_library g ~two_cycle ~pipelined in
+    let config = make_config lib ~clock ~latency in
+    let style =
+      match style with
+      | 1 -> Core.Mfsa.Unrestricted
+      | 2 -> Core.Mfsa.No_self_loop
+      | n ->
+          prerr_endline (Printf.sprintf "error: unknown style %d (use 1 or 2)" n);
+          exit 1
+    in
+    let cs = effective_cs config g cs in
+    let o = or_die (Core.Mfsa.run ~config ~style ~library:lib ~cs g) in
+    Format.printf "%a@." Core.Schedule.pp o.Core.Mfsa.schedule;
+    Format.printf "%a@." Rtl.Datapath.pp o.Core.Mfsa.datapath;
+    Format.printf "%a@.@." Rtl.Cost.pp o.Core.Mfsa.cost;
+    let delay i =
+      Core.Config.delay config (Dfg.Graph.node g i).Dfg.Graph.kind
+    in
+    let ctrl = or_die (Rtl.Controller.generate o.Core.Mfsa.datapath ~delay) in
+    (match
+       Rtl.Check.datapath
+         ~style2:(style = Core.Mfsa.No_self_loop)
+         o.Core.Mfsa.datapath ~delay
+     with
+    | Ok () -> print_endline "datapath checks: ok"
+    | Error errs ->
+        List.iter (fun e -> print_endline ("datapath check FAILED: " ^ e)) errs);
+    if simulate then begin
+      match Sim.Equiv.check_random o.Core.Mfsa.datapath ctrl with
+      | Ok () -> print_endline "simulation vs golden model: ok (20 random runs)"
+      | Error e -> print_endline ("simulation FAILED: " ^ e)
+    end;
+    (match vcd with
+    | None -> ()
+    | Some path ->
+        let env =
+          List.mapi (fun i v -> (v, i + 1)) (Dfg.Graph.inputs g)
+        in
+        (match Sim.Machine.run o.Core.Mfsa.datapath ctrl ~env with
+        | Error e -> print_endline ("vcd: execution failed: " ^ e)
+        | Ok r -> (
+            match Sim.Vcd.write_file ~path o.Core.Mfsa.datapath r with
+            | Ok () -> Printf.printf "waveform written to %s\n" path
+            | Error e -> print_endline ("vcd: " ^ e))));
+    (match fsm with
+    | Some encoding ->
+        print_newline ();
+        print_string (Rtl.Fsm.render ~encoding ctrl)
+    | None -> ());
+    if netlist then begin
+      print_newline ();
+      print_string (Rtl.Dot_netlist.of_datapath o.Core.Mfsa.datapath)
+    end;
+    if verilog then begin
+      print_newline ();
+      print_string (Rtl.Verilog.emit o.Core.Mfsa.datapath ctrl)
+    end
+  in
+  Cmd.v (Cmd.info "mfsa" ~doc)
+    Term.(
+      const run $ graph_arg $ cs_arg $ two_cycle_arg $ pipelined_arg
+      $ latency_arg $ clock_arg $ style_arg $ verilog_arg $ simulate_arg
+      $ cse_arg $ vcd_arg $ netlist_arg $ fsm_arg)
+
+(* --- compare ---------------------------------------------------------- *)
+
+let compare_cmd =
+  let doc = "Compare MFS against list scheduling, FDS and annealing." in
+  let run spec cs two_cycle pipelined latency clock =
+    let g = or_die (load_graph spec) in
+    let lib = make_library g ~two_cycle ~pipelined in
+    let config = make_config lib ~clock ~latency in
+    let cs = effective_cs config g cs in
+    let row name result =
+      match result with
+      | Ok s ->
+          [
+            name;
+            fu_string s;
+            (match Core.Schedule.check s with Ok () -> "yes" | Error _ -> "NO");
+          ]
+      | Error e -> [ name; "error: " ^ e; "-" ]
+    in
+    let rows =
+      [
+        row "MFS" (Core.Mfs.schedule ~config g (Core.Mfs.Time { cs }));
+        row "list" (Baselines.List_sched.time ~config g ~cs);
+        row "FDS" (Baselines.Fds.run ~config g ~cs);
+        row "annealing" (Baselines.Annealing.run ~config g ~cs);
+      ]
+    in
+    Printf.printf "time budget: %d steps\n" cs;
+    print_string
+      (Report.Table.render ~header:[ "scheduler"; "units"; "valid" ] rows)
+  in
+  Cmd.v (Cmd.info "compare" ~doc)
+    Term.(
+      const run $ graph_arg $ cs_arg $ two_cycle_arg $ pipelined_arg
+      $ latency_arg $ clock_arg)
+
+(* --- compile ------------------------------------------------------------ *)
+
+let compile_cmd =
+  let doc =
+    "Compile a behavioural description (.beh) to the DFG text format."
+  in
+  let run spec cse =
+    let g = or_die (load_graph spec) in
+    let g = or_die (apply_cse g cse) in
+    print_string (Dfg.Parser.to_source g)
+  in
+  Cmd.v (Cmd.info "compile" ~doc) Term.(const run $ graph_arg $ cse_arg)
+
+let main =
+  let doc = "MFS/MFSA high-level synthesis (DAC 1992 reproduction)" in
+  Cmd.group (Cmd.info "synth" ~doc)
+    [ show_cmd; mfs_cmd; mfsa_cmd; compare_cmd; compile_cmd ]
+
+let () = exit (Cmd.eval main)

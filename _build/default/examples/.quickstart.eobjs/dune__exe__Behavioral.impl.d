@@ -1,0 +1,1 @@
+examples/behavioral.ml: Celllib Core Dfg Format List Printf Rtl Sim String

@@ -1,0 +1,1 @@
+examples/chained_alu.ml: Array Celllib Core Dfg List Printf Rtl String Workloads

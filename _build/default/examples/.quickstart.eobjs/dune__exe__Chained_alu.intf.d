@@ -1,0 +1,1 @@
+examples/chained_alu.mli:

@@ -1,0 +1,1 @@
+examples/pipelined_filter.ml: Array Core Dfg List Printf String Workloads

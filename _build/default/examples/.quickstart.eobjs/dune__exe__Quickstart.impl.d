@@ -1,0 +1,1 @@
+examples/quickstart.ml: Celllib Core Dfg Format List Rtl Sim Workloads

@@ -1,0 +1,1 @@
+examples/selftest_datapath.ml: Celllib Core Dfg List Printf Rtl Sim String Workloads

@@ -1,0 +1,1 @@
+examples/streaming.ml: Celllib Core Dfg List Printf Rtl Sim String Workloads

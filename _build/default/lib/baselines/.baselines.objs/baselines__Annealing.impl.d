@@ -1,0 +1,1 @@
+lib/baselines/annealing.ml: Array Celllib Colbind Core Dfg Int64 List Option Rtl

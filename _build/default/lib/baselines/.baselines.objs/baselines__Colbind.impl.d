@@ -1,0 +1,1 @@
+lib/baselines/colbind.ml: Array Core Dfg List String

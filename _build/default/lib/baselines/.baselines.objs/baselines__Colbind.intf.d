@@ -1,0 +1,1 @@
+lib/baselines/colbind.mli: Core Dfg

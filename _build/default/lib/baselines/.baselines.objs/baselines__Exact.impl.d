@@ -1,0 +1,1 @@
+lib/baselines/exact.ml: Array Colbind Core Dfg Hashtbl List

@@ -1,0 +1,1 @@
+lib/baselines/exact.mli: Core Dfg

@@ -1,0 +1,1 @@
+lib/baselines/fds.ml: Array Colbind Core Dfg List Option String

@@ -1,0 +1,1 @@
+lib/baselines/fds.mli: Core Dfg

@@ -1,0 +1,1 @@
+lib/baselines/list_sched.ml: Array Colbind Core Dfg Hashtbl List Option Printf

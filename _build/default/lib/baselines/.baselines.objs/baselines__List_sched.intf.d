@@ -1,0 +1,1 @@
+lib/baselines/list_sched.mli: Core Dfg

@@ -1,0 +1,55 @@
+let columns cfg g ~start =
+  let n = Dfg.Graph.num_nodes g in
+  let col = Array.make n 0 in
+  let latency = cfg.Core.Config.functional_latency in
+  let exclusive i j =
+    cfg.Core.Config.share_mutex && Dfg.Graph.mutually_exclusive g i j
+  in
+  let span i = Core.Config.span cfg (Dfg.Graph.node g i).Dfg.Graph.kind in
+  let cells i =
+    let s = start.(i) and sp = span i in
+    match latency with
+    | None -> List.init sp (fun k -> s + k)
+    | Some l -> List.init sp (fun k -> ((s + k - 1) mod l + l) mod l)
+  in
+  let overlap i j =
+    let ci = cells i and cj = cells j in
+    List.exists (fun c -> List.mem c cj) ci
+  in
+  List.iter
+    (fun c ->
+      let members =
+        List.filter
+          (fun nd -> String.equal (Dfg.Op.fu_class nd.Dfg.Graph.kind) c)
+          (Dfg.Graph.nodes g)
+        |> List.map (fun nd -> nd.Dfg.Graph.id)
+        |> List.sort (fun i j ->
+               let cmp = compare start.(i) start.(j) in
+               if cmp <> 0 then cmp else compare i j)
+      in
+      (* columns.(k) = ops already packed on column k+1 *)
+      let packed = ref [] in
+      List.iter
+        (fun i ->
+          let rec place k = function
+            | [] ->
+                packed := !packed @ [ [ i ] ];
+                col.(i) <- k + 1
+            | occupants :: rest ->
+                if
+                  List.for_all
+                    (fun j -> exclusive i j || not (overlap i j))
+                    occupants
+                then begin
+                  packed :=
+                    List.mapi
+                      (fun k' o -> if k' = k then i :: o else o)
+                      !packed;
+                  col.(i) <- k + 1
+                end
+                else place (k + 1) rest
+          in
+          place 0 !packed)
+        members)
+    (Dfg.Graph.classes g);
+  col

@@ -1,0 +1,127 @@
+let priority cfg g =
+  let n = Dfg.Graph.num_nodes g in
+  let memo = Array.make n (-1) in
+  let delay i = Core.Config.delay cfg (Dfg.Graph.node g i).Dfg.Graph.kind in
+  List.iter
+    (fun i ->
+      let below =
+        List.fold_left (fun acc s -> max acc memo.(s)) 0 (Dfg.Graph.succs g i)
+      in
+      memo.(i) <- delay i + below)
+    (List.rev (Dfg.Graph.topological g));
+  fun i -> memo.(i)
+
+(* One resource-constrained pass; returns the start array. *)
+let run_rc cfg g ~units =
+  let n = Dfg.Graph.num_nodes g in
+  let prio = priority cfg g in
+  let delay i = Core.Config.delay cfg (Dfg.Graph.node g i).Dfg.Graph.kind in
+  let span i = Core.Config.span cfg (Dfg.Graph.node g i).Dfg.Graph.kind in
+  let klass i = Dfg.Op.fu_class (Dfg.Graph.node g i).Dfg.Graph.kind in
+  let start = Array.make n 0 in
+  let unplaced = ref (Dfg.Graph.num_nodes g) in
+  (* busy.(c) tracks (op, until_step) pairs per class (span occupancy). *)
+  let busy = Hashtbl.create 8 in
+  List.iter (fun c -> Hashtbl.replace busy c []) (Dfg.Graph.classes g);
+  let step = ref 0 in
+  while !unplaced > 0 do
+    incr step;
+    let s = !step in
+    (* Free units whose occupation ended. *)
+    List.iter
+      (fun c ->
+        Hashtbl.replace busy c
+          (List.filter (fun (_, until) -> until >= s) (Hashtbl.find busy c)))
+      (Dfg.Graph.classes g);
+    let ready =
+      List.filter
+        (fun nd ->
+          let i = nd.Dfg.Graph.id in
+          start.(i) = 0
+          && List.for_all
+               (fun p -> start.(p) > 0 && start.(p) + delay p <= s)
+               (Dfg.Graph.preds g i))
+        (Dfg.Graph.nodes g)
+      |> List.map (fun nd -> nd.Dfg.Graph.id)
+      |> List.sort (fun i j ->
+             let c = compare (prio j) (prio i) in
+             if c <> 0 then c else compare i j)
+    in
+    List.iter
+      (fun i ->
+        let c = klass i in
+        let in_use = Hashtbl.find busy c in
+        let cap = Option.value ~default:1 (List.assoc_opt c units) in
+        if List.length in_use < cap then begin
+          start.(i) <- s;
+          decr unplaced;
+          Hashtbl.replace busy c ((i, s + span i - 1) :: in_use)
+        end)
+      ready
+  done;
+  start
+
+let finish_schedule cfg g start =
+  let cs =
+    List.fold_left
+      (fun acc nd ->
+        max acc
+          (start.(nd.Dfg.Graph.id)
+          + Core.Config.delay cfg nd.Dfg.Graph.kind
+          - 1))
+      1 (Dfg.Graph.nodes g)
+  in
+  let col = Colbind.columns cfg g ~start in
+  Core.Schedule.make ~col ~config:cfg ~cs g start
+
+let resource ?(config = Core.Config.default) g ~limits =
+  if Dfg.Graph.num_nodes g = 0 then Error "list scheduling: empty graph"
+  else begin
+    let bad =
+      List.find_opt (fun (_, u) -> u < 1) limits
+    in
+    match bad with
+    | Some (c, u) ->
+        Error (Printf.sprintf "list scheduling: %d units of %s" u c)
+    | None ->
+        let start = run_rc config g ~units:limits in
+        Ok (finish_schedule config g start)
+  end
+
+let time ?(config = Core.Config.default) g ~cs =
+  if Dfg.Graph.num_nodes g = 0 then Error "list scheduling: empty graph"
+  else
+    match Core.Timeframe.bounds config g ~cs with
+    | Error _ as e -> e
+    | Ok bounds ->
+        let classes = Dfg.Graph.classes g in
+        let units = Hashtbl.create 8 in
+        List.iter
+          (fun (c, n_c) ->
+            Hashtbl.replace units c (max 1 ((n_c + cs - 1) / cs)))
+          (Dfg.Graph.count_by_class g);
+        (* Deferment loop: raise the limit of the class that misses its
+           deadline; each round adds one unit somewhere, so it ends. *)
+        let rec refine budget =
+          let limit_list =
+            List.map (fun c -> (c, Hashtbl.find units c)) classes
+          in
+          let start = run_rc config g ~units:limit_list in
+          let offender =
+            List.find_opt
+              (fun nd ->
+                start.(nd.Dfg.Graph.id) > bounds.Dfg.Bounds.alap.(nd.Dfg.Graph.id))
+              (Dfg.Graph.nodes g)
+          in
+          match offender with
+          | None -> Ok (finish_schedule config g start)
+          | Some nd ->
+              if budget <= 0 then
+                Error "list scheduling: deferment budget exhausted"
+              else begin
+                let c = Dfg.Op.fu_class nd.Dfg.Graph.kind in
+                Hashtbl.replace units c (Hashtbl.find units c + 1);
+                refine (budget - 1)
+              end
+        in
+        refine (Dfg.Graph.num_nodes g + 8)

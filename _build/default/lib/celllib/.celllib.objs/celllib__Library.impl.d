@@ -1,0 +1,1 @@
+lib/celllib/library.ml: Dfg Format List Op_set Printf

@@ -1,0 +1,1 @@
+lib/celllib/library.mli: Dfg Format Op_set

@@ -1,0 +1,1 @@
+lib/celllib/ncr.ml: Dfg Library List Op_set

@@ -1,0 +1,1 @@
+lib/celllib/ncr.mli: Dfg Library

@@ -1,0 +1,1 @@
+lib/celllib/op_set.ml: Dfg List Set String

@@ -1,0 +1,1 @@
+lib/celllib/op_set.mli: Dfg Set

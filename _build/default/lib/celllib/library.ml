@@ -1,0 +1,127 @@
+type alu_kind = {
+  aname : string;
+  ops : Op_set.t;
+  area : float;
+  stages : int;
+}
+
+type t = {
+  alus : alu_kind list;
+  mux_cost : int -> float;
+  reg_cost : float;
+  cycles : Dfg.Op.kind -> int;
+  prop_delay : Dfg.Op.kind -> float;
+}
+
+(* Per-capability functional area (µm², loosely NCR-scaled: a multiplier is
+   an order of magnitude bigger than an adder). *)
+let capability_area : Dfg.Op.kind -> float = function
+  | Mul -> 12500.
+  | Div -> 14500.
+  | Mod -> 14500.
+  | Add -> 1800.
+  | Sub -> 1950.
+  | Shl | Shr -> 1500.
+  | Lt | Le | Gt | Ge -> 950.
+  | Eq | Ne -> 800.
+  | And | Or | Xor -> 620.
+  | Not | Neg -> 400.
+  | Mov -> 250.
+
+let alu_overhead = 800.
+let merge_discount = 0.55
+
+let make_alu ?(stages = 1) kinds =
+  let ops = Op_set.of_list kinds in
+  let areas = List.map capability_area (Op_set.elements ops) in
+  let biggest = List.fold_left max 0. areas in
+  let total = List.fold_left ( +. ) 0. areas in
+  let area = alu_overhead +. biggest +. (merge_discount *. (total -. biggest)) in
+  (* A pipelined unit pays register stages. *)
+  let area = area +. (float_of_int (stages - 1) *. 500.) in
+  let aname =
+    if stages > 1 then Printf.sprintf "%s/p%d" (Op_set.name ops) stages
+    else Op_set.name ops
+  in
+  { aname; ops; area; stages }
+
+let candidates lib kind =
+  List.filter (fun a -> Op_set.mem kind a.ops) lib.alus
+  |> List.sort (fun a b -> compare a.area b.area)
+
+let single_function lib kind =
+  let singles =
+    List.filter
+      (fun a -> Op_set.equal a.ops (Op_set.singleton kind))
+      lib.alus
+  in
+  match List.sort (fun a b -> compare a.area b.area) singles with
+  | a :: _ -> a
+  | [] -> make_alu [ kind ]
+
+let max_alu_area lib =
+  List.fold_left (fun acc a -> max acc a.area) 0. lib.alus
+
+let max_mux_marginal lib =
+  let best = ref 0. in
+  for r = 1 to 32 do
+    best := max !best (lib.mux_cost (r + 1) -. lib.mux_cost r)
+  done;
+  !best
+
+let restrict lib kinds =
+  let allowed = Op_set.of_list kinds in
+  { lib with
+    alus = List.filter (fun a -> Op_set.subset a.ops allowed) lib.alus }
+
+let default_mux_cost r =
+  if r <= 1 then 0.
+  else
+    let log2 =
+      let rec go acc v = if v <= 1 then acc else go (acc + 1) ((v + 1) / 2) in
+      go 0 r
+    in
+    120. +. (140. *. float_of_int r) +. (60. *. float_of_int log2)
+
+let default_reg_cost = 650.
+
+let default_cycles : Dfg.Op.kind -> int = fun _ -> 1
+
+let default_prop_delay : Dfg.Op.kind -> float = function
+  | Mul | Div | Mod -> 80.
+  | Add | Sub -> 40.
+  | Shl | Shr -> 25.
+  | Lt | Le | Gt | Ge | Eq | Ne -> 30.
+  | And | Or | Xor | Not | Neg | Mov -> 12.
+
+let heavy = function Dfg.Op.Mul | Div | Mod -> true | _ -> false
+
+(* All subsets of [universe] of size <= max_ops, with heavy units combined
+   with at most one light kind. *)
+let combos ~max_ops universe =
+  let rec subsets k = function
+    | [] -> [ [] ]
+    | _ when k = 0 -> [ [] ]
+    | x :: rest ->
+        let without = subsets k rest in
+        let with_x = List.map (fun s -> x :: s) (subsets (k - 1) rest) in
+        with_x @ without
+  in
+  subsets max_ops universe
+  |> List.filter (fun s ->
+         s <> []
+         &&
+         let heavies = List.filter heavy s in
+         match heavies with
+         | [] -> true
+         | [ _ ] -> List.length s <= 2
+         | _ -> false)
+
+let generated ?(max_ops = 4) ?(mux_cost = default_mux_cost)
+    ?(reg_cost = default_reg_cost) ?(cycles = default_cycles)
+    ?(prop_delay = default_prop_delay) universe =
+  let universe = List.sort_uniq compare universe in
+  let alus = List.map make_alu (combos ~max_ops universe) in
+  { alus; mux_cost; reg_cost; cycles; prop_delay }
+
+let pp_alu ppf a = Format.fprintf ppf "%s:%.0fum2" a.aname a.area

@@ -1,0 +1,63 @@
+(** Cell-library substrate.
+
+    MFSA selects (possibly multifunction) ALUs from a user-supplied cell
+    library and optimises total datapath area: ALUs + multiplexers +
+    registers (paper §4). The paper priced designs with the NCR ASIC data
+    book; that book being unavailable, {!Ncr} provides a synthetic library
+    with the same structure — see DESIGN.md §3 for the substitution note. *)
+
+type alu_kind = {
+  aname : string;  (** Display name, e.g. ["(+-)"], matching Table 2 style. *)
+  ops : Op_set.t;  (** Operation kinds the unit implements. *)
+  area : float;  (** Area in µm². *)
+  stages : int;
+      (** Pipeline stages; 1 = combinational/unpipelined. A pipelined unit
+          accepts a new operation every cycle (structural pipelining). *)
+}
+
+type t = {
+  alus : alu_kind list;  (** Available ALU kinds. *)
+  mux_cost : int -> float;
+      (** Area of an [r]-input 1-output multiplexer; 0 for [r <= 1].
+          Non-linear in [r], as the paper notes for real libraries. *)
+  reg_cost : float;  (** Area of one register. *)
+  cycles : Dfg.Op.kind -> int;  (** Execution time in control steps. *)
+  prop_delay : Dfg.Op.kind -> float;  (** Propagation delay in ns (chaining). *)
+}
+
+val make_alu : ?stages:int -> Dfg.Op.kind list -> alu_kind
+(** Build an ALU kind with the default area model: a fixed overhead plus the
+    cost of the most expensive capability plus a discounted sum of the
+    remaining capabilities — so merging operations into one ALU is cheaper
+    than instantiating separate units, which is what makes simultaneous
+    scheduling-allocation worthwhile. *)
+
+val candidates : t -> Dfg.Op.kind -> alu_kind list
+(** ALU kinds able to execute the given operation, cheapest first. *)
+
+val single_function : t -> Dfg.Op.kind -> alu_kind
+(** The single-function unit for a kind (used by MFS and the baselines).
+    Falls back to {!make_alu} if the library lists no such unit. *)
+
+val max_alu_area : t -> float
+(** Largest ALU area in the library — bounds the paper's [f_ALU] term. *)
+
+val max_mux_marginal : t -> float
+(** Largest marginal cost of adding one multiplexer input, sampled over
+    fan-ins 1..32 — bounds the paper's [f_MUX] term. *)
+
+val restrict : t -> Dfg.Op.kind list -> t
+(** Keep only ALU kinds whose every capability lies in the given set.
+    Mirrors the paper's "cell library ... may be restricted to some specific
+    types". *)
+
+val generated :
+  ?max_ops:int -> ?mux_cost:(int -> float) -> ?reg_cost:float ->
+  ?cycles:(Dfg.Op.kind -> int) -> ?prop_delay:(Dfg.Op.kind -> float) ->
+  Dfg.Op.kind list -> t
+(** Library containing every non-empty combination of at most [max_ops]
+    (default 4) kinds from the given universe, costed by {!make_alu};
+    multiplication and division only combine with at most one other kind
+    (full crossbars of heavy units are unrealistic). *)
+
+val pp_alu : Format.formatter -> alu_kind -> unit

@@ -1,0 +1,29 @@
+let default = Library.generated Dfg.Op.all
+
+let for_graph ?max_ops g =
+  let kinds =
+    List.sort_uniq compare
+      (List.map (fun nd -> nd.Dfg.Graph.kind) (Dfg.Graph.nodes g))
+  in
+  match max_ops with
+  | None -> Library.generated kinds
+  | Some m -> Library.generated ~max_ops:m kinds
+
+let heavy = function Dfg.Op.Mul | Div | Mod -> true | _ -> false
+
+let two_cycle_multiplier lib =
+  { lib with
+    Library.cycles = (fun k -> if heavy k then 2 else lib.Library.cycles k) }
+
+let pipelined_multiplier lib =
+  let lib = two_cycle_multiplier lib in
+  { lib with
+    Library.alus =
+      List.map
+        (fun a ->
+          if Op_set.exists heavy a.Library.ops then
+            { a with Library.stages = 2;
+              aname = a.Library.aname ^ "/p2";
+              area = a.Library.area +. 500. }
+          else a)
+        lib.Library.alus }

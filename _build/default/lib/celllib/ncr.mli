@@ -1,0 +1,23 @@
+(** Default library standing in for the NCR ASIC data book [21].
+
+    The real book is proprietary and long out of print; this synthetic
+    instance keeps the properties Table 2 depends on: multifunction merging
+    is cheaper than separate units, MUX cost grows non-linearly with fan-in,
+    registers have a fixed area, and a multiplier dwarfs an adder. *)
+
+val default : Library.t
+(** Generated combinations (up to 4 light functions per ALU, heavy units
+    combine with at most one other kind) over all operation kinds, with the
+    default MUX/REG cost tables, unit cycle counts and chaining delays. *)
+
+val for_graph : ?max_ops:int -> Dfg.Graph.t -> Library.t
+(** {!default} restricted to the operation kinds the graph actually uses —
+    the practical configuration for MFSA runs. *)
+
+val two_cycle_multiplier : Library.t -> Library.t
+(** Same library but multiplication (and division) take two control steps —
+    the "2" rows of Table 1. *)
+
+val pipelined_multiplier : Library.t -> Library.t
+(** Two-cycle multiplication on two-stage pipelined units accepting one
+    operation per cycle — structural pipelining ("S" rows of Table 1). *)

@@ -1,0 +1,8 @@
+include Set.Make (struct
+  type t = Dfg.Op.kind
+
+  let compare = compare
+end)
+
+let name s =
+  "(" ^ String.concat "" (List.map Dfg.Op.symbol (elements s)) ^ ")"

@@ -1,0 +1,7 @@
+(** Sets of operation kinds (the capability set of an ALU). *)
+
+include Set.S with type elt = Dfg.Op.kind
+
+val name : t -> string
+(** Table-2 style display name: the concatenated symbols in parentheses,
+    e.g. ["(+-)"], ["(*+)"] . *)

@@ -1,0 +1,1 @@
+lib/core/frames.ml: Format List

@@ -1,0 +1,1 @@
+lib/core/liapunov.ml: Frames List

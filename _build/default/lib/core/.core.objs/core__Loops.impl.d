@@ -1,0 +1,1 @@
+lib/core/loops.ml: Dfg List Mfs Mfsa Printf Result Rtl Schedule

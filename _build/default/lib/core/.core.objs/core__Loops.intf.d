@@ -1,0 +1,1 @@
+lib/core/loops.mli: Celllib Config Dfg Mfsa Schedule

@@ -1,0 +1,1 @@
+lib/core/mfs.ml: Array Config Dfg Frames Grid Hashtbl Liapunov List Option Printf Priority Result Schedule Timeframe

@@ -1,0 +1,1 @@
+lib/core/mfs.mli: Config Dfg Liapunov Schedule

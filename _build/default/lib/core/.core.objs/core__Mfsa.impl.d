@@ -1,0 +1,1 @@
+lib/core/mfsa.ml: Array Celllib Config Dfg Float Hashtbl List Option Printf Priority Rtl Schedule String Timeframe

@@ -1,0 +1,1 @@
+lib/core/mfsa.mli: Celllib Config Dfg Rtl Schedule

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Array Config Dfg List Option Printf Schedule String

@@ -1,0 +1,1 @@
+lib/core/schedule.ml: Array Config Dfg Format List Printf String

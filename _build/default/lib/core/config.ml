@@ -1,0 +1,35 @@
+type chaining = {
+  prop_delay : Dfg.Op.kind -> float;
+  clock : float;
+}
+
+type t = {
+  delays : Dfg.Op.kind -> int;
+  pipelined : Dfg.Op.kind -> bool;
+  chaining : chaining option;
+  functional_latency : int option;
+  share_mutex : bool;
+}
+
+let default =
+  {
+    delays = (fun _ -> 1);
+    pipelined = (fun _ -> false);
+    chaining = None;
+    functional_latency = None;
+    share_mutex = true;
+  }
+
+let of_library lib =
+  {
+    default with
+    delays = lib.Celllib.Library.cycles;
+    pipelined =
+      (fun kind ->
+        match Celllib.Library.candidates lib kind with
+        | [] -> false
+        | cands -> List.for_all (fun a -> a.Celllib.Library.stages > 1) cands);
+  }
+
+let delay t kind = max 1 (t.delays kind)
+let span t kind = if t.pipelined kind then 1 else delay t kind

@@ -1,0 +1,40 @@
+(** Scheduling options shared by MFS, MFSA, the schedule checker and the
+    baseline schedulers. *)
+
+type chaining = {
+  prop_delay : Dfg.Op.kind -> float;  (** Combinational delay, ns. *)
+  clock : float;  (** Control-step clock period T, ns (paper §5.4). *)
+}
+
+type t = {
+  delays : Dfg.Op.kind -> int;
+      (** Execution time in control steps (multi-cycle operations, §5.3). *)
+  pipelined : Dfg.Op.kind -> bool;
+      (** Kinds executed on pipelined FUs: a unit is busy only during the
+          issue step; the result still takes [delays] steps (structural
+          pipelining, §5.5.1). *)
+  chaining : chaining option;
+      (** When set, data-dependent operations may share a control step if
+          their accumulated propagation delay fits in the clock period. *)
+  functional_latency : int option;
+      (** Loop-folding latency L: positions [t] and [t + k*L] run
+          concurrently, so they conflict on the same FU instance (§5.5.2). *)
+  share_mutex : bool;
+      (** Allow mutually-exclusive operations to share an FU instance and a
+          control step (§5.1). *)
+}
+
+val default : t
+(** Unit delays, nothing pipelined, no chaining, no folding, mutex sharing
+    enabled. *)
+
+val of_library : Celllib.Library.t -> t
+(** Delays and pipelining flags taken from a cell library: a kind is
+    pipelined when every library unit implementing it is multi-stage. *)
+
+val delay : t -> Dfg.Op.kind -> int
+(** [max 1 (delays kind)]. *)
+
+val span : t -> Dfg.Op.kind -> int
+(** Steps during which the op {e occupies} its FU: 1 for pipelined kinds,
+    [delay] otherwise. *)

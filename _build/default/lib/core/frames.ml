@@ -1,0 +1,45 @@
+type pos = { col : int; step : int }
+
+type rect = { col_lo : int; col_hi : int; step_lo : int; step_hi : int }
+
+let empty_rect = { col_lo = 1; col_hi = 0; step_lo = 1; step_hi = 0 }
+
+let rect_is_empty r = r.col_lo > r.col_hi || r.step_lo > r.step_hi
+
+let rect_mem r p =
+  p.col >= r.col_lo && p.col <= r.col_hi && p.step >= r.step_lo
+  && p.step <= r.step_hi
+
+let rect_positions r =
+  if rect_is_empty r then []
+  else
+    List.concat
+      (List.init
+         (r.step_hi - r.step_lo + 1)
+         (fun i ->
+           let step = r.step_lo + i in
+           List.init
+             (r.col_hi - r.col_lo + 1)
+             (fun j -> { col = r.col_lo + j; step })))
+
+let primary ~step_lo ~step_hi ~max_cols =
+  { col_lo = 1; col_hi = max_cols; step_lo; step_hi }
+
+let redundant ~current ~max_cols ~step_lo ~step_hi =
+  { col_lo = current + 1; col_hi = max_cols; step_lo; step_hi }
+
+let move_frame_set ~pf ~rf ~forbidden =
+  List.filter
+    (fun p -> (not (rect_mem rf p)) && not (forbidden p.step))
+    (rect_positions pf)
+
+let move_frame ~pf ~rf ~forbidden ~free =
+  List.filter free (move_frame_set ~pf ~rf ~forbidden)
+
+let pp_pos ppf p = Format.fprintf ppf "(fu%d,s%d)" p.col p.step
+
+let pp_rect ppf r =
+  if rect_is_empty r then Format.pp_print_string ppf "(empty)"
+  else
+    Format.fprintf ppf "[fu%d..%d]x[s%d..%d]" r.col_lo r.col_hi r.step_lo
+      r.step_hi

@@ -1,0 +1,44 @@
+(** The frame calculus of paper §3.2, step 4.
+
+    An operation moves inside a 2-D placement table whose horizontal
+    coordinate is the FU-instance index (column) and whose vertical
+    coordinate is the control step. Four frames restrict the move:
+
+    - {b Primary Frame (PF)} — the ASAP/ALAP time range over all columns;
+    - {b Redundant Frame (RF)} — columns beyond the currently provisioned
+      number of units, excluded unless local rescheduling grows it;
+    - {b Forbidden Frame (FF)} — steps violating data dependencies;
+    - {b Move Frame} — [MF = PF - (RF + FF)], the valid positions. *)
+
+type pos = { col : int; step : int }
+(** A placement-table position; both coordinates are 1-based. *)
+
+type rect = { col_lo : int; col_hi : int; step_lo : int; step_hi : int }
+(** A rectangle of positions; empty when a low bound exceeds its high
+    bound. *)
+
+val empty_rect : rect
+
+val rect_is_empty : rect -> bool
+val rect_mem : rect -> pos -> bool
+val rect_positions : rect -> pos list
+(** Row-major enumeration (steps outer, columns inner). *)
+
+val primary : step_lo:int -> step_hi:int -> max_cols:int -> rect
+(** PF for an operation: its time frame across every potential unit. *)
+
+val redundant : current:int -> max_cols:int -> step_lo:int -> step_hi:int -> rect
+(** RF: columns [current+1 .. max_cols] of the same time frame. *)
+
+val move_frame :
+  pf:rect -> rf:rect -> forbidden:(int -> bool) -> free:(pos -> bool) ->
+  pos list
+(** [MF = PF - (RF + FF)], restricted to unoccupied positions. [forbidden]
+    is the FF membership test on steps; [free] the occupancy test. *)
+
+val move_frame_set : pf:rect -> rf:rect -> forbidden:(int -> bool) -> pos list
+(** The pure set difference [PF - (RF + FF)] ignoring occupancy — exposed so
+    property tests can verify the set identity directly. *)
+
+val pp_pos : Format.formatter -> pos -> unit
+val pp_rect : Format.formatter -> rect -> unit

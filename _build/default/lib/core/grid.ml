@@ -1,0 +1,62 @@
+type placement = { op : int; col : int; step : int; span : int }
+
+type t = {
+  horizon : int;
+  mutable ncols : int;
+  mutable items : placement list;  (* most recent first *)
+}
+
+let create ~steps ~cols = { horizon = steps; ncols = max 0 cols; items = [] }
+let steps t = t.horizon
+let cols t = t.ncols
+let ensure_cols t n = if n > t.ncols then t.ncols <- n
+
+let place t ~op ~col ~step ~span =
+  if col < 1 || col > t.ncols then
+    invalid_arg (Printf.sprintf "Grid.place: column %d outside 1..%d" col t.ncols);
+  if step < 1 || step + span - 1 > t.horizon then
+    invalid_arg
+      (Printf.sprintf "Grid.place: steps %d..%d outside 1..%d" step
+         (step + span - 1) t.horizon);
+  t.items <- { op; col; step; span } :: t.items
+
+let clear t = t.items <- []
+
+(* Do step ranges [a, a+sa-1] and [b, b+sb-1] share a cell, folding steps
+   modulo [latency] when functional pipelining is active?  Spans are small
+   (operation cycle counts), so direct enumeration is fine. *)
+let steps_overlap ~latency a sa b sb =
+  match latency with
+  | None -> a < b + sb && b < a + sa
+  | Some l ->
+      let norm x = ((x - 1) mod l + l) mod l in
+      let cells_a = List.init sa (fun i -> norm (a + i)) in
+      let cells_b = List.init sb (fun i -> norm (b + i)) in
+      List.exists (fun c -> List.mem c cells_b) cells_a
+
+let conflicts t ~latency ~col ~step ~span =
+  List.filter_map
+    (fun p ->
+      if p.col = col && steps_overlap ~latency p.step p.span step span then
+        Some p.op
+      else None)
+    t.items
+
+let free t ~exclusive ~latency ~op ~span (pos : Frames.pos) =
+  let occ =
+    conflicts t ~latency ~col:pos.Frames.col ~step:pos.Frames.step ~span
+  in
+  List.for_all (fun other -> exclusive op other) occ
+
+let occupants t ~col ~step =
+  List.filter_map
+    (fun p ->
+      if p.col = col && step >= p.step && step < p.step + p.span then
+        Some p.op
+      else None)
+    t.items
+
+let used_cols t = List.fold_left (fun acc p -> max acc p.col) 0 t.items
+
+let placements t =
+  List.rev_map (fun p -> (p.op, p.col, p.step, p.span)) t.items

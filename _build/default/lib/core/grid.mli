@@ -1,0 +1,45 @@
+(** Occupancy of the 2-D placement table for one FU type (paper Fig. 1).
+
+    A placement occupies [span] consecutive steps of one column (one step for
+    operations running on pipelined units, which only block their issue
+    slot). Two placements may share cells when the operations are mutually
+    exclusive (§5.1). Under functional pipelining with latency [L], steps
+    congruent modulo [L] conflict because successive loop instances overlap
+    (§5.5.2). *)
+
+type t
+
+val create : steps:int -> cols:int -> t
+
+val steps : t -> int
+val cols : t -> int
+
+val ensure_cols : t -> int -> unit
+(** Grow the table to at least the given number of columns. *)
+
+val place : t -> op:int -> col:int -> step:int -> span:int -> unit
+(** Record a placement. Steps beyond the horizon are an error.
+    @raise Invalid_argument on out-of-range coordinates. *)
+
+val clear : t -> unit
+(** Remove every placement (used by local rescheduling restarts). *)
+
+val conflicts :
+  t -> latency:int option -> col:int -> step:int -> span:int -> int list
+(** Ops already occupying any cell the candidate placement would use, with
+    cells compared modulo [latency] when given. *)
+
+val free :
+  t -> exclusive:(int -> int -> bool) -> latency:int option ->
+  op:int -> span:int -> Frames.pos -> bool
+(** Whether the candidate placement at [pos] causes no conflict (any
+    occupant must be mutually exclusive with [op]). *)
+
+val occupants : t -> col:int -> step:int -> int list
+(** Ops occupying a cell (without modulo folding). *)
+
+val used_cols : t -> int
+(** Highest column index holding at least one placement; 0 when empty. *)
+
+val placements : t -> (int * int * int * int) list
+(** All placements as [(op, col, step, span)], in placement order. *)

@@ -1,0 +1,60 @@
+type objective =
+  | Time_constrained of { n : int }
+  | Resource_constrained of { cs : int }
+
+let value obj (p : Frames.pos) =
+  match obj with
+  | Time_constrained { n } -> p.Frames.col + (n * p.Frames.step)
+  | Resource_constrained { cs } -> (cs * p.Frames.col) + p.Frames.step
+
+let best obj positions =
+  let better a b =
+    let va = value obj a and vb = value obj b in
+    va < vb
+    || (va = vb
+        && (a.Frames.step < b.Frames.step
+            || (a.Frames.step = b.Frames.step && a.Frames.col < b.Frames.col)))
+  in
+  List.fold_left
+    (fun acc p ->
+      match acc with Some q when better q p -> acc | _ -> Some p)
+    None positions
+
+module Trace = struct
+  type entry = {
+    op : int;
+    from_pos : Frames.pos;
+    to_pos : Frames.pos;
+    from_value : int;
+    to_value : int;
+  }
+
+  type t = { mutable rev_entries : entry list }
+
+  let create () = { rev_entries = [] }
+
+  let record t obj ~op ~from_pos ~to_pos =
+    t.rev_entries <-
+      {
+        op;
+        from_pos;
+        to_pos;
+        from_value = value obj from_pos;
+        to_value = value obj to_pos;
+      }
+      :: t.rev_entries
+
+  let entries t = List.rev t.rev_entries
+
+  let non_increasing t =
+    List.for_all (fun e -> e.to_value <= e.from_value) t.rev_entries
+
+  let positive t =
+    List.for_all
+      (fun e -> e.to_value > 0 && e.from_value > 0)
+      t.rev_entries
+
+  let contraction e =
+    ( float_of_int e.to_pos.Frames.col /. float_of_int e.from_pos.Frames.col,
+      float_of_int e.to_pos.Frames.step /. float_of_int e.from_pos.Frames.step )
+end

@@ -1,0 +1,63 @@
+(** Liapunov (energy) functions and stability diagnostics (paper §2, §3.1).
+
+    The synthesis state is the vector of all operation positions; a move is
+    accepted only if it decreases the Liapunov value, which by Liapunov's
+    second theorem drives the trajectory towards the equilibrium point.
+    MFS uses two static energies over a single position [(x, y)] =
+    (FU column, control step):
+
+    - time-constrained: [V = x + n*y] with [n >= max_j] for every type, so a
+      position in step [t] always beats any position in step [t+1];
+    - resource-constrained: [V = cs*x + y], so reusing an existing unit in a
+      later step beats provisioning a new unit. *)
+
+type objective =
+  | Time_constrained of { n : int }
+      (** [n] must be at least the largest unit count of any FU type. *)
+  | Resource_constrained of { cs : int }
+      (** [cs] must be at least the schedule horizon. *)
+
+val value : objective -> Frames.pos -> int
+(** The energy contribution of one operation at one position. *)
+
+val best : objective -> Frames.pos list -> Frames.pos option
+(** Position of minimal energy; ties broken towards smaller step, then
+    smaller column, making the scheduler deterministic. [None] on []. *)
+
+(** {1 Stability diagnostics}
+
+    Each placement is recorded as a move from the operation's ALFAP corner
+    (its "as late and far as possible" position, the worst point of its move
+    frame) to the chosen position. The trace lets tests assert the Liapunov
+    properties: positivity, and monotone decrease along the trajectory. *)
+
+module Trace : sig
+  type entry = {
+    op : int;  (** Node id. *)
+    from_pos : Frames.pos;  (** ALFAP corner of the move frame. *)
+    to_pos : Frames.pos;  (** Chosen position. *)
+    from_value : int;
+    to_value : int;
+  }
+
+  type t
+
+  val create : unit -> t
+  val record : t -> objective -> op:int -> from_pos:Frames.pos -> to_pos:Frames.pos -> unit
+  val entries : t -> entry list
+  (** In recording order. *)
+
+  val non_increasing : t -> bool
+  (** Every recorded move satisfies [to_value <= from_value] — Liapunov
+      property (2) with equality permitted only for pinned operations whose
+      frame is a single position. *)
+
+  val positive : t -> bool
+  (** Every recorded energy is strictly positive — property (1): the
+      equilibrium (0,0) is never an actual placement. *)
+
+  val contraction : entry -> float * float
+  (** The diagonal of the state matrix [A(k)] mapping [X(k)] to [X(k+1)]:
+      [(x'/x, y'/y)]. Both factors are positive and at most 1 for an
+      energy-decreasing move in either coordinate. *)
+end

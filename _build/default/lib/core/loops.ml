@@ -1,0 +1,131 @@
+type tree = {
+  body : Dfg.Graph.t;
+  budget : int;
+  children : (string * tree) list;
+}
+
+type scheduled = {
+  loop_schedule : Schedule.t;
+  loop_children : (string * scheduled) list;
+}
+
+let add_iteration_control g ~counter ~bound =
+  let clash n = Dfg.Graph.find g n <> None in
+  if clash counter || clash bound || clash "c1" then
+    Error
+      (Printf.sprintf
+         "loop control: %S, %S or the unit constant \"c1\" names an existing \
+          operation"
+         counter bound)
+  else begin
+    let b = Dfg.Graph.Builder.create () in
+    List.iter (Dfg.Graph.Builder.add_input b) (Dfg.Graph.inputs g);
+    List.iter (Dfg.Graph.Builder.add_input b) [ counter; bound; "c1" ];
+    List.iter
+      (fun nd ->
+        Dfg.Graph.Builder.add_op b ~guards:nd.Dfg.Graph.guards
+          ~name:nd.Dfg.Graph.name nd.Dfg.Graph.kind nd.Dfg.Graph.args)
+      (Dfg.Graph.nodes g);
+    Dfg.Graph.Builder.add_op b ~name:(counter ^ "__next") Dfg.Op.Add
+      [ counter; "c1" ];
+    Dfg.Graph.Builder.add_op b ~name:(counter ^ "__continue") Dfg.Op.Lt
+      [ counter ^ "__next"; bound ];
+    Dfg.Graph.Builder.build b
+  end
+
+let expand_placeholder g ~name ~cycles =
+  if cycles < 1 then Error (Printf.sprintf "loop %S: budget %d < 1" name cycles)
+  else
+    match Dfg.Graph.find g name with
+    | None -> Error (Printf.sprintf "placeholder node %S not found" name)
+    | Some target ->
+        let b = Dfg.Graph.Builder.create () in
+        List.iter (Dfg.Graph.Builder.add_input b) (Dfg.Graph.inputs g);
+        List.iter
+          (fun nd ->
+            if nd.Dfg.Graph.id = target.Dfg.Graph.id then begin
+              (* name__1 <- args; name__k <- name__(k-1); last keeps [name]. *)
+              let link k = Printf.sprintf "%s__%d" name k in
+              for k = 1 to cycles do
+                let this = if k = cycles then name else link k in
+                (* The chain head keeps the placeholder's own kind and
+                   operands, so every dependency into the loop survives;
+                   the tail links are unit-delay movs. *)
+                let kind, args =
+                  if k = 1 then (nd.Dfg.Graph.kind, nd.Dfg.Graph.args)
+                  else (Dfg.Op.Mov, [ link (k - 1) ])
+                in
+                Dfg.Graph.Builder.add_op b ~guards:nd.Dfg.Graph.guards
+                  ~name:this kind args
+              done
+            end
+            else
+              Dfg.Graph.Builder.add_op b ~guards:nd.Dfg.Graph.guards
+                ~name:nd.Dfg.Graph.name nd.Dfg.Graph.kind nd.Dfg.Graph.args)
+          (Dfg.Graph.nodes g);
+        Dfg.Graph.Builder.build b
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let prefix_error path r =
+  Result.map_error (fun e -> Printf.sprintf "loop %s: %s" path e) r
+
+let rec schedule_tree ?config path t =
+  (* Children first (innermost loops), then expand and schedule this body. *)
+  let rec do_children acc = function
+    | [] -> Ok (List.rev acc)
+    | (name, child) :: rest ->
+        let* sub = schedule_tree ?config (path ^ "/" ^ name) child in
+        do_children ((name, sub) :: acc) rest
+  in
+  let* loop_children = do_children [] t.children in
+  let* body =
+    List.fold_left
+      (fun acc (name, child) ->
+        let* g = acc in
+        prefix_error path
+          (expand_placeholder g ~name ~cycles:child.budget))
+      (Ok t.body) t.children
+  in
+  let* loop_schedule =
+    prefix_error path (Mfs.schedule ?config body (Mfs.Time { cs = t.budget }))
+  in
+  Ok { loop_schedule; loop_children }
+
+let schedule_nested ?config t = schedule_tree ?config "top" t
+
+type allocated = {
+  alloc_outcome : Mfsa.outcome;
+  alloc_children : (string * allocated) list;
+}
+
+let rec allocate_tree ?config ?style ~library path t =
+  let rec do_children acc = function
+    | [] -> Ok (List.rev acc)
+    | (name, child) :: rest ->
+        let* sub =
+          allocate_tree ?config ?style ~library (path ^ "/" ^ name) child
+        in
+        do_children ((name, sub) :: acc) rest
+  in
+  let* alloc_children = do_children [] t.children in
+  let* body =
+    List.fold_left
+      (fun acc (name, child) ->
+        let* g = acc in
+        prefix_error path (expand_placeholder g ~name ~cycles:child.budget))
+      (Ok t.body) t.children
+  in
+  let* alloc_outcome =
+    prefix_error path (Mfsa.run ?config ?style ~library ~cs:t.budget body)
+  in
+  Ok { alloc_outcome; alloc_children }
+
+let allocate_nested ?config ?style ~library t =
+  allocate_tree ?config ?style ~library "top" t
+
+let rec total_cost a =
+  a.alloc_outcome.Mfsa.cost.Rtl.Cost.total
+  +. List.fold_left (fun acc (_, c) -> acc +. total_cost c) 0. a.alloc_children
+
+let total_steps s = s.loop_schedule.Schedule.cs

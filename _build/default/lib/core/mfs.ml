@@ -1,0 +1,243 @@
+type spec =
+  | Time of { cs : int }
+  | Resource of { limits : (string * int) list }
+
+type outcome = {
+  schedule : Schedule.t;
+  objective : Liapunov.objective;
+  trace : Liapunov.Trace.t;
+  restarts : int;
+}
+
+exception Need_more_units of string
+exception Unit_limit of string
+
+let lookup assoc key = List.assoc_opt key assoc
+
+let effective_bounds = Timeframe.bounds
+let min_cs = Timeframe.min_cs
+
+let step_admissible = Timeframe.step_admissible
+
+type state = {
+  grids : (string, Grid.t) Hashtbl.t;
+  start : int array;
+  col : int array;
+  offset : float array;
+}
+
+let attempt cfg g bounds order ~objective ~max_j ~current ~trace =
+  let n = Dfg.Graph.num_nodes g in
+  let cs = bounds.Dfg.Bounds.cs in
+  let st =
+    {
+      grids = Hashtbl.create 8;
+      start = Array.make n 0;
+      col = Array.make n 0;
+      offset = Array.make n 0.0;
+    }
+  in
+  List.iter
+    (fun c ->
+      Hashtbl.replace st.grids c
+        (Grid.create ~steps:cs ~cols:(Hashtbl.find max_j c)))
+    (Dfg.Graph.classes g);
+  let exclusive i j =
+    cfg.Config.share_mutex && Dfg.Graph.mutually_exclusive g i j
+  in
+  let latency = cfg.Config.functional_latency in
+  List.iter
+    (fun i ->
+      let nd = Dfg.Graph.node g i in
+      let c = Dfg.Op.fu_class nd.Dfg.Graph.kind in
+      let grid = Hashtbl.find st.grids c in
+      let sp = Config.span cfg nd.Dfg.Graph.kind in
+      let offsets_at = Hashtbl.create 4 in
+      let forbidden s =
+        match
+          step_admissible cfg g ~start:st.start ~offset:st.offset i s
+        with
+        | Some off ->
+            Hashtbl.replace offsets_at s off;
+            false
+        | None -> true
+      in
+      let pf =
+        Frames.primary ~step_lo:bounds.Dfg.Bounds.asap.(i)
+          ~step_hi:bounds.Dfg.Bounds.alap.(i) ~max_cols:(Hashtbl.find max_j c)
+      in
+      let rf =
+        Frames.redundant ~current:(Hashtbl.find current c)
+          ~max_cols:(Hashtbl.find max_j c) ~step_lo:bounds.Dfg.Bounds.asap.(i)
+          ~step_hi:bounds.Dfg.Bounds.alap.(i)
+      in
+      let free = Grid.free grid ~exclusive ~latency ~op:i ~span:sp in
+      let candidates = Frames.move_frame ~pf ~rf ~forbidden ~free in
+      match Liapunov.best objective candidates with
+      | None -> raise (Need_more_units c)
+      | Some pos ->
+          (* The ALFAP corner: the worst (max-energy) admissible position,
+             from which the operation "moves" to the chosen one. *)
+          let from_pos =
+            List.fold_left
+              (fun acc p ->
+                if Liapunov.value objective p > Liapunov.value objective acc
+                then p
+                else acc)
+              pos candidates
+          in
+          Liapunov.Trace.record trace objective ~op:i ~from_pos ~to_pos:pos;
+          Grid.place grid ~op:i ~col:pos.Frames.col ~step:pos.Frames.step
+            ~span:sp;
+          st.start.(i) <- pos.Frames.step;
+          st.col.(i) <- pos.Frames.col;
+          st.offset.(i) <-
+            (match Hashtbl.find_opt offsets_at pos.Frames.step with
+            | Some off -> off
+            | None -> 0.0))
+    order;
+  st
+
+let initial_counts cfg g bounds ~user_limits ~cs =
+  let classes = Dfg.Graph.classes g in
+  let counts = Dfg.Graph.count_by_class g in
+  let conc_of start =
+    Dfg.Bounds.concurrency ~delays:(Config.delay cfg) g ~start ~cs
+  in
+  let asap_conc = conc_of bounds.Dfg.Bounds.asap in
+  let alap_conc = conc_of bounds.Dfg.Bounds.alap in
+  let cs_effective =
+    match cfg.Config.functional_latency with
+    | Some l -> min l cs
+    | None -> cs
+  in
+  let current = Hashtbl.create 8 in
+  let max_j = Hashtbl.create 8 in
+  let user_limited = Hashtbl.create 8 in
+  List.iter
+    (fun c ->
+      let n_c = Option.value ~default:0 (lookup counts c) in
+      let init = max 1 ((n_c + cs_effective - 1) / cs_effective) in
+      let upper =
+        match lookup user_limits c with
+        | Some u ->
+            Hashtbl.replace user_limited c true;
+            u
+        | None ->
+            Hashtbl.replace user_limited c false;
+            max init
+              (max
+                 (Option.value ~default:1 (lookup asap_conc c))
+                 (Option.value ~default:1 (lookup alap_conc c)))
+      in
+      Hashtbl.replace current c (min init upper);
+      Hashtbl.replace max_j c (max 1 upper))
+    classes;
+  (current, max_j, user_limited)
+
+let total_ops g = Dfg.Graph.num_nodes g
+
+let run_time cfg g ~cs ~user_limits =
+  match effective_bounds cfg g ~cs with
+  | Error _ as e -> e
+  | Ok bounds ->
+      let order = Priority.order cfg g bounds in
+      let current, max_j, user_limited =
+        initial_counts cfg g bounds ~user_limits ~cs
+      in
+      let trace = Liapunov.Trace.create () in
+      let restarts = ref 0 in
+      let budget = ref ((2 * total_ops g) + 8) in
+      let rec loop () =
+        let n_energy =
+          Hashtbl.fold (fun _ v acc -> max v acc) max_j 1
+        in
+        let objective = Liapunov.Time_constrained { n = n_energy } in
+        match attempt cfg g bounds order ~objective ~max_j ~current ~trace with
+        | st ->
+            let schedule =
+              Schedule.make ~col:st.col ~offset:st.offset ~config:cfg ~cs g
+                st.start
+            in
+            Ok { schedule; objective; trace; restarts = !restarts }
+        | exception Need_more_units c ->
+            decr budget;
+            if !budget <= 0 then
+              Error "MFS: rescheduling budget exhausted (internal)"
+            else begin
+              incr restarts;
+              let cur = Hashtbl.find current c in
+              if cur < Hashtbl.find max_j c then
+                Hashtbl.replace current c (cur + 1)
+              else if Hashtbl.find user_limited c then raise (Unit_limit c)
+              else begin
+                Hashtbl.replace max_j c (Hashtbl.find max_j c + 1);
+                Hashtbl.replace current c (cur + 1)
+              end;
+              loop ()
+            end
+      in
+      (try loop () with
+      | Unit_limit c ->
+          Error
+            (Printf.sprintf
+               "MFS: cannot meet time budget %d with the given limit on %s \
+                units"
+               cs c))
+
+let run_resource cfg g ~limits =
+  let lo = min_cs cfg g in
+  let hi =
+    List.fold_left
+      (fun acc nd -> acc + Config.delay cfg nd.Dfg.Graph.kind)
+      1 (Dfg.Graph.nodes g)
+  in
+  let rec search cs =
+    if cs > hi then
+      Error "MFS: resource-constrained search exceeded the serial horizon"
+    else
+      match effective_bounds cfg g ~cs with
+      | Error _ -> search (cs + 1)
+      | Ok bounds -> (
+          let order = Priority.order cfg g bounds in
+          let current = Hashtbl.create 8 in
+          let max_j = Hashtbl.create 8 in
+          List.iter
+            (fun c ->
+              let u = Option.value ~default:max_int (lookup limits c) in
+              let u =
+                if u = max_int then
+                  (* Unconstrained class: allow one unit per operation. *)
+                  Option.value ~default:1
+                    (lookup (Dfg.Graph.count_by_class g) c)
+                else u
+              in
+              Hashtbl.replace current c (max 1 u);
+              Hashtbl.replace max_j c (max 1 u))
+            (Dfg.Graph.classes g);
+          let trace = Liapunov.Trace.create () in
+          let objective = Liapunov.Resource_constrained { cs } in
+          match
+            attempt cfg g bounds order ~objective ~max_j ~current ~trace
+          with
+          | st ->
+              let schedule =
+                Schedule.make ~col:st.col ~offset:st.offset ~config:cfg ~cs g
+                  st.start
+              in
+              let makespan = Schedule.makespan schedule in
+              let schedule = { schedule with Schedule.cs = makespan } in
+              Ok { schedule; objective; trace; restarts = cs - lo }
+          | exception Need_more_units _ -> search (cs + 1))
+  in
+  search lo
+
+let run ?(config = Config.default) ?(max_units = []) g spec =
+  if Dfg.Graph.num_nodes g = 0 then Error "MFS: empty graph"
+  else
+    match spec with
+    | Time { cs } -> run_time config g ~cs ~user_limits:max_units
+    | Resource { limits } -> run_resource config g ~limits
+
+let schedule ?config ?max_units g spec =
+  Result.map (fun o -> o.schedule) (run ?config ?max_units g spec)

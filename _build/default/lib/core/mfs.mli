@@ -1,0 +1,39 @@
+(** Move Frame Scheduling (paper §3).
+
+    MFS schedules a DFG by moving each operation, in priority order, to the
+    minimum-Liapunov-energy position of its move frame
+    [MF = PF - (RF + FF)]. Under a time constraint it produces a balanced
+    schedule (minimum concurrency per FU type) within [cs] control steps;
+    under resource constraints it minimises the number of control steps for
+    the given unit counts. When a move frame comes up empty the current unit
+    count grows by one and a local rescheduling restarts placement
+    (§3.2 step 4). *)
+
+type spec =
+  | Time of { cs : int }
+      (** Balanced schedule within [cs] steps, [V = x + n*y]. *)
+  | Resource of { limits : (string * int) list }
+      (** Minimum steps with at most [limits] units per FU class
+          ({!Dfg.Op.fu_class} keys), [V = cs*x + y]. Classes absent from the
+          list are unconstrained. *)
+
+type outcome = {
+  schedule : Schedule.t;
+  objective : Liapunov.objective;
+  trace : Liapunov.Trace.t;
+      (** One entry per placed operation: ALFAP corner → chosen position. *)
+  restarts : int;  (** Local reschedulings performed. *)
+}
+
+val run :
+  ?config:Config.t -> ?max_units:(string * int) list -> Dfg.Graph.t ->
+  spec -> (outcome, string) result
+(** Schedule the graph. [max_units] optionally caps unit counts in [Time]
+    mode (the paper's user-given hardware constraint); when absent the upper
+    bound comes from the ASAP/ALAP concurrency and may grow on demand.
+    Errors: infeasible time budget, or unit caps too tight. *)
+
+val schedule :
+  ?config:Config.t -> ?max_units:(string * int) list -> Dfg.Graph.t ->
+  spec -> (Schedule.t, string) result
+(** {!run} projected on the schedule. *)

@@ -1,0 +1,109 @@
+let add_instance b g suffix =
+  let rename v = v ^ suffix in
+  List.iter (fun v -> Dfg.Graph.Builder.add_input b (rename v)) (Dfg.Graph.inputs g);
+  List.iter
+    (fun nd ->
+      Dfg.Graph.Builder.add_op b
+        ~guards:(List.map (fun (c, a) -> (rename c, a)) nd.Dfg.Graph.guards)
+        ~name:(rename nd.Dfg.Graph.name)
+        nd.Dfg.Graph.kind
+        (List.map rename nd.Dfg.Graph.args))
+    (Dfg.Graph.nodes g)
+
+let replicate ~copies g =
+  if copies < 1 then invalid_arg "Pipeline.replicate: copies must be >= 1";
+  let b = Dfg.Graph.Builder.create () in
+  for k = 1 to copies do
+    add_instance b g (Printf.sprintf "_i%d" k)
+  done;
+  match Dfg.Graph.Builder.build b with
+  | Ok gk -> gk
+  | Error msg -> failwith ("Pipeline.replicate: renaming broke the graph: " ^ msg)
+
+let double ?(suffixes = ("_i1", "_i2")) g =
+  let s1, s2 = suffixes in
+  let b = Dfg.Graph.Builder.create () in
+  add_instance b g s1;
+  add_instance b g s2;
+  match Dfg.Graph.Builder.build b with
+  | Ok g2 -> g2
+  | Error msg -> failwith ("Pipeline.double: renaming broke the graph: " ^ msg)
+
+let unfold sched ~latency ?instances () =
+  let g = sched.Schedule.graph in
+  let cs = sched.Schedule.cs in
+  let copies =
+    match instances with
+    | Some k -> max 1 k
+    | None -> ((cs + latency - 1) / latency) + 1
+  in
+  match sched.Schedule.col with
+  | None -> Error "Pipeline.unfold: needs a column-bound schedule"
+  | Some col ->
+      let gk = replicate ~copies g in
+      let n = Dfg.Graph.num_nodes g in
+      let nk = Dfg.Graph.num_nodes gk in
+      let start' = Array.make nk 0 in
+      let col' = Array.make nk 0 in
+      let offset' = Array.make nk 0.0 in
+      List.iter
+        (fun nd ->
+          (* Instance k of node [i] lands at index (k-1)*n + i because
+             replicate emits whole instances in order. *)
+          let i = nd.Dfg.Graph.id mod n in
+          let k = nd.Dfg.Graph.id / n in
+          start'.(nd.Dfg.Graph.id) <-
+            sched.Schedule.start.(i) + (k * latency);
+          col'.(nd.Dfg.Graph.id) <- col.(i);
+          offset'.(nd.Dfg.Graph.id) <- sched.Schedule.offset.(i))
+        (Dfg.Graph.nodes gk);
+      let config =
+        { (sched.Schedule.config) with Config.functional_latency = None }
+      in
+      Ok
+        (Schedule.make ~col:col' ~offset:offset' ~config
+           ~cs:(cs + ((copies - 1) * latency))
+           gk start')
+
+let slot ~latency step = (step - 1) mod latency
+
+let folded_profile sched ~latency =
+  let g = sched.Schedule.graph in
+  let classes = Dfg.Graph.classes g in
+  let profile =
+    List.map (fun c -> (c, Array.make latency 0)) classes
+  in
+  List.iter
+    (fun nd ->
+      let i = nd.Dfg.Graph.id in
+      let c = Dfg.Op.fu_class nd.Dfg.Graph.kind in
+      let arr = List.assoc c profile in
+      let sp =
+        Config.span sched.Schedule.config nd.Dfg.Graph.kind
+      in
+      for k = 0 to min (sp - 1) (latency - 1) do
+        let s = slot ~latency (sched.Schedule.start.(i) + k) in
+        arr.(s) <- arr.(s) + 1
+      done)
+    (Dfg.Graph.nodes g);
+  profile
+
+let speedup ~cs ~latency = float_of_int cs /. float_of_int latency
+
+let min_latency g cfg ~limits =
+  List.fold_left
+    (fun acc (c, n_c) ->
+      let units = Option.value ~default:1 (List.assoc_opt c limits) in
+      let d =
+        (* All kinds in one single-function class share a symbol, hence a
+           delay; find a representative node. *)
+        match
+          List.find_opt
+            (fun nd -> String.equal (Dfg.Op.fu_class nd.Dfg.Graph.kind) c)
+            (Dfg.Graph.nodes g)
+        with
+        | Some nd -> Config.span cfg nd.Dfg.Graph.kind
+        | None -> 1
+      in
+      max acc (((n_c * d) + units - 1) / units))
+    1 (Dfg.Graph.count_by_class g)

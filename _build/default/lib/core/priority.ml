@@ -1,0 +1,55 @@
+let mobility = Dfg.Bounds.mobility
+
+(* Earliest point at which the operands can be ready, used as the final
+   tie-breaker: "the operation with earlier predecessors (in terms of
+   control steps) will get higher priority". *)
+let readiness cfg g bounds i =
+  List.fold_left
+    (fun acc p ->
+      let pd = Config.delay cfg (Dfg.Graph.node g p).Dfg.Graph.kind in
+      max acc (bounds.Dfg.Bounds.asap.(p) + pd))
+    1 (Dfg.Graph.preds g i)
+
+let order cfg g bounds =
+  let delay i = Config.delay cfg (Dfg.Graph.node g i).Dfg.Graph.kind in
+  let compare_mobility i j =
+    let mi = mobility bounds i and mj = mobility bounds j in
+    let di = delay i and dj = delay j in
+    (* §5.3: between two multi-cycle operations whose mobilities differ by
+       less than their cycle count, the more mobile one goes first. *)
+    if di > 1 && dj > 1 && abs (mi - mj) < min di dj then compare mj mi
+    else compare mi mj
+  in
+  let compare_ops i j =
+    let c = compare bounds.Dfg.Bounds.alap.(i) bounds.Dfg.Bounds.alap.(j) in
+    if c <> 0 then c
+    else
+      let c = compare_mobility i j in
+      if c <> 0 then c
+      else
+        let c =
+          compare (readiness cfg g bounds i) (readiness cfg g bounds j)
+        in
+        if c <> 0 then c else compare i j
+  in
+  (* Emit the highest-priority READY node each round. Plain sorting is not
+     enough: under chaining a predecessor can share its successor's ALAP
+     step, so (alap, mobility) alone is not a linear extension. *)
+  let n = Dfg.Graph.num_nodes g in
+  let pending = Array.map List.length (Array.init n (Dfg.Graph.preds g)) in
+  let emitted = Array.make n false in
+  let rec emit acc remaining =
+    if remaining = 0 then List.rev acc
+    else begin
+      let best = ref (-1) in
+      for i = 0 to n - 1 do
+        if (not emitted.(i)) && pending.(i) = 0 then
+          if !best < 0 || compare_ops i !best < 0 then best := i
+      done;
+      let i = !best in
+      emitted.(i) <- true;
+      List.iter (fun s -> pending.(s) <- pending.(s) - 1) (Dfg.Graph.succs g i);
+      emit (i :: acc) (remaining - 1)
+    end
+  in
+  emit [] n

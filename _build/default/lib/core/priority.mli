@@ -1,0 +1,16 @@
+(** Operation priorities (paper §3.2 step 2 and the multi-cycle rules of
+    §5.3).
+
+    Operations are scheduled in ALAP control-step order; within a step,
+    smaller mobility means higher priority. For two multi-cycle operations
+    whose mobility difference is smaller than their cycle count the rule is
+    reversed (the more mobile operation gets priority, §5.3), and remaining
+    ties go to the operation whose predecessors finish earlier. *)
+
+val mobility : Dfg.Bounds.t -> int -> int
+(** [alap - asap], re-exported for convenience. *)
+
+val order : Config.t -> Dfg.Graph.t -> Dfg.Bounds.t -> int list
+(** Node ids in scheduling order (highest priority first). The order is a
+    linear extension of the data-dependency partial order: predecessors
+    always appear before their successors. *)

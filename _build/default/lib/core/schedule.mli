@@ -1,0 +1,50 @@
+(** Scheduling results and their validity rules.
+
+    A schedule assigns every DFG operation a start control step and (when the
+    producer performs binding) an FU-instance column within its
+    single-function class. {!check} is the single source of truth for
+    validity used by unit tests, property tests, and integration tests — for
+    MFS, MFSA projections and every baseline scheduler alike. *)
+
+type t = {
+  graph : Dfg.Graph.t;
+  config : Config.t;
+  start : int array;  (** Start control step per node id, 1-based. *)
+  col : int array option;
+      (** FU instance within the node's class (1-based); [None] for
+          schedulers that do not bind instances (e.g. force-directed). *)
+  offset : float array;
+      (** Intra-step start offset in ns when chaining is enabled; all zero
+          otherwise. *)
+  cs : int;  (** Schedule horizon in control steps. *)
+}
+
+val make :
+  ?col:int array -> ?offset:float array -> config:Config.t -> cs:int ->
+  Dfg.Graph.t -> int array -> t
+
+val delay : t -> int -> int
+(** Execution cycles of a node. *)
+
+val finish : t -> int -> int
+(** Last control step the node is executing: [start + delay - 1]. *)
+
+val fu_counts : t -> (string * int) list
+(** Units needed per class: the highest bound column when instances are
+    bound, otherwise the peak concurrency (with mutually-exclusive
+    operations and modulo-latency folding taken into account). *)
+
+val makespan : t -> int
+(** Last finish step over all operations. *)
+
+val check : t -> (unit, string list) result
+(** All violations found: precedence (with chaining rules), horizon bounds,
+    and — when columns are bound — FU-instance conflicts, including the
+    modulo-latency conflicts of functional pipelining. Mutually-exclusive
+    operations may overlap when the configuration allows sharing. *)
+
+val check_exn : t -> unit
+(** @raise Failure with the concatenated violations. *)
+
+val pp : Format.formatter -> t -> unit
+(** Placement-table listing: one line per step per class. *)

@@ -1,0 +1,44 @@
+let step_admissible cfg g ~start ~offset i s =
+  let preds = Dfg.Graph.preds g i in
+  let kind j = (Dfg.Graph.node g j).Dfg.Graph.kind in
+  let d j = Config.delay cfg (kind j) in
+  match cfg.Config.chaining with
+  | None ->
+      if List.for_all (fun p -> s >= start.(p) + d p) preds then Some 0.0
+      else None
+  | Some { Config.prop_delay; clock } ->
+      let eps = 1e-9 in
+      let rec go off = function
+        | [] ->
+            if off +. prop_delay (kind i) <= clock +. eps then Some off
+            else None
+        | p :: rest ->
+            if s >= start.(p) + d p then go off rest
+            else if d p = 1 && d i = 1 && s = start.(p) then
+              go (Float.max off (offset.(p) +. prop_delay (kind p))) rest
+            else None
+      in
+      go 0.0 preds
+
+let bounds cfg g ~cs =
+  match cfg.Config.chaining with
+  | None -> Dfg.Bounds.compute ~delays:(Config.delay cfg) g ~cs
+  | Some { Config.prop_delay; clock } -> (
+      match Dfg.Bounds.compute_chained ~prop_delay ~clock g ~cs with
+      | Error _ as e -> e
+      | Ok ch ->
+          Ok
+            {
+              Dfg.Bounds.asap = Array.map fst ch.Dfg.Bounds.ch_asap;
+              alap = Array.map fst ch.Dfg.Bounds.ch_alap;
+              cs;
+            })
+
+let min_cs cfg g =
+  match cfg.Config.chaining with
+  | None -> max 1 (Dfg.Bounds.critical_path ~delays:(Config.delay cfg) g)
+  | Some { Config.prop_delay; clock } -> (
+      match Dfg.Bounds.chained_critical_path ~prop_delay ~clock g with
+      | Ok v -> max 1 v
+      | Error _ ->
+          max 1 (Dfg.Bounds.critical_path ~delays:(Config.delay cfg) g))

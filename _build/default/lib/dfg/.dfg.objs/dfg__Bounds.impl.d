@@ -1,0 +1,1 @@
+lib/dfg/bounds.ml: Array Graph Hashtbl List Op Printf

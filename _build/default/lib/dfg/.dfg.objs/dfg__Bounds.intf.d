@@ -1,0 +1,1 @@
+lib/dfg/bounds.mli: Graph Op

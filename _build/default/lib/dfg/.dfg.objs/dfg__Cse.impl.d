@@ -1,0 +1,1 @@
+lib/dfg/cse.ml: Graph Hashtbl List Op String

@@ -1,0 +1,1 @@
+lib/dfg/dot.ml: Array Graph List Op Printf String

@@ -1,0 +1,1 @@
+lib/dfg/frontend.ml: Graph In_channel List Op Option Printf String

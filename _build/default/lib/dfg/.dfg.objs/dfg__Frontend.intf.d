@@ -1,0 +1,1 @@
+lib/dfg/frontend.mli: Graph

@@ -1,0 +1,1 @@
+lib/dfg/graph.ml: Array Format Hashtbl List Op Option Printf Queue String

@@ -1,0 +1,1 @@
+lib/dfg/mutex.ml: Graph Hashtbl List Op String

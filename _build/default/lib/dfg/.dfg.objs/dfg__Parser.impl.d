@@ -1,0 +1,1 @@
+lib/dfg/parser.ml: Buffer Graph In_channel List Op Printf String

@@ -1,0 +1,1 @@
+lib/dfg/parser.mli: Graph

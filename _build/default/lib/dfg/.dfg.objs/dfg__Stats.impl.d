@@ -1,0 +1,1 @@
+lib/dfg/stats.ml: Array Bounds Format Graph List Printf String

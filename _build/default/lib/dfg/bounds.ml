@@ -1,0 +1,186 @@
+type delays = Op.kind -> int
+
+let unit_delays (_ : Op.kind) = 1
+
+type t = { asap : int array; alap : int array; cs : int }
+
+let delay_of delays nd = max 1 (delays nd.Graph.kind)
+
+let asap_schedule ~delays g =
+  let n = Graph.num_nodes g in
+  let asap = Array.make n 1 in
+  List.iter
+    (fun i ->
+      let earliest =
+        List.fold_left
+          (fun acc p ->
+            let pd = delay_of delays (Graph.node g p) in
+            max acc (asap.(p) + pd))
+          1 (Graph.preds g i)
+      in
+      asap.(i) <- earliest)
+    (Graph.topological g);
+  asap
+
+let critical_path ?(delays = unit_delays) g =
+  let asap = asap_schedule ~delays g in
+  let finish i =
+    asap.(i) + delay_of delays (Graph.node g i) - 1
+  in
+  List.fold_left (fun acc i -> max acc (finish i)) 0 (Graph.topological g)
+
+let compute ?(delays = unit_delays) g ~cs =
+  if cs < 1 then Error (Printf.sprintf "time budget %d < 1" cs)
+  else
+    let n = Graph.num_nodes g in
+    let asap = asap_schedule ~delays g in
+    let alap = Array.make n 1 in
+    let order = List.rev (Graph.topological g) in
+    let infeasible = ref None in
+    List.iter
+      (fun i ->
+        let d = delay_of delays (Graph.node g i) in
+        let latest =
+          match Graph.succs g i with
+          | [] -> cs - d + 1
+          | ss -> List.fold_left (fun acc s -> min acc (alap.(s) - d)) max_int ss
+        in
+        alap.(i) <- latest;
+        if latest < asap.(i) && !infeasible = None then
+          infeasible := Some (Graph.node g i).name)
+      order;
+    match !infeasible with
+    | Some name ->
+        Error
+          (Printf.sprintf
+             "infeasible: operation %S cannot fit in %d control steps \
+              (critical path is %d)"
+             name cs (critical_path ~delays g))
+    | None -> Ok { asap; alap; cs }
+
+let mobility t i = t.alap.(i) - t.asap.(i)
+
+let concurrency ?(delays = unit_delays) g ~start ~cs =
+  let classes = Graph.classes g in
+  let profile = Hashtbl.create 8 in
+  List.iter (fun c -> Hashtbl.replace profile c (Array.make (cs + 1) 0)) classes;
+  List.iter
+    (fun nd ->
+      let c = Op.fu_class nd.Graph.kind in
+      let arr = Hashtbl.find profile c in
+      let d = delay_of delays nd in
+      for s = start.(nd.Graph.id) to min cs (start.(nd.Graph.id) + d - 1) do
+        if s >= 1 then arr.(s) <- arr.(s) + 1
+      done)
+    (Graph.nodes g);
+  List.map
+    (fun c ->
+      let arr = Hashtbl.find profile c in
+      (c, Array.fold_left max 0 arr))
+    classes
+
+(* Chaining: each value carries (step, ready-offset). An op can start in the
+   predecessor's step at the predecessor's finish offset when its own
+   propagation delay still fits before the clock edge; otherwise it starts at
+   offset 0 of the next step. *)
+
+type chained = {
+  ch_asap : (int * float) array;
+  ch_alap : (int * float) array;
+  ch_cs : int;
+}
+
+let eps = 1e-9
+
+let check_fits ~prop_delay ~clock g =
+  let offender =
+    List.find_opt
+      (fun nd -> prop_delay nd.Graph.kind > clock +. eps)
+      (Graph.nodes g)
+  in
+  match offender with
+  | Some nd ->
+      Error
+        (Printf.sprintf
+           "operation %S (%s) has delay %.2f ns > clock period %.2f ns"
+           nd.Graph.name
+           (Op.to_string nd.Graph.kind)
+           (prop_delay nd.Graph.kind) clock)
+  | None -> Ok ()
+
+let chained_asap ~prop_delay ~clock g =
+  let n = Graph.num_nodes g in
+  let start = Array.make n (1, 0.0) in
+  List.iter
+    (fun i ->
+      let nd = Graph.node g i in
+      let d = prop_delay nd.Graph.kind in
+      (* Ready time of the latest-arriving operand, as (step, offset). *)
+      let step, off =
+        List.fold_left
+          (fun (bs, bo) p ->
+            let ps, po = start.(p) in
+            let pd = prop_delay (Graph.node g p).Graph.kind in
+            let fs, fo = (ps, po +. pd) in
+            if fs > bs || (fs = bs && fo > bo) then (fs, fo) else (bs, bo))
+          (1, 0.0) (Graph.preds g i)
+      in
+      if off +. d <= clock +. eps then start.(i) <- (step, off)
+      else start.(i) <- (step + 1, 0.0))
+    (Graph.topological g);
+  start
+
+let chained_critical_path ~prop_delay ~clock g =
+  match check_fits ~prop_delay ~clock g with
+  | Error _ as e -> e
+  | Ok () ->
+      let start = chained_asap ~prop_delay ~clock g in
+      Ok (Array.fold_left (fun acc (s, _) -> max acc s) 0 start)
+
+let compute_chained ~prop_delay ~clock g ~cs =
+  match check_fits ~prop_delay ~clock g with
+  | Error _ as e -> e
+  | Ok () ->
+      let n = Graph.num_nodes g in
+      let ch_asap = chained_asap ~prop_delay ~clock g in
+      (* Backward pass: latest (step, start offset) such that every successor
+         still meets its own latest start. *)
+      let ch_alap = Array.make n (cs, 0.0) in
+      let infeasible = ref None in
+      List.iter
+        (fun i ->
+          let nd = Graph.node g i in
+          let d = prop_delay nd.Graph.kind in
+          let latest =
+            match Graph.succs g i with
+            | [] -> (cs, clock -. d)
+            | ss ->
+                List.fold_left
+                  (fun (bs, bo) s ->
+                    let ls, lo = ch_alap.(s) in
+                    (* Finish no later than the successor's latest start:
+                       either chain within the successor's step, or complete
+                       by the end of the previous step. *)
+                    let cand_chain = (ls, lo -. d) in
+                    let cand_prev = (ls - 1, clock -. d) in
+                    let cand =
+                      if snd cand_chain >= -.eps then cand_chain else cand_prev
+                    in
+                    if fst cand < bs || (fst cand = bs && snd cand < bo) then
+                      cand
+                    else (bs, bo))
+                  (max_int, infinity) ss
+          in
+          ch_alap.(i) <- latest;
+          let as_, ao = ch_asap.(i) in
+          let ls, lo = latest in
+          if (ls < as_ || (ls = as_ && lo < ao -. eps)) && !infeasible = None
+          then infeasible := Some nd.Graph.name)
+        (List.rev (Graph.topological g));
+      (match !infeasible with
+      | Some name ->
+          Error
+            (Printf.sprintf
+               "infeasible under chaining: operation %S cannot fit in %d steps"
+               name cs)
+      | None -> Ok { ch_asap; ch_alap; ch_cs = cs })

@@ -1,0 +1,47 @@
+let escape s =
+  String.concat "" (List.map (function '"' -> "\\\"" | c -> String.make 1 c)
+                      (List.init (String.length s) (String.get s)))
+
+let node_lines g =
+  List.map
+    (fun nd ->
+      Printf.sprintf "  %s [label=\"%s: %s\"];" nd.Graph.name
+        (escape nd.Graph.name)
+        (escape (Op.symbol nd.Graph.kind)))
+    (Graph.nodes g)
+
+let edge_lines g =
+  List.concat_map
+    (fun nd ->
+      List.filter_map
+        (fun arg ->
+          match Graph.find g arg with
+          | Some src -> Some (Printf.sprintf "  %s -> %s;" src.Graph.name nd.Graph.name)
+          | None -> Some (Printf.sprintf "  %s -> %s;" arg nd.Graph.name))
+        nd.Graph.args)
+    (Graph.nodes g)
+
+let input_lines g =
+  List.map
+    (fun i -> Printf.sprintf "  %s [shape=box];" i)
+    (Graph.inputs g)
+
+let of_graph ?(name = "dfg") g =
+  String.concat "\n"
+    (("digraph " ^ name ^ " {") :: input_lines g @ node_lines g @ edge_lines g
+     @ [ "}" ])
+
+let of_schedule ?(name = "schedule") g ~start =
+  let cs = Array.fold_left max 0 start in
+  let ranks =
+    List.init cs (fun t ->
+        let step = t + 1 in
+        let members =
+          List.filter (fun nd -> start.(nd.Graph.id) = step) (Graph.nodes g)
+        in
+        Printf.sprintf "  { rank=same; %s }"
+          (String.concat " " (List.map (fun nd -> nd.Graph.name) members)))
+  in
+  String.concat "\n"
+    (("digraph " ^ name ^ " {")
+     :: input_lines g @ node_lines g @ edge_lines g @ ranks @ [ "}" ])

@@ -1,0 +1,8 @@
+(** Graphviz export, for inspecting benchmark DFGs and schedules. *)
+
+val of_graph : ?name:string -> Graph.t -> string
+(** DOT source with one node per operation (labelled [name: symbol]) and one
+    edge per data dependency. Primary inputs are drawn as plain boxes. *)
+
+val of_schedule : ?name:string -> Graph.t -> start:int array -> string
+(** Same, with nodes ranked by their scheduled control step. *)

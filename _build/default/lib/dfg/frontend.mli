@@ -1,0 +1,41 @@
+(** Behavioural front end: compiles a small imperative description into a
+    DFG (high-level synthesis starts from behaviour, §1).
+
+    Language:
+    {v
+    input x, y, u, dx, a;
+    m  = 3 * x * u;            # expressions with C-like precedence
+    y1 = y + u * dx;
+    ok = y1 < a;
+    if (ok) {
+      z = y1 + m;              # guarded by ok = true
+    } else {
+      z = y1 - m;              # guarded by ok = false; merged name z_else
+    }
+    v}
+
+    - Statements end with [;]; [#] and [//] start comments.
+    - Operators (loosest to tightest): [|], [^], [&], comparisons
+      ([< <= > >= == !=]), shifts ([<< >>]), [+ -], [* / %], unary [- ~].
+    - Integer literals become implicit constant inputs named [c<value>]
+      (e.g. [3] reads input [c3]); the environment returned by
+      {!const_env} binds them for simulation.
+    - [if (cond) { ... } else { ... }] guards the assignments of each block
+      with the condition value; nested conditionals accumulate guards. A
+      name assigned in both branches yields two nodes — the then-branch
+      keeps the name, the else-branch gets the suffix [_else] — which
+      {!Dfg.Mutex.merge_shared} can later reconcile when the computations
+      coincide.
+    - Reassigning a name is an error (single-assignment form), as is
+      reading an undefined name.
+
+    Compound expressions introduce temporaries named [_t0], [_t1], ... *)
+
+val compile : string -> (Graph.t, string) result
+(** Compile a behavioural source text. Errors carry the line number. *)
+
+val compile_file : string -> (Graph.t, string) result
+
+val const_env : Graph.t -> (string * int) list
+(** Bindings for the implicit constant inputs ([("c3", 3)], ...) — prepend
+    to simulation environments. *)

@@ -1,0 +1,273 @@
+type node = {
+  id : int;
+  name : string;
+  kind : Op.kind;
+  args : string list;
+  guards : (string * bool) list;
+}
+
+type t = {
+  node_arr : node array;
+  pred_arr : int list array;
+  succ_arr : int list array;
+  input_list : string list;
+  index : (string, int) Hashtbl.t;
+}
+
+module Builder = struct
+  type pending = {
+    p_name : string;
+    p_kind : Op.kind;
+    p_args : string list;
+    p_guards : (string * bool) list;
+  }
+
+  type t = {
+    mutable rev_inputs : string list;
+    mutable rev_ops : pending list;
+  }
+
+  let create () = { rev_inputs = []; rev_ops = [] }
+
+  let add_input b name =
+    if not (List.mem name b.rev_inputs) then
+      b.rev_inputs <- name :: b.rev_inputs
+
+  let add_op ?(guards = []) b ~name kind args =
+    b.rev_ops <-
+      { p_name = name; p_kind = kind; p_args = args; p_guards = guards }
+      :: b.rev_ops
+
+  let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+  let check_unique inputs ops =
+    let seen = Hashtbl.create 64 in
+    let rec go kind_of = function
+      | [] -> Ok ()
+      | name :: rest ->
+          if Hashtbl.mem seen name then
+            Error (Printf.sprintf "duplicate value name %S" name)
+          else begin
+            Hashtbl.add seen name ();
+            go kind_of rest
+          end
+    in
+    let* () = go "input" inputs in
+    go "node" (List.map (fun p -> p.p_name) ops)
+
+  let check_arities ops =
+    let rec go = function
+      | [] -> Ok ()
+      | p :: rest ->
+          let expected = Op.arity p.p_kind in
+          let got = List.length p.p_args in
+          if expected <> got then
+            Error
+              (Printf.sprintf "node %S: %s expects %d operand(s), got %d"
+                 p.p_name (Op.to_string p.p_kind) expected got)
+          else go rest
+    in
+    go ops
+
+  (* A value is defined exactly when its guards hold, so every consumer
+     must be at least as restricted as the producer: guards(producer)
+     must be a subset of guards(consumer). This rejects cross-branch
+     reads (a then-branch value consumed in the else branch or in
+     unconditional code), which have no execution under which they are
+     well defined. *)
+  let check_guard_scoping ops =
+    let guards_of = Hashtbl.create 32 in
+    List.iter (fun p -> Hashtbl.replace guards_of p.p_name p.p_guards) ops;
+    let subset a b =
+      List.for_all (fun (c, arm) ->
+          List.exists (fun (c', arm') -> String.equal c c' && arm = arm') b)
+        a
+    in
+    let rec go = function
+      | [] -> Ok ()
+      | p :: rest ->
+          let sources =
+            p.p_args @ List.map fst p.p_guards
+          in
+          let offender =
+            List.find_opt
+              (fun src ->
+                match Hashtbl.find_opt guards_of src with
+                | Some src_guards -> not (subset src_guards p.p_guards)
+                | None -> false (* primary input: always defined *))
+              sources
+          in
+          (match offender with
+          | Some src ->
+              Error
+                (Printf.sprintf
+                   "node %S reads %S, which is only defined on another \
+                    branch (guard scoping)"
+                   p.p_name src)
+          | None -> go rest)
+    in
+    go ops
+
+  let check_refs inputs ops =
+    let known = Hashtbl.create 64 in
+    List.iter (fun n -> Hashtbl.replace known n ()) inputs;
+    List.iter (fun p -> Hashtbl.replace known p.p_name ()) ops;
+    let rec go = function
+      | [] -> Ok ()
+      | p :: rest ->
+          let missing =
+            List.filter (fun a -> not (Hashtbl.mem known a)) p.p_args
+            @ List.filter_map
+                (fun (c, _) -> if Hashtbl.mem known c then None else Some c)
+                p.p_guards
+          in
+          (match missing with
+          | [] -> go rest
+          | m :: _ ->
+              Error
+                (Printf.sprintf "node %S references unknown value %S" p.p_name m))
+    in
+    go ops
+
+  (* Kahn's algorithm over operand edges; detects cycles. *)
+  let topo_ids num_nodes pred_arr succ_arr =
+    let indeg = Array.map List.length pred_arr in
+    let queue = Queue.create () in
+    Array.iteri (fun i d -> if d = 0 then Queue.add i queue) indeg;
+    let order = ref [] in
+    let count = ref 0 in
+    while not (Queue.is_empty queue) do
+      let i = Queue.pop queue in
+      incr count;
+      order := i :: !order;
+      List.iter
+        (fun s ->
+          indeg.(s) <- indeg.(s) - 1;
+          if indeg.(s) = 0 then Queue.add s queue)
+        succ_arr.(i)
+    done;
+    if !count = num_nodes then Ok (List.rev !order) else Error "cycle in DFG"
+
+  let build b =
+    let inputs = List.rev b.rev_inputs in
+    let ops = List.rev b.rev_ops in
+    let* () = check_unique inputs ops in
+    let* () = check_arities ops in
+    let* () = check_refs inputs ops in
+    let* () = check_guard_scoping ops in
+    let n = List.length ops in
+    let index = Hashtbl.create (2 * n) in
+    List.iteri (fun i p -> Hashtbl.replace index p.p_name i) ops;
+    let node_arr =
+      Array.of_list
+        (List.mapi
+           (fun i p ->
+             { id = i; name = p.p_name; kind = p.p_kind; args = p.p_args;
+               guards = p.p_guards })
+           ops)
+    in
+    let pred_arr = Array.make n [] in
+    let succ_arr = Array.make n [] in
+    Array.iter
+      (fun nd ->
+        (* Guard conditions are implicit predecessors: the controller must
+           know the condition before it can enable the operation. *)
+        let ps =
+          List.filter_map (fun a -> Hashtbl.find_opt index a) nd.args
+          @ List.filter_map (fun (c, _) -> Hashtbl.find_opt index c) nd.guards
+        in
+        let ps = List.sort_uniq compare ps in
+        pred_arr.(nd.id) <- ps;
+        List.iter (fun p -> succ_arr.(p) <- nd.id :: succ_arr.(p)) ps)
+      node_arr;
+    Array.iteri (fun i l -> succ_arr.(i) <- List.sort_uniq compare l) succ_arr;
+    let* _order = topo_ids n pred_arr succ_arr in
+    Ok { node_arr; pred_arr; succ_arr; input_list = inputs; index }
+end
+
+let of_ops ~inputs rows =
+  let b = Builder.create () in
+  List.iter (Builder.add_input b) inputs;
+  List.iter
+    (fun (name, kind, args, guards) -> Builder.add_op ~guards b ~name kind args)
+    rows;
+  Builder.build b
+
+let num_nodes g = Array.length g.node_arr
+
+let node g i =
+  if i < 0 || i >= num_nodes g then
+    invalid_arg (Printf.sprintf "Graph.node: id %d out of range" i);
+  g.node_arr.(i)
+
+let nodes g = Array.to_list g.node_arr
+let find g name = Option.map (fun i -> g.node_arr.(i)) (Hashtbl.find_opt g.index name)
+let inputs g = g.input_list
+let preds g i = g.pred_arr.(i)
+let succs g i = g.succ_arr.(i)
+
+let topological g =
+  match
+    Builder.topo_ids (num_nodes g) g.pred_arr g.succ_arr
+  with
+  | Ok order -> order
+  | Error _ -> assert false (* acyclicity established at build time *)
+
+let sinks g =
+  List.filter_map
+    (fun nd -> if g.succ_arr.(nd.id) = [] then Some nd.id else None)
+    (nodes g)
+
+let classes g =
+  let seen = Hashtbl.create 8 in
+  Array.fold_left
+    (fun acc nd ->
+      let c = Op.fu_class nd.kind in
+      if Hashtbl.mem seen c then acc
+      else begin
+        Hashtbl.add seen c ();
+        c :: acc
+      end)
+    [] g.node_arr
+  |> List.rev
+
+let count_by_class g =
+  let counts = Hashtbl.create 8 in
+  Array.iter
+    (fun nd ->
+      let c = Op.fu_class nd.kind in
+      let cur = Option.value ~default:0 (Hashtbl.find_opt counts c) in
+      Hashtbl.replace counts c (cur + 1))
+    g.node_arr;
+  List.map (fun c -> (c, Hashtbl.find counts c)) (classes g)
+
+let mutually_exclusive g i j =
+  i <> j
+  &&
+  let gi = (node g i).guards and gj = (node g j).guards in
+  List.exists
+    (fun (c, arm) ->
+      List.exists (fun (c', arm') -> String.equal c c' && arm <> arm') gj)
+    gi
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>inputs: %s@,"
+    (String.concat " " g.input_list);
+  Array.iter
+    (fun nd ->
+      let guard_s =
+        match nd.guards with
+        | [] -> ""
+        | gs ->
+            " @ "
+            ^ String.concat ","
+                (List.map
+                   (fun (c, arm) -> (if arm then "" else "!") ^ c)
+                   gs)
+      in
+      Format.fprintf ppf "%s = %s %s%s@," nd.name
+        (Op.to_string nd.kind)
+        (String.concat " " nd.args)
+        guard_s)
+    g.node_arr;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,94 @@
+(** Data-flow graphs (DFGs).
+
+    A DFG is a DAG of operations. Each operation produces exactly one value,
+    named after the node; operands refer to primary inputs or to other nodes
+    by name. Nodes may carry {e guards} — (condition-signal, arm) pairs — so
+    that operations on different branches of a conditional can be recognised
+    as mutually exclusive (paper §5.1).
+
+    Graphs are immutable once built; construction goes through {!Builder},
+    which validates names, arities, guard references and acyclicity. *)
+
+type node = {
+  id : int;  (** Dense index in [0 .. num_nodes-1], topological-friendly. *)
+  name : string;  (** Unique node name; also the name of the produced value. *)
+  kind : Op.kind;
+  args : string list;  (** Operand value names (primary inputs or node names). *)
+  guards : (string * bool) list;
+      (** Conditional context: [(c, arm)] means the op executes only when
+          condition value [c] is non-zero iff [arm]. *)
+}
+
+type t
+
+module Builder : sig
+  type graph := t
+  type t
+
+  val create : unit -> t
+
+  val add_input : t -> string -> unit
+  (** Declare a primary input value. Duplicate declarations are idempotent. *)
+
+  val add_op :
+    ?guards:(string * bool) list -> t -> name:string -> Op.kind ->
+    string list -> unit
+  (** Add an operation producing value [name]. Operand references may be
+      forward: resolution happens in {!build}. *)
+
+  val build : t -> (graph, string) result
+  (** Validate and freeze: unique names, known operand/guard references,
+      arity match, acyclicity, and guard scoping — a value is defined
+      exactly when its guards hold, so a producer's guards must be a subset
+      of every consumer's (no cross-branch reads). Errors carry a
+      human-readable reason. *)
+end
+
+val of_ops :
+  inputs:string list ->
+  (string * Op.kind * string list * (string * bool) list) list ->
+  (t, string) result
+(** Convenience one-shot constructor: [(name, kind, args, guards)] rows. *)
+
+val num_nodes : t -> int
+
+val node : t -> int -> node
+(** @raise Invalid_argument on an out-of-range id. *)
+
+val nodes : t -> node list
+(** All nodes in id order. *)
+
+val find : t -> string -> node option
+(** Look a node up by name. *)
+
+val inputs : t -> string list
+(** Declared primary inputs, in declaration order. *)
+
+val preds : t -> int -> int list
+(** Data predecessors: nodes whose value this node consumes as an operand
+    {e or} as a guard condition (the controller must know the condition
+    before it can enable the operation). *)
+
+val succs : t -> int -> int list
+(** Data successors. *)
+
+val topological : t -> int list
+(** A topological order of node ids (predecessors first). *)
+
+val sinks : t -> int list
+(** Nodes without successors — the DFG outputs. *)
+
+val count_by_class : t -> (string * int) list
+(** Number of operations per single-function FU class ({!Op.fu_class}),
+    ordered by first appearance. *)
+
+val classes : t -> string list
+(** FU classes present, ordered by first appearance. *)
+
+val mutually_exclusive : t -> int -> int -> bool
+(** [mutually_exclusive g i j] holds when the guard sets of [i] and [j]
+    disagree on some condition: the two operations can never execute in the
+    same run, hence may share an FU instance and a control step. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line listing, one node per line. *)

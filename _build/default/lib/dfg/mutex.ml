@@ -1,0 +1,63 @@
+let operand_key kind args =
+  if Op.is_commutative kind then List.sort String.compare args else args
+
+let same_computation a b =
+  a.Graph.kind = b.Graph.kind
+  && operand_key a.Graph.kind a.Graph.args = operand_key b.Graph.kind b.Graph.args
+
+let shared_pairs g =
+  let n = Graph.num_nodes g in
+  let pairs = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if
+        Graph.mutually_exclusive g i j
+        && same_computation (Graph.node g i) (Graph.node g j)
+      then pairs := (i, j) :: !pairs
+    done
+  done;
+  List.rev !pairs
+
+let guard_intersection ga gb =
+  List.filter (fun (c, arm) -> List.exists (fun (c', arm') ->
+      String.equal c c' && arm = arm') gb) ga
+
+let merge_shared g =
+  let pairs = shared_pairs g in
+  (* Union-find by successive substitution: drop -> keep, following chains. *)
+  let redirect = Hashtbl.create 8 in
+  List.iter
+    (fun (keep, drop) ->
+      if not (Hashtbl.mem redirect drop) then Hashtbl.replace redirect drop keep)
+    pairs;
+  let rec resolve i =
+    match Hashtbl.find_opt redirect i with
+    | Some j when j <> i -> resolve j
+    | _ -> i
+  in
+  let rename name =
+    match Graph.find g name with
+    | None -> name
+    | Some nd -> (Graph.node g (resolve nd.Graph.id)).Graph.name
+  in
+  let b = Graph.Builder.create () in
+  List.iter (Graph.Builder.add_input b) (Graph.inputs g);
+  List.iter
+    (fun nd ->
+      let i = nd.Graph.id in
+      if resolve i = i then begin
+        (* Guards: intersect with every node merged into this one. *)
+        let merged_guards =
+          List.fold_left
+            (fun acc (_, drop) ->
+              if resolve drop = i then
+                guard_intersection acc (Graph.node g drop).Graph.guards
+              else acc)
+            nd.Graph.guards pairs
+        in
+        Graph.Builder.add_op ~guards:merged_guards b ~name:nd.Graph.name
+          nd.Graph.kind
+          (List.map rename nd.Graph.args)
+      end)
+    (Graph.nodes g);
+  Graph.Builder.build b

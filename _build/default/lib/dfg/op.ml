@@ -1,0 +1,128 @@
+type kind =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | And
+  | Or
+  | Xor
+  | Not
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | Shl
+  | Shr
+  | Neg
+  | Mov
+
+let all =
+  [ Add; Sub; Mul; Div; Mod; And; Or; Xor; Not;
+    Lt; Le; Gt; Ge; Eq; Ne; Shl; Shr; Neg; Mov ]
+
+let to_string = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Mod -> "mod"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Not -> "not"
+  | Lt -> "lt"
+  | Le -> "le"
+  | Gt -> "gt"
+  | Ge -> "ge"
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Shl -> "shl"
+  | Shr -> "shr"
+  | Neg -> "neg"
+  | Mov -> "mov"
+
+let symbol = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | And -> "&"
+  | Or -> "|"
+  | Xor -> "^"
+  | Not -> "~"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "="
+  | Ne -> "<>"
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | Neg -> "neg"
+  | Mov -> "mov"
+
+let of_string s =
+  let rec find = function
+    | [] -> None
+    | k :: rest ->
+        if String.equal (to_string k) s || String.equal (symbol k) s then Some k
+        else find rest
+  in
+  find all
+
+let arity = function
+  | Not | Neg | Mov -> 1
+  | Add | Sub | Mul | Div | Mod | And | Or | Xor
+  | Lt | Le | Gt | Ge | Eq | Ne | Shl | Shr -> 2
+
+let is_commutative = function
+  | Add | Mul | And | Or | Xor | Eq | Ne -> true
+  | Sub | Div | Mod | Not | Lt | Le | Gt | Ge | Shl | Shr | Neg | Mov -> false
+
+let fu_class k = symbol k
+
+let bool_int b = if b then 1 else 0
+
+let eval k args =
+  let binary f =
+    match args with
+    | [ a; b ] -> f a b
+    | _ ->
+        invalid_arg
+          (Printf.sprintf "Op.eval: %s expects 2 operands, got %d"
+             (to_string k) (List.length args))
+  in
+  let unary f =
+    match args with
+    | [ a ] -> f a
+    | _ ->
+        invalid_arg
+          (Printf.sprintf "Op.eval: %s expects 1 operand, got %d"
+             (to_string k) (List.length args))
+  in
+  match k with
+  | Add -> binary ( + )
+  | Sub -> binary ( - )
+  | Mul -> binary ( * )
+  | Div -> binary (fun a b -> if b = 0 then 0 else a / b)
+  | Mod -> binary (fun a b -> if b = 0 then 0 else a mod b)
+  | And -> binary ( land )
+  | Or -> binary ( lor )
+  | Xor -> binary ( lxor )
+  | Not -> unary lnot
+  | Lt -> binary (fun a b -> bool_int (a < b))
+  | Le -> binary (fun a b -> bool_int (a <= b))
+  | Gt -> binary (fun a b -> bool_int (a > b))
+  | Ge -> binary (fun a b -> bool_int (a >= b))
+  | Eq -> binary (fun a b -> bool_int (a = b))
+  | Ne -> binary (fun a b -> bool_int (a <> b))
+  | Shl -> binary (fun a b -> if b < 0 || b > 62 then 0 else a lsl b)
+  | Shr -> binary (fun a b -> if b < 0 || b > 62 then 0 else a asr b)
+  | Neg -> unary (fun a -> -a)
+  | Mov -> unary (fun a -> a)
+
+let pp ppf k = Format.pp_print_string ppf (symbol k)

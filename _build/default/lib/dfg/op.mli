@@ -1,0 +1,59 @@
+(** Operation kinds appearing in behavioural data-flow graphs.
+
+    The set covers the operators used by the six DAC-era benchmark examples:
+    arithmetic ([*], [+], [-], [/]), logic ([&], [|], [^], [~]), comparisons
+    ([<], [<=], [>], [>=], [=], [<>]), shifts and data movement. *)
+
+type kind =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | And
+  | Or
+  | Xor
+  | Not
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | Shl
+  | Shr
+  | Neg
+  | Mov
+
+val all : kind list
+(** Every kind, in declaration order. *)
+
+val to_string : kind -> string
+(** Lower-case mnemonic, e.g. ["add"]; inverse of {!of_string}. *)
+
+val of_string : string -> kind option
+(** Parse a mnemonic or an operator symbol such as ["+"] or ["<="] . *)
+
+val symbol : kind -> string
+(** Operator symbol used in reports, e.g. ["*"] for {!Mul}. *)
+
+val arity : kind -> int
+(** Number of operands: 1 for {!Not}, {!Neg}, {!Mov}; 2 otherwise. *)
+
+val is_commutative : kind -> bool
+(** Whether operand order is irrelevant — drives multiplexer input sharing. *)
+
+val fu_class : kind -> string
+(** Single-function FU type implementing the kind, keyed by its symbol.
+    In MFS every kind maps to its own functional-unit type (the paper's
+    scheduling phase assumes single-function operators). *)
+
+val eval : kind -> int list -> int
+(** Integer semantics used by the simulator substrate. Comparisons return
+    0/1; division by zero yields 0 (a total model keeps property tests
+    simple and is irrelevant to scheduling).
+
+    @raise Invalid_argument if the operand count differs from {!arity}. *)
+
+val pp : Format.formatter -> kind -> unit
+(** Prints the {!symbol}. *)

@@ -1,0 +1,75 @@
+let split_words line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | None -> line
+  | Some i -> String.sub line 0 i
+
+let parse_guard w =
+  if String.length w > 1 && w.[0] = '!' then
+    (String.sub w 1 (String.length w - 1), false)
+  else (w, true)
+
+let rec split_at_sign acc = function
+  | [] -> (List.rev acc, [])
+  | "@" :: rest -> (List.rev acc, rest)
+  | w :: rest -> split_at_sign (w :: acc) rest
+
+let parse src =
+  let b = Graph.Builder.create () in
+  let lines = String.split_on_char '\n' src in
+  let err lineno msg = Error (Printf.sprintf "line %d: %s" lineno msg) in
+  let rec go lineno = function
+    | [] -> Graph.Builder.build b
+    | line :: rest -> (
+        let words = split_words (strip_comment line) in
+        match words with
+        | [] -> go (lineno + 1) rest
+        | "input" :: names ->
+            if names = [] then err lineno "input declaration without names"
+            else begin
+              List.iter (Graph.Builder.add_input b) names;
+              go (lineno + 1) rest
+            end
+        | name :: "=" :: op :: tail -> (
+            match Op.of_string op with
+            | None -> err lineno (Printf.sprintf "unknown operation %S" op)
+            | Some kind ->
+                let args, guard_words = split_at_sign [] tail in
+                let guards = List.map parse_guard guard_words in
+                Graph.Builder.add_op ~guards b ~name kind args;
+                go (lineno + 1) rest)
+        | w :: _ ->
+            err lineno (Printf.sprintf "cannot parse declaration near %S" w))
+  in
+  go 1 lines
+
+let parse_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | src -> parse src
+  | exception Sys_error msg -> Error msg
+
+let to_source g =
+  let buf = Buffer.create 256 in
+  (match Graph.inputs g with
+  | [] -> ()
+  | ins -> Buffer.add_string buf ("input " ^ String.concat " " ins ^ "\n"));
+  List.iter
+    (fun nd ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s = %s %s" nd.Graph.name
+           (Op.to_string nd.Graph.kind)
+           (String.concat " " nd.Graph.args));
+      (match nd.Graph.guards with
+      | [] -> ()
+      | gs ->
+          Buffer.add_string buf " @ ";
+          Buffer.add_string buf
+            (String.concat " "
+               (List.map (fun (c, arm) -> (if arm then "" else "!") ^ c) gs)));
+      Buffer.add_char buf '\n')
+    (Graph.nodes g);
+  Buffer.contents buf

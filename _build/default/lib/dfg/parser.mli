@@ -1,0 +1,26 @@
+(** Textual DFG format, so workloads can live in data files and the CLI can
+    operate on user designs.
+
+    Grammar (one declaration per line; [#] starts a comment):
+    {v
+    input  <name> <name> ...
+    <name> = <op> <arg> [<arg>] [@ <guard> ...]
+    v}
+    where [<op>] is an {!Op.kind} mnemonic or symbol ([mul] or [*]), and a
+    guard is a condition value name, prefixed with [!] for the false arm.
+    Example:
+    {v
+    input x dx three
+    m1 = * three x
+    s1 = + m1 dx @ !c
+    v} *)
+
+val parse : string -> (Graph.t, string) result
+(** Parse a whole source text. Errors are prefixed with the line number. *)
+
+val parse_file : string -> (Graph.t, string) result
+(** Read and parse a file; I/O failures are returned as [Error]. *)
+
+val to_source : Graph.t -> string
+(** Render a graph back to the textual format; [parse (to_source g)]
+    reconstructs an identical graph. *)

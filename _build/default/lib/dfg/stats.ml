@@ -1,0 +1,54 @@
+type t = {
+  ops : int;
+  inputs : int;
+  edges : int;
+  depth : int;
+  width : int;
+  avg_fanout : float;
+  guarded : int;
+  by_class : (string * int) list;
+  parallelism : float;
+}
+
+let compute g =
+  let ops = Graph.num_nodes g in
+  let edges =
+    List.fold_left (fun acc nd -> acc + List.length (Graph.preds g nd.Graph.id))
+      0 (Graph.nodes g)
+  in
+  let depth = max 1 (Bounds.critical_path g) in
+  let width =
+    match Bounds.compute g ~cs:depth with
+    | Error _ -> ops
+    | Ok b ->
+        let per_level = Array.make (depth + 1) 0 in
+        Array.iter
+          (fun s -> if s >= 1 && s <= depth then per_level.(s) <- per_level.(s) + 1)
+          b.Bounds.asap;
+        Array.fold_left max 0 per_level
+  in
+  let guarded =
+    List.length (List.filter (fun nd -> nd.Graph.guards <> []) (Graph.nodes g))
+  in
+  {
+    ops;
+    inputs = List.length (Graph.inputs g);
+    edges;
+    depth;
+    width;
+    avg_fanout =
+      (if ops = 0 then 0. else float_of_int edges /. float_of_int ops);
+    guarded;
+    by_class = Graph.count_by_class g;
+    parallelism = float_of_int ops /. float_of_int depth;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>%d ops over %d inputs, %d edges@,\
+     depth %d, width %d, parallelism %.2f, fanout %.2f@,\
+     %d guarded op(s)@,\
+     classes: %s@]"
+    t.ops t.inputs t.edges t.depth t.width t.parallelism t.avg_fanout t.guarded
+    (String.concat ", "
+       (List.map (fun (c, n) -> Printf.sprintf "%d %s" n c) t.by_class))

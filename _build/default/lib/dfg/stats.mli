@@ -1,0 +1,18 @@
+(** Structural statistics of a DFG — used by the CLI and handy when judging
+    how hard a graph is to schedule. *)
+
+type t = {
+  ops : int;
+  inputs : int;
+  edges : int;  (** Data-dependency edges (guard edges included). *)
+  depth : int;  (** Unit-delay critical path. *)
+  width : int;  (** Peak number of operations per ASAP level. *)
+  avg_fanout : float;  (** Mean successors per operation. *)
+  guarded : int;  (** Operations under at least one guard. *)
+  by_class : (string * int) list;
+  parallelism : float;  (** [ops / depth] — the speedup ceiling. *)
+}
+
+val compute : Graph.t -> t
+
+val pp : Format.formatter -> t -> unit

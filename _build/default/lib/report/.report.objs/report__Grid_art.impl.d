@@ -1,0 +1,1 @@
+lib/report/grid_art.ml: Buffer Core List Option Printf String

@@ -1,0 +1,1 @@
+lib/report/grid_art.mli: Core

@@ -1,0 +1,50 @@
+let cell_width = 5
+
+let fit s =
+  if String.length s >= cell_width then String.sub s 0 (cell_width - 1) ^ " "
+  else s ^ String.make (cell_width - String.length s) ' '
+
+let header cols =
+  fit ""
+  ^ String.concat ""
+      (List.init cols (fun c -> fit (Printf.sprintf "fu%d" (c + 1))))
+
+let render_frames ~steps ~cols ~pf ~rf ~forbidden ~occupied ~chosen =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (header cols);
+  Buffer.add_char buf '\n';
+  for s = 1 to steps do
+    Buffer.add_string buf (fit (Printf.sprintf "s%d" s));
+    for c = 1 to cols do
+      let pos = { Core.Frames.col = c; step = s } in
+      let cell =
+        match occupied pos with
+        | Some label -> label
+        | None ->
+            if chosen = Some pos then ">"
+            else if not (Core.Frames.rect_mem pf pos) then ""
+            else if Core.Frames.rect_mem rf pos then "R"
+            else if forbidden s then "F"
+            else "."
+      in
+      Buffer.add_string buf (fit cell)
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let render_occupancy ~title ~steps ~label ~cols =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (title ^ "\n");
+  Buffer.add_string buf (header cols);
+  Buffer.add_char buf '\n';
+  for s = 1 to steps do
+    Buffer.add_string buf (fit (Printf.sprintf "s%d" s));
+    for c = 1 to cols do
+      let pos = { Core.Frames.col = c; step = s } in
+      Buffer.add_string buf
+        (fit (Option.value ~default:"." (label pos)))
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf

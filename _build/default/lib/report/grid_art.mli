@@ -1,0 +1,17 @@
+(** ASCII rendering of the 2-D placement table — reproduces the paper's
+    Figure 1 (present/next position of an operation) and Figure 2 (PF, RF,
+    FF and MF frames of a typical operation). *)
+
+val render_frames :
+  steps:int -> cols:int -> pf:Core.Frames.rect -> rf:Core.Frames.rect ->
+  forbidden:(int -> bool) -> occupied:(Core.Frames.pos -> string option) ->
+  chosen:Core.Frames.pos option -> string
+(** One character cell per position: occupied positions show their label's
+    first letters, [R] redundant frame, [F] forbidden frame, [.] move-frame
+    positions (inside PF, outside RF/FF, free), [>] the chosen position,
+    blank outside the primary frame. *)
+
+val render_occupancy :
+  title:string -> steps:int -> label:(Core.Frames.pos -> string option) ->
+  cols:int -> string
+(** Plain placement table: rows are control steps, columns FU instances. *)

@@ -1,0 +1,48 @@
+type align = Left | Right
+
+let pad align width s =
+  let fill = width - String.length s in
+  if fill <= 0 then s
+  else
+    match align with
+    | Left -> s ^ String.make fill ' '
+    | Right -> String.make fill ' ' ^ s
+
+let render ?aligns ~header rows =
+  let ncols = List.length header in
+  let normalize row =
+    let len = List.length row in
+    if len >= ncols then row else row @ List.init (ncols - len) (fun _ -> "")
+  in
+  let rows = List.map normalize rows in
+  let widths =
+    List.mapi
+      (fun c h ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row c)))
+          (String.length h) rows)
+      header
+  in
+  let aligns =
+    match aligns with
+    | Some l when List.length l = ncols -> l
+    | _ -> List.init ncols (fun _ -> Left)
+  in
+  let line cells =
+    String.concat "  "
+      (List.mapi
+         (fun c cell -> pad (List.nth aligns c) (List.nth widths c) cell)
+         cells)
+  in
+  let rule =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n" (line header :: rule :: List.map line rows) ^ "\n"
+
+let render_kv pairs =
+  let w =
+    List.fold_left (fun acc (k, _) -> max acc (String.length k)) 0 pairs
+  in
+  String.concat "\n"
+    (List.map (fun (k, v) -> Printf.sprintf "%s : %s" (pad Left w k) v) pairs)
+  ^ "\n"

@@ -1,0 +1,12 @@
+(** ASCII table rendering for the bench harness and the CLI (the repo's
+    Table 1 / Table 2 outputs). *)
+
+type align = Left | Right
+
+val render :
+  ?aligns:align list -> header:string list -> string list list -> string
+(** Fixed-width table with a header rule. Rows shorter than the header are
+    padded with empty cells; [aligns] defaults to all-left. *)
+
+val render_kv : (string * string) list -> string
+(** Two-column key/value block. *)

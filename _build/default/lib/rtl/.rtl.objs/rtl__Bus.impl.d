@@ -1,0 +1,1 @@
+lib/rtl/bus.ml: Array Datapath List Printf

@@ -1,0 +1,1 @@
+lib/rtl/check.ml: Array Celllib Datapath Dfg Left_edge Lifetime List Option Printf

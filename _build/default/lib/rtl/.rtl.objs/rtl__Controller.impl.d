@@ -1,0 +1,1 @@
+lib/rtl/controller.ml: Array Datapath Dfg Format Hashtbl Left_edge List Option Printf String

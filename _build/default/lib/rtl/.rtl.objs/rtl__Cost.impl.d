@@ -1,0 +1,1 @@
+lib/rtl/cost.ml: Celllib Datapath Format Hashtbl Left_edge List Mux_share Printf String

@@ -1,0 +1,1 @@
+lib/rtl/datapath.ml: Array Celllib Dfg Format Left_edge Lifetime List Mux_share Printf String

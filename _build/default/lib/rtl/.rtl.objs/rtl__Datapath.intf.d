@@ -1,0 +1,1 @@
+lib/rtl/datapath.mli: Celllib Dfg Format Left_edge Mux_share

@@ -1,0 +1,1 @@
+lib/rtl/dot_netlist.ml: Array Buffer Celllib Datapath Dfg Hashtbl Left_edge List Printf String

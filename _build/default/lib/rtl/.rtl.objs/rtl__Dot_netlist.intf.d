@@ -1,0 +1,1 @@
+lib/rtl/dot_netlist.mli: Datapath

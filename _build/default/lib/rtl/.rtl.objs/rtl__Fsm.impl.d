@@ -1,0 +1,1 @@
+lib/rtl/fsm.ml: Buffer Controller List Printf String

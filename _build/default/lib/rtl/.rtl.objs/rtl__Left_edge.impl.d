@@ -1,0 +1,1 @@
+lib/rtl/left_edge.ml: Array Lifetime List String

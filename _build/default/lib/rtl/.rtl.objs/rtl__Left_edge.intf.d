@@ -1,0 +1,1 @@
+lib/rtl/left_edge.mli: Lifetime

@@ -1,0 +1,1 @@
+lib/rtl/lifetime.ml: Array Dfg Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/rtl/lifetime.mli: Dfg

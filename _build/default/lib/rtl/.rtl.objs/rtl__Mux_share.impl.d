@@ -1,0 +1,1 @@
+lib/rtl/mux_share.ml: List Option

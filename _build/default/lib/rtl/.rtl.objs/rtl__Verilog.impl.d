@@ -1,0 +1,1 @@
+lib/rtl/verilog.ml: Buffer Celllib Controller Datapath Dfg Left_edge List Printf String

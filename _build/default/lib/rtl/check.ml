@@ -1,0 +1,75 @@
+let datapath ?(style2 = false) ?(share_mutex = true) dp ~delay =
+  let g = dp.Datapath.graph in
+  let errs = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  let name i = (Dfg.Graph.node g i).Dfg.Graph.name in
+  (* ALU occupancy and capability. *)
+  List.iter
+    (fun a ->
+      List.iter
+        (fun i ->
+          let kind = (Dfg.Graph.node g i).Dfg.Graph.kind in
+          if not (Celllib.Op_set.mem kind a.Datapath.a_kind.Celllib.Library.ops)
+          then
+            add "ALU %d (%s) cannot execute %s" a.Datapath.a_id
+              a.Datapath.a_kind.Celllib.Library.aname (name i))
+        a.Datapath.a_ops;
+      let rec pairs = function
+        | [] -> ()
+        | i :: rest ->
+            List.iter
+              (fun j ->
+                let si = dp.Datapath.start.(i)
+                and sj = dp.Datapath.start.(j) in
+                (* A pipelined unit frees its issue slot after one step. *)
+                let spi =
+                  if a.Datapath.a_kind.Celllib.Library.stages > 1 then 1
+                  else delay i
+                and spj =
+                  if a.Datapath.a_kind.Celllib.Library.stages > 1 then 1
+                  else delay j
+                in
+                let overlap = si < sj + spj && sj < si + spi in
+                let excl =
+                  share_mutex && Dfg.Graph.mutually_exclusive g i j
+                in
+                if overlap && not excl then
+                  add "ALU %d executes %s and %s simultaneously"
+                    a.Datapath.a_id (name i) (name j))
+              rest;
+            pairs rest
+      in
+      pairs a.Datapath.a_ops)
+    dp.Datapath.alus;
+  (* Register sharing soundness. *)
+  let ivs =
+    Lifetime.intervals g ~start:dp.Datapath.start ~delay ~cs:dp.Datapath.cs
+  in
+  let stored =
+    List.filter
+      (fun iv ->
+        Left_edge.register_of dp.Datapath.regs iv.Lifetime.value <> None)
+      ivs
+  in
+  let rec reg_pairs = function
+    | [] -> ()
+    | iv :: rest ->
+        List.iter
+          (fun iv' ->
+            let r = Left_edge.register_of dp.Datapath.regs iv.Lifetime.value in
+            let r' =
+              Left_edge.register_of dp.Datapath.regs iv'.Lifetime.value
+            in
+            if r = r' && Lifetime.overlap iv iv' then
+              add "register clash: %s and %s overlap in reg%d"
+                iv.Lifetime.value iv'.Lifetime.value
+                (Option.value ~default:(-1) r))
+          rest;
+        reg_pairs rest
+  in
+  reg_pairs stored;
+  if style2 then
+    List.iter
+      (fun a -> add "style-2 violation: ALU %d has a self loop" a)
+      (Datapath.self_loop_alus dp);
+  match !errs with [] -> Ok () | l -> Error (List.rev l)

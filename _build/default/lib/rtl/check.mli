@@ -1,0 +1,15 @@
+(** Structural validation of elaborated datapaths, used by tests and by the
+    CLI after every MFSA run. *)
+
+val datapath :
+  ?style2:bool -> ?share_mutex:bool -> Datapath.t -> delay:(int -> int) ->
+  (unit, string list) result
+(** Checks:
+    - every ALU instance executes at most one operation per step (operations
+      occupy [delay] consecutive steps; mutually-exclusive operations may
+      overlap when [share_mutex], default true);
+    - every operation's kind is within its ALU's capability set;
+    - register sharing is sound: no two values with overlapping lifetimes in
+      one register;
+    - with [style2], no ALU holds an operation together with a direct DFG
+      predecessor or successor. *)

@@ -1,0 +1,62 @@
+type breakdown = {
+  alu_area : float;
+  mux_area : float;
+  reg_area : float;
+  total : float;
+  n_alus : int;
+  n_regs : int;
+  n_mux : int;
+  n_mux_inputs : int;
+}
+
+let of_datapath lib dp =
+  let alu_area =
+    List.fold_left
+      (fun acc a -> acc +. a.Datapath.a_kind.Celllib.Library.area)
+      0. dp.Datapath.alus
+  in
+  let mux_area =
+    List.fold_left
+      (fun acc a ->
+        acc
+        +. Mux_share.cost ~mux_cost:lib.Celllib.Library.mux_cost
+             a.Datapath.a_share)
+      0. dp.Datapath.alus
+  in
+  let n_regs = dp.Datapath.regs.Left_edge.count in
+  let reg_area = float_of_int n_regs *. lib.Celllib.Library.reg_cost in
+  {
+    alu_area;
+    mux_area;
+    reg_area;
+    total = alu_area +. mux_area +. reg_area;
+    n_alus = List.length dp.Datapath.alus;
+    n_regs;
+    n_mux = Datapath.mux_count dp;
+    n_mux_inputs = Datapath.mux_inputs dp;
+  }
+
+let alu_config dp =
+  let tally = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun a ->
+      let name = a.Datapath.a_kind.Celllib.Library.aname in
+      (match Hashtbl.find_opt tally name with
+      | None ->
+          order := name :: !order;
+          Hashtbl.replace tally name 1
+      | Some k -> Hashtbl.replace tally name (k + 1)))
+    dp.Datapath.alus;
+  List.rev !order
+  |> List.map (fun name ->
+         let k = Hashtbl.find tally name in
+         if k = 1 then name else Printf.sprintf "%d%s" k name)
+  |> String.concat "; "
+
+let pp ppf b =
+  Format.fprintf ppf
+    "total %.0f um2 (ALU %.0f, MUX %.0f, REG %.0f); %d ALUs, %d REGs, %d \
+     MUXes/%d inputs"
+    b.total b.alu_area b.mux_area b.reg_area b.n_alus b.n_regs b.n_mux
+    b.n_mux_inputs

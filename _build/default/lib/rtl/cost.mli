@@ -1,0 +1,21 @@
+(** Datapath area accounting (the paper's "overall cost of RTL designs in
+    micron square based on a NCR library"). *)
+
+type breakdown = {
+  alu_area : float;
+  mux_area : float;
+  reg_area : float;
+  total : float;
+  n_alus : int;
+  n_regs : int;
+  n_mux : int;  (** Multiplexers with fan-in >= 2. *)
+  n_mux_inputs : int;  (** Their total data inputs (Table 2's MUXin). *)
+}
+
+val of_datapath : Celllib.Library.t -> Datapath.t -> breakdown
+
+val alu_config : Datapath.t -> string
+(** Table-2 style ALU column, e.g. ["2(+-); (*)"] — instance counts per ALU
+    kind. *)
+
+val pp : Format.formatter -> breakdown -> unit

@@ -1,0 +1,59 @@
+(** RTL datapath netlists: the output of mixed scheduling-allocation.
+
+    A datapath instantiates ALUs from the cell library, registers produced by
+    left-edge allocation, and the two multiplexers in front of every ALU.
+    Interconnect sharing (paper §5.7) falls out of source tagging: every
+    value read from register [r] enters a multiplexer through the single tag
+    [reg r], and every value chained combinationally out of ALU [a] through
+    the tag [alu a] — so values sharing a physical line share one mux
+    input. *)
+
+type source =
+  | From_reg of int  (** Latched value, read from a register. *)
+  | From_alu of int  (** Same-step chained value, read from an ALU output. *)
+  | From_input of string
+      (** Primary input wired directly (only when input registering is
+          disabled). *)
+
+type alu = {
+  a_id : int;
+  a_kind : Celllib.Library.alu_kind;
+  a_ops : int list;  (** Node ids executed on this instance, by start step. *)
+  a_share : Mux_share.t;  (** Port source lists after sharing. *)
+}
+
+type t = {
+  graph : Dfg.Graph.t;
+  start : int array;
+  cs : int;
+  alus : alu list;
+  alu_of : int array;  (** ALU instance per node id. *)
+  regs : Left_edge.t;  (** Register allocation over value lifetimes. *)
+  operand_sources : (int * source list) list;
+      (** Resolved operand sources per node, in operand order. *)
+}
+
+val elaborate :
+  ?include_inputs:bool -> Dfg.Graph.t -> start:int array ->
+  delay:(int -> int) -> cs:int ->
+  assignments:(Celllib.Library.alu_kind * int list) list ->
+  (t, string) result
+(** Build the netlist from a schedule and an op→ALU assignment. Errors when
+    an assignment references an unknown node, omits or duplicates a node, or
+    puts an operation on a unit that cannot execute it. *)
+
+val source_tag : source -> string
+(** Stable tag used for multiplexer input sharing. *)
+
+val self_loop_alus : t -> int list
+(** ALUs holding an operation together with one of its direct DFG
+    predecessors or successors — forbidden under design style 2
+    (self-testable structures, §4.2). *)
+
+val mux_count : t -> int
+(** Number of multiplexers actually needed (ports with fan-in >= 2). *)
+
+val mux_inputs : t -> int
+(** Total data inputs over those multiplexers (Table 2's MUXin). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,71 @@
+let esc s =
+  String.concat ""
+    (List.map
+       (function '"' -> "\\\"" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let of_datapath ?(name = "datapath") (dp : Datapath.t) =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let g = dp.Datapath.graph in
+  add "digraph %s {\n  rankdir=LR;\n" name;
+  List.iter
+    (fun a ->
+      add "  alu%d [shape=record,label=\"{%s|%s}\"];\n" a.Datapath.a_id
+        (esc a.Datapath.a_kind.Celllib.Library.aname)
+        (esc
+           (String.concat "\\n"
+              (List.map
+                 (fun i -> (Dfg.Graph.node g i).Dfg.Graph.name)
+                 a.Datapath.a_ops))))
+    dp.Datapath.alus;
+  for r = 0 to dp.Datapath.regs.Left_edge.count - 1 do
+    add "  reg%d [shape=box,label=\"reg%d\\n%s\"];\n" r r
+      (esc (String.concat "," (Left_edge.values_of dp.Datapath.regs r)))
+  done;
+  (* Connections: per node, each operand source feeds the node's ALU. *)
+  let seen = Hashtbl.create 32 in
+  List.iter
+    (fun (node, sources) ->
+      let dst = dp.Datapath.alu_of.(node) in
+      List.iter
+        (fun src ->
+          let line =
+            match src with
+            | Datapath.From_reg r -> Printf.sprintf "  reg%d -> alu%d;\n" r dst
+            | Datapath.From_alu a ->
+                Printf.sprintf "  alu%d -> alu%d [style=dashed];\n" a dst
+            | Datapath.From_input v ->
+                Printf.sprintf "  in_%s -> alu%d;\n" v dst
+          in
+          if not (Hashtbl.mem seen line) then begin
+            Hashtbl.replace seen line ();
+            (match src with
+            | Datapath.From_input v ->
+                let decl = Printf.sprintf "  in_%s [shape=plaintext];\n" v in
+                if not (Hashtbl.mem seen decl) then begin
+                  Hashtbl.replace seen decl ();
+                  Buffer.add_string buf decl
+                end
+            | _ -> ());
+            Buffer.add_string buf line
+          end)
+        sources)
+    dp.Datapath.operand_sources;
+  (* ALU outputs into the registers that latch their values. *)
+  List.iter
+    (fun nd ->
+      let i = nd.Dfg.Graph.id in
+      match Left_edge.register_of dp.Datapath.regs nd.Dfg.Graph.name with
+      | Some r ->
+          let line =
+            Printf.sprintf "  alu%d -> reg%d;\n" dp.Datapath.alu_of.(i) r
+          in
+          if not (Hashtbl.mem seen line) then begin
+            Hashtbl.replace seen line ();
+            Buffer.add_string buf line
+          end
+      | None -> ())
+    (Dfg.Graph.nodes g);
+  add "}\n";
+  Buffer.contents buf

@@ -1,0 +1,6 @@
+(** Graphviz rendering of a synthesised datapath: ALUs (with their bound
+    operations), registers (with the values they hold over time), primary
+    inputs, and the mux-input connections between them. Chained ALU-to-ALU
+    wires are drawn dashed. *)
+
+val of_datapath : ?name:string -> Datapath.t -> string

@@ -1,0 +1,73 @@
+type encoding = Binary | One_hot | Gray
+
+let rec bits_needed n = if n <= 2 then 1 else 1 + bits_needed ((n + 1) / 2)
+
+let state_bits enc ~steps =
+  match enc with
+  | Binary | Gray -> bits_needed steps
+  | One_hot -> steps
+
+let binary_string width v =
+  String.init width (fun i ->
+      if (v lsr (width - 1 - i)) land 1 = 1 then '1' else '0')
+
+let encode enc ~steps state =
+  if state < 1 || state > steps then
+    invalid_arg (Printf.sprintf "Fsm.encode: state %d outside 1..%d" state steps);
+  match enc with
+  | Binary -> binary_string (state_bits enc ~steps) (state - 1)
+  | Gray ->
+      let v = state - 1 in
+      binary_string (state_bits enc ~steps) (v lxor (v lsr 1))
+  | One_hot ->
+      String.init steps (fun i -> if i = steps - state then '1' else '0')
+
+type rom_row = {
+  rom_state : int;
+  rom_loads : int list;
+  rom_selects : (int * int) list;
+}
+
+let rom (ctrl : Controller.t) =
+  List.init ctrl.Controller.steps (fun idx ->
+      let state = idx + 1 in
+      let loads =
+        List.filter_map
+          (fun m ->
+            if m.Controller.m_latch_step = state then m.Controller.m_dest
+            else None)
+          ctrl.Controller.micros
+        |> List.sort_uniq compare
+      in
+      let selects =
+        List.filter_map
+          (fun m ->
+            if m.Controller.m_step = state then
+              Some (m.Controller.m_alu, m.Controller.m_node)
+            else None)
+          ctrl.Controller.micros
+        |> List.sort compare
+      in
+      { rom_state = state; rom_loads = loads; rom_selects = selects })
+
+let render ?(encoding = Binary) ctrl =
+  let buf = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "FSM: %d states, %s encoding, %d state bits\n" ctrl.Controller.steps
+    (match encoding with
+    | Binary -> "binary"
+    | One_hot -> "one-hot"
+    | Gray -> "gray")
+    (state_bits encoding ~steps:ctrl.Controller.steps);
+  List.iter
+    (fun row ->
+      add "  %s  s%-2d  alu:[%s]  load:[%s]\n"
+        (encode encoding ~steps:ctrl.Controller.steps row.rom_state)
+        row.rom_state
+        (String.concat " "
+           (List.map
+              (fun (a, n) -> Printf.sprintf "%d<-n%d" a n)
+              row.rom_selects))
+        (String.concat " " (List.map (Printf.sprintf "r%d") row.rom_loads)))
+    (rom ctrl);
+  Buffer.contents buf

@@ -1,0 +1,29 @@
+(** Finite-state-machine realisation of a controller: state encodings and
+    the microcode ROM view — the "control path design" step the paper's
+    introduction pairs with datapath synthesis.
+
+    The controller is a simple counter FSM (state k -> k+1); what varies is
+    the state register encoding and the decoded control word per state. *)
+
+type encoding = Binary | One_hot | Gray
+
+val state_bits : encoding -> steps:int -> int
+(** Width of the state register. *)
+
+val encode : encoding -> steps:int -> int -> string
+(** Code word (as a bit string, MSB first) of a 1-based state.
+    @raise Invalid_argument when the state is out of range. *)
+
+type rom_row = {
+  rom_state : int;
+  rom_loads : int list;  (** Registers latched at this state's edge. *)
+  rom_selects : (int * int) list;
+      (** Per ALU active in this state: (alu, executing node). *)
+}
+
+val rom : Controller.t -> rom_row list
+(** One row per state, in order — the control word listing a microcode ROM
+    would store (guard conditions still gate the loads at run time). *)
+
+val render : ?encoding:encoding -> Controller.t -> string
+(** Human-readable FSM table: encoded state, ALU activity, register loads. *)

@@ -1,0 +1,41 @@
+type t = {
+  reg_of : (string * int) list;
+  count : int;
+}
+
+let allocate ivs =
+  let sorted =
+    List.filter Lifetime.needs_register ivs
+    |> List.sort (fun a b ->
+           let c = compare a.Lifetime.birth b.Lifetime.birth in
+           if c <> 0 then c
+           else
+             let c = compare a.Lifetime.death b.Lifetime.death in
+             if c <> 0 then c
+             else String.compare a.Lifetime.value b.Lifetime.value)
+  in
+  (* last_death.(r) = death boundary of the most recent value in register r *)
+  let last_death = ref [||] in
+  let count = ref 0 in
+  let assign iv =
+    let rec find r =
+      if r >= !count then begin
+        last_death := Array.append !last_death [| iv.Lifetime.death |];
+        incr count;
+        r
+      end
+      else if !last_death.(r) < iv.Lifetime.birth then begin
+        !last_death.(r) <- iv.Lifetime.death;
+        r
+      end
+      else find (r + 1)
+    in
+    find 0
+  in
+  let reg_of = List.map (fun iv -> (iv.Lifetime.value, assign iv)) sorted in
+  { reg_of; count = !count }
+
+let register_of t v = List.assoc_opt v t.reg_of
+
+let values_of t r =
+  List.filter_map (fun (v, r') -> if r = r' then Some v else None) t.reg_of

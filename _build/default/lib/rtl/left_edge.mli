@@ -1,0 +1,21 @@
+(** Register allocation by the left-edge / activity-selection greedy
+    (paper §5.8, following REAL [19]).
+
+    Intervals are sorted by birth; each is packed into the first register
+    whose previous occupant dies before the new value is born. The result
+    uses exactly {!Lifetime.max_overlap} registers — optimal for interval
+    graphs. *)
+
+type t = {
+  reg_of : (string * int) list;
+      (** Register id (0-based) per stored value; values that never cross a
+          boundary are absent. *)
+  count : int;  (** Number of registers used. *)
+}
+
+val allocate : Lifetime.interval list -> t
+
+val register_of : t -> string -> int option
+
+val values_of : t -> int -> string list
+(** Values sharing the given register, in packing order. *)

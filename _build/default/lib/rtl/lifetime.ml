@@ -1,0 +1,56 @@
+type interval = { value : string; birth : int; death : int }
+
+let needs_register iv = iv.birth <= iv.death
+
+let intervals ?(include_inputs = true) ?(hold_outputs = true) g ~start ~delay
+    ~cs =
+  let consumers = Hashtbl.create 32 in
+  List.iter
+    (fun nd ->
+      let use arg =
+        let cur = Option.value ~default:[] (Hashtbl.find_opt consumers arg) in
+        Hashtbl.replace consumers arg (nd.Dfg.Graph.id :: cur)
+      in
+      List.iter use nd.Dfg.Graph.args;
+      (* The controller reads guard conditions at the guarded op's step. *)
+      List.iter (fun (c, _) -> use c) nd.Dfg.Graph.guards)
+    (Dfg.Graph.nodes g);
+  let death_of ~birth value =
+    let uses = Option.value ~default:[] (Hashtbl.find_opt consumers value) in
+    let last_use =
+      List.fold_left (fun acc i -> max acc (start.(i) - 1)) (birth - 1) uses
+    in
+    if uses = [] && hold_outputs then cs else last_use
+  in
+  let input_intervals =
+    if include_inputs then
+      List.map
+        (fun v -> { value = v; birth = 0; death = death_of ~birth:0 v })
+        (Dfg.Graph.inputs g)
+    else []
+  in
+  let node_intervals =
+    List.map
+      (fun nd ->
+        let i = nd.Dfg.Graph.id in
+        let birth = start.(i) + delay i - 1 in
+        { value = nd.Dfg.Graph.name; birth; death = death_of ~birth nd.Dfg.Graph.name })
+      (Dfg.Graph.nodes g)
+  in
+  input_intervals @ node_intervals
+
+let overlap a b = a.birth <= b.death && b.birth <= a.death
+
+let max_overlap ivs =
+  let live = List.filter needs_register ivs in
+  let boundaries =
+    List.concat_map (fun iv -> [ iv.birth; iv.death ]) live
+    |> List.sort_uniq compare
+  in
+  List.fold_left
+    (fun acc t ->
+      let n =
+        List.length (List.filter (fun iv -> iv.birth <= t && t <= iv.death) live)
+      in
+      max acc n)
+    0 boundaries

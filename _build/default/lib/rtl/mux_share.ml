@@ -1,0 +1,84 @@
+type op_inputs = {
+  left : string;
+  right : string option;
+  commutative : bool;
+}
+
+type t = {
+  l1 : string list;
+  l2 : string list;
+  swapped : bool list;
+}
+
+let add_unique l x = if List.mem x l then l else l @ [ x ]
+
+let apply_orientation rows orient =
+  let rec go l1 l2 acc rows orient =
+    match rows with
+    | [] -> { l1; l2; swapped = List.rev acc }
+    | row :: rest -> (
+        match row.right with
+        | None -> go (add_unique l1 row.left) l2 (false :: acc) rest orient
+        | Some r ->
+            let swap, orient' =
+              if row.commutative then
+                match orient with
+                | b :: tl -> (b, tl)
+                | [] -> (false, [])
+              else (false, orient)
+            in
+            let a, b = if swap then (r, row.left) else (row.left, r) in
+            go (add_unique l1 a) (add_unique l2 b) (swap :: acc) rest orient')
+  in
+  go [] [] [] rows orient
+
+let size t = List.length t.l1 + List.length t.l2
+
+let commutative_count rows =
+  List.length (List.filter (fun r -> r.commutative && r.right <> None) rows)
+
+let exhaustive rows k =
+  let best = ref None in
+  let rec enum orient remaining =
+    if remaining = 0 then begin
+      let cand = apply_orientation rows (List.rev orient) in
+      match !best with
+      | Some b when size b <= size cand -> ()
+      | _ -> best := Some cand
+    end
+    else begin
+      enum (false :: orient) (remaining - 1);
+      enum (true :: orient) (remaining - 1)
+    end
+  in
+  enum [] k;
+  Option.get !best
+
+(* Greedy: decide each commutative row in sequence, preferring the
+   orientation that adds fewer new sources to the running lists. *)
+let greedy rows =
+  let l1 = ref [] and l2 = ref [] and swaps = ref [] in
+  let added l x = if List.mem x !l then 0 else 1 in
+  List.iter
+    (fun row ->
+      match row.right with
+      | None ->
+          l1 := add_unique !l1 row.left;
+          swaps := false :: !swaps
+      | Some r ->
+          let cost_keep = added l1 row.left + added l2 r in
+          let cost_swap = added l1 r + added l2 row.left in
+          let swap = row.commutative && cost_swap < cost_keep in
+          let a, b = if swap then (r, row.left) else (row.left, r) in
+          l1 := add_unique !l1 a;
+          l2 := add_unique !l2 b;
+          swaps := swap :: !swaps)
+    rows;
+  { l1 = !l1; l2 = !l2; swapped = List.rev !swaps }
+
+let assign ?(exhaustive_limit = 10) rows =
+  let k = commutative_count rows in
+  if k <= exhaustive_limit then exhaustive rows k else greedy rows
+
+let cost ~mux_cost t =
+  mux_cost (List.length t.l1) +. mux_cost (List.length t.l2)

@@ -1,0 +1,38 @@
+(** Input-signal sharing on the two multiplexers feeding an ALU
+    (paper §5.6).
+
+    Given the operations bound to one ALU, build the two source lists
+    [L1]/[L2] (one per ALU input port) so that [|L1| + |L2|] is minimal:
+    non-commutative operations are placed first with fixed orientation, then
+    each commutative operation picks the orientation that adds the fewest
+    new sources. For small sets the search is exhaustive, making the result
+    exactly optimal; the greedy pass handles bigger sets.
+
+    Sources are opaque tags: value names, or coarser tags after interconnect
+    sharing (§5.7) maps several values carried on one physical line to one
+    tag. *)
+
+type op_inputs = {
+  left : string;  (** First operand's source tag. *)
+  right : string option;  (** Second operand; [None] for unary operations. *)
+  commutative : bool;
+}
+
+type t = {
+  l1 : string list;  (** Distinct sources on port 1, in first-use order. *)
+  l2 : string list;  (** Distinct sources on port 2. *)
+  swapped : bool list;
+      (** Per input row: whether the operands were exchanged. *)
+}
+
+val assign : ?exhaustive_limit:int -> op_inputs list -> t
+(** Minimise [|l1| + |l2|] — exactly when at most [exhaustive_limit]
+    (default 10) rows are commutative, greedily beyond. Callers on a hot
+    path (MFSA evaluates this inside its candidate loop) pass a smaller
+    limit. *)
+
+val size : t -> int
+(** [|l1| + |l2|]. *)
+
+val cost : mux_cost:(int -> float) -> t -> float
+(** Area of the two multiplexers under the library's fan-in cost table. *)

@@ -1,0 +1,98 @@
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | _ -> '_')
+    name
+
+let source_expr = function
+  | Datapath.From_reg r -> Printf.sprintf "reg_%d" r
+  | Datapath.From_alu a -> Printf.sprintf "alu_out_%d" a
+  | Datapath.From_input v -> sanitize v
+
+let emit ?(module_name = "design") dp ctrl =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let g = dp.Datapath.graph in
+  let inputs = List.map sanitize (Dfg.Graph.inputs g) in
+  add "module %s(clk, rst%s%s);\n" (sanitize module_name)
+    (if inputs = [] then "" else ", ")
+    (String.concat ", " inputs);
+  add "  input clk, rst;\n";
+  List.iter (fun i -> add "  input [31:0] %s;\n" i) inputs;
+  add "  // %d control steps, %d ALUs, %d registers\n" ctrl.Controller.steps
+    (List.length dp.Datapath.alus)
+    dp.Datapath.regs.Left_edge.count;
+  add "  reg [%d:0] state;\n"
+    (let rec bits n = if n <= 1 then 1 else 1 + bits (n / 2) in
+     bits ctrl.Controller.steps - 1);
+  for r = 0 to dp.Datapath.regs.Left_edge.count - 1 do
+    add "  reg [31:0] reg_%d; // holds: %s\n" r
+      (String.concat ", " (Left_edge.values_of dp.Datapath.regs r))
+  done;
+  List.iter
+    (fun a ->
+      add "  wire [31:0] alu_out_%d; // %s ops: %s\n" a.Datapath.a_id
+        a.Datapath.a_kind.Celllib.Library.aname
+        (String.concat ","
+           (List.map
+              (fun i -> (Dfg.Graph.node g i).Dfg.Graph.name)
+              a.Datapath.a_ops)))
+    dp.Datapath.alus;
+  add "  always @(posedge clk) begin\n";
+  add "    if (rst) begin\n      state <= 1;\n";
+  List.iter
+    (fun (v, r) -> add "      reg_%d <= %s;\n" r (sanitize v))
+    ctrl.Controller.input_loads;
+  add "    end else begin\n";
+  add "      state <= (state == %d) ? %d : state + 1;\n" ctrl.Controller.steps
+    ctrl.Controller.steps;
+  List.iter
+    (fun m ->
+      match m.Controller.m_dest with
+      | None -> ()
+      | Some dest ->
+          let nd = Dfg.Graph.node g m.Controller.m_node in
+          let guard =
+            String.concat ""
+              (List.map
+                 (fun (c, arm) ->
+                   Printf.sprintf " && (%s%s != 0)"
+                     (if arm then "" else "!")
+                     (sanitize c))
+                 m.Controller.m_guards)
+          in
+          add "      if (state == %d%s) reg_%d <= alu_out_%d; // %s\n"
+            m.Controller.m_latch_step guard dest m.Controller.m_alu
+            nd.Dfg.Graph.name)
+    ctrl.Controller.micros;
+  add "    end\n  end\n";
+  (* Combinational ALU outputs: a per-state operand selection. *)
+  List.iter
+    (fun a ->
+      let cases =
+        List.filter
+          (fun m -> m.Controller.m_alu = a.Datapath.a_id)
+          ctrl.Controller.micros
+      in
+      add "  assign alu_out_%d =\n" a.Datapath.a_id;
+      List.iter
+        (fun m ->
+          let nd = Dfg.Graph.node g m.Controller.m_node in
+          let expr =
+            match (m.Controller.m_sources, nd.Dfg.Graph.kind) with
+            | [ x ], k ->
+                Printf.sprintf "(%s %s)" (Dfg.Op.symbol k) (source_expr x)
+            | [ x; y ], k ->
+                Printf.sprintf "(%s %s %s)" (source_expr x) (Dfg.Op.symbol k)
+                  (source_expr y)
+            | _ -> "32'hx"
+          in
+          add "    (state == %d) ? %s : // %s\n" m.Controller.m_step expr
+            nd.Dfg.Graph.name)
+        cases;
+      add "    32'hx;\n")
+    dp.Datapath.alus;
+  add "endmodule\n";
+  Buffer.contents buf

@@ -1,0 +1,6 @@
+(** Structural Verilog-style export of a synthesised design, for inspection
+    and hand-off to downstream tools. The emitted text is self-contained
+    (datapath module + FSM controller) and is exercised by golden tests; it
+    is not round-tripped through a Verilog simulator in this repository. *)
+
+val emit : ?module_name:string -> Datapath.t -> Controller.t -> string

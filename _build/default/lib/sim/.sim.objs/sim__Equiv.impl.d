@@ -1,0 +1,1 @@
+lib/sim/equiv.ml: Dfg Eval Int64 List Machine Option Printf Rtl String

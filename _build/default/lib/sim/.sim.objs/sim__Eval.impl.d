@@ -1,0 +1,1 @@
+lib/sim/eval.ml: Dfg Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/sim/iterate.ml: Dfg Eval List Machine Option Printf Result Rtl

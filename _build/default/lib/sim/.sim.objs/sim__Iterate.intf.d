@@ -1,0 +1,1 @@
+lib/sim/iterate.mli: Dfg Eval Rtl

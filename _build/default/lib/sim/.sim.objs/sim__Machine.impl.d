@@ -1,0 +1,1 @@
+lib/sim/machine.ml: Array Dfg Hashtbl List Option Printf Rtl

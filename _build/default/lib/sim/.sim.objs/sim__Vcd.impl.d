@@ -1,0 +1,1 @@
+lib/sim/vcd.ml: Array Buffer Char List Machine Out_channel Printf Rtl String

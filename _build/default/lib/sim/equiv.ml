@@ -1,0 +1,67 @@
+type mismatch = {
+  node : string;
+  expected : int;
+  got : int option;
+}
+
+let mismatches dp ctrl ~env =
+  let g = dp.Rtl.Datapath.graph in
+  match Eval.run g env with
+  | Error e -> Error ("golden model: " ^ e)
+  | Ok golden -> (
+      match Machine.run dp ctrl ~env with
+      | Error e -> Error ("machine: " ^ e)
+      | Ok r ->
+          let bad =
+            List.filter_map
+              (fun nd ->
+                let name = nd.Dfg.Graph.name in
+                if Eval.active g ~values:golden nd.Dfg.Graph.id then
+                  let expected = Option.get (Eval.value golden name) in
+                  match List.assoc_opt name r.Machine.values with
+                  | Some got when got = expected -> None
+                  | got -> Some { node = name; expected; got }
+                else None)
+              (Dfg.Graph.nodes g)
+          in
+          Ok bad)
+
+let describe m =
+  Printf.sprintf "%s: expected %d, got %s" m.node m.expected
+    (match m.got with Some v -> string_of_int v | None -> "nothing")
+
+let check dp ctrl ~env =
+  match mismatches dp ctrl ~env with
+  | Error _ as e -> e
+  | Ok [] -> Ok ()
+  | Ok bad ->
+      let shown = List.filteri (fun i _ -> i < 5) bad in
+      Error
+        (Printf.sprintf "%d mismatching node(s): %s" (List.length bad)
+           (String.concat "; " (List.map describe shown)))
+
+(* Local splitmix-style generator; kept here so the simulator substrate does
+   not depend on the workloads library. *)
+let mix state =
+  let open Int64 in
+  let z = add state 0x9E3779B97F4A7C15L in
+  let x = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  (z, to_int (shift_right_logical x 3))
+
+let check_random ?(runs = 20) ?(seed = 42) dp ctrl =
+  let g = dp.Rtl.Datapath.graph in
+  let state = ref (Int64.of_int seed) in
+  let draw () =
+    let s, v = mix !state in
+    state := s;
+    (v mod 201) - 100
+  in
+  let rec go k =
+    if k >= runs then Ok ()
+    else
+      let env = List.map (fun v -> (v, draw ())) (Dfg.Graph.inputs g) in
+      match check dp ctrl ~env with
+      | Ok () -> go (k + 1)
+      | Error e -> Error (Printf.sprintf "run %d: %s" k e)
+  in
+  go 0

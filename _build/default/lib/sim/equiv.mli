@@ -1,0 +1,24 @@
+(** Functional equivalence: does the synthesised RTL compute the behaviour?
+
+    The golden model is {!Eval.run}; the design-under-test is
+    {!Machine.run}. A node is compared when its guards are satisfied by the
+    environment; nodes on untaken branches are exempt (their units are free
+    to be shared). *)
+
+type mismatch = {
+  node : string;
+  expected : int;
+  got : int option;  (** [None] when the machine never executed the node. *)
+}
+
+val check :
+  Rtl.Datapath.t -> Rtl.Controller.t -> env:Eval.env ->
+  (unit, string) result
+(** [Ok] when every active node matches; [Error] carries the first few
+    mismatches or the machine's failure. *)
+
+val check_random :
+  ?runs:int -> ?seed:int -> Rtl.Datapath.t -> Rtl.Controller.t ->
+  (unit, string) result
+(** {!check} over randomly drawn input environments (default 20 runs,
+    deterministic seed). *)

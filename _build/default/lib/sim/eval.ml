@@ -1,0 +1,38 @@
+type env = (string * int) list
+
+let run g env =
+  let values = Hashtbl.create 64 in
+  let missing = ref None in
+  List.iter
+    (fun v ->
+      match List.assoc_opt v env with
+      | Some x -> Hashtbl.replace values v x
+      | None -> if !missing = None then missing := Some v)
+    (Dfg.Graph.inputs g);
+  match !missing with
+  | Some v -> Error (Printf.sprintf "input %S missing from environment" v)
+  | None ->
+      List.iter
+        (fun i ->
+          let nd = Dfg.Graph.node g i in
+          let args =
+            List.map (fun a -> Hashtbl.find values a) nd.Dfg.Graph.args
+          in
+          Hashtbl.replace values nd.Dfg.Graph.name
+            (Dfg.Op.eval nd.Dfg.Graph.kind args))
+        (Dfg.Graph.topological g);
+      Ok
+        (List.map
+           (fun nd -> (nd.Dfg.Graph.name, Hashtbl.find values nd.Dfg.Graph.name))
+           (Dfg.Graph.nodes g)
+        @ env)
+
+let value values name = List.assoc_opt name values
+
+let active g ~values i =
+  List.for_all
+    (fun (c, arm) ->
+      match List.assoc_opt c values with
+      | None -> false
+      | Some v -> (v <> 0) = arm)
+    (Dfg.Graph.node g i).Dfg.Graph.guards

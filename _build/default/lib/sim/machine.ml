@@ -1,0 +1,116 @@
+type run_result = {
+  values : (string * int) list;
+  final_regs : int option array;
+  trace : step_snapshot list;
+}
+
+and step_snapshot = {
+  snap_step : int;
+  snap_regs : int option array;
+  snap_wires : (int * int) list;
+}
+
+exception Stuck of string
+
+let run dp ctrl ~env =
+  let g = dp.Rtl.Datapath.graph in
+  let regs = Array.make (max 1 dp.Rtl.Datapath.regs.Rtl.Left_edge.count) None in
+  let computed : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let lookup_value name =
+    match Hashtbl.find_opt computed name with
+    | Some v -> Some v
+    | None -> List.assoc_opt name env
+  in
+  try
+    List.iter
+      (fun (v, r) ->
+        match List.assoc_opt v env with
+        | Some x -> regs.(r) <- Some x
+        | None -> raise (Stuck (Printf.sprintf "input %S missing" v)))
+      ctrl.Rtl.Controller.input_loads;
+    let pending = ref [] (* (latch_step, reg, value) *) in
+    let rev_trace = ref [] in
+    for s = 1 to ctrl.Rtl.Controller.steps do
+      let wires = Hashtbl.create 8 in
+      List.iter
+        (fun m ->
+          if m.Rtl.Controller.m_step = s then begin
+            let nd = Dfg.Graph.node g m.Rtl.Controller.m_node in
+            let enabled =
+              List.for_all
+                (fun (c, arm) ->
+                  match lookup_value c with
+                  | Some v -> (v <> 0) = arm
+                  | None ->
+                      raise
+                        (Stuck
+                           (Printf.sprintf "guard %S of %s not computed" c
+                              nd.Dfg.Graph.name)))
+                m.Rtl.Controller.m_guards
+            in
+            if enabled then begin
+              let read = function
+                | Rtl.Datapath.From_reg r -> (
+                    match regs.(r) with
+                    | Some v -> v
+                    | None ->
+                        raise
+                          (Stuck
+                             (Printf.sprintf
+                                "%s reads undefined reg%d at step %d"
+                                nd.Dfg.Graph.name r s)))
+                | Rtl.Datapath.From_alu a -> (
+                    match Hashtbl.find_opt wires a with
+                    | Some v -> v
+                    | None ->
+                        raise
+                          (Stuck
+                             (Printf.sprintf
+                                "%s reads dead wire alu%d at step %d"
+                                nd.Dfg.Graph.name a s)))
+                | Rtl.Datapath.From_input v -> (
+                    match List.assoc_opt v env with
+                    | Some x -> x
+                    | None ->
+                        raise (Stuck (Printf.sprintf "input %S missing" v)))
+              in
+              let args = List.map read m.Rtl.Controller.m_sources in
+              let v = Dfg.Op.eval nd.Dfg.Graph.kind args in
+              Hashtbl.replace computed nd.Dfg.Graph.name v;
+              Hashtbl.replace wires m.Rtl.Controller.m_alu v;
+              match m.Rtl.Controller.m_dest with
+              | Some r ->
+                  pending := (m.Rtl.Controller.m_latch_step, r, v) :: !pending
+              | None -> ()
+            end
+          end)
+        ctrl.Rtl.Controller.micros;
+      (* Closing edge: latch every result whose finish step is [s]. *)
+      let now, later =
+        List.partition (fun (latch, _, _) -> latch = s) !pending
+      in
+      List.iter (fun (_, r, v) -> regs.(r) <- Some v) now;
+      pending := later;
+      rev_trace :=
+        {
+          snap_step = s;
+          snap_regs = Array.copy regs;
+          snap_wires =
+            List.sort compare
+              (Hashtbl.fold (fun a v acc -> (a, v) :: acc) wires []);
+        }
+        :: !rev_trace
+    done;
+    Ok
+      {
+        values =
+          List.filter_map
+            (fun nd ->
+              Option.map
+                (fun v -> (nd.Dfg.Graph.name, v))
+                (Hashtbl.find_opt computed nd.Dfg.Graph.name))
+            (Dfg.Graph.nodes g);
+        final_regs = regs;
+        trace = List.rev !rev_trace;
+      }
+  with Stuck msg -> Error msg

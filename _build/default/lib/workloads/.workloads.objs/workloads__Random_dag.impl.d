@@ -1,0 +1,1 @@
+lib/workloads/random_dag.ml: Array Dfg List Printf Prng

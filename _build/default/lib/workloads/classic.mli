@@ -1,0 +1,56 @@
+(** The six "design examples from the literature" (paper §6).
+
+    The paper does not name its examples; the op alphabets and time budgets
+    of Table 1 match the standard HLS benchmark set of the era, which we use
+    here (see DESIGN.md §3 for the substitution note). Each value is a
+    freshly built, validated DFG. *)
+
+val tseng : unit -> Dfg.Graph.t
+(** Example 1 — FACET/Tseng-style example over the [* + - = & |] alphabet:
+    T=4 needs two adders, T=5 one unit of each kind. *)
+
+val chained_sum : unit -> Dfg.Graph.t
+(** Example 2 — pure [+ -] chains; with a clock period fitting two ALU
+    delays, chaining compresses the schedule (feature "C"). *)
+
+val diffeq : unit -> Dfg.Graph.t
+(** The HAL differential-equation solver (y'' + 3xy' + 3y = 0 inner loop):
+    6 [*], 2 [+], 2 [-], 1 [<]; critical path 4. Used by the examples and
+    the MFSA experiments. *)
+
+val facet : unit -> Dfg.Graph.t
+(** FACET-style mixed arithmetic/logic graph over [+ - & |] with short
+    logic delays — a second chaining workload. *)
+
+val ar_filter : unit -> Dfg.Graph.t
+(** Example 3 — AR lattice-ladder filter (4 sections): 13 [*], 8 [+],
+    4 [-]; the loop body used for functional pipelining. *)
+
+val fir16 : unit -> Dfg.Graph.t
+(** Example 4 — 16-tap FIR filter: 16 [*], 15 [+] in a balanced adder
+    tree. *)
+
+val dct8 : unit -> Dfg.Graph.t
+(** Example 5 — 8-point DCT butterfly network: 12 [*], mixed [+]/[-];
+    two-cycle multiplication, structural pipelining. *)
+
+val ewf : unit -> Dfg.Graph.t
+(** Example 6 — fifth-order elliptic-wave-filter-shaped graph: 26 [+],
+    8 [*], critical path 17 — the classic EWF profile (T = 17/19/21 rows of
+    Table 1). *)
+
+val biquad : unit -> Dfg.Graph.t
+(** Two direct-form-II-transposed IIR biquad sections in cascade: 10 [*],
+    4 [+], 4 [-] — an extra workload beyond the paper's six, for wider
+    test coverage. *)
+
+val cond_example : unit -> Dfg.Graph.t
+(** A small if-then-else DFG with operations shared between the two branches
+    — exercises mutual exclusion (§5.1) and {!Dfg.Mutex.merge_shared}. *)
+
+val all : unit -> (string * Dfg.Graph.t) list
+(** The six Table-1/Table-2 examples, keyed ["ex1" .. "ex6"]. *)
+
+val by_name : string -> Dfg.Graph.t option
+(** Lookup by key ("ex1".."ex6", "tseng", "chained", "diffeq", "facet",
+    "ar", "fir16", "dct8", "ewf", "cond"). *)

@@ -1,0 +1,23 @@
+(** Deterministic splitmix64 PRNG, so random workloads and property-test
+    inputs are reproducible across runs and machines (no dependence on the
+    stdlib Random state). *)
+
+type t
+
+val create : int -> t
+(** Seeded generator. *)
+
+val next : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [0 .. bound-1]. [bound] must be
+    positive. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val bool : t -> bool

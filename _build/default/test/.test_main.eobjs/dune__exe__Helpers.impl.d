@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Core Dfg List Option QCheck2 QCheck_alcotest String Workloads

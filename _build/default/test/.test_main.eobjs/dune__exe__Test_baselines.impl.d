@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Baselines Core Dfg Helpers List Workloads

@@ -1,0 +1,1 @@
+test/test_bounds.ml: Alcotest Array Dfg Helpers List Option Workloads

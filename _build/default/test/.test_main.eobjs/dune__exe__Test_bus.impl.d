@@ -1,0 +1,1 @@
+test/test_bus.ml: Alcotest Array Celllib Core Dfg Helpers List Rtl String Workloads

@@ -1,0 +1,1 @@
+test/test_celllib.ml: Alcotest Celllib Dfg List Option Workloads

@@ -1,0 +1,1 @@
+test/test_check.ml: Alcotest Array Celllib Dfg Helpers List Option Rtl String Workloads

@@ -1,0 +1,1 @@
+test/test_controller.ml: Alcotest Celllib Core Dfg Helpers List Option Rtl Workloads

@@ -1,0 +1,1 @@
+test/test_cse.ml: Alcotest Dfg Helpers List Option Sim Workloads

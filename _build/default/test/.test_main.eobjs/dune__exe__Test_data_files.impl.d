@@ -1,0 +1,1 @@
+test/test_data_files.ml: Alcotest Celllib Core Dfg Filename Helpers List Option Sim Sys

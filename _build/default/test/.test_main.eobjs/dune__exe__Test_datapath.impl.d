@@ -1,0 +1,1 @@
+test/test_datapath.ml: Alcotest Array Celllib Dfg Helpers List Rtl

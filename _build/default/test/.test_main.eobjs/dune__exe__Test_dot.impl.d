@@ -1,0 +1,1 @@
+test/test_dot.ml: Alcotest Dfg Format Helpers List Workloads

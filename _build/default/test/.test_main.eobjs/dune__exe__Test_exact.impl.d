@@ -1,0 +1,1 @@
+test/test_exact.ml: Alcotest Baselines Core Dfg Helpers List Printf Workloads

@@ -1,0 +1,1 @@
+test/test_frames.ml: Alcotest Core Helpers List QCheck2

@@ -1,0 +1,1 @@
+test/test_fsm.ml: Alcotest Celllib Core Helpers List Printf Rtl String Workloads

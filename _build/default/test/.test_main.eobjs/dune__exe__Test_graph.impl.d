@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Dfg Hashtbl Helpers List Option Workloads

@@ -1,0 +1,1 @@
+test/test_grid.ml: Alcotest Core Helpers List QCheck2

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Celllib Core Dfg Filename Hashtbl Helpers List Option Out_channel Rtl Sim String Sys Workloads

@@ -1,0 +1,1 @@
+test/test_interactions.ml: Alcotest Celllib Core Dfg Helpers List Option Printf Rtl Sim Workloads

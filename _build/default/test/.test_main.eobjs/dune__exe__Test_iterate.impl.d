@@ -1,0 +1,1 @@
+test/test_iterate.ml: Alcotest Celllib Core Dfg Helpers List Rtl Sim Workloads

@@ -1,0 +1,1 @@
+test/test_left_edge.ml: Alcotest Helpers List Printf QCheck2 Rtl

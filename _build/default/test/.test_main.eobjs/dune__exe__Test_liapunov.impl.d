@@ -1,0 +1,1 @@
+test/test_liapunov.ml: Alcotest Core Helpers List Option QCheck2

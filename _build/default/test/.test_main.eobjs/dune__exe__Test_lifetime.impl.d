@@ -1,0 +1,1 @@
+test/test_lifetime.ml: Alcotest Array Dfg Helpers List Option QCheck2 Rtl Workloads

@@ -1,0 +1,1 @@
+test/test_loops.ml: Alcotest Celllib Core Dfg Helpers List Option Rtl Sim

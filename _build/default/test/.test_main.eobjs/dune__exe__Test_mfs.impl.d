@@ -1,0 +1,1 @@
+test/test_mfs.ml: Alcotest Array Celllib Core Dfg Helpers List Option Printf Workloads

@@ -1,0 +1,1 @@
+test/test_mfsa.ml: Alcotest Celllib Core Dfg Helpers List Option Rtl Sim String Workloads

@@ -1,0 +1,1 @@
+test/test_mux_share.ml: Alcotest Helpers List Printf QCheck2 Rtl

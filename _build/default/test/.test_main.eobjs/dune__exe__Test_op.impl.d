@@ -1,0 +1,1 @@
+test/test_op.ml: Alcotest Dfg Helpers List Printf QCheck2 String

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Dfg Helpers List Option Workloads

@@ -1,0 +1,1 @@
+test/test_priority.ml: Alcotest Array Core Dfg Hashtbl Helpers List Option Printf Workloads

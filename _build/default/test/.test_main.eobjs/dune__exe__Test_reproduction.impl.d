@@ -1,0 +1,1 @@
+test/test_reproduction.ml: Alcotest Baselines Celllib Core Dfg Helpers List Option Printf Rtl Sys Workloads

@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Baselines Celllib Core Dfg Format Helpers List Option Printf Rtl Sim Workloads

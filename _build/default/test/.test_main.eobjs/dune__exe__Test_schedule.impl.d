@@ -1,0 +1,1 @@
+test/test_schedule.ml: Alcotest Array Core Dfg Format Helpers List Option Workloads

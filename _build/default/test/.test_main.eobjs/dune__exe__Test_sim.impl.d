@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Celllib Core Dfg Helpers List Option Rtl Sim Workloads

@@ -1,0 +1,1 @@
+test/test_vcd.ml: Alcotest Array Celllib Core Filename Helpers In_channel List Rtl Sim Sys Workloads

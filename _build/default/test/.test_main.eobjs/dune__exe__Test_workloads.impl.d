@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Dfg Helpers List Option QCheck2 Sim Workloads

@@ -1,0 +1,141 @@
+let test name f = Alcotest.test_case name `Quick f
+
+let merging_is_cheaper () =
+  (* The property Table 2 depends on: a multifunction ALU costs less than
+     the separate single-function units it replaces. *)
+  let addsub = Celllib.Library.make_alu [ Dfg.Op.Add; Dfg.Op.Sub ] in
+  let add = Celllib.Library.make_alu [ Dfg.Op.Add ] in
+  let sub = Celllib.Library.make_alu [ Dfg.Op.Sub ] in
+  Alcotest.(check bool) "(+-) < (+) + (-)" true
+    (addsub.Celllib.Library.area
+    < add.Celllib.Library.area +. sub.Celllib.Library.area);
+  Alcotest.(check bool) "(+-) > (+)" true
+    (addsub.Celllib.Library.area > add.Celllib.Library.area)
+
+let multiplier_dwarfs_adder () =
+  let mul = Celllib.Library.make_alu [ Dfg.Op.Mul ] in
+  let add = Celllib.Library.make_alu [ Dfg.Op.Add ] in
+  Alcotest.(check bool) "order of magnitude" true
+    (mul.Celllib.Library.area > 4. *. add.Celllib.Library.area)
+
+let alu_naming () =
+  let a = Celllib.Library.make_alu [ Dfg.Op.Sub; Dfg.Op.Add ] in
+  Alcotest.(check string) "sorted symbols" "(+-)" a.Celllib.Library.aname;
+  let p = Celllib.Library.make_alu ~stages:2 [ Dfg.Op.Mul ] in
+  Alcotest.(check string) "pipeline suffix" "(*)/p2" p.Celllib.Library.aname
+
+let pipelined_cost () =
+  let plain = Celllib.Library.make_alu [ Dfg.Op.Mul ] in
+  let piped = Celllib.Library.make_alu ~stages:2 [ Dfg.Op.Mul ] in
+  Alcotest.(check bool) "stages cost area" true
+    (piped.Celllib.Library.area > plain.Celllib.Library.area)
+
+let mux_cost_shape () =
+  let lib = Celllib.Ncr.default in
+  Alcotest.(check (float 1e-9)) "fan-in 1 is a wire" 0.
+    (lib.Celllib.Library.mux_cost 1);
+  Alcotest.(check bool) "monotone" true
+    (lib.Celllib.Library.mux_cost 2 < lib.Celllib.Library.mux_cost 3
+    && lib.Celllib.Library.mux_cost 3 < lib.Celllib.Library.mux_cost 8);
+  (* Non-linear: the log2 select-tree term. *)
+  let marginal r =
+    lib.Celllib.Library.mux_cost (r + 1) -. lib.Celllib.Library.mux_cost r
+  in
+  Alcotest.(check bool) "non-linear jumps" true (marginal 2 > marginal 3)
+
+let candidates_sorted () =
+  let lib = Celllib.Ncr.for_graph (Workloads.Classic.diffeq ()) in
+  let cands = Celllib.Library.candidates lib Dfg.Op.Add in
+  Alcotest.(check bool) "non-empty" true (cands <> []);
+  Alcotest.(check bool) "all capable" true
+    (List.for_all
+       (fun a -> Celllib.Op_set.mem Dfg.Op.Add a.Celllib.Library.ops)
+       cands);
+  let rec sorted = function
+    | a :: (b :: _ as rest) ->
+        a.Celllib.Library.area <= b.Celllib.Library.area && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "cheapest first" true (sorted cands)
+
+let single_function_lookup () =
+  let lib = Celllib.Ncr.for_graph (Workloads.Classic.diffeq ()) in
+  let a = Celllib.Library.single_function lib Dfg.Op.Mul in
+  Alcotest.(check bool) "exactly mul" true
+    (Celllib.Op_set.equal a.Celllib.Library.ops (Celllib.Op_set.singleton Dfg.Op.Mul));
+  (* Falls back to make_alu when absent from the library. *)
+  let empty = Celllib.Library.restrict lib [] in
+  let fb = Celllib.Library.single_function empty Dfg.Op.Div in
+  Alcotest.(check bool) "fallback capable" true
+    (Celllib.Op_set.mem Dfg.Op.Div fb.Celllib.Library.ops)
+
+let restrict_filters () =
+  let lib = Celllib.Ncr.for_graph (Workloads.Classic.diffeq ()) in
+  let only_addsub = Celllib.Library.restrict lib [ Dfg.Op.Add; Dfg.Op.Sub ] in
+  Alcotest.(check bool) "no multiplier kinds" true
+    (List.for_all
+       (fun a -> not (Celllib.Op_set.mem Dfg.Op.Mul a.Celllib.Library.ops))
+       only_addsub.Celllib.Library.alus);
+  Alcotest.(check bool) "addsub kinds remain" true
+    (Celllib.Library.candidates only_addsub Dfg.Op.Add <> [])
+
+let heavy_combos_limited () =
+  (* Generated libraries never pair a multiplier with 3 other functions. *)
+  let lib = Celllib.Ncr.default in
+  List.iter
+    (fun a ->
+      if Celllib.Op_set.mem Dfg.Op.Mul a.Celllib.Library.ops then
+        Alcotest.(check bool)
+          (a.Celllib.Library.aname ^ " small")
+          true
+          (Celllib.Op_set.cardinal a.Celllib.Library.ops <= 2))
+    lib.Celllib.Library.alus
+
+let for_graph_covers () =
+  let g = Workloads.Classic.tseng () in
+  let lib = Celllib.Ncr.for_graph g in
+  List.iter
+    (fun (c, _) ->
+      let kind = Option.get (Dfg.Op.of_string c) in
+      Alcotest.(check bool) (c ^ " covered") true
+        (Celllib.Library.candidates lib kind <> []))
+    (Dfg.Graph.count_by_class g)
+
+let two_cycle_and_pipelined () =
+  let lib = Celllib.Ncr.for_graph (Workloads.Classic.diffeq ()) in
+  let two = Celllib.Ncr.two_cycle_multiplier lib in
+  Alcotest.(check int) "mult takes 2" 2 (two.Celllib.Library.cycles Dfg.Op.Mul);
+  Alcotest.(check int) "add takes 1" 1 (two.Celllib.Library.cycles Dfg.Op.Add);
+  let piped = Celllib.Ncr.pipelined_multiplier lib in
+  Alcotest.(check bool) "mult units are staged" true
+    (List.for_all
+       (fun a -> a.Celllib.Library.stages > 1)
+       (Celllib.Library.candidates piped Dfg.Op.Mul))
+
+let max_bounds () =
+  let lib = Celllib.Ncr.for_graph (Workloads.Classic.diffeq ()) in
+  Alcotest.(check bool) "max alu area positive" true
+    (Celllib.Library.max_alu_area lib > 0.);
+  Alcotest.(check bool) "max mux marginal positive" true
+    (Celllib.Library.max_mux_marginal lib > 0.)
+
+let op_set_name () =
+  let s = Celllib.Op_set.of_list [ Dfg.Op.Sub; Dfg.Op.Add; Dfg.Op.Mul ] in
+  Alcotest.(check string) "canonical name" "(+-*)" (Celllib.Op_set.name s)
+
+let suite =
+  [
+    test "merging is cheaper than separate units" merging_is_cheaper;
+    test "multiplier dwarfs adder" multiplier_dwarfs_adder;
+    test "ALU naming" alu_naming;
+    test "pipeline stages cost area" pipelined_cost;
+    test "mux cost shape" mux_cost_shape;
+    test "candidates sorted by area" candidates_sorted;
+    test "single-function lookup and fallback" single_function_lookup;
+    test "restrict filters kinds" restrict_filters;
+    test "heavy units combine narrowly" heavy_combos_limited;
+    test "for_graph covers the graph" for_graph_covers;
+    test "two-cycle and pipelined variants" two_cycle_and_pipelined;
+    test "cost bounds positive" max_bounds;
+    test "op-set naming" op_set_name;
+  ]

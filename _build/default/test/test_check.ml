@@ -1,0 +1,115 @@
+let test name f = Alcotest.test_case name `Quick f
+
+let unit_delay _ = 1
+let alu kinds = Celllib.Library.make_alu kinds
+
+let clean_dp () =
+  let g = Helpers.diamond () in
+  Helpers.check_ok "elaborate"
+    (Rtl.Datapath.elaborate g ~start:[| 1; 1; 2 |] ~delay:unit_delay ~cs:2
+       ~assignments:
+         [ (alu [ Dfg.Op.Mul ], [ 0 ]); (alu [ Dfg.Op.Mul ], [ 1 ]);
+           (alu [ Dfg.Op.Add ], [ 2 ]) ])
+
+let clean_passes () =
+  match Rtl.Check.datapath (clean_dp ()) ~delay:unit_delay with
+  | Ok () -> ()
+  | Error errs -> Alcotest.failf "clean design flagged: %s" (String.concat ";" errs)
+
+let occupancy_violation () =
+  let g = Helpers.diamond () in
+  let dp =
+    Helpers.check_ok "elaborate"
+      (Rtl.Datapath.elaborate g ~start:[| 1; 1; 2 |] ~delay:unit_delay ~cs:2
+         ~assignments:
+           [ (alu [ Dfg.Op.Mul ], [ 0; 1 ]); (alu [ Dfg.Op.Add ], [ 2 ]) ])
+  in
+  let errs =
+    Helpers.check_err "double booking" (Rtl.Check.datapath dp ~delay:unit_delay)
+  in
+  Alcotest.(check bool) "simultaneous execution caught" true
+    (List.exists (Helpers.contains ~sub:"simultaneously") errs)
+
+let multicycle_occupancy () =
+  let g = Helpers.diamond () in
+  let delay i = if i <= 1 then 2 else 1 in
+  (* m2 at step 2 overlaps m1's steps 1-2 on the same unit. *)
+  let dp =
+    Helpers.check_ok "elaborate"
+      (Rtl.Datapath.elaborate g ~start:[| 1; 2; 4 |] ~delay ~cs:4
+         ~assignments:
+           [ (alu [ Dfg.Op.Mul ], [ 0; 1 ]); (alu [ Dfg.Op.Add ], [ 2 ]) ])
+  in
+  let errs = Helpers.check_err "overlap" (Rtl.Check.datapath dp ~delay) in
+  Alcotest.(check bool) "caught" true (errs <> [])
+
+let pipelined_unit_back_to_back () =
+  let g = Helpers.diamond () in
+  let delay i = if i <= 1 then 2 else 1 in
+  (* Same shape, but on a two-stage pipelined multiplier: legal. *)
+  let dp =
+    Helpers.check_ok "elaborate"
+      (Rtl.Datapath.elaborate g ~start:[| 1; 2; 4 |] ~delay ~cs:4
+         ~assignments:
+           [ (Celllib.Library.make_alu ~stages:2 [ Dfg.Op.Mul ], [ 0; 1 ]);
+             (alu [ Dfg.Op.Add ], [ 2 ]) ])
+  in
+  match Rtl.Check.datapath dp ~delay with
+  | Ok () -> ()
+  | Error errs -> Alcotest.failf "pipelined issue flagged: %s" (String.concat ";" errs)
+
+let mutex_sharing_allowed () =
+  let g = Workloads.Classic.cond_example () in
+  let id n = (Option.get (Dfg.Graph.find g n)).Dfg.Graph.id in
+  let n = Dfg.Graph.num_nodes g in
+  let start = Array.make n 0 in
+  start.(id "c1") <- 1;
+  start.(id "t1") <- 2;
+  start.(id "t2") <- 2;
+  start.(id "t3") <- 3;
+  start.(id "t4") <- 3;
+  start.(id "t5") <- 4;
+  let dp =
+    Helpers.check_ok "elaborate"
+      (Rtl.Datapath.elaborate g ~start ~delay:unit_delay ~cs:4
+         ~assignments:
+           [ (alu [ Dfg.Op.Lt ], [ id "c1" ]);
+             (alu [ Dfg.Op.Add ], [ id "t1"; id "t2" ]);
+             (alu [ Dfg.Op.Mul; Dfg.Op.Sub ], [ id "t3"; id "t4"; id "t5" ]) ])
+  in
+  (match Rtl.Check.datapath dp ~delay:unit_delay with
+  | Ok () -> ()
+  | Error errs -> Alcotest.failf "exclusive sharing flagged: %s" (String.concat ";" errs));
+  let errs =
+    Helpers.check_err "sharing disabled"
+      (Rtl.Check.datapath ~share_mutex:false dp ~delay:unit_delay)
+  in
+  Alcotest.(check bool) "flagged without sharing" true (errs <> [])
+
+let style2_flagged () =
+  let g = Helpers.diamond () in
+  let dp =
+    Helpers.check_ok "elaborate"
+      (Rtl.Datapath.elaborate g ~start:[| 1; 1; 2 |] ~delay:unit_delay ~cs:2
+         ~assignments:
+           [ (alu [ Dfg.Op.Mul; Dfg.Op.Add ], [ 0; 2 ]);
+             (alu [ Dfg.Op.Mul ], [ 1 ]) ])
+  in
+  (match Rtl.Check.datapath dp ~delay:unit_delay with
+  | Ok () -> ()
+  | Error errs -> Alcotest.failf "style 1 should accept: %s" (String.concat ";" errs));
+  let errs =
+    Helpers.check_err "style 2" (Rtl.Check.datapath ~style2:true dp ~delay:unit_delay)
+  in
+  Alcotest.(check bool) "self loop flagged" true
+    (List.exists (Helpers.contains ~sub:"self loop") errs)
+
+let suite =
+  [
+    test "clean design passes" clean_passes;
+    test "ALU double booking caught" occupancy_violation;
+    test "multi-cycle overlap caught" multicycle_occupancy;
+    test "pipelined unit accepts back-to-back issues" pipelined_unit_back_to_back;
+    test "mutually exclusive ops may share an ALU" mutex_sharing_allowed;
+    test "style 2 self loops flagged" style2_flagged;
+  ]

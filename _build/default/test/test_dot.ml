@@ -1,0 +1,49 @@
+let test name f = Alcotest.test_case name `Quick f
+
+let graph_export () =
+  let g = Helpers.diamond () in
+  let dot = Dfg.Dot.of_graph ~name:"demo" g in
+  List.iter
+    (fun sub ->
+      Alcotest.(check bool) (sub ^ " present") true (Helpers.contains ~sub dot))
+    [ "digraph demo"; "m1 [label=\"m1: *\"]"; "s [label=\"s: +\"]";
+      "m1 -> s;"; "a [shape=box];" ]
+
+let schedule_export () =
+  let g = Helpers.diamond () in
+  let dot = Dfg.Dot.of_schedule ~name:"sched" g ~start:[| 1; 1; 2 |] in
+  Alcotest.(check bool) "rank groups by step" true
+    (Helpers.contains ~sub:"{ rank=same; m1 m2 }" dot);
+  Alcotest.(check bool) "second step ranked" true
+    (Helpers.contains ~sub:"{ rank=same; s }" dot)
+
+let label_escaping () =
+  (* Names cannot contain quotes through the builder, but labels must still
+     be emitted as valid DOT for every op symbol (e.g. "<" or "&"). *)
+  let g =
+    Helpers.graph_exn ~inputs:[ "a"; "b" ]
+      [
+        Helpers.op "c" Dfg.Op.Lt [ "a"; "b" ];
+        Helpers.op "d" Dfg.Op.And [ "a"; "b" ];
+      ]
+  in
+  let dot = Dfg.Dot.of_graph g in
+  Alcotest.(check bool) "comparison label" true
+    (Helpers.contains ~sub:"c: <" dot);
+  Alcotest.(check bool) "logic label" true (Helpers.contains ~sub:"d: &" dot)
+
+let graph_pp_guards () =
+  let g = Workloads.Classic.cond_example () in
+  let txt = Format.asprintf "%a" Dfg.Graph.pp g in
+  Alcotest.(check bool) "true arm rendered" true
+    (Helpers.contains ~sub:"@ c1" txt);
+  Alcotest.(check bool) "false arm rendered" true
+    (Helpers.contains ~sub:"@ !c1" txt)
+
+let suite =
+  [
+    test "graph export" graph_export;
+    test "schedule export with ranks" schedule_export;
+    test "operator labels" label_escaping;
+    test "graph pp renders guards" graph_pp_guards;
+  ]

@@ -1,0 +1,91 @@
+let test name f = Alcotest.test_case name `Quick f
+
+let rect_gen =
+  QCheck2.Gen.map
+    (fun (a, b, c, d) ->
+      { Core.Frames.col_lo = a; col_hi = b; step_lo = c; step_hi = d })
+    QCheck2.Gen.(quad (int_range 1 6) (int_range 0 8) (int_range 1 6) (int_range 0 8))
+
+let basics () =
+  let r = { Core.Frames.col_lo = 1; col_hi = 2; step_lo = 3; step_hi = 4 } in
+  Alcotest.(check bool) "not empty" false (Core.Frames.rect_is_empty r);
+  Alcotest.(check int) "4 positions" 4 (List.length (Core.Frames.rect_positions r));
+  Alcotest.(check bool) "member" true
+    (Core.Frames.rect_mem r { Core.Frames.col = 2; step = 3 });
+  Alcotest.(check bool) "non-member" false
+    (Core.Frames.rect_mem r { Core.Frames.col = 3; step = 3 })
+
+let empty_rect () =
+  Alcotest.(check bool) "empty" true (Core.Frames.rect_is_empty Core.Frames.empty_rect);
+  Alcotest.(check int) "no positions" 0
+    (List.length (Core.Frames.rect_positions Core.Frames.empty_rect))
+
+let primary_redundant () =
+  let pf = Core.Frames.primary ~step_lo:2 ~step_hi:4 ~max_cols:3 in
+  Alcotest.(check int) "pf size" 9 (List.length (Core.Frames.rect_positions pf));
+  let rf = Core.Frames.redundant ~current:2 ~max_cols:3 ~step_lo:2 ~step_hi:4 in
+  Alcotest.(check int) "rf covers col 3 only" 3
+    (List.length (Core.Frames.rect_positions rf));
+  let rf_full = Core.Frames.redundant ~current:3 ~max_cols:3 ~step_lo:2 ~step_hi:4 in
+  Alcotest.(check bool) "rf empty when current = max" true
+    (Core.Frames.rect_is_empty rf_full)
+
+let move_frame_example () =
+  (* Paper Fig. 2: r has preds finishing at step 2, current_j = 2, max 4. *)
+  let pf = Core.Frames.primary ~step_lo:1 ~step_hi:6 ~max_cols:4 in
+  let rf = Core.Frames.redundant ~current:2 ~max_cols:4 ~step_lo:1 ~step_hi:6 in
+  let forbidden s = s <= 2 in
+  let mf = Core.Frames.move_frame_set ~pf ~rf ~forbidden in
+  Alcotest.(check int) "2 cols x 4 steps" 8 (List.length mf);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "col within current" true (p.Core.Frames.col <= 2);
+      Alcotest.(check bool) "step after preds" true (p.Core.Frames.step > 2))
+    mf
+
+let occupancy_filter () =
+  let pf = Core.Frames.primary ~step_lo:1 ~step_hi:2 ~max_cols:2 in
+  let rf = Core.Frames.empty_rect in
+  let busy = { Core.Frames.col = 1; step = 1 } in
+  let mf =
+    Core.Frames.move_frame ~pf ~rf
+      ~forbidden:(fun _ -> false)
+      ~free:(fun p -> p <> busy)
+  in
+  Alcotest.(check int) "3 free" 3 (List.length mf);
+  Alcotest.(check bool) "busy excluded" false (List.mem busy mf)
+
+let set_identity =
+  Helpers.qcheck ~count:200 "MF = PF - (RF + FF) as a set identity"
+    QCheck2.Gen.(triple rect_gen rect_gen (int_range 0 8))
+    (fun (pf, rf, fcut) ->
+      let forbidden s = s <= fcut in
+      let mf = Core.Frames.move_frame_set ~pf ~rf ~forbidden in
+      let brute =
+        List.filter
+          (fun p ->
+            not (Core.Frames.rect_mem rf p || forbidden p.Core.Frames.step))
+          (Core.Frames.rect_positions pf)
+      in
+      mf = brute)
+
+let mf_subset_of_pf =
+  Helpers.qcheck ~count:200 "MF is inside PF and outside RF"
+    QCheck2.Gen.(pair rect_gen rect_gen)
+    (fun (pf, rf) ->
+      let mf = Core.Frames.move_frame_set ~pf ~rf ~forbidden:(fun _ -> false) in
+      List.for_all
+        (fun p ->
+          Core.Frames.rect_mem pf p && not (Core.Frames.rect_mem rf p))
+        mf)
+
+let suite =
+  [
+    test "rect basics" basics;
+    test "empty rect" empty_rect;
+    test "primary and redundant frames" primary_redundant;
+    test "move frame of the paper's Fig. 2 example" move_frame_example;
+    test "occupied positions filtered" occupancy_filter;
+    set_identity;
+    mf_subset_of_pf;
+  ]

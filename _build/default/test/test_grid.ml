@@ -1,0 +1,101 @@
+let test name f = Alcotest.test_case name `Quick f
+
+let no_excl _ _ = false
+let pos c s = { Core.Frames.col = c; step = s }
+
+let place_and_conflict () =
+  let g = Core.Grid.create ~steps:4 ~cols:2 in
+  Core.Grid.place g ~op:0 ~col:1 ~step:1 ~span:1;
+  Alcotest.(check (list int)) "conflict at (1,1)" [ 0 ]
+    (Core.Grid.conflicts g ~latency:None ~col:1 ~step:1 ~span:1);
+  Alcotest.(check (list int)) "free at (2,1)" []
+    (Core.Grid.conflicts g ~latency:None ~col:2 ~step:1 ~span:1);
+  Alcotest.(check bool) "free predicate" true
+    (Core.Grid.free g ~exclusive:no_excl ~latency:None ~op:1 ~span:1 (pos 2 1));
+  Alcotest.(check bool) "occupied predicate" false
+    (Core.Grid.free g ~exclusive:no_excl ~latency:None ~op:1 ~span:1 (pos 1 1))
+
+let multicycle_span () =
+  let g = Core.Grid.create ~steps:6 ~cols:1 in
+  Core.Grid.place g ~op:0 ~col:1 ~step:2 ~span:3;
+  (* occupies steps 2..4 *)
+  Alcotest.(check (list int)) "overlap at 4" [ 0 ]
+    (Core.Grid.conflicts g ~latency:None ~col:1 ~step:4 ~span:1);
+  Alcotest.(check (list int)) "free at 5" []
+    (Core.Grid.conflicts g ~latency:None ~col:1 ~step:5 ~span:1);
+  Alcotest.(check (list int)) "span crossing into it" [ 0 ]
+    (Core.Grid.conflicts g ~latency:None ~col:1 ~step:1 ~span:2)
+
+let modulo_latency () =
+  let g = Core.Grid.create ~steps:8 ~cols:1 in
+  Core.Grid.place g ~op:0 ~col:1 ~step:1 ~span:1;
+  (* With latency 3, steps 1, 4, 7 collide on the same unit. *)
+  Alcotest.(check (list int)) "step 4 collides" [ 0 ]
+    (Core.Grid.conflicts g ~latency:(Some 3) ~col:1 ~step:4 ~span:1);
+  Alcotest.(check (list int)) "step 5 free" []
+    (Core.Grid.conflicts g ~latency:(Some 3) ~col:1 ~step:5 ~span:1);
+  Alcotest.(check (list int)) "step 7 collides" [ 0 ]
+    (Core.Grid.conflicts g ~latency:(Some 3) ~col:1 ~step:7 ~span:1)
+
+let exclusive_sharing () =
+  let g = Core.Grid.create ~steps:4 ~cols:1 in
+  Core.Grid.place g ~op:0 ~col:1 ~step:1 ~span:1;
+  let excl i j = (i = 0 && j = 1) || (i = 1 && j = 0) in
+  Alcotest.(check bool) "exclusive op may share" true
+    (Core.Grid.free g ~exclusive:excl ~latency:None ~op:1 ~span:1 (pos 1 1));
+  Alcotest.(check bool) "third op may not" false
+    (Core.Grid.free g ~exclusive:excl ~latency:None ~op:2 ~span:1 (pos 1 1))
+
+let grow_and_bounds () =
+  let g = Core.Grid.create ~steps:3 ~cols:1 in
+  Core.Grid.ensure_cols g 4;
+  Alcotest.(check int) "grown" 4 (Core.Grid.cols g);
+  Core.Grid.place g ~op:0 ~col:4 ~step:3 ~span:1;
+  Alcotest.(check int) "used cols" 4 (Core.Grid.used_cols g);
+  Alcotest.check_raises "column out of range"
+    (Invalid_argument "Grid.place: column 5 outside 1..4") (fun () ->
+      Core.Grid.place g ~op:1 ~col:5 ~step:1 ~span:1);
+  Alcotest.check_raises "span beyond horizon"
+    (Invalid_argument "Grid.place: steps 3..4 outside 1..3") (fun () ->
+      Core.Grid.place g ~op:1 ~col:1 ~step:3 ~span:2)
+
+let clear_resets () =
+  let g = Core.Grid.create ~steps:3 ~cols:2 in
+  Core.Grid.place g ~op:0 ~col:1 ~step:1 ~span:1;
+  Core.Grid.clear g;
+  Alcotest.(check (list int)) "empty after clear" []
+    (Core.Grid.conflicts g ~latency:None ~col:1 ~step:1 ~span:1);
+  Alcotest.(check int) "no used cols" 0 (Core.Grid.used_cols g)
+
+let occupants_and_placements () =
+  let g = Core.Grid.create ~steps:4 ~cols:2 in
+  Core.Grid.place g ~op:7 ~col:2 ~step:2 ~span:2;
+  Alcotest.(check (list int)) "occupant at (2,3)" [ 7 ]
+    (Core.Grid.occupants g ~col:2 ~step:3);
+  Alcotest.(check (list int)) "none at (2,4)" []
+    (Core.Grid.occupants g ~col:2 ~step:4);
+  Alcotest.(check (list (pair int (pair int (pair int int)))))
+    "placement list"
+    [ (7, (2, (2, 2))) ]
+    (List.map (fun (a, b, c, d) -> (a, (b, (c, d)))) (Core.Grid.placements g))
+
+let modulo_identity =
+  Helpers.qcheck ~count:200 "latency L folds steps s and s+L together"
+    QCheck2.Gen.(triple (int_range 1 6) (int_range 2 5) (int_range 1 3))
+    (fun (s, l, span) ->
+      let horizon = s + l + span + 1 in
+      let g = Core.Grid.create ~steps:horizon ~cols:1 in
+      Core.Grid.place g ~op:0 ~col:1 ~step:s ~span;
+      Core.Grid.conflicts g ~latency:(Some l) ~col:1 ~step:(s + l) ~span <> [])
+
+let suite =
+  [
+    test "place and conflict" place_and_conflict;
+    test "multi-cycle spans occupy consecutive steps" multicycle_span;
+    test "functional latency folds steps" modulo_latency;
+    test "mutually exclusive ops share a cell" exclusive_sharing;
+    test "growth and bounds checks" grow_and_bounds;
+    test "clear resets" clear_resets;
+    test "occupants and placements" occupants_and_placements;
+    modulo_identity;
+  ]

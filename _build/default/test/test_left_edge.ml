@@ -1,0 +1,94 @@
+let test name f = Alcotest.test_case name `Quick f
+
+let iv v b d = { Rtl.Lifetime.value = v; birth = b; death = d }
+
+let iv_list_gen =
+  QCheck2.Gen.(
+    list_size (int_range 0 25)
+      (map
+         (fun (b, len) -> (b, b + len))
+         (pair (int_range 0 12) (int_range 0 5))))
+  |> QCheck2.Gen.map
+       (List.mapi (fun i (b, d) -> iv (Printf.sprintf "v%d" i) b d))
+
+let simple_packing () =
+  (* a:[0,1] b:[2,3] share; c:[1,2] needs its own. *)
+  let a = Rtl.Left_edge.allocate [ iv "a" 0 1; iv "b" 2 3; iv "c" 1 2 ] in
+  Alcotest.(check int) "two registers" 2 a.Rtl.Left_edge.count;
+  Alcotest.(check (option int)) "a and b share"
+    (Rtl.Left_edge.register_of a "a")
+    (Rtl.Left_edge.register_of a "b");
+  Alcotest.(check bool) "c separate" true
+    (Rtl.Left_edge.register_of a "c" <> Rtl.Left_edge.register_of a "a")
+
+let unstored_values_skipped () =
+  let a = Rtl.Left_edge.allocate [ iv "dead" 3 2; iv "live" 0 0 ] in
+  Alcotest.(check int) "one register" 1 a.Rtl.Left_edge.count;
+  Alcotest.(check (option int)) "dead value unassigned" None
+    (Rtl.Left_edge.register_of a "dead")
+
+let values_of_roundtrip () =
+  let a = Rtl.Left_edge.allocate [ iv "a" 0 1; iv "b" 2 3 ] in
+  Alcotest.(check (list string)) "reg 0 holds both" [ "a"; "b" ]
+    (Rtl.Left_edge.values_of a 0)
+
+let empty_allocation () =
+  let a = Rtl.Left_edge.allocate [] in
+  Alcotest.(check int) "no registers" 0 a.Rtl.Left_edge.count
+
+let deterministic () =
+  let ivs = [ iv "x" 0 2; iv "y" 0 2; iv "z" 3 4 ] in
+  let a = Rtl.Left_edge.allocate ivs and b = Rtl.Left_edge.allocate ivs in
+  Alcotest.(check bool) "same result" true
+    (a.Rtl.Left_edge.reg_of = b.Rtl.Left_edge.reg_of)
+
+let optimal_count =
+  Helpers.qcheck ~count:200 "left edge uses exactly max-overlap registers"
+    iv_list_gen
+    (fun ivs ->
+      (Rtl.Left_edge.allocate ivs).Rtl.Left_edge.count
+      = Rtl.Lifetime.max_overlap ivs)
+
+let no_clashes =
+  Helpers.qcheck ~count:200 "no overlapping values share a register"
+    iv_list_gen
+    (fun ivs ->
+      let a = Rtl.Left_edge.allocate ivs in
+      let stored =
+        List.filter
+          (fun iv -> Rtl.Left_edge.register_of a iv.Rtl.Lifetime.value <> None)
+          ivs
+      in
+      List.for_all
+        (fun x ->
+          List.for_all
+            (fun y ->
+              x.Rtl.Lifetime.value = y.Rtl.Lifetime.value
+              || Rtl.Left_edge.register_of a x.Rtl.Lifetime.value
+                 <> Rtl.Left_edge.register_of a y.Rtl.Lifetime.value
+              || not (Rtl.Lifetime.overlap x y))
+            stored)
+        stored)
+
+let all_stored_assigned =
+  Helpers.qcheck ~count:200 "every register-needing value gets a register"
+    iv_list_gen
+    (fun ivs ->
+      let a = Rtl.Left_edge.allocate ivs in
+      List.for_all
+        (fun iv ->
+          (not (Rtl.Lifetime.needs_register iv))
+          || Rtl.Left_edge.register_of a iv.Rtl.Lifetime.value <> None)
+        ivs)
+
+let suite =
+  [
+    test "simple packing" simple_packing;
+    test "unstored values skipped" unstored_values_skipped;
+    test "values_of lists pack order" values_of_roundtrip;
+    test "empty allocation" empty_allocation;
+    test "deterministic" deterministic;
+    optimal_count;
+    no_clashes;
+    all_stored_assigned;
+  ]

@@ -1,0 +1,122 @@
+let test name f = Alcotest.test_case name `Quick f
+
+let unit_delay _ = 1
+
+let interval ivs name =
+  match List.find_opt (fun iv -> iv.Rtl.Lifetime.value = name) ivs with
+  | Some iv -> iv
+  | None -> Alcotest.failf "no interval for %s" name
+
+let diamond_lifetimes () =
+  let g = Helpers.diamond () in
+  (* m1,m2 at step 1; s at step 2. *)
+  let ivs =
+    Rtl.Lifetime.intervals g ~start:[| 1; 1; 2 |] ~delay:unit_delay ~cs:2
+  in
+  let m1 = interval ivs "m1" in
+  Alcotest.(check int) "m1 born at boundary 1" 1 m1.Rtl.Lifetime.birth;
+  Alcotest.(check int) "m1 dies before step 2" 1 m1.Rtl.Lifetime.death;
+  Alcotest.(check bool) "m1 stored" true (Rtl.Lifetime.needs_register m1);
+  let s = interval ivs "s" in
+  Alcotest.(check int) "s held to the end" 2 s.Rtl.Lifetime.death;
+  let a = interval ivs "a" in
+  Alcotest.(check int) "input a born at 0" 0 a.Rtl.Lifetime.birth;
+  Alcotest.(check int) "input a read in step 1" 0 a.Rtl.Lifetime.death
+
+let chained_value_needs_no_register () =
+  let g = Helpers.chain4 () in
+  (* c1 and c2 share step 1 (chained), c3/c4 in step 2. *)
+  let ivs =
+    Rtl.Lifetime.intervals g ~start:[| 1; 1; 2; 2 |] ~delay:unit_delay ~cs:2
+  in
+  let c1 = interval ivs "c1" in
+  Alcotest.(check bool) "c1 consumed in its own step" false
+    (Rtl.Lifetime.needs_register c1);
+  let c2 = interval ivs "c2" in
+  Alcotest.(check bool) "c2 crosses into step 2" true
+    (Rtl.Lifetime.needs_register c2)
+
+let multicycle_birth () =
+  let g = Helpers.diamond () in
+  let delay i = if i <= 1 then 2 else 1 in
+  (* mults start at 1, finish at 2; add at step 3. *)
+  let ivs = Rtl.Lifetime.intervals g ~start:[| 1; 1; 3 |] ~delay ~cs:3 in
+  Alcotest.(check int) "m1 born at its finish boundary" 2
+    (interval ivs "m1").Rtl.Lifetime.birth
+
+let inputs_excluded () =
+  let g = Helpers.diamond () in
+  let ivs =
+    Rtl.Lifetime.intervals ~include_inputs:false g ~start:[| 1; 1; 2 |]
+      ~delay:unit_delay ~cs:2
+  in
+  Alcotest.(check bool) "no input intervals" true
+    (List.for_all
+       (fun iv -> not (List.mem iv.Rtl.Lifetime.value (Dfg.Graph.inputs g)))
+       ivs)
+
+let outputs_released () =
+  let g = Helpers.diamond () in
+  let ivs =
+    Rtl.Lifetime.intervals ~hold_outputs:false g ~start:[| 1; 1; 2 |]
+      ~delay:unit_delay ~cs:2
+  in
+  Alcotest.(check bool) "sink value unstored" false
+    (Rtl.Lifetime.needs_register (interval ivs "s"))
+
+let guard_keeps_condition_alive () =
+  let g = Workloads.Classic.cond_example () in
+  let id n = (Option.get (Dfg.Graph.find g n)).Dfg.Graph.id in
+  let n = Dfg.Graph.num_nodes g in
+  let start = Array.make n 0 in
+  start.(id "c1") <- 1;
+  start.(id "t1") <- 2;
+  start.(id "t2") <- 2;
+  start.(id "t3") <- 3;
+  start.(id "t4") <- 4;
+  start.(id "t5") <- 4;
+  let ivs = Rtl.Lifetime.intervals g ~start ~delay:unit_delay ~cs:4 in
+  (* c1 guards t4/t5 at step 4, so it must live to boundary 3. *)
+  Alcotest.(check int) "c1 alive for late guards" 3
+    (interval ivs "c1").Rtl.Lifetime.death
+
+let overlap_cases () =
+  let iv v b d = { Rtl.Lifetime.value = v; birth = b; death = d } in
+  Alcotest.(check bool) "overlapping" true
+    (Rtl.Lifetime.overlap (iv "a" 1 3) (iv "b" 3 5));
+  Alcotest.(check bool) "disjoint" false
+    (Rtl.Lifetime.overlap (iv "a" 1 2) (iv "b" 3 5));
+  Alcotest.(check bool) "nested" true
+    (Rtl.Lifetime.overlap (iv "a" 1 9) (iv "b" 3 4))
+
+let max_overlap_counts () =
+  let iv v b d = { Rtl.Lifetime.value = v; birth = b; death = d } in
+  Alcotest.(check int) "three live at boundary 3" 3
+    (Rtl.Lifetime.max_overlap [ iv "a" 1 3; iv "b" 2 4; iv "c" 3 3; iv "d" 5 6 ]);
+  Alcotest.(check int) "empty" 0 (Rtl.Lifetime.max_overlap []);
+  (* Dead-on-arrival values (birth > death) are not counted. *)
+  Alcotest.(check int) "unstored values ignored" 1
+    (Rtl.Lifetime.max_overlap [ iv "a" 2 1; iv "b" 1 1 ])
+
+let overlap_symmetric =
+  let iv_gen =
+    QCheck2.Gen.map
+      (fun (b, len) -> { Rtl.Lifetime.value = "v"; birth = b; death = b + len })
+      QCheck2.Gen.(pair (int_range 0 10) (int_range 0 6))
+  in
+  Helpers.qcheck ~count:200 "overlap is symmetric"
+    QCheck2.Gen.(pair iv_gen iv_gen)
+    (fun (a, b) -> Rtl.Lifetime.overlap a b = Rtl.Lifetime.overlap b a)
+
+let suite =
+  [
+    test "diamond lifetimes" diamond_lifetimes;
+    test "chained values need no register" chained_value_needs_no_register;
+    test "multi-cycle values born at finish" multicycle_birth;
+    test "inputs can be excluded" inputs_excluded;
+    test "outputs can be released" outputs_released;
+    test "guard keeps its condition alive" guard_keeps_condition_alive;
+    test "overlap cases" overlap_cases;
+    test "max_overlap" max_overlap_counts;
+    overlap_symmetric;
+  ]

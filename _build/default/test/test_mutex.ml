@@ -1,0 +1,94 @@
+let test name f = Alcotest.test_case name `Quick f
+let op = Helpers.op
+
+let cond_graph () = Workloads.Classic.cond_example ()
+
+let shared_detected () =
+  let g = cond_graph () in
+  let pairs = Dfg.Mutex.shared_pairs g in
+  (* t1 = add a c @ c1 and t2 = add a c @ !c1 compute the same value. *)
+  Alcotest.(check int) "one shared pair" 1 (List.length pairs);
+  let keep, drop = List.hd pairs in
+  Alcotest.(check string) "keeps t1" "t1" (Dfg.Graph.node g keep).Dfg.Graph.name;
+  Alcotest.(check string) "drops t2" "t2" (Dfg.Graph.node g drop).Dfg.Graph.name
+
+let commutative_shared () =
+  let g =
+    Helpers.graph_exn ~inputs:[ "a"; "b"; "p" ]
+      [
+        op "c" Dfg.Op.Ne [ "p"; "a" ];
+        ("x", Dfg.Op.Add, [ "a"; "b" ], [ ("c", true) ]);
+        ("y", Dfg.Op.Add, [ "b"; "a" ], [ ("c", false) ]);
+      ]
+  in
+  Alcotest.(check int) "operand order ignored for add" 1
+    (List.length (Dfg.Mutex.shared_pairs g))
+
+let noncommutative_not_shared () =
+  let g =
+    Helpers.graph_exn ~inputs:[ "a"; "b"; "p" ]
+      [
+        op "c" Dfg.Op.Ne [ "p"; "a" ];
+        ("x", Dfg.Op.Sub, [ "a"; "b" ], [ ("c", true) ]);
+        ("y", Dfg.Op.Sub, [ "b"; "a" ], [ ("c", false) ]);
+      ]
+  in
+  Alcotest.(check int) "sub operand order matters" 0
+    (List.length (Dfg.Mutex.shared_pairs g))
+
+let same_branch_not_shared () =
+  let g =
+    Helpers.graph_exn ~inputs:[ "a"; "b"; "p" ]
+      [
+        op "c" Dfg.Op.Ne [ "p"; "a" ];
+        ("x", Dfg.Op.Add, [ "a"; "b" ], [ ("c", true) ]);
+        ("y", Dfg.Op.Add, [ "a"; "b" ], [ ("c", true) ]);
+      ]
+  in
+  (* Same computation but same branch: plain CSE, not branch sharing. *)
+  Alcotest.(check int) "same-arm duplicates not merged" 0
+    (List.length (Dfg.Mutex.shared_pairs g))
+
+let merge_rewires () =
+  let g = cond_graph () in
+  let merged = Helpers.check_ok "merge" (Dfg.Mutex.merge_shared g) in
+  Alcotest.(check int) "one node fewer" (Dfg.Graph.num_nodes g - 1)
+    (Dfg.Graph.num_nodes merged);
+  Alcotest.(check bool) "t2 gone" true (Dfg.Graph.find merged "t2" = None);
+  (* t4/t5 consumed t2 and must now read t1. *)
+  let t4 = Option.get (Dfg.Graph.find merged "t4") in
+  Alcotest.(check bool) "t4 reads t1" true
+    (List.mem "t1" t4.Dfg.Graph.args);
+  (* The merged op runs in both branches: its guards become unconditional. *)
+  let t1 = Option.get (Dfg.Graph.find merged "t1") in
+  Alcotest.(check int) "merged op unguarded" 0 (List.length t1.Dfg.Graph.guards)
+
+let merge_keeps_semantics () =
+  let g = cond_graph () in
+  let merged = Helpers.check_ok "merge" (Dfg.Mutex.merge_shared g) in
+  let env = [ ("a", 3); ("b", 9); ("c", 4) ] in
+  let v_orig = Helpers.check_ok "eval orig" (Sim.Eval.run g env) in
+  let v_merged = Helpers.check_ok "eval merged" (Sim.Eval.run merged env) in
+  List.iter
+    (fun name ->
+      match (Sim.Eval.value v_orig name, Sim.Eval.value v_merged name) with
+      | Some a, Some b -> Alcotest.(check int) (name ^ " preserved") a b
+      | _ -> Alcotest.failf "value %s missing after merge" name)
+    [ "c1"; "t1"; "t3"; "t4"; "t5" ]
+
+let merge_without_sharing_is_identity () =
+  let g = Helpers.diamond () in
+  let merged = Helpers.check_ok "merge" (Dfg.Mutex.merge_shared g) in
+  Alcotest.(check int) "same size" (Dfg.Graph.num_nodes g)
+    (Dfg.Graph.num_nodes merged)
+
+let suite =
+  [
+    test "shared ops across branches detected" shared_detected;
+    test "commutative operand order ignored" commutative_shared;
+    test "non-commutative operand order respected" noncommutative_not_shared;
+    test "same-branch duplicates not merged" same_branch_not_shared;
+    test "merge rewires consumers and clears guards" merge_rewires;
+    test "merge preserves dataflow semantics" merge_keeps_semantics;
+    test "merge is identity without sharing" merge_without_sharing_is_identity;
+  ]

@@ -1,0 +1,121 @@
+let test name f = Alcotest.test_case name `Quick f
+
+let row ?(comm = true) l r =
+  { Rtl.Mux_share.left = l; right = Some r; commutative = comm }
+
+let unary l = { Rtl.Mux_share.left = l; right = None; commutative = false }
+
+let sharing_basics () =
+  (* (a+b) and (c+a): orienting the second as (c, a)^swap -> (a, c) shares
+     port 1, giving |L1|+|L2| = 1 + 2 = 3 instead of 4. *)
+  let t = Rtl.Mux_share.assign [ row "a" "b"; row "c" "a" ] in
+  Alcotest.(check int) "size 3" 3 (Rtl.Mux_share.size t)
+
+let noncommutative_fixed () =
+  (* (a-b) and (b-a) cannot be reoriented: all four sources appear. *)
+  let t =
+    Rtl.Mux_share.assign [ row ~comm:false "a" "b"; row ~comm:false "b" "a" ]
+  in
+  Alcotest.(check int) "size 4" 4 (Rtl.Mux_share.size t);
+  Alcotest.(check (list bool)) "no swaps" [ false; false ] t.Rtl.Mux_share.swapped
+
+let unary_rows () =
+  let t = Rtl.Mux_share.assign [ unary "a"; unary "b"; unary "a" ] in
+  Alcotest.(check (list string)) "L1 dedups" [ "a"; "b" ] t.Rtl.Mux_share.l1;
+  Alcotest.(check (list string)) "L2 empty" [] t.Rtl.Mux_share.l2
+
+let identical_rows_collapse () =
+  let t = Rtl.Mux_share.assign [ row "x" "y"; row "x" "y"; row "x" "y" ] in
+  Alcotest.(check int) "one source per port" 2 (Rtl.Mux_share.size t)
+
+let empty_assignment () =
+  let t = Rtl.Mux_share.assign [] in
+  Alcotest.(check int) "size 0" 0 (Rtl.Mux_share.size t)
+
+let cost_computation () =
+  let mux_cost r = if r <= 1 then 0. else float_of_int (100 * r) in
+  let t = Rtl.Mux_share.assign [ row ~comm:false "a" "b"; row ~comm:false "c" "d" ] in
+  (* Two ports with fan-in 2 each. *)
+  Alcotest.(check (float 1e-9)) "cost" 400. (Rtl.Mux_share.cost ~mux_cost t);
+  let single = Rtl.Mux_share.assign [ row "a" "b" ] in
+  Alcotest.(check (float 1e-9)) "fan-in 1 ports are free" 0.
+    (Rtl.Mux_share.cost ~mux_cost single)
+
+let paper_example () =
+  (* Commutative mix where greedy orientation matters: the exhaustive search
+     must find the 4-source arrangement. *)
+  let rows = [ row "a" "b"; row "b" "a"; row "c" "a"; row "b" "c" ] in
+  let t = Rtl.Mux_share.assign rows in
+  Alcotest.(check bool) "at most 5 sources" true (Rtl.Mux_share.size t <= 5)
+
+let rows_gen =
+  let tag = QCheck2.Gen.map (Printf.sprintf "s%d") (QCheck2.Gen.int_bound 4) in
+  QCheck2.Gen.list_size (QCheck2.Gen.int_range 0 7)
+    (QCheck2.Gen.map
+       (fun (l, r, comm) ->
+         { Rtl.Mux_share.left = l; right = Some r; commutative = comm })
+       QCheck2.Gen.(triple tag tag bool))
+
+let exhaustive_beats_naive =
+  Helpers.qcheck ~count:200 "sharing never exceeds the unshared size"
+    rows_gen
+    (fun rows ->
+      let t = Rtl.Mux_share.assign rows in
+      let naive =
+        let distinct l = List.length (List.sort_uniq compare l) in
+        distinct (List.map (fun r -> r.Rtl.Mux_share.left) rows)
+        + distinct
+            (List.filter_map (fun r -> r.Rtl.Mux_share.right) rows)
+      in
+      Rtl.Mux_share.size t <= naive)
+
+let swap_list_consistent =
+  Helpers.qcheck ~count:200 "swapped has one entry per row and only for commutative"
+    rows_gen
+    (fun rows ->
+      let t = Rtl.Mux_share.assign rows in
+      List.length t.Rtl.Mux_share.swapped = List.length rows
+      && List.for_all2
+           (fun r sw -> (not sw) || r.Rtl.Mux_share.commutative)
+           rows t.Rtl.Mux_share.swapped)
+
+let assignment_covers_sources =
+  Helpers.qcheck ~count:200 "every oriented operand appears in its port list"
+    rows_gen
+    (fun rows ->
+      let t = Rtl.Mux_share.assign rows in
+      List.for_all2
+        (fun r sw ->
+          match r.Rtl.Mux_share.right with
+          | None -> List.mem r.Rtl.Mux_share.left t.Rtl.Mux_share.l1
+          | Some right ->
+              let a, b =
+                if sw then (right, r.Rtl.Mux_share.left)
+                else (r.Rtl.Mux_share.left, right)
+              in
+              List.mem a t.Rtl.Mux_share.l1 && List.mem b t.Rtl.Mux_share.l2)
+        rows t.Rtl.Mux_share.swapped)
+
+let greedy_path_reasonable () =
+  (* More than 10 commutative rows exercises the greedy branch. *)
+  let rows =
+    List.init 14 (fun i -> row (Printf.sprintf "a%d" (i mod 3)) "common")
+  in
+  let t = Rtl.Mux_share.assign rows in
+  (* Greedy keeps 'common' on one port and the three a* on the other. *)
+  Alcotest.(check bool) "greedy shares" true (Rtl.Mux_share.size t <= 4)
+
+let suite =
+  [
+    test "orientation enables sharing" sharing_basics;
+    test "non-commutative rows keep orientation" noncommutative_fixed;
+    test "unary rows use port 1" unary_rows;
+    test "identical rows collapse" identical_rows_collapse;
+    test "empty row set" empty_assignment;
+    test "mux cost per port" cost_computation;
+    test "mixed example stays small" paper_example;
+    exhaustive_beats_naive;
+    swap_list_consistent;
+    assignment_covers_sources;
+    test "greedy path shares" greedy_path_reasonable;
+  ]

@@ -1,0 +1,136 @@
+let test name f = Alcotest.test_case name `Quick f
+
+let roundtrip () =
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Dfg.Op.to_string k ^ " roundtrips")
+        true
+        (Dfg.Op.of_string (Dfg.Op.to_string k) = Some k))
+    Dfg.Op.all
+
+let symbols_parse () =
+  List.iter
+    (fun k ->
+      match Dfg.Op.of_string (Dfg.Op.symbol k) with
+      | Some k' ->
+          (* A symbol may be shared only with itself. *)
+          Alcotest.(check string)
+            "symbol parse" (Dfg.Op.symbol k) (Dfg.Op.symbol k')
+      | None -> Alcotest.failf "symbol %s does not parse" (Dfg.Op.symbol k))
+    Dfg.Op.all
+
+let unknown_op () =
+  Alcotest.(check bool) "garbage rejected" true (Dfg.Op.of_string "frob" = None)
+
+let arities () =
+  Alcotest.(check int) "not is unary" 1 (Dfg.Op.arity Dfg.Op.Not);
+  Alcotest.(check int) "neg is unary" 1 (Dfg.Op.arity Dfg.Op.Neg);
+  Alcotest.(check int) "mov is unary" 1 (Dfg.Op.arity Dfg.Op.Mov);
+  List.iter
+    (fun k ->
+      if k <> Dfg.Op.Not && k <> Dfg.Op.Neg && k <> Dfg.Op.Mov then
+        Alcotest.(check int) (Dfg.Op.to_string k ^ " binary") 2 (Dfg.Op.arity k))
+    Dfg.Op.all
+
+let commutativity () =
+  List.iter
+    (fun (k, expected) ->
+      Alcotest.(check bool)
+        (Dfg.Op.to_string k ^ " commutativity")
+        expected (Dfg.Op.is_commutative k))
+    [
+      (Dfg.Op.Add, true); (Dfg.Op.Mul, true); (Dfg.Op.And, true);
+      (Dfg.Op.Eq, true); (Dfg.Op.Sub, false); (Dfg.Op.Div, false);
+      (Dfg.Op.Lt, false); (Dfg.Op.Shl, false);
+    ]
+
+let eval_arithmetic () =
+  let cases =
+    [
+      (Dfg.Op.Add, [ 3; 4 ], 7);
+      (Dfg.Op.Sub, [ 3; 4 ], -1);
+      (Dfg.Op.Mul, [ -3; 4 ], -12);
+      (Dfg.Op.Div, [ 9; 2 ], 4);
+      (Dfg.Op.Div, [ 9; 0 ], 0);
+      (Dfg.Op.Mod, [ 9; 4 ], 1);
+      (Dfg.Op.Mod, [ 9; 0 ], 0);
+      (Dfg.Op.And, [ 12; 10 ], 8);
+      (Dfg.Op.Or, [ 12; 10 ], 14);
+      (Dfg.Op.Xor, [ 12; 10 ], 6);
+      (Dfg.Op.Lt, [ 1; 2 ], 1);
+      (Dfg.Op.Lt, [ 2; 1 ], 0);
+      (Dfg.Op.Le, [ 2; 2 ], 1);
+      (Dfg.Op.Gt, [ 2; 1 ], 1);
+      (Dfg.Op.Ge, [ 1; 2 ], 0);
+      (Dfg.Op.Eq, [ 5; 5 ], 1);
+      (Dfg.Op.Ne, [ 5; 5 ], 0);
+      (Dfg.Op.Shl, [ 3; 2 ], 12);
+      (Dfg.Op.Shr, [ -8; 1 ], -4);
+      (Dfg.Op.Shl, [ 3; 100 ], 0);
+    ]
+  in
+  List.iter
+    (fun (k, args, expected) ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s %s" (Dfg.Op.to_string k)
+           (String.concat "," (List.map string_of_int args)))
+        expected (Dfg.Op.eval k args))
+    cases
+
+let eval_unary () =
+  Alcotest.(check int) "not" (-1) (Dfg.Op.eval Dfg.Op.Not [ 0 ]);
+  Alcotest.(check int) "neg" (-7) (Dfg.Op.eval Dfg.Op.Neg [ 7 ]);
+  Alcotest.(check int) "mov" 42 (Dfg.Op.eval Dfg.Op.Mov [ 42 ])
+
+let eval_bad_arity () =
+  Alcotest.check_raises "binary op with one arg"
+    (Invalid_argument "Op.eval: add expects 2 operands, got 1") (fun () ->
+      ignore (Dfg.Op.eval Dfg.Op.Add [ 1 ]));
+  Alcotest.check_raises "unary op with two args"
+    (Invalid_argument "Op.eval: neg expects 1 operand, got 2") (fun () ->
+      ignore (Dfg.Op.eval Dfg.Op.Neg [ 1; 2 ]))
+
+let fu_class_distinct () =
+  (* Single-function classes: each kind has its own class symbol. *)
+  let classes = List.map Dfg.Op.fu_class Dfg.Op.all in
+  Alcotest.(check int)
+    "classes distinct"
+    (List.length Dfg.Op.all)
+    (List.length (List.sort_uniq String.compare classes))
+
+let commutative_eval_symmetric =
+  Helpers.qcheck "commutative kinds evaluate symmetrically"
+    QCheck2.Gen.(pair int int)
+    (fun (a, b) ->
+      List.for_all
+        (fun k ->
+          (not (Dfg.Op.is_commutative k))
+          || Dfg.Op.arity k <> 2
+          || Dfg.Op.eval k [ a; b ] = Dfg.Op.eval k [ b; a ])
+        Dfg.Op.all)
+
+let comparisons_boolean =
+  Helpers.qcheck "comparisons return 0/1"
+    QCheck2.Gen.(pair int int)
+    (fun (a, b) ->
+      List.for_all
+        (fun k ->
+          let v = Dfg.Op.eval k [ a; b ] in
+          v = 0 || v = 1)
+        [ Dfg.Op.Lt; Dfg.Op.Le; Dfg.Op.Gt; Dfg.Op.Ge; Dfg.Op.Eq; Dfg.Op.Ne ])
+
+let suite =
+  [
+    test "to_string/of_string roundtrip" roundtrip;
+    test "symbols parse back" symbols_parse;
+    test "unknown mnemonic rejected" unknown_op;
+    test "arities" arities;
+    test "commutativity table" commutativity;
+    test "eval arithmetic and logic" eval_arithmetic;
+    test "eval unary" eval_unary;
+    test "eval arity errors" eval_bad_arity;
+    test "fu classes are distinct" fu_class_distinct;
+    commutative_eval_symmetric;
+    comparisons_boolean;
+  ]

@@ -1,0 +1,143 @@
+let test name f = Alcotest.test_case name `Quick f
+
+let cfg = Core.Config.default
+
+let order_of g cs =
+  let b = Helpers.check_ok "bounds" (Dfg.Bounds.compute g ~cs) in
+  Core.Priority.order cfg g b
+
+let mobility_priority () =
+  (* chain4 within cs=6: chain ops have mobility 2; a lone op mobility 5. *)
+  let g =
+    Helpers.graph_exn ~inputs:[ "x"; "y" ]
+      [
+        Helpers.op "c1" Dfg.Op.Add [ "x"; "y" ];
+        Helpers.op "c2" Dfg.Op.Add [ "c1"; "y" ];
+        Helpers.op "free" Dfg.Op.Add [ "x"; "y" ];
+      ]
+  in
+  let b = Helpers.check_ok "bounds" (Dfg.Bounds.compute g ~cs:4) in
+  let order = Core.Priority.order cfg g b in
+  let idx name =
+    let id = (Option.get (Dfg.Graph.find g name)).Dfg.Graph.id in
+    let rec find k = function
+      | [] -> Alcotest.failf "%s not in order" name
+      | x :: rest -> if x = id then k else find (k + 1) rest
+    in
+    find 0 order
+  in
+  (* c1 (alap 3... within cs=4 chain of 2: c1 alap=3, mobility 2) vs free
+     (alap 4, mobility 3): c1 first by alap. *)
+  Alcotest.(check bool) "c1 before free" true (idx "c1" < idx "free");
+  Alcotest.(check bool) "c1 before c2" true (idx "c1" < idx "c2")
+
+let deps_respected_on_classics () =
+  List.iter
+    (fun (name, g) ->
+      let cs = Dfg.Bounds.critical_path g + 2 in
+      let order = order_of g cs in
+      let position = Hashtbl.create 32 in
+      List.iteri (fun idx i -> Hashtbl.replace position i idx) order;
+      List.iter
+        (fun nd ->
+          List.iter
+            (fun p ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: pred %d before %d" name p nd.Dfg.Graph.id)
+                true
+                (Hashtbl.find position p < Hashtbl.find position nd.Dfg.Graph.id))
+            (Dfg.Graph.preds g nd.Dfg.Graph.id))
+        (Dfg.Graph.nodes g))
+    (Workloads.Classic.all ())
+
+let multicycle_reversal () =
+  (* Two 2-cycle mults with the same ALAP and mobility difference 1 < 2:
+     priority reverses — the MORE mobile one goes first (§5.3). *)
+  let g =
+    Helpers.graph_exn ~inputs:[ "a"; "b" ]
+      [
+        Helpers.op "early" Dfg.Op.Add [ "a"; "b" ];
+        Helpers.op "m_tight" Dfg.Op.Mul [ "early"; "b" ];
+        Helpers.op "m_loose" Dfg.Op.Mul [ "a"; "b" ];
+        Helpers.op "join" Dfg.Op.Add [ "m_tight"; "m_loose" ];
+      ]
+  in
+  let config =
+    { cfg with Core.Config.delays = (function Dfg.Op.Mul -> 2 | _ -> 1) }
+  in
+  let b =
+    Helpers.check_ok "bounds"
+      (Dfg.Bounds.compute ~delays:(Core.Config.delay config) g ~cs:5)
+  in
+  let tight = (Option.get (Dfg.Graph.find g "m_tight")).Dfg.Graph.id in
+  let loose = (Option.get (Dfg.Graph.find g "m_loose")).Dfg.Graph.id in
+  (* alap(m_tight) = alap(m_loose) = 3; asap 2 vs 1, mobilities 1 vs 2. *)
+  Alcotest.(check int) "same alap" b.Dfg.Bounds.alap.(tight)
+    b.Dfg.Bounds.alap.(loose);
+  Alcotest.(check int) "tight mobility" 1 (Dfg.Bounds.mobility b tight);
+  Alcotest.(check int) "loose mobility" 2 (Dfg.Bounds.mobility b loose);
+  let order = Core.Priority.order config g b in
+  let idx id =
+    let rec find k = function
+      | [] -> -1
+      | x :: rest -> if x = id then k else find (k + 1) rest
+    in
+    find 0 order
+  in
+  Alcotest.(check bool) "reversed: more mobile first" true
+    (idx loose < idx tight)
+
+let single_cycle_no_reversal () =
+  (* Same shape, 1-cycle ops: standard rule, less mobile first. *)
+  let g =
+    Helpers.graph_exn ~inputs:[ "a"; "b" ]
+      [
+        Helpers.op "early" Dfg.Op.Add [ "a"; "b" ];
+        Helpers.op "m_tight" Dfg.Op.Mul [ "early"; "b" ];
+        Helpers.op "m_loose" Dfg.Op.Mul [ "a"; "b" ];
+        Helpers.op "join" Dfg.Op.Add [ "m_tight"; "m_loose" ];
+      ]
+  in
+  let b = Helpers.check_ok "bounds" (Dfg.Bounds.compute g ~cs:4) in
+  let tight = (Option.get (Dfg.Graph.find g "m_tight")).Dfg.Graph.id in
+  let loose = (Option.get (Dfg.Graph.find g "m_loose")).Dfg.Graph.id in
+  let order = Core.Priority.order cfg g b in
+  let idx id =
+    let rec find k = function
+      | [] -> -1
+      | x :: rest -> if x = id then k else find (k + 1) rest
+    in
+    find 0 order
+  in
+  Alcotest.(check bool) "standard: less mobile first" true
+    (idx tight < idx loose)
+
+let linear_extension_random =
+  Helpers.qcheck ~count:80 "priority order is a linear extension"
+    (Helpers.dag_gen ())
+    (fun g ->
+      let cs = Dfg.Bounds.critical_path g + 1 in
+      match Dfg.Bounds.compute g ~cs with
+      | Error _ -> false
+      | Ok b ->
+          let order = Core.Priority.order cfg g b in
+          let position = Hashtbl.create 32 in
+          List.iteri (fun idx i -> Hashtbl.replace position i idx) order;
+          List.length order = Dfg.Graph.num_nodes g
+          && List.for_all
+               (fun nd ->
+                 List.for_all
+                   (fun p ->
+                     Hashtbl.find position p
+                     < Hashtbl.find position nd.Dfg.Graph.id)
+                   (Dfg.Graph.preds g nd.Dfg.Graph.id))
+               (Dfg.Graph.nodes g))
+
+let suite =
+  [
+    test "mobility drives priority" mobility_priority;
+    test "dependencies respected on classics" deps_respected_on_classics;
+    test "multi-cycle mobility reversal (5.3)" multicycle_reversal;
+    test "no reversal for single-cycle ops" single_cycle_no_reversal;
+    linear_extension_random;
+  ]

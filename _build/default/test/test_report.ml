@@ -1,0 +1,75 @@
+let test name f = Alcotest.test_case name `Quick f
+
+let table_layout () =
+  let out =
+    Report.Table.render
+      ~header:[ "name"; "value" ]
+      [ [ "alpha"; "1" ]; [ "b"; "22" ] ]
+  in
+  let lines = String.split_on_char '\n' out in
+  (match lines with
+  | header :: rule :: _ ->
+      Alcotest.(check bool) "header first" true
+        (Helpers.contains ~sub:"name" header);
+      Alcotest.(check bool) "rule dashes" true (Helpers.contains ~sub:"---" rule)
+  | _ -> Alcotest.fail "too few lines");
+  Alcotest.(check bool) "rows present" true (Helpers.contains ~sub:"alpha" out)
+
+let table_pads_rows () =
+  let out = Report.Table.render ~header:[ "a"; "b"; "c" ] [ [ "x" ] ] in
+  Alcotest.(check bool) "short row tolerated" true (Helpers.contains ~sub:"x" out)
+
+let table_alignment () =
+  let out =
+    Report.Table.render
+      ~aligns:[ Report.Table.Left; Report.Table.Right ]
+      ~header:[ "k"; "num" ]
+      [ [ "a"; "5" ] ]
+  in
+  (* Right-aligned 5 under a 3-wide column ends the cell. *)
+  Alcotest.(check bool) "right aligned" true (Helpers.contains ~sub:"  5" out)
+
+let kv_block () =
+  let out = Report.Table.render_kv [ ("alpha", "1"); ("b", "2") ] in
+  Alcotest.(check bool) "key present" true (Helpers.contains ~sub:"alpha : 1" out);
+  Alcotest.(check bool) "padded key" true (Helpers.contains ~sub:"b     : 2" out)
+
+let frames_art () =
+  let pf = Core.Frames.primary ~step_lo:1 ~step_hi:6 ~max_cols:4 in
+  let rf = Core.Frames.redundant ~current:2 ~max_cols:4 ~step_lo:1 ~step_hi:6 in
+  let out =
+    Report.Grid_art.render_frames ~steps:6 ~cols:4 ~pf ~rf
+      ~forbidden:(fun s -> s <= 2)
+      ~occupied:(fun p ->
+        if p.Core.Frames.col = 1 && p.Core.Frames.step = 2 then Some "K1"
+        else None)
+      ~chosen:(Some { Core.Frames.col = 1; step = 3 })
+  in
+  Alcotest.(check bool) "occupied label" true (Helpers.contains ~sub:"K1" out);
+  Alcotest.(check bool) "redundant marker" true (Helpers.contains ~sub:"R" out);
+  Alcotest.(check bool) "forbidden marker" true (Helpers.contains ~sub:"F" out);
+  Alcotest.(check bool) "chosen marker" true (Helpers.contains ~sub:">" out);
+  Alcotest.(check bool) "move-frame dot" true (Helpers.contains ~sub:"." out);
+  Alcotest.(check int) "one line per step + header" 7
+    (List.length (String.split_on_char '\n' (String.trim out)))
+
+let occupancy_art () =
+  let out =
+    Report.Grid_art.render_occupancy ~title:"demo" ~steps:2 ~cols:2
+      ~label:(fun p ->
+        if p.Core.Frames.col = 1 && p.Core.Frames.step = 1 then Some "m1"
+        else None)
+  in
+  Alcotest.(check bool) "title" true (Helpers.contains ~sub:"demo" out);
+  Alcotest.(check bool) "label" true (Helpers.contains ~sub:"m1" out);
+  Alcotest.(check bool) "column header" true (Helpers.contains ~sub:"fu2" out)
+
+let suite =
+  [
+    test "table layout" table_layout;
+    test "table pads short rows" table_pads_rows;
+    test "table alignment" table_alignment;
+    test "key-value block" kv_block;
+    test "frame art markers" frames_art;
+    test "occupancy art" occupancy_art;
+  ]

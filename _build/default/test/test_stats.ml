@@ -1,0 +1,46 @@
+let test name f = Alcotest.test_case name `Quick f
+
+let diffeq_stats () =
+  let s = Dfg.Stats.compute (Workloads.Classic.diffeq ()) in
+  Alcotest.(check int) "ops" 11 s.Dfg.Stats.ops;
+  Alcotest.(check int) "inputs" 6 s.Dfg.Stats.inputs;
+  Alcotest.(check int) "depth" 4 s.Dfg.Stats.depth;
+  Alcotest.(check int) "width (asap level 1)" 5 s.Dfg.Stats.width;
+  Alcotest.(check (float 0.01)) "parallelism" 2.75 s.Dfg.Stats.parallelism;
+  Alcotest.(check int) "no guards" 0 s.Dfg.Stats.guarded
+
+let cond_stats () =
+  let s = Dfg.Stats.compute (Workloads.Classic.cond_example ()) in
+  Alcotest.(check int) "guarded ops" 5 s.Dfg.Stats.guarded
+
+let chain_stats () =
+  let s = Dfg.Stats.compute (Helpers.chain4 ()) in
+  Alcotest.(check int) "depth = ops" 4 s.Dfg.Stats.depth;
+  Alcotest.(check int) "width 1" 1 s.Dfg.Stats.width;
+  Alcotest.(check (float 0.01)) "no parallelism" 1.0 s.Dfg.Stats.parallelism;
+  (* Three internal edges in a four-op chain. *)
+  Alcotest.(check int) "edges" 3 s.Dfg.Stats.edges
+
+let pp_smoke () =
+  let s = Dfg.Stats.compute (Workloads.Classic.ewf ()) in
+  let out = Format.asprintf "%a" Dfg.Stats.pp s in
+  Alcotest.(check bool) "mentions classes" true
+    (Helpers.contains ~sub:"26 +" out)
+
+let width_never_exceeds_ops =
+  Helpers.qcheck ~count:60 "width and depth bounded by ops"
+    (Helpers.dag_gen ())
+    (fun g ->
+      let s = Dfg.Stats.compute g in
+      s.Dfg.Stats.width <= s.Dfg.Stats.ops
+      && s.Dfg.Stats.depth <= s.Dfg.Stats.ops
+      && s.Dfg.Stats.width >= 1)
+
+let suite =
+  [
+    test "diffeq statistics" diffeq_stats;
+    test "guard counting" cond_stats;
+    test "serial chain statistics" chain_stats;
+    test "pp mentions classes" pp_smoke;
+    width_never_exceeds_ops;
+  ]
