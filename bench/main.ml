@@ -8,6 +8,9 @@
      figure1   the 2-D placement table with an operation's move
      figure2   PF/RF/FF/MF frames of a typical operation
      speed     Bechamel timings: MFS/MFSA vs list, FDS, annealing
+     scaling   MFS runtime vs problem size, array kernel vs the frozen
+               seed list kernel (Reference.Seed_mfs); also writes
+               BENCH_scaling.json with the raw per-size measurements
      versus    MFSA vs an FDS + single-function binding flow
      ablation  Liapunov weight sweep, library and sharing ablations
 
@@ -308,8 +311,17 @@ let time_best ?(reps = 3) f =
   in
   go (time_once f) (reps - 1)
 
+(* Measurements land in BENCH_scaling.json so EXPERIMENTS.md (and the next
+   session) can cite exact numbers.  Format: one object with bench metadata
+   (workload generator, seed, cs rule, timing method) and a [sizes] array of
+   {ops, cs, kernel_ms, seed_kernel_ms, speedup, local_exponent}, where
+   local_exponent is the log-log slope of kernel_ms between consecutive
+   sizes and speedup = seed_kernel_ms / kernel_ms. *)
+let scaling_json = "BENCH_scaling.json"
+
 let scaling () =
-  print_endline "== Scaling: MFS runtime vs problem size (paper: O(l^3)) ==";
+  print_endline
+    "== Scaling: MFS runtime vs problem size, array vs seed list kernel ==";
   let sizes = [ 50; 100; 200; 400 ] in
   let measurements =
     List.map
@@ -324,30 +336,66 @@ let scaling () =
           time_best (fun () ->
               ignore (ok (Core.Mfs.schedule g (Core.Mfs.Time { cs }))))
         in
-        (ops, t))
+        let t_seed =
+          time_best (fun () ->
+              ignore (ok (Reference.Seed_mfs.schedule g (Core.Mfs.Time { cs }))))
+        in
+        (ops, cs, t, t_seed))
       sizes
+  in
+  let exponent idx t =
+    if idx = 0 then None
+    else
+      let prev_ops, _, prev_t, _ = List.nth measurements (idx - 1) in
+      let ops, _, _, _ = List.nth measurements idx in
+      Some
+        (log (t /. prev_t) /. log (float_of_int ops /. float_of_int prev_ops))
   in
   let rows =
     List.mapi
-      (fun idx (ops, t) ->
-        let exponent =
-          if idx = 0 then "-"
-          else
-            let prev_ops, prev_t = List.nth measurements (idx - 1) in
-            Printf.sprintf "%.2f"
-              (log (t /. prev_t)
-              /. log (float_of_int ops /. float_of_int prev_ops))
-        in
-        [ string_of_int ops; Printf.sprintf "%.2f" (t *. 1e3); exponent ])
+      (fun idx (ops, _, t, t_seed) ->
+        [ string_of_int ops;
+          Printf.sprintf "%.2f" (t *. 1e3);
+          Printf.sprintf "%.2f" (t_seed *. 1e3);
+          Printf.sprintf "%.1fx" (t_seed /. t);
+          (match exponent idx t with
+          | None -> "-"
+          | Some e -> Printf.sprintf "%.2f" e) ])
       measurements
   in
   print_string
     (Report.Table.render
-       ~header:[ "ops"; "time (ms)"; "local exponent" ]
+       ~header:
+         [ "ops"; "array kernel (ms)"; "seed kernel (ms)"; "speedup";
+           "local exponent" ]
        rows);
   print_endline
     "(exponent = log-log slope between consecutive sizes; the paper's bound\n\
-     is cubic, typical graphs sit well below it)";
+     is cubic, typical graphs sit well below it.  The seed kernel is the\n\
+     frozen list-based oracle in lib/reference.)";
+  let oc = open_out scaling_json in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"mfs-scaling\",\n\
+    \  \"workload\": \"Workloads.Random_dag.generate ~seed:17\",\n\
+    \  \"cs\": \"critical_path + 2\",\n\
+    \  \"timing\": \"best of 3 wall-clock runs, Sys.time\",\n\
+    \  \"sizes\": [\n";
+  List.iteri
+    (fun idx (ops, cs, t, t_seed) ->
+      Printf.fprintf oc
+        "    { \"ops\": %d, \"cs\": %d, \"kernel_ms\": %.3f, \
+         \"seed_kernel_ms\": %.3f, \"speedup\": %.2f, \
+         \"local_exponent\": %s }%s\n"
+        ops cs (t *. 1e3) (t_seed *. 1e3) (t_seed /. t)
+        (match exponent idx t with
+        | None -> "null"
+        | Some e -> Printf.sprintf "%.3f" e)
+        (if idx = List.length measurements - 1 then "" else ","))
+    measurements;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "(raw measurements written to %s)\n" scaling_json;
   print_newline ()
 
 (* --- Exact: the size-explosion contrast --------------------------------- *)

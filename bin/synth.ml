@@ -185,6 +185,7 @@ let mfs_cmd =
            ("control steps", string_of_int s.Core.Schedule.cs);
            ("functional units", fu_string s);
            ("local reschedulings", string_of_int outcome.Core.Mfs.restarts);
+           ("search widenings", string_of_int outcome.Core.Mfs.widenings);
            ( "Liapunov trace",
              Printf.sprintf "monotone=%b positive=%b"
                (Core.Liapunov.Trace.non_increasing outcome.Core.Mfs.trace)
@@ -230,6 +231,9 @@ let mfsa_cmd =
     (match
        Rtl.Check.datapath
          ~style2:(style = Core.Mfsa.No_self_loop)
+         ~steps_overlap:
+           (Core.Grid.steps_overlap
+              ~latency:config.Core.Config.functional_latency)
          o.Core.Mfsa.datapath ~delay
      with
     | Ok () -> print_endline "datapath checks: ok"

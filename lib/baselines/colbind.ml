@@ -6,15 +6,8 @@ let columns cfg g ~start =
     cfg.Core.Config.share_mutex && Dfg.Graph.mutually_exclusive g i j
   in
   let span i = Core.Config.span cfg (Dfg.Graph.node g i).Dfg.Graph.kind in
-  let cells i =
-    let s = start.(i) and sp = span i in
-    match latency with
-    | None -> List.init sp (fun k -> s + k)
-    | Some l -> List.init sp (fun k -> ((s + k - 1) mod l + l) mod l)
-  in
   let overlap i j =
-    let ci = cells i and cj = cells j in
-    List.exists (fun c -> List.mem c cj) ci
+    Core.Grid.steps_overlap ~latency start.(i) (span i) start.(j) (span j)
   in
   List.iter
     (fun c ->

@@ -10,17 +10,39 @@ let rect_mem r p =
   p.col >= r.col_lo && p.col <= r.col_hi && p.step >= r.step_lo
   && p.step <= r.step_hi
 
-let rect_positions r =
-  if rect_is_empty r then []
+type scan = Row_major | Col_major
+
+let rect_seq ?(scan = Row_major) ?(rev = false) r =
+  if rect_is_empty r then Seq.empty
   else
-    List.concat
-      (List.init
-         (r.step_hi - r.step_lo + 1)
-         (fun i ->
-           let step = r.step_lo + i in
-           List.init
-             (r.col_hi - r.col_lo + 1)
-             (fun j -> { col = r.col_lo + j; step })))
+    let o_lo, o_hi, i_lo, i_hi, mk =
+      match scan with
+      | Row_major ->
+          ( r.step_lo,
+            r.step_hi,
+            r.col_lo,
+            r.col_hi,
+            fun o i -> { col = i; step = o } )
+      | Col_major ->
+          ( r.col_lo,
+            r.col_hi,
+            r.step_lo,
+            r.step_hi,
+            fun o i -> { col = o; step = i } )
+    in
+    let o_first, o_last, i_first, i_last =
+      if rev then (o_hi, o_lo, i_hi, i_lo) else (o_lo, o_hi, i_lo, i_hi)
+    in
+    let next x = if rev then x - 1 else x + 1 in
+    let past ~last x = if rev then x < last else x > last in
+    let rec go o i () =
+      if past ~last:o_last o then Seq.Nil
+      else if past ~last:i_last i then go (next o) i_first ()
+      else Seq.Cons (mk o i, go o (next i))
+    in
+    go o_first i_first
+
+let rect_positions r = List.of_seq (rect_seq r)
 
 let primary ~step_lo ~step_hi ~max_cols =
   { col_lo = 1; col_hi = max_cols; step_lo; step_hi }
@@ -28,10 +50,13 @@ let primary ~step_lo ~step_hi ~max_cols =
 let redundant ~current ~max_cols ~step_lo ~step_hi =
   { col_lo = current + 1; col_hi = max_cols; step_lo; step_hi }
 
-let move_frame_set ~pf ~rf ~forbidden =
-  List.filter
+let move_frame_seq ?scan ?rev ~pf ~rf ~forbidden () =
+  Seq.filter
     (fun p -> (not (rect_mem rf p)) && not (forbidden p.step))
-    (rect_positions pf)
+    (rect_seq ?scan ?rev pf)
+
+let move_frame_set ~pf ~rf ~forbidden =
+  List.of_seq (move_frame_seq ~pf ~rf ~forbidden ())
 
 let move_frame ~pf ~rf ~forbidden ~free =
   List.filter free (move_frame_set ~pf ~rf ~forbidden)

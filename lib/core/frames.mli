@@ -21,8 +21,22 @@ val empty_rect : rect
 
 val rect_is_empty : rect -> bool
 val rect_mem : rect -> pos -> bool
+
+type scan = Row_major | Col_major
+(** Enumeration order of a rectangle: [Row_major] = steps outer, columns
+    inner; [Col_major] = columns outer, steps inner. Chosen so the Liapunov
+    energy is nondecreasing along the scan: [Row_major] for the
+    time-constrained energy [x + n*y] (any position in an earlier step beats
+    any later one when [n] is at least the column count) and [Col_major] for
+    the resource-constrained energy [cs*x + y]. *)
+
+val rect_seq : ?scan:scan -> ?rev:bool -> rect -> pos Seq.t
+(** Lazy enumeration of a rectangle's positions, [Row_major] by default;
+    [rev] walks the same order backwards (used to find the ALFAP corner —
+    the worst admissible position — without materialising the frame). *)
+
 val rect_positions : rect -> pos list
-(** Row-major enumeration (steps outer, columns inner). *)
+(** Row-major enumeration (steps outer, columns inner), eager. *)
 
 val primary : step_lo:int -> step_hi:int -> max_cols:int -> rect
 (** PF for an operation: its time frame across every potential unit. *)
@@ -30,11 +44,20 @@ val primary : step_lo:int -> step_hi:int -> max_cols:int -> rect
 val redundant : current:int -> max_cols:int -> step_lo:int -> step_hi:int -> rect
 (** RF: columns [current+1 .. max_cols] of the same time frame. *)
 
+val move_frame_seq :
+  ?scan:scan -> ?rev:bool -> pf:rect -> rf:rect -> forbidden:(int -> bool) ->
+  unit -> pos Seq.t
+(** Lazy [MF = PF - (RF + FF)] in the given scan order — the kernel's inner
+    iterator: a consumer looking for the minimum-energy free position stops
+    at its first hit instead of materialising the frame. [forbidden] is the
+    FF membership test on steps. *)
+
 val move_frame :
   pf:rect -> rf:rect -> forbidden:(int -> bool) -> free:(pos -> bool) ->
   pos list
 (** [MF = PF - (RF + FF)], restricted to unoccupied positions. [forbidden]
-    is the FF membership test on steps; [free] the occupancy test. *)
+    is the FF membership test on steps; [free] the occupancy test. Eager;
+    the scheduler itself uses {!move_frame_seq}. *)
 
 val move_frame_set : pf:rect -> rf:rect -> forbidden:(int -> bool) -> pos list
 (** The pure set difference [PF - (RF + FF)] ignoring occupancy — exposed so

@@ -1,15 +1,45 @@
-type placement = { op : int; col : int; step : int; span : int }
+type placement = { op : int; col : int; step : int; span : int; seq : int }
 
+(* Occupancy matrix, column-major: cell (col, step) lives at
+   [(col-1) * horizon + (step-1)] and holds its occupant ops, most recent
+   first. [fill] counts occupied op-cells per column so [used_cols] needs no
+   scan over placements, and [by_op] indexes placements for O(span)
+   [unplace]. *)
 type t = {
   horizon : int;
   mutable ncols : int;
-  mutable items : placement list;  (* most recent first *)
+  mutable cells : int list array;
+  mutable fill : int array;
+  by_op : (int, placement) Hashtbl.t;
+  mutable next_seq : int;
 }
 
-let create ~steps ~cols = { horizon = steps; ncols = max 0 cols; items = [] }
+let create ~steps ~cols =
+  let ncols = max 0 cols in
+  {
+    horizon = steps;
+    ncols;
+    cells = Array.make (ncols * steps) [];
+    fill = Array.make ncols 0;
+    by_op = Hashtbl.create 16;
+    next_seq = 0;
+  }
+
 let steps t = t.horizon
 let cols t = t.ncols
-let ensure_cols t n = if n > t.ncols then t.ncols <- n
+
+let cell_index t ~col ~step = ((col - 1) * t.horizon) + (step - 1)
+
+let ensure_cols t n =
+  if n > t.ncols then begin
+    let cells = Array.make (n * t.horizon) [] in
+    Array.blit t.cells 0 cells 0 (t.ncols * t.horizon);
+    let fill = Array.make n 0 in
+    Array.blit t.fill 0 fill 0 t.ncols;
+    t.cells <- cells;
+    t.fill <- fill;
+    t.ncols <- n
+  end
 
 let place t ~op ~col ~step ~span =
   if col < 1 || col > t.ncols then
@@ -18,9 +48,32 @@ let place t ~op ~col ~step ~span =
     invalid_arg
       (Printf.sprintf "Grid.place: steps %d..%d outside 1..%d" step
          (step + span - 1) t.horizon);
-  t.items <- { op; col; step; span } :: t.items
+  if Hashtbl.mem t.by_op op then
+    invalid_arg (Printf.sprintf "Grid.place: op %d already placed" op);
+  for s = step to step + span - 1 do
+    let idx = cell_index t ~col ~step:s in
+    t.cells.(idx) <- op :: t.cells.(idx)
+  done;
+  t.fill.(col - 1) <- t.fill.(col - 1) + span;
+  Hashtbl.replace t.by_op op { op; col; step; span; seq = t.next_seq };
+  t.next_seq <- t.next_seq + 1
 
-let clear t = t.items <- []
+let unplace t ~op =
+  match Hashtbl.find_opt t.by_op op with
+  | None -> invalid_arg (Printf.sprintf "Grid.unplace: op %d is not placed" op)
+  | Some p ->
+      for s = p.step to p.step + p.span - 1 do
+        let idx = cell_index t ~col:p.col ~step:s in
+        t.cells.(idx) <- List.filter (fun o -> o <> op) t.cells.(idx)
+      done;
+      t.fill.(p.col - 1) <- t.fill.(p.col - 1) - p.span;
+      Hashtbl.remove t.by_op op
+
+let clear t =
+  Array.fill t.cells 0 (Array.length t.cells) [];
+  Array.fill t.fill 0 (Array.length t.fill) 0;
+  Hashtbl.reset t.by_op;
+  t.next_seq <- 0
 
 (* Do step ranges [a, a+sa-1] and [b, b+sb-1] share a cell, folding steps
    modulo [latency] when functional pipelining is active?  Spans are small
@@ -34,29 +87,70 @@ let steps_overlap ~latency a sa b sb =
       let cells_b = List.init sb (fun i -> norm (b + i)) in
       List.exists (fun c -> List.mem c cells_b) cells_a
 
+(* Fold [f] over the occupant lists of every cell the candidate placement
+   [col/step/span] touches. Under functional pipelining a candidate step
+   collides with every grid step congruent to it modulo the latency, so the
+   scan walks each congruence class once. *)
+let fold_covered t ~latency ~col ~step ~span f acc =
+  if col < 1 || col > t.ncols then acc
+  else
+    match latency with
+    | None ->
+        let lo = max 1 step and hi = min t.horizon (step + span - 1) in
+        let acc = ref acc in
+        for s = lo to hi do
+          acc := f !acc t.cells.(cell_index t ~col ~step:s)
+        done;
+        !acc
+    | Some l ->
+        let seen = Array.make l false in
+        let acc = ref acc in
+        for k = 0 to span - 1 do
+          let r = ((step + k - 1) mod l + l) mod l in
+          if not seen.(r) then begin
+            seen.(r) <- true;
+            let s = ref (r + 1) in
+            while !s <= t.horizon do
+              acc := f !acc t.cells.(cell_index t ~col ~step:!s);
+              s := !s + l
+            done
+          end
+        done;
+        !acc
+
+let seq_of t op = (Hashtbl.find t.by_op op).seq
+
 let conflicts t ~latency ~col ~step ~span =
-  List.filter_map
-    (fun p ->
-      if p.col = col && steps_overlap ~latency p.step p.span step span then
-        Some p.op
-      else None)
-    t.items
+  fold_covered t ~latency ~col ~step ~span
+    (fun acc occupants ->
+      List.fold_left
+        (fun acc o -> if List.mem o acc then acc else o :: acc)
+        acc occupants)
+    []
+  |> List.sort (fun a b -> compare (seq_of t b) (seq_of t a))
+
+exception Blocked
 
 let free t ~exclusive ~latency ~op ~span (pos : Frames.pos) =
-  let occ =
-    conflicts t ~latency ~col:pos.Frames.col ~step:pos.Frames.step ~span
-  in
-  List.for_all (fun other -> exclusive op other) occ
+  match
+    fold_covered t ~latency ~col:pos.Frames.col ~step:pos.Frames.step ~span
+      (fun () occupants ->
+        if List.for_all (fun other -> exclusive op other) occupants then ()
+        else raise Blocked)
+      ()
+  with
+  | () -> true
+  | exception Blocked -> false
 
 let occupants t ~col ~step =
-  List.filter_map
-    (fun p ->
-      if p.col = col && step >= p.step && step < p.step + p.span then
-        Some p.op
-      else None)
-    t.items
+  if col < 1 || col > t.ncols || step < 1 || step > t.horizon then []
+  else t.cells.(cell_index t ~col ~step)
 
-let used_cols t = List.fold_left (fun acc p -> max acc p.col) 0 t.items
+let used_cols t =
+  let rec go c = if c < 1 then 0 else if t.fill.(c - 1) > 0 then c else go (c - 1) in
+  go t.ncols
 
 let placements t =
-  List.rev_map (fun p -> (p.op, p.col, p.step, p.span)) t.items
+  Hashtbl.fold (fun _ p acc -> p :: acc) t.by_op []
+  |> List.sort (fun a b -> compare a.seq b.seq)
+  |> List.map (fun p -> (p.op, p.col, p.step, p.span))

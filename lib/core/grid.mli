@@ -1,5 +1,9 @@
 (** Occupancy of the 2-D placement table for one FU type (paper Fig. 1).
 
+    Backed by an occupancy matrix: one cell per (column, step) with its
+    occupant ops plus per-column fill counts, so [free]/[conflicts]/
+    [occupants] cost O(span of the candidate) instead of O(placements).
+
     A placement occupies [span] consecutive steps of one column (one step for
     operations running on pipelined units, which only block their issue
     slot). Two placements may share cells when the operations are mutually
@@ -19,15 +23,28 @@ val ensure_cols : t -> int -> unit
 
 val place : t -> op:int -> col:int -> step:int -> span:int -> unit
 (** Record a placement. Steps beyond the horizon are an error.
-    @raise Invalid_argument on out-of-range coordinates. *)
+    @raise Invalid_argument on out-of-range coordinates or when [op] is
+    already placed (use {!unplace} first). *)
+
+val unplace : t -> op:int -> unit
+(** Remove one placement, freeing its cells — used by local rescheduling to
+    undo a single move without rebuilding the whole grid.
+    @raise Invalid_argument when [op] is not placed. *)
 
 val clear : t -> unit
-(** Remove every placement (used by local rescheduling restarts). *)
+(** Remove every placement (used by local rescheduling restarts); keeps the
+    allocated matrix. *)
+
+val steps_overlap : latency:int option -> int -> int -> int -> int -> bool
+(** [steps_overlap ~latency a sa b sb]: do step ranges [a, a+sa-1] and
+    [b, b+sb-1] share a cell, folding steps modulo [latency] when functional
+    pipelining is active? The single source of the occupancy-overlap
+    semantics, shared by MFS, MFSA, schedule validation and the baselines. *)
 
 val conflicts :
   t -> latency:int option -> col:int -> step:int -> span:int -> int list
 (** Ops already occupying any cell the candidate placement would use, with
-    cells compared modulo [latency] when given. *)
+    cells compared modulo [latency] when given; most recent first. *)
 
 val free :
   t -> exclusive:(int -> int -> bool) -> latency:int option ->
@@ -36,7 +53,7 @@ val free :
     occupant must be mutually exclusive with [op]). *)
 
 val occupants : t -> col:int -> step:int -> int list
-(** Ops occupying a cell (without modulo folding). *)
+(** Ops occupying a cell (without modulo folding), most recent first. *)
 
 val used_cols : t -> int
 (** Highest column index holding at least one placement; 0 when empty. *)

@@ -7,6 +7,17 @@ let value obj (p : Frames.pos) =
   | Time_constrained { n } -> p.Frames.col + (n * p.Frames.step)
   | Resource_constrained { cs } -> (cs * p.Frames.col) + p.Frames.step
 
+let scan = function
+  | Time_constrained _ -> Frames.Row_major
+  | Resource_constrained _ -> Frames.Col_major
+
+let best_lazy obj ~pf ~rf ~forbidden ~free =
+  Seq.find free (Frames.move_frame_seq ~scan:(scan obj) ~pf ~rf ~forbidden ())
+
+let worst_lazy obj ~pf ~rf ~forbidden ~free =
+  Seq.find free
+    (Frames.move_frame_seq ~scan:(scan obj) ~rev:true ~pf ~rf ~forbidden ())
+
 let best obj positions =
   let better a b =
     let va = value obj a and vb = value obj b in

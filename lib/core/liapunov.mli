@@ -24,6 +24,28 @@ val best : objective -> Frames.pos list -> Frames.pos option
 (** Position of minimal energy; ties broken towards smaller step, then
     smaller column, making the scheduler deterministic. [None] on []. *)
 
+val scan : objective -> Frames.scan
+(** The rectangle scan order along which this objective's energy is
+    nondecreasing: row-major for time-constrained, column-major for
+    resource-constrained. *)
+
+val best_lazy :
+  objective -> pf:Frames.rect -> rf:Frames.rect ->
+  forbidden:(int -> bool) -> free:(Frames.pos -> bool) -> Frames.pos option
+(** Minimum-energy free position of the move frame
+    [MF = PF - (RF + FF)], enumerating lazily in {!scan} order and stopping
+    at the first admissible free cell. Distinct positions never tie under
+    either objective (the time-constrained [n] bounds the column range, the
+    resource-constrained [cs] bounds the step range), so this equals
+    [best obj (Frames.move_frame ...)] without materialising the frame. *)
+
+val worst_lazy :
+  objective -> pf:Frames.rect -> rf:Frames.rect ->
+  forbidden:(int -> bool) -> free:(Frames.pos -> bool) -> Frames.pos option
+(** Maximum-energy free position of the move frame — the ALFAP corner a
+    recorded move starts from — found by walking the {!scan} order
+    backwards, so it usually stops after a handful of probes. *)
+
 (** {1 Stability diagnostics}
 
     Each placement is recorded as a move from the operation's ALFAP corner

@@ -22,7 +22,14 @@ type outcome = {
   objective : Liapunov.objective;
   trace : Liapunov.Trace.t;
       (** One entry per placed operation: ALFAP corner → chosen position. *)
-  restarts : int;  (** Local reschedulings performed. *)
+  restarts : int;
+      (** Local reschedulings: placements abandoned on an empty move frame
+          and restarted (§3.2 step 4), in either mode. *)
+  widenings : int;
+      (** Outer-search widenings, counted separately from [restarts]: unit
+          upper bounds grown beyond the concurrency estimate (time mode), or
+          control-step increments above the minimum budget (resource
+          mode). *)
 }
 
 val run :

@@ -53,15 +53,6 @@ let covering_kind lib need =
   | [] -> None
   | a :: _ -> Some a
 
-let steps_overlap ~latency a sa b sb =
-  match latency with
-  | None -> a < b + sb && b < a + sa
-  | Some l ->
-      let norm x = ((x - 1) mod l + l) mod l in
-      let cells_a = List.init sa (fun i -> norm (a + i)) in
-      let cells_b = List.init sb (fun i -> norm (b + i)) in
-      List.exists (fun c -> List.mem c cells_b) cells_a
-
 exception Infeasible_at_cs
 
 let run_at ?(config = Config.default) ?(style = Unrestricted)
@@ -138,17 +129,28 @@ let run_at ?(config = Config.default) ?(style = Unrestricted)
               config.Config.share_mutex && Dfg.Graph.mutually_exclusive g i j
             in
             (* Span an op occupies on an instance of the given kind. *)
-            let span_on kind i =
-              if kind.Celllib.Library.stages > 1 then 1 else node_delay i
-            in
+            let pipelined kind = kind.Celllib.Library.stages > 1 in
+            let span_on kind i = if pipelined kind then 1 else node_delay i in
+            (* One shared occupancy grid over every ALU instance (column =
+               instance id + 1), so a candidate probe costs O(span) instead
+               of a walk over the instance's operation list. *)
+            let grid = Grid.create ~steps:cs ~cols:0 in
             let occupancy_ok a kind i s =
-              List.for_all
-                (fun j ->
-                  exclusive i j
-                  || not
-                       (steps_overlap ~latency s (span_on kind i) start.(j)
-                          (span_on kind j)))
-                a.ai_ops
+              if pipelined kind = pipelined a.ai_kind then
+                Grid.free grid ~exclusive ~latency ~op:i
+                  ~span:(span_on kind i)
+                  { Frames.col = a.ai_id + 1; step = s }
+              else
+                (* Widening to a kind of different pipelined-ness changes the
+                   occupants' spans too, so the grid cells don't apply; fall
+                   back to the pairwise overlap check. *)
+                List.for_all
+                  (fun j ->
+                    exclusive i j
+                    || not
+                         (Grid.steps_overlap ~latency s (span_on kind i)
+                            start.(j) (span_on kind j)))
+                  a.ai_ops
             in
             let style_ok a i =
               match style with
@@ -390,6 +392,16 @@ let run_at ?(config = Config.default) ?(style = Unrestricted)
                         match target with
                         | Existing a -> (a, false, false)
                         | Widen (a, k) ->
+                            if pipelined k <> pipelined a.ai_kind then
+                              (* The new kind changes the occupants' spans:
+                                 re-place them instead of rebuilding the
+                                 whole grid. *)
+                              List.iter
+                                (fun j ->
+                                  Grid.unplace grid ~op:j;
+                                  Grid.place grid ~op:j ~col:(a.ai_id + 1)
+                                    ~step:start.(j) ~span:(span_on k j))
+                                a.ai_ops;
                             a.ai_kind <- k;
                             (a, false, true)
                         | Fresh k ->
@@ -398,9 +410,12 @@ let run_at ?(config = Config.default) ?(style = Unrestricted)
                             in
                             incr next_id;
                             alus := a :: !alus;
+                            Grid.ensure_cols grid !next_id;
                             (a, true, false)
                       in
                       a.ai_ops <- i :: a.ai_ops;
+                      Grid.place grid ~op:i ~col:(a.ai_id + 1) ~step:s
+                        ~span:(span_on a.ai_kind i);
                       start.(i) <- s;
                       offset.(i) <- off;
                       alu_of.(i) <- a.ai_id;
@@ -425,7 +440,10 @@ let run_at ?(config = Config.default) ?(style = Unrestricted)
               Array.fill placed 0 n false;
               alus := [];
               next_id := 0;
-              iterations := []
+              iterations := [];
+              (* Keep the grid's allocation (and grown columns) across
+                 local-rescheduling restarts. *)
+              Grid.clear grid
             in
             let budget = ref ((2 * n) + 8) in
             let rec attempt () =

@@ -39,8 +39,8 @@ let cells t i =
   | Some l -> List.init sp (fun k -> ((s + k - 1) mod l + l) mod l)
 
 let cells_overlap t i j =
-  let ci = cells t i and cj = cells t j in
-  List.exists (fun c -> List.mem c cj) ci
+  Grid.steps_overlap ~latency:(latency t) t.start.(i) (span t i) t.start.(j)
+    (span t j)
 
 let fu_counts t =
   let classes = Dfg.Graph.classes t.graph in

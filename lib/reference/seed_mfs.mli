@@ -1,0 +1,20 @@
+(** Frozen seed move-frame scheduler: the original placement-list grid with
+    eager move-frame materialisation, kept unoptimised as a behavioural
+    oracle.  [run]/[schedule] mirror [Core.Mfs.run]/[Core.Mfs.schedule] and
+    must produce identical outcomes (same starts, columns, makespan and
+    Liapunov trace) — the equivalence property test and the scaling
+    benchmark both rely on that. *)
+
+val run :
+  ?config:Core.Config.t ->
+  ?max_units:(string * int) list ->
+  Dfg.Graph.t ->
+  Core.Mfs.spec ->
+  (Core.Mfs.outcome, string) result
+
+val schedule :
+  ?config:Core.Config.t ->
+  ?max_units:(string * int) list ->
+  Dfg.Graph.t ->
+  Core.Mfs.spec ->
+  (Core.Schedule.t, string) result

@@ -1,4 +1,13 @@
-let datapath ?(style2 = false) ?(share_mutex = true) dp ~delay =
+let datapath ?(style2 = false) ?(share_mutex = true) ?steps_overlap dp ~delay =
+  (* Occupancy-overlap semantics are injectable so a scheduler using
+     modulo-latency folding (functional pipelining) can validate with the
+     same predicate it scheduled with; the default is the plain range
+     intersection. *)
+  let steps_overlap =
+    match steps_overlap with
+    | Some f -> f
+    | None -> fun a sa b sb -> a < b + sb && b < a + sa
+  in
   let g = dp.Datapath.graph in
   let errs = ref [] in
   let add fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
@@ -29,7 +38,7 @@ let datapath ?(style2 = false) ?(share_mutex = true) dp ~delay =
                   if a.Datapath.a_kind.Celllib.Library.stages > 1 then 1
                   else delay j
                 in
-                let overlap = si < sj + spj && sj < si + spi in
+                let overlap = steps_overlap si spi sj spj in
                 let excl =
                   share_mutex && Dfg.Graph.mutually_exclusive g i j
                 in

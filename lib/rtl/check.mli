@@ -2,12 +2,17 @@
     CLI after every MFSA run. *)
 
 val datapath :
-  ?style2:bool -> ?share_mutex:bool -> Datapath.t -> delay:(int -> int) ->
-  (unit, string list) result
+  ?style2:bool -> ?share_mutex:bool ->
+  ?steps_overlap:(int -> int -> int -> int -> bool) ->
+  Datapath.t -> delay:(int -> int) -> (unit, string list) result
 (** Checks:
     - every ALU instance executes at most one operation per step (operations
       occupy [delay] consecutive steps; mutually-exclusive operations may
-      overlap when [share_mutex], default true);
+      overlap when [share_mutex], default true). [steps_overlap start span
+      start' span'] overrides the occupancy-overlap predicate — pass
+      [Core.Grid.steps_overlap ~latency] to validate a functionally
+      pipelined schedule with the scheduler's own modulo-folded semantics;
+      the default is the plain step-range intersection;
     - every operation's kind is within its ALU's capability set;
     - register sharing is sound: no two values with overlapping lifetimes in
       one register;

@@ -79,6 +79,58 @@ let mf_subset_of_pf =
           Core.Frames.rect_mem pf p && not (Core.Frames.rect_mem rf p))
         mf)
 
+let rect_seq_matches_list =
+  Helpers.qcheck ~count:200 "rect_seq Row_major enumerates rect_positions"
+    rect_gen
+    (fun r -> List.of_seq (Core.Frames.rect_seq r) = Core.Frames.rect_positions r)
+
+let rect_seq_rev_reverses =
+  Helpers.qcheck ~count:200 "rect_seq ~rev walks the same order backwards"
+    rect_gen
+    (fun r ->
+      List.of_seq (Core.Frames.rect_seq ~rev:true r)
+      = List.rev (List.of_seq (Core.Frames.rect_seq r))
+      && List.of_seq
+           (Core.Frames.rect_seq ~scan:Core.Frames.Col_major ~rev:true r)
+         = List.rev
+             (List.of_seq (Core.Frames.rect_seq ~scan:Core.Frames.Col_major r)))
+
+let scan_orders_same_set =
+  Helpers.qcheck ~count:200 "both scan orders cover the same positions"
+    rect_gen
+    (fun r ->
+      let sort = List.sort compare in
+      sort (List.of_seq (Core.Frames.rect_seq ~scan:Core.Frames.Col_major r))
+      = sort (List.of_seq (Core.Frames.rect_seq r)))
+
+let nondecreasing value ps =
+  let rec go = function
+    | a :: (b :: _ as rest) -> value a <= value b && go rest
+    | _ -> true
+  in
+  go ps
+
+let scan_energy_monotone =
+  (* The property best_lazy relies on: the scan order chosen for each
+     objective enumerates positions in nondecreasing energy. *)
+  Helpers.qcheck ~count:200 "scan order is nondecreasing in Liapunov energy"
+    rect_gen
+    (fun r ->
+      let time = Core.Liapunov.Time_constrained { n = 8 } in
+      let res = Core.Liapunov.Resource_constrained { cs = 12 } in
+      nondecreasing (Core.Liapunov.value time)
+        (List.of_seq (Core.Frames.rect_seq ~scan:(Core.Liapunov.scan time) r))
+      && nondecreasing (Core.Liapunov.value res)
+           (List.of_seq (Core.Frames.rect_seq ~scan:(Core.Liapunov.scan res) r)))
+
+let move_frame_seq_agrees =
+  Helpers.qcheck ~count:200 "move_frame_seq enumerates move_frame_set"
+    QCheck2.Gen.(triple rect_gen rect_gen (int_range 0 8))
+    (fun (pf, rf, fcut) ->
+      let forbidden s = s <= fcut in
+      List.of_seq (Core.Frames.move_frame_seq ~pf ~rf ~forbidden ())
+      = Core.Frames.move_frame_set ~pf ~rf ~forbidden)
+
 let suite =
   [
     test "rect basics" basics;
@@ -88,4 +140,9 @@ let suite =
     test "occupied positions filtered" occupancy_filter;
     set_identity;
     mf_subset_of_pf;
+    rect_seq_matches_list;
+    rect_seq_rev_reverses;
+    scan_orders_same_set;
+    scan_energy_monotone;
+    move_frame_seq_agrees;
   ]

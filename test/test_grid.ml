@@ -79,6 +79,72 @@ let occupants_and_placements () =
     [ (7, (2, (2, 2))) ]
     (List.map (fun (a, b, c, d) -> (a, (b, (c, d)))) (Core.Grid.placements g))
 
+let unplace_frees_cells () =
+  let g = Core.Grid.create ~steps:6 ~cols:2 in
+  Core.Grid.place g ~op:0 ~col:1 ~step:2 ~span:3;
+  Core.Grid.place g ~op:1 ~col:2 ~step:1 ~span:1;
+  Core.Grid.unplace g ~op:0;
+  Alcotest.(check (list int)) "multi-span cells freed" []
+    (Core.Grid.conflicts g ~latency:None ~col:1 ~step:2 ~span:3);
+  Alcotest.(check bool) "position free again" true
+    (Core.Grid.free g ~exclusive:no_excl ~latency:None ~op:2 ~span:3 (pos 1 2));
+  Alcotest.(check (list (pair int (pair int (pair int int)))))
+    "other placement survives"
+    [ (1, (2, (1, 1))) ]
+    (List.map (fun (a, b, c, d) -> (a, (b, (c, d)))) (Core.Grid.placements g));
+  Alcotest.(check int) "used cols after unplace" 2 (Core.Grid.used_cols g);
+  Core.Grid.unplace g ~op:1;
+  Alcotest.(check int) "grid empty" 0 (Core.Grid.used_cols g)
+
+let unplace_then_replace () =
+  let g = Core.Grid.create ~steps:8 ~cols:1 in
+  Core.Grid.place g ~op:0 ~col:1 ~step:1 ~span:1;
+  Core.Grid.unplace g ~op:0;
+  (* Re-placement at a different span must not trip the already-placed
+     check, and modulo-latency conflicts must see only the new cells. *)
+  Core.Grid.place g ~op:0 ~col:1 ~step:2 ~span:2;
+  Alcotest.(check (list int)) "old congruence class free" []
+    (Core.Grid.conflicts g ~latency:(Some 3) ~col:1 ~step:4 ~span:1);
+  Alcotest.(check (list int)) "new cells collide" [ 0 ]
+    (Core.Grid.conflicts g ~latency:(Some 3) ~col:1 ~step:5 ~span:1)
+
+let unplace_unknown_raises () =
+  let g = Core.Grid.create ~steps:3 ~cols:1 in
+  Alcotest.check_raises "never placed"
+    (Invalid_argument "Grid.unplace: op 4 is not placed") (fun () ->
+      Core.Grid.unplace g ~op:4);
+  Core.Grid.place g ~op:4 ~col:1 ~step:1 ~span:1;
+  Core.Grid.unplace g ~op:4;
+  Alcotest.check_raises "already unplaced"
+    (Invalid_argument "Grid.unplace: op 4 is not placed") (fun () ->
+      Core.Grid.unplace g ~op:4)
+
+let double_place_raises () =
+  let g = Core.Grid.create ~steps:3 ~cols:2 in
+  Core.Grid.place g ~op:0 ~col:1 ~step:1 ~span:1;
+  Alcotest.check_raises "op already placed"
+    (Invalid_argument "Grid.place: op 0 already placed") (fun () ->
+      Core.Grid.place g ~op:0 ~col:2 ~step:2 ~span:1)
+
+let place_unplace_roundtrip =
+  Helpers.qcheck ~count:200 "place; unplace leaves the grid as it was"
+    QCheck2.Gen.(quad (int_range 1 4) (int_range 1 6) (int_range 1 3)
+                   (int_range 2 5))
+    (fun (col, step, span, l) ->
+      let g = Core.Grid.create ~steps:12 ~cols:4 in
+      Core.Grid.place g ~op:0 ~col:2 ~step:3 ~span:2;
+      let before =
+        (Core.Grid.placements g, Core.Grid.used_cols g,
+         Core.Grid.conflicts g ~latency:(Some l) ~col ~step ~span:1)
+      in
+      if step + span - 1 <= 12 then begin
+        Core.Grid.place g ~op:9 ~col ~step ~span;
+        Core.Grid.unplace g ~op:9
+      end;
+      (Core.Grid.placements g, Core.Grid.used_cols g,
+       Core.Grid.conflicts g ~latency:(Some l) ~col ~step ~span:1)
+      = before)
+
 let modulo_identity =
   Helpers.qcheck ~count:200 "latency L folds steps s and s+L together"
     QCheck2.Gen.(triple (int_range 1 6) (int_range 2 5) (int_range 1 3))
@@ -97,5 +163,10 @@ let suite =
     test "growth and bounds checks" grow_and_bounds;
     test "clear resets" clear_resets;
     test "occupants and placements" occupants_and_placements;
+    test "unplace frees covered cells" unplace_frees_cells;
+    test "unplace then replace with a new span" unplace_then_replace;
+    test "unplace of an unknown op raises" unplace_unknown_raises;
+    test "double placement of one op raises" double_place_raises;
+    place_unplace_roundtrip;
     modulo_identity;
   ]

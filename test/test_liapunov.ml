@@ -89,12 +89,75 @@ let contraction_factors () =
   Alcotest.(check (float 1e-9)) "y factor" 0.5 fy;
   Alcotest.(check bool) "both in (0,1]" true (fx > 0. && fx <= 1. && fy > 0. && fy <= 1.)
 
+(* Random move frames for the lazy-vs-eager properties: bounded rects (so
+   the no-tie side conditions n >= col range and cs >= step range hold), a
+   forbidden-step cut and a pseudo-random free predicate. *)
+let frame_gen =
+  QCheck2.Gen.map
+    (fun ((a, b, c, d), (a', b', c', d'), fcut, salt) ->
+      ( { Core.Frames.col_lo = a; col_hi = b; step_lo = c; step_hi = d },
+        { Core.Frames.col_lo = a'; col_hi = b'; step_lo = c'; step_hi = d' },
+        fcut, salt ))
+    QCheck2.Gen.(
+      quad
+        (quad (int_range 1 6) (int_range 0 8) (int_range 1 6) (int_range 0 10))
+        (quad (int_range 1 6) (int_range 0 8) (int_range 1 6) (int_range 0 10))
+        (int_range 0 6) (int_range 0 50))
+
+let objectives =
+  [ Core.Liapunov.Time_constrained { n = 8 };
+    Core.Liapunov.Resource_constrained { cs = 12 } ]
+
+let lazy_best_matches_eager =
+  Helpers.qcheck ~count:500 "best_lazy equals best over the eager move frame"
+    frame_gen
+    (fun (pf, rf, fcut, salt) ->
+      let forbidden s = s <= fcut in
+      let free p =
+        (p.Core.Frames.col * 7 + p.Core.Frames.step * 13 + salt) mod 3 <> 0
+      in
+      List.for_all
+        (fun obj ->
+          let eager =
+            Core.Liapunov.best obj
+              (Core.Frames.move_frame ~pf ~rf ~forbidden ~free)
+          in
+          Core.Liapunov.best_lazy obj ~pf ~rf ~forbidden ~free = eager)
+        objectives)
+
+let lazy_worst_matches_eager =
+  Helpers.qcheck ~count:500 "worst_lazy finds the eager maximum (ALFAP)"
+    frame_gen
+    (fun (pf, rf, fcut, salt) ->
+      let forbidden s = s <= fcut in
+      let free p =
+        (p.Core.Frames.col * 11 + p.Core.Frames.step * 5 + salt) mod 4 <> 0
+      in
+      List.for_all
+        (fun obj ->
+          let eager =
+            match Core.Frames.move_frame ~pf ~rf ~forbidden ~free with
+            | [] -> None
+            | p :: ps ->
+                Some
+                  (List.fold_left
+                     (fun acc q ->
+                       if Core.Liapunov.value obj q > Core.Liapunov.value obj acc
+                       then q
+                       else acc)
+                     p ps)
+          in
+          Core.Liapunov.worst_lazy obj ~pf ~rf ~forbidden ~free = eager)
+        objectives)
+
 let suite =
   [
     time_step_dominates;
     resource_col_dominates;
     best_picks_minimum;
     test "best of empty list" best_empty;
+    lazy_best_matches_eager;
+    lazy_worst_matches_eager;
     test "best tie-breaking" best_deterministic_tiebreak;
     test "trace records Liapunov properties" trace_properties;
     test "trace flags energy increase" trace_detects_increase;

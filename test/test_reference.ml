@@ -1,0 +1,140 @@
+(* Equivalence of the array-backed lazy kernel (Core.Mfs over Core.Grid)
+   with the frozen seed list-based implementation (Reference.Seed_mfs):
+   identical outcomes — starts, columns, offsets, horizon, restart and
+   widening counts, and the full Liapunov trace — on random DAGs across the
+   configuration space (delays, structural and functional pipelining,
+   chaining, conditionals, resource limits). *)
+
+let test name f = Alcotest.test_case name `Quick f
+
+let same_outcome (a : Core.Mfs.outcome) (b : Core.Mfs.outcome) =
+  let sa = a.Core.Mfs.schedule and sb = b.Core.Mfs.schedule in
+  sa.Core.Schedule.start = sb.Core.Schedule.start
+  && sa.Core.Schedule.col = sb.Core.Schedule.col
+  && sa.Core.Schedule.offset = sb.Core.Schedule.offset
+  && sa.Core.Schedule.cs = sb.Core.Schedule.cs
+  && Core.Schedule.makespan sa = Core.Schedule.makespan sb
+  && a.Core.Mfs.objective = b.Core.Mfs.objective
+  && a.Core.Mfs.restarts = b.Core.Mfs.restarts
+  && a.Core.Mfs.widenings = b.Core.Mfs.widenings
+  && Core.Liapunov.Trace.entries a.Core.Mfs.trace
+     = Core.Liapunov.Trace.entries b.Core.Mfs.trace
+
+(* Both runs must agree exactly — also on failure messages — and a
+   successful run must still satisfy the Liapunov monotonicity the trace
+   asserts. *)
+let agree ?config ?max_units g spec =
+  match
+    ( Core.Mfs.run ?config ?max_units g spec,
+      Reference.Seed_mfs.run ?config ?max_units g spec )
+  with
+  | Ok a, Ok b ->
+      same_outcome a b && Core.Liapunov.Trace.non_increasing a.Core.Mfs.trace
+  | Error e, Error e' -> e = e'
+  | Ok _, Error e -> Alcotest.failf "only the oracle failed: %s" e
+  | Error e, Ok _ -> Alcotest.failf "only the kernel failed: %s" e
+
+let two_cycle_cfg =
+  {
+    Core.Config.default with
+    Core.Config.delays = (function Dfg.Op.Mul | Dfg.Op.Div -> 2 | _ -> 1);
+  }
+
+let pipelined_cfg =
+  {
+    two_cycle_cfg with
+    Core.Config.pipelined =
+      (function Dfg.Op.Mul | Dfg.Op.Div -> true | _ -> false);
+  }
+
+let chain_cfg =
+  {
+    Core.Config.default with
+    Core.Config.chaining =
+      Some
+        {
+          Core.Config.prop_delay =
+            Celllib.Ncr.default.Celllib.Library.prop_delay;
+          clock = 100.;
+        };
+  }
+
+let time_spec g slack =
+  Core.Mfs.Time { cs = Dfg.Bounds.critical_path g + slack }
+
+let kernel_matches_oracle_time =
+  Helpers.qcheck ~count:120 "time-constrained: kernel = seed oracle"
+    QCheck2.Gen.(pair (Helpers.dag_gen ()) (int_range 0 3))
+    (fun (g, slack) -> agree g (time_spec g slack))
+
+let kernel_matches_oracle_two_cycle =
+  Helpers.qcheck ~count:80 "two-cycle multiplies: kernel = seed oracle"
+    QCheck2.Gen.(pair (Helpers.wide_dag_gen ()) (int_range 0 3))
+    (fun (g, slack) ->
+      agree ~config:two_cycle_cfg g
+        (Core.Mfs.Time
+           { cs = Core.Timeframe.min_cs two_cycle_cfg g + slack }))
+
+let kernel_matches_oracle_pipelined =
+  Helpers.qcheck ~count:80 "structural pipelining: kernel = seed oracle"
+    QCheck2.Gen.(pair (Helpers.dag_gen ()) (int_range 0 2))
+    (fun (g, slack) ->
+      agree ~config:pipelined_cfg g
+        (Core.Mfs.Time
+           { cs = Core.Timeframe.min_cs pipelined_cfg g + slack }))
+
+let kernel_matches_oracle_latency =
+  Helpers.qcheck ~count:60 "functional pipelining: kernel = seed oracle"
+    QCheck2.Gen.(pair (Helpers.dag_gen ~max_ops:16 ()) (int_range 3 8))
+    (fun (g, l) ->
+      let config =
+        { two_cycle_cfg with Core.Config.functional_latency = Some l }
+      in
+      agree ~config g (Core.Mfs.Time { cs = Core.Timeframe.min_cs config g }))
+
+let kernel_matches_oracle_chaining =
+  Helpers.qcheck ~count:60 "chaining: kernel = seed oracle"
+    QCheck2.Gen.(pair (Helpers.dag_gen ~max_ops:16 ()) (int_range 0 2))
+    (fun (g, slack) ->
+      agree ~config:chain_cfg g
+        (Core.Mfs.Time { cs = Core.Timeframe.min_cs chain_cfg g + slack }))
+
+let kernel_matches_oracle_guarded =
+  Helpers.qcheck ~count:80 "conditional sharing: kernel = seed oracle"
+    QCheck2.Gen.(pair (Helpers.guarded_dag_gen ()) (int_range 0 3))
+    (fun (g, slack) -> agree g (time_spec g slack))
+
+let kernel_matches_oracle_resource =
+  Helpers.qcheck ~count:100 "resource-constrained: kernel = seed oracle"
+    QCheck2.Gen.(triple (Helpers.dag_gen ()) (int_range 1 2) (int_range 1 2))
+    (fun (g, mul, add) ->
+      agree g (Core.Mfs.Resource { limits = [ ("*", mul); ("+", add) ] })
+      && agree g (Core.Mfs.Resource { limits = [] }))
+
+let kernel_matches_oracle_user_limits =
+  Helpers.qcheck ~count:80 "user unit limits: kernel = seed oracle"
+    QCheck2.Gen.(triple (Helpers.dag_gen ()) (int_range 0 3) (int_range 1 3))
+    (fun (g, slack, mul) ->
+      agree ~max_units:[ ("*", mul) ] g (time_spec g slack))
+
+let classics_match () =
+  List.iter
+    (fun (name, g) ->
+      let cs = Dfg.Bounds.critical_path g + 1 in
+      Alcotest.(check bool)
+        (name ^ " schedules identically") true
+        (agree g (Core.Mfs.Time { cs })))
+    (Workloads.Classic.all ())
+
+let suite =
+  [
+    kernel_matches_oracle_time;
+    kernel_matches_oracle_two_cycle;
+    kernel_matches_oracle_pipelined;
+    kernel_matches_oracle_latency;
+    kernel_matches_oracle_chaining;
+    kernel_matches_oracle_guarded;
+    kernel_matches_oracle_resource;
+    kernel_matches_oracle_user_limits;
+    test "classic examples schedule identically" classics_match;
+  ]
