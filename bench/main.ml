@@ -32,6 +32,9 @@ let ok = function
       prerr_endline ("bench: " ^ e);
       exit 1
 
+(* Kernel entry points report typed diagnostics; render them for the bench. *)
+let okd r = ok (Result.map_error Diag.message r)
+
 (* --- Table 1 ----------------------------------------------------------- *)
 
 type t1_row = {
@@ -101,7 +104,7 @@ let table1 () =
               | Ok s ->
                   [ r.r_name; r.r_feature; Printf.sprintf "T=%d" cs; fus s;
                     (match Core.Schedule.check s with Ok () -> "yes" | Error _ -> "NO") ]
-              | Error e -> [ r.r_name; r.r_feature; Printf.sprintf "T=%d" cs; "error: " ^ e; "-" ])
+              | Error e -> [ r.r_name; r.r_feature; Printf.sprintf "T=%d" cs; "error: " ^ Diag.message e; "-" ])
             r.r_budgets
         in
         let latency_rows =
@@ -116,7 +119,7 @@ let table1 () =
                   [ r.r_name; r.r_feature; Printf.sprintf "L=%d" latency; fus s;
                     (match Core.Schedule.check s with Ok () -> "yes" | Error _ -> "NO") ]
               | Error e ->
-                  [ r.r_name; r.r_feature; Printf.sprintf "L=%d" latency; "error: " ^ e; "-" ])
+                  [ r.r_name; r.r_feature; Printf.sprintf "L=%d" latency; "error: " ^ Diag.message e; "-" ])
             r.r_latencies
         in
         time_rows @ latency_rows)
@@ -133,7 +136,7 @@ let table1 () =
 let mfsa_for style g cs =
   let lib = Celllib.Ncr.for_graph g in
   let config = Core.Config.of_library lib in
-  ok (Core.Mfsa.run ~config ~style ~library:lib ~cs g)
+  okd (Core.Mfsa.run ~config ~style ~library:lib ~cs g)
 
 let table2 () =
   print_endline "== Table 2: MFSA scheduling-allocation (styles 1 and 2) ==";
@@ -175,7 +178,7 @@ let table2 () =
 let figure1 () =
   print_endline "== Figure 1: placement table (diffeq, T=4, class '*') ==";
   let g = Workloads.Classic.diffeq () in
-  let o = ok (Core.Mfs.run g (Core.Mfs.Time { cs = 4 })) in
+  let o = okd (Core.Mfs.run g (Core.Mfs.Time { cs = 4 })) in
   let s = o.Core.Mfs.schedule in
   let col = Option.get s.Core.Schedule.col in
   let label pos =
@@ -251,7 +254,7 @@ let speed () =
   let ewf = Workloads.Classic.ewf () in
   let lib = Celllib.Ncr.for_graph ewf in
   let cfg_lib = Core.Config.of_library lib in
-  let big = Workloads.Random_dag.generate
+  let big = Workloads.Random_dag.generate_exn
       ~spec:{ Workloads.Random_dag.default with Workloads.Random_dag.ops = 200 }
       ~seed:9 ()
   in
@@ -261,14 +264,14 @@ let speed () =
     Test.make_grouped ~name:"schedulers"
       [
         staged "mfs/ewf-18" (fun () ->
-            ok (Core.Mfs.schedule ewf (Core.Mfs.Time { cs = 18 })));
+            okd (Core.Mfs.schedule ewf (Core.Mfs.Time { cs = 18 })));
         staged "list/ewf-18" (fun () -> ok (Baselines.List_sched.time ewf ~cs:18));
         staged "fds/ewf-18" (fun () -> ok (Baselines.Fds.run ewf ~cs:18));
         staged "annealing/ewf-18" (fun () -> ok (Baselines.Annealing.run ewf ~cs:18));
         staged "mfsa/ewf-18" (fun () ->
-            ok (Core.Mfsa.run ~config:cfg_lib ~library:lib ~cs:18 ewf));
+            okd (Core.Mfsa.run ~config:cfg_lib ~library:lib ~cs:18 ewf));
         staged "mfs/random-200" (fun () ->
-            ok (Core.Mfs.schedule big (Core.Mfs.Time { cs = big_cs })));
+            okd (Core.Mfs.schedule big (Core.Mfs.Time { cs = big_cs })));
         staged "list/random-200" (fun () ->
             ok (Baselines.List_sched.time big ~cs:big_cs));
       ]
@@ -327,14 +330,14 @@ let scaling () =
     List.map
       (fun ops ->
         let g =
-          Workloads.Random_dag.generate
+          Workloads.Random_dag.generate_exn
             ~spec:{ Workloads.Random_dag.default with Workloads.Random_dag.ops }
             ~seed:17 ()
         in
         let cs = Dfg.Bounds.critical_path g + 2 in
         let t =
           time_best (fun () ->
-              ignore (ok (Core.Mfs.schedule g (Core.Mfs.Time { cs }))))
+              ignore (okd (Core.Mfs.schedule g (Core.Mfs.Time { cs }))))
         in
         let t_seed =
           time_best (fun () ->
@@ -413,11 +416,11 @@ let exact () =
           { Workloads.Random_dag.default with
             Workloads.Random_dag.ops; locality = 14 }
         in
-        let g = Workloads.Random_dag.generate ~spec ~seed:23 () in
+        let g = Workloads.Random_dag.generate_exn ~spec ~seed:23 () in
         let cs = Dfg.Bounds.critical_path g + 3 in
         let t_mfs =
           time_best (fun () ->
-              ignore (ok (Core.Mfs.schedule g (Core.Mfs.Time { cs }))))
+              ignore (okd (Core.Mfs.schedule g (Core.Mfs.Time { cs }))))
         in
         let mfs_units =
           match Core.Mfs.schedule g (Core.Mfs.Time { cs }) with
@@ -523,7 +526,7 @@ let ablation () =
   let rows =
     List.map
       (fun (label, weights) ->
-        let o = ok (Core.Mfsa.run ~config ~weights ~library:lib ~cs:18 g) in
+        let o = okd (Core.Mfsa.run ~config ~weights ~library:lib ~cs:18 g) in
         [ label;
           Printf.sprintf "%.0f" o.Core.Mfsa.cost.Rtl.Cost.total;
           Printf.sprintf "%.0f" o.Core.Mfsa.cost.Rtl.Cost.alu_area;
@@ -545,8 +548,8 @@ let ablation () =
           (fun a -> Celllib.Op_set.cardinal a.Celllib.Library.ops = 1)
           lib.Celllib.Library.alus }
   in
-  let full = ok (Core.Mfsa.run ~library:lib ~cs:5 g) in
-  let single = ok (Core.Mfsa.run ~library:singles ~cs:5 g) in
+  let full = okd (Core.Mfsa.run ~library:lib ~cs:5 g) in
+  let single = okd (Core.Mfsa.run ~library:singles ~cs:5 g) in
   Printf.printf
     "  full library: %.0f um2 {%s}\n  single-function only: %.0f um2 {%s}\n"
     full.Core.Mfsa.cost.Rtl.Cost.total
@@ -559,9 +562,9 @@ let ablation () =
   let total s =
     List.fold_left (fun a (_, k) -> a + k) 0 (Core.Schedule.fu_counts s)
   in
-  let on = ok (Core.Mfs.schedule g (Core.Mfs.Time { cs = cp })) in
+  let on = okd (Core.Mfs.schedule g (Core.Mfs.Time { cs = cp })) in
   let off =
-    ok
+    okd
       (Core.Mfs.schedule
          ~config:{ Core.Config.default with Core.Config.share_mutex = false }
          g (Core.Mfs.Time { cs = cp }))
@@ -580,7 +583,7 @@ let ablation () =
       (fun (name, g) ->
         let lib = Celllib.Ncr.for_graph g in
         let cs = Dfg.Bounds.critical_path g + 1 in
-        let o = ok (Core.Mfsa.run ~library:lib ~cs g) in
+        let o = okd (Core.Mfsa.run ~library:lib ~cs g) in
         let buses = Rtl.Bus.allocate o.Core.Mfsa.datapath in
         [ name;
           Printf.sprintf "%.0f" o.Core.Mfsa.cost.Rtl.Cost.mux_area;

@@ -5,9 +5,14 @@
      synth mfs    <dfg> --cs 8          Move Frame Scheduling
      synth mfsa   <dfg> --cs 8 --style 2   mixed scheduling-allocation
      synth compare <dfg> --cs 8         MFS vs the baseline schedulers
+     synth fuzz   --runs 200 --seed 0   randomized robustness campaign
 
    <dfg> is a file in the textual DFG format (see Dfg.Parser) or the name of
-   a built-in example (ex1..ex6, diffeq, ewf, ...). *)
+   a built-in example (ex1..ex6, diffeq, ewf, ...).
+
+   Exit codes: 0 success, 2 usage, 3 bad input, 4 infeasible constraints,
+   5 internal error / defects found. Diagnostics go to stderr, as text or
+   as JSON with --json-errors. *)
 
 open Cmdliner
 
@@ -20,14 +25,29 @@ let load_graph spec =
     | Some g -> Ok g
     | None ->
         Error
-          (Printf.sprintf
-             "%s: no such file or built-in example (try ex1..ex6, diffeq, \
-              ewf, fir16, dct8, ar, tseng, chained, facet, cond)"
-             spec)
+          (Diag.input ~code:"io.no-such-input"
+             (Printf.sprintf
+                "%s: no such file or built-in example (try ex1..ex6, diffeq, \
+                 ewf, fir16, dct8, ar, tseng, chained, facet, cond)"
+                spec))
 
-let apply_cse g = function
-  | false -> Ok g
-  | true -> Dfg.Cse.eliminate g
+let die ~json d =
+  prerr_endline (if json then Diag.to_json d else "error: " ^ Diag.to_string d);
+  exit (Diag.exit_code d)
+
+let or_die ~json = function Ok v -> v | Error d -> die ~json d
+
+(* Legacy string-error interfaces, wrapped with an explicit category. *)
+let or_die_s ~json category ~code r =
+  or_die ~json (Result.map_error (Diag.of_msg category ~code) r)
+
+let apply_cse ~json g = function
+  | false -> g
+  | true -> or_die_s ~json Diag.Input ~code:"cse.invalid-graph" (Dfg.Cse.eliminate g)
+
+let json_arg =
+  let doc = "Report errors on stderr as JSON objects instead of text." in
+  Arg.(value & flag & info [ "json-errors" ] ~doc)
 
 let cse_arg =
   let doc = "Run common-subexpression elimination before synthesis." in
@@ -78,7 +98,13 @@ let limits_arg =
 
 let style_arg =
   let doc = "RTL design style: 1 = unrestricted, 2 = no ALU self loop." in
-  Arg.(value & opt int 1 & info [ "style" ] ~docv:"1|2" ~doc)
+  let style_conv =
+    Arg.enum [ ("1", Core.Mfsa.Unrestricted); ("2", Core.Mfsa.No_self_loop) ]
+  in
+  Arg.(
+    value
+    & opt style_conv Core.Mfsa.Unrestricted
+    & info [ "style" ] ~docv:"1|2" ~doc)
 
 let verilog_arg =
   let doc = "Emit structural Verilog for the synthesised design." in
@@ -130,12 +156,6 @@ let make_config lib ~clock ~latency =
 
 let effective_cs cfg g cs = if cs <= 0 then Core.Timeframe.min_cs cfg g else cs
 
-let or_die = function
-  | Ok v -> v
-  | Error msg ->
-      prerr_endline ("error: " ^ msg);
-      exit 1
-
 let fu_string s =
   String.concat ", "
     (List.map
@@ -149,8 +169,8 @@ let show_cmd =
   let dot =
     Arg.(value & flag & info [ "dot" ] ~doc:"Print Graphviz DOT instead.")
   in
-  let run spec dot =
-    let g = or_die (load_graph spec) in
+  let run spec dot json =
+    let g = or_die ~json (load_graph spec) in
     if dot then print_string (Dfg.Dot.of_graph g)
     else begin
       Format.printf "%a@." Dfg.Graph.pp g;
@@ -161,22 +181,22 @@ let show_cmd =
           savings
     end
   in
-  Cmd.v (Cmd.info "show" ~doc) Term.(const run $ graph_arg $ dot)
+  Cmd.v (Cmd.info "show" ~doc) Term.(const run $ graph_arg $ dot $ json_arg)
 
 (* --- mfs -------------------------------------------------------------- *)
 
 let mfs_cmd =
   let doc = "Move Frame Scheduling (time- or resource-constrained)." in
-  let run spec cs two_cycle pipelined latency clock limits cse =
-    let g = or_die (load_graph spec) in
-    let g = or_die (apply_cse g cse) in
+  let run spec cs two_cycle pipelined latency clock limits cse json =
+    let g = or_die ~json (load_graph spec) in
+    let g = apply_cse ~json g cse in
     let lib = make_library g ~two_cycle ~pipelined in
     let config = make_config lib ~clock ~latency in
     let spec_kind =
       if limits = [] then Core.Mfs.Time { cs = effective_cs config g cs }
       else Core.Mfs.Resource { limits }
     in
-    let outcome = or_die (Core.Mfs.run ~config g spec_kind) in
+    let outcome = or_die ~json (Core.Mfs.run ~config g spec_kind) in
     let s = outcome.Core.Mfs.schedule in
     Format.printf "%a@." Core.Schedule.pp s;
     print_string
@@ -199,35 +219,30 @@ let mfs_cmd =
   Cmd.v (Cmd.info "mfs" ~doc)
     Term.(
       const run $ graph_arg $ cs_arg $ two_cycle_arg $ pipelined_arg
-      $ latency_arg $ clock_arg $ limits_arg $ cse_arg)
+      $ latency_arg $ clock_arg $ limits_arg $ cse_arg $ json_arg)
 
 (* --- mfsa ------------------------------------------------------------- *)
 
 let mfsa_cmd =
   let doc = "Mixed scheduling-allocation: schedule, bind ALUs/REGs/MUXes." in
   let run spec cs two_cycle pipelined latency clock style verilog simulate cse
-      vcd netlist fsm =
-    let g = or_die (load_graph spec) in
-    let g = or_die (apply_cse g cse) in
+      vcd netlist fsm json =
+    let g = or_die ~json (load_graph spec) in
+    let g = apply_cse ~json g cse in
     let lib = make_library g ~two_cycle ~pipelined in
     let config = make_config lib ~clock ~latency in
-    let style =
-      match style with
-      | 1 -> Core.Mfsa.Unrestricted
-      | 2 -> Core.Mfsa.No_self_loop
-      | n ->
-          prerr_endline (Printf.sprintf "error: unknown style %d (use 1 or 2)" n);
-          exit 1
-    in
     let cs = effective_cs config g cs in
-    let o = or_die (Core.Mfsa.run ~config ~style ~library:lib ~cs g) in
+    let o = or_die ~json (Core.Mfsa.run ~config ~style ~library:lib ~cs g) in
     Format.printf "%a@." Core.Schedule.pp o.Core.Mfsa.schedule;
     Format.printf "%a@." Rtl.Datapath.pp o.Core.Mfsa.datapath;
     Format.printf "%a@.@." Rtl.Cost.pp o.Core.Mfsa.cost;
     let delay i =
       Core.Config.delay config (Dfg.Graph.node g i).Dfg.Graph.kind
     in
-    let ctrl = or_die (Rtl.Controller.generate o.Core.Mfsa.datapath ~delay) in
+    let ctrl =
+      or_die_s ~json Diag.Internal ~code:"synth.controller"
+        (Rtl.Controller.generate o.Core.Mfsa.datapath ~delay)
+    in
     (match
        Rtl.Check.datapath
          ~style2:(style = Core.Mfsa.No_self_loop)
@@ -238,11 +253,13 @@ let mfsa_cmd =
      with
     | Ok () -> print_endline "datapath checks: ok"
     | Error errs ->
-        List.iter (fun e -> print_endline ("datapath check FAILED: " ^ e)) errs);
+        List.iter
+          (fun e -> print_endline ("datapath check FAILED: " ^ Diag.to_string e))
+          errs);
     if simulate then begin
       match Sim.Equiv.check_random o.Core.Mfsa.datapath ctrl with
       | Ok () -> print_endline "simulation vs golden model: ok (20 random runs)"
-      | Error e -> print_endline ("simulation FAILED: " ^ e)
+      | Error e -> print_endline ("simulation FAILED: " ^ Diag.to_string e)
     end;
     (match vcd with
     | None -> ()
@@ -274,43 +291,158 @@ let mfsa_cmd =
     Term.(
       const run $ graph_arg $ cs_arg $ two_cycle_arg $ pipelined_arg
       $ latency_arg $ clock_arg $ style_arg $ verilog_arg $ simulate_arg
-      $ cse_arg $ vcd_arg $ netlist_arg $ fsm_arg)
+      $ cse_arg $ vcd_arg $ netlist_arg $ fsm_arg $ json_arg)
 
 (* --- compare ---------------------------------------------------------- *)
 
 let compare_cmd =
   let doc = "Compare MFS against list scheduling, FDS and annealing." in
-  let run spec cs two_cycle pipelined latency clock =
-    let g = or_die (load_graph spec) in
-    let lib = make_library g ~two_cycle ~pipelined in
-    let config = make_config lib ~clock ~latency in
+  let run spec cs two_cycle pipelined latency clock limits cse json =
+    let g = or_die ~json (load_graph spec) in
+    let g = apply_cse ~json g cse in
+    let config =
+      make_config (make_library g ~two_cycle ~pipelined) ~clock ~latency
+    in
     let cs = effective_cs config g cs in
-    let row name result =
+    let row name ?(via = "primary") result =
       match result with
       | Ok s ->
           [
             name;
             fu_string s;
             (match Core.Schedule.check s with Ok () -> "yes" | Error _ -> "NO");
+            via;
           ]
-      | Error e -> [ name; "error: " ^ e; "-" ]
+      | Error e -> [ name; "error: " ^ e; "-"; via ]
     in
-    let rows =
-      [
-        row "MFS" (Core.Mfs.schedule ~config g (Core.Mfs.Time { cs }));
-        row "list" (Baselines.List_sched.time ~config g ~cs);
-        row "FDS" (Baselines.Fds.run ~config g ~cs);
-        row "annealing" (Baselines.Annealing.run ~config g ~cs);
-      ]
+    (* The MFS row goes through the harness driver so the table shows
+       whether the schedule came from MFS itself or from the degradation
+       chain (list scheduling + column packing). *)
+    let options =
+      {
+        Harness.Driver.default_options with
+        Harness.Driver.cs;
+        limits;
+        two_cycle;
+        pipelined;
+        latency;
+        clock;
+        cse = false (* already applied above *);
+      }
     in
-    Printf.printf "time budget: %d steps\n" cs;
+    let mfs_row =
+      let o = Harness.Driver.run ~options g in
+      let via =
+        match o.Harness.Driver.sched_via with
+        | Harness.Driver.Primary -> "primary"
+        | Harness.Driver.Fallback f -> "fallback:" ^ f
+      in
+      match (o.Harness.Driver.schedule, o.Harness.Driver.stopped) with
+      | Some s, _ -> row "MFS" ~via (Ok s)
+      | None, Some d -> row "MFS" ~via (Error (Diag.message d))
+      | None, None -> row "MFS" ~via (Error "no schedule")
+    in
+    let baseline_rows =
+      if limits = [] then
+        [
+          row "list" (Baselines.List_sched.time ~config g ~cs);
+          row "FDS" (Baselines.Fds.run ~config g ~cs);
+          row "annealing" (Baselines.Annealing.run ~config g ~cs);
+        ]
+      else
+        [
+          row "list" (Baselines.List_sched.resource ~config g ~limits);
+          [ "FDS"; "n/a under resource limits"; "-"; "-" ];
+          [ "annealing"; "n/a under resource limits"; "-"; "-" ];
+        ]
+    in
+    if limits = [] then Printf.printf "time budget: %d steps\n" cs
+    else
+      Printf.printf "resource limits: %s\n"
+        (String.concat ", "
+           (List.map (fun (c, k) -> Printf.sprintf "%s=%d" c k) limits));
     print_string
-      (Report.Table.render ~header:[ "scheduler"; "units"; "valid" ] rows)
+      (Report.Table.render
+         ~header:[ "scheduler"; "units"; "valid"; "via" ]
+         (mfs_row :: baseline_rows))
   in
   Cmd.v (Cmd.info "compare" ~doc)
     Term.(
       const run $ graph_arg $ cs_arg $ two_cycle_arg $ pipelined_arg
-      $ latency_arg $ clock_arg)
+      $ latency_arg $ clock_arg $ limits_arg $ cse_arg $ json_arg)
+
+(* --- fuzz ------------------------------------------------------------- *)
+
+let fuzz_cmd =
+  let doc =
+    "Randomized robustness campaign: drive random DFGs and option points \
+     through the full pipeline, check cross-stage invariants, shrink any \
+     failure to a minimal reproducer."
+  in
+  let runs_arg =
+    Arg.(value & opt int 200 & info [ "runs" ] ~docv:"N"
+           ~doc:"Number of randomized runs.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Campaign seed; the whole campaign is deterministic in it.")
+  in
+  let max_ops_arg =
+    Arg.(value & opt int 12 & info [ "max-ops" ] ~docv:"N"
+           ~doc:"Largest generated DFG size.")
+  in
+  let inject_arg =
+    let conv_fault =
+      let parse s =
+        match Harness.Fault.of_string s with
+        | Some f -> Ok f
+        | None ->
+            Error
+              (`Msg
+                 (s ^ ": unknown fault (corrupt-start, corrupt-col, \
+                       corrupt-trace, skew-delay)"))
+      in
+      let print ppf f = Format.pp_print_string ppf (Harness.Fault.to_string f) in
+      Arg.conv (parse, print)
+    in
+    Arg.(value & opt (some conv_fault) None & info [ "inject" ] ~docv:"FAULT"
+           ~doc:"Inject a fault each run and require the invariants to \
+                 catch it (corrupt-start, corrupt-col, corrupt-trace, \
+                 skew-delay).")
+  in
+  let corpus_arg =
+    Arg.(value & opt string "fuzz-corpus" & info [ "corpus" ] ~docv:"DIR"
+           ~doc:"Directory for shrunk failure reproducers.")
+  in
+  let stage_seconds_arg =
+    Arg.(value & opt float 5.0 & info [ "stage-seconds" ] ~docv:"S"
+           ~doc:"Wall-clock budget per pipeline stage.")
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "verbose" ] ~doc:"Narrate each eventful run.")
+  in
+  let run runs seed max_ops inject corpus stage_seconds verbose json =
+    let budgets =
+      { Harness.Driver.default_budgets with
+        Harness.Driver.stage_seconds }
+    in
+    let log = if verbose then prerr_endline else fun _ -> () in
+    let report =
+      Harness.Fuzz.campaign ?fault:inject ~budgets ~corpus_dir:corpus ~max_ops
+        ~log ~runs ~seed ()
+    in
+    print_string (Harness.Fuzz.render_report report);
+    if report.Harness.Fuzz.failures <> [] then
+      die ~json
+        (Diag.internal ~code:"fuzz.failures"
+           (Printf.sprintf "%d failing run(s); reproducers under %s"
+              (List.length report.Harness.Fuzz.failures)
+              corpus))
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(
+      const run $ runs_arg $ seed_arg $ max_ops_arg $ inject_arg $ corpus_arg
+      $ stage_seconds_arg $ verbose_arg $ json_arg)
 
 (* --- compile ------------------------------------------------------------ *)
 
@@ -318,16 +450,24 @@ let compile_cmd =
   let doc =
     "Compile a behavioural description (.beh) to the DFG text format."
   in
-  let run spec cse =
-    let g = or_die (load_graph spec) in
-    let g = or_die (apply_cse g cse) in
+  let run spec cse json =
+    let g = or_die ~json (load_graph spec) in
+    let g = apply_cse ~json g cse in
     print_string (Dfg.Parser.to_source g)
   in
-  Cmd.v (Cmd.info "compile" ~doc) Term.(const run $ graph_arg $ cse_arg)
+  Cmd.v (Cmd.info "compile" ~doc)
+    Term.(const run $ graph_arg $ cse_arg $ json_arg)
 
 let main =
   let doc = "MFS/MFSA high-level synthesis (DAC 1992 reproduction)" in
   Cmd.group (Cmd.info "synth" ~doc)
-    [ show_cmd; mfs_cmd; mfsa_cmd; compare_cmd; compile_cmd ]
+    [ show_cmd; mfs_cmd; mfsa_cmd; compare_cmd; fuzz_cmd; compile_cmd ]
 
-let () = exit (Cmd.eval main)
+let () =
+  (* Cmdliner's own exit codes for CLI misuse / internal errors are 124 and
+     125; fold them into this tool's documented contract (2 = usage,
+     5 = internal). *)
+  match Cmd.eval main with
+  | 124 -> exit 2
+  | 125 -> exit 5
+  | code -> exit code

@@ -18,13 +18,14 @@ let source =
    }\n"
 
 let or_fail = function Ok v -> v | Error e -> failwith e
+let or_faild r = or_fail (Result.map_error Diag.message r)
 
 let () =
   print_endline "behavioural source:";
   print_string source;
   print_newline ();
 
-  let raw = or_fail (Dfg.Frontend.compile source) in
+  let raw = or_faild (Dfg.Frontend.compile source) in
   Printf.printf "compiled: %d operations (%s)\n" (Dfg.Graph.num_nodes raw)
     (String.concat ", "
        (List.map
@@ -38,7 +39,7 @@ let () =
 
   let library = Celllib.Ncr.for_graph g in
   let cs = Dfg.Bounds.critical_path g in
-  let o = or_fail (Core.Mfsa.run ~library ~cs g) in
+  let o = or_faild (Core.Mfsa.run ~library ~cs g) in
   Format.printf "MFSA at T=%d:@.%a@.%a@.@." cs Rtl.Datapath.pp
     o.Core.Mfsa.datapath Rtl.Cost.pp o.Core.Mfsa.cost;
 
@@ -68,4 +69,4 @@ let () =
     [ (2, 10); (2, 1) ];
   match Sim.Equiv.check_random o.Core.Mfsa.datapath ctrl with
   | Ok () -> print_endline "\ngolden-model equivalence: ok"
-  | Error e -> failwith e
+  | Error e -> failwith (Diag.message e)

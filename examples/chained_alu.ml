@@ -24,7 +24,7 @@ let () =
       in
       let cs = Core.Timeframe.min_cs config g in
       match Core.Mfs.run ~config g (Core.Mfs.Time { cs }) with
-      | Error e -> Printf.printf "%-12.0f error: %s\n" clock e
+      | Error e -> Printf.printf "%-12.0f error: %s\n" clock (Diag.message e)
       | Ok o ->
           let s = o.Core.Mfs.schedule in
           let per_step =
@@ -54,7 +54,7 @@ let () =
     (fun (label, config) ->
       let cs = Core.Timeframe.min_cs config g in
       match Core.Mfs.run ~config g (Core.Mfs.Time { cs }) with
-      | Error e -> failwith e
+      | Error e -> failwith (Diag.message e)
       | Ok o ->
           let s = o.Core.Mfs.schedule in
           let ivs =

@@ -13,7 +13,7 @@ let schedule_with latency =
   let cs = Core.Timeframe.min_cs config graph in
   match Core.Mfs.run ~config graph (Core.Mfs.Time { cs }) with
   | Ok o -> (graph, config, cs, o.Core.Mfs.schedule)
-  | Error e -> failwith e
+  | Error e -> failwith (Diag.message e)
 
 let units s =
   Core.Schedule.fu_counts s
@@ -48,7 +48,11 @@ let () =
     [ 8; 6; 4 ];
   (* The paper's §5.5.2 construction: two instances side by side confirm the
      folded schedule's resource picture. *)
-  let doubled = Core.Pipeline.double graph in
+  let doubled =
+    match Core.Pipeline.double graph with
+    | Ok g -> g
+    | Error e -> failwith (Diag.message e)
+  in
   Printf.printf
     "\nDFG-doubling check (5.5.2): doubled graph has %d ops, same depth %d\n"
     (Dfg.Graph.num_nodes doubled)

@@ -15,7 +15,7 @@ let () =
   let outcome =
     match Core.Mfs.run graph (Core.Mfs.Time { cs = 4 }) with
     | Ok o -> o
-    | Error e -> failwith e
+    | Error e -> failwith (Diag.message e)
   in
   Format.printf "MFS schedule:@.%a@." Core.Schedule.pp outcome.Core.Mfs.schedule;
   Format.printf "Liapunov trajectory monotone: %b@.@."
@@ -26,7 +26,7 @@ let () =
   let mfsa =
     match Core.Mfsa.run ~library ~cs:4 graph with
     | Ok o -> o
-    | Error e -> failwith e
+    | Error e -> failwith (Diag.message e)
   in
   Format.printf "RTL datapath:@.%a@." Rtl.Datapath.pp mfsa.Core.Mfsa.datapath;
   Format.printf "%a@.@." Rtl.Cost.pp mfsa.Core.Mfsa.cost;
@@ -53,4 +53,4 @@ let () =
   | Error e -> failwith e);
   match Sim.Equiv.check_random mfsa.Core.Mfsa.datapath controller with
   | Ok () -> Format.printf "golden-model equivalence: ok (20 random runs)@."
-  | Error e -> failwith e
+  | Error e -> failwith (Diag.message e)

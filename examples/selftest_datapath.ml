@@ -9,7 +9,7 @@ let synthesise style g cs =
   let library = Celllib.Ncr.for_graph g in
   match Core.Mfsa.run ~style ~library ~cs g with
   | Ok o -> o
-  | Error e -> failwith e
+  | Error e -> failwith (Diag.message e)
 
 let describe label (o : Core.Mfsa.outcome) =
   Printf.printf "%s\n  ALUs: %s\n  cost: %.0f um2, %d REG, %d MUX (%d inputs)\n"
@@ -47,5 +47,5 @@ let () =
       | Ok ctrl -> (
           match Sim.Equiv.check_random o.Core.Mfsa.datapath ctrl with
           | Ok () -> Printf.printf "%s: functional check ok\n" label
-          | Error e -> failwith (label ^ ": " ^ e)))
+          | Error e -> failwith (label ^ ": " ^ Diag.message e)))
     [ ("style 1", s1); ("style 2", s2) ]

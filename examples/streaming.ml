@@ -6,6 +6,7 @@
      dune exec examples/streaming.exe *)
 
 let or_fail = function Ok v -> v | Error e -> failwith e
+let or_faild r = or_fail (Result.map_error Diag.message r)
 
 let () =
   let g = Workloads.Classic.biquad () in
@@ -19,7 +20,7 @@ let () =
 
   let library = Celllib.Ncr.for_graph g in
   let cs = Dfg.Bounds.critical_path g + 1 in
-  let o = or_fail (Core.Mfsa.run ~library ~cs g) in
+  let o = or_faild (Core.Mfsa.run ~library ~cs g) in
   Printf.printf "synthesised at T=%d: %s, %.0f um2\n\n" cs
     (Rtl.Cost.alu_config o.Core.Mfsa.datapath)
     o.Core.Mfsa.cost.Rtl.Cost.total;

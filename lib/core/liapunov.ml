@@ -56,6 +56,7 @@ module Trace = struct
       :: t.rev_entries
 
   let entries t = List.rev t.rev_entries
+  let of_entries es = { rev_entries = List.rev es }
 
   let non_increasing t =
     List.for_all (fun e -> e.to_value <= e.from_value) t.rev_entries

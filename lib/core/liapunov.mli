@@ -69,6 +69,11 @@ module Trace : sig
   val entries : t -> entry list
   (** In recording order. *)
 
+  val of_entries : entry list -> t
+  (** Rebuild a trace from entries (in recording order) — lets the fault
+      injector present a corrupted trace to the same diagnostics the
+      scheduler's own traces go through. *)
+
   val non_increasing : t -> bool
   (** Every recorded move satisfies [to_value <= from_value] — Liapunov
       property (2) with equality permitted only for pinned operations whose

@@ -88,7 +88,9 @@ let rec schedule_tree ?config path t =
       (Ok t.body) t.children
   in
   let* loop_schedule =
-    prefix_error path (Mfs.schedule ?config body (Mfs.Time { cs = t.budget }))
+    prefix_error path
+      (Result.map_error Diag.message
+         (Mfs.schedule ?config body (Mfs.Time { cs = t.budget })))
   in
   Ok { loop_schedule; loop_children }
 
@@ -117,7 +119,9 @@ let rec allocate_tree ?config ?style ~library path t =
       (Ok t.body) t.children
   in
   let* alloc_outcome =
-    prefix_error path (Mfsa.run ?config ?style ~library ~cs:t.budget body)
+    prefix_error path
+      (Result.map_error Diag.message
+         (Mfsa.run ?config ?style ~library ~cs:t.budget body))
   in
   Ok { alloc_outcome; alloc_children }
 

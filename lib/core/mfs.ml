@@ -140,7 +140,7 @@ let total_ops g = Dfg.Graph.num_nodes g
 
 let run_time cfg g ~cs ~user_limits =
   match effective_bounds cfg g ~cs with
-  | Error _ as e -> e
+  | Error msg -> Error (Diag.infeasible ~code:"mfs.infeasible-budget" msg)
   | Ok bounds ->
       let order = Priority.order cfg g bounds in
       let current, max_j, user_limited =
@@ -172,7 +172,9 @@ let run_time cfg g ~cs ~user_limits =
         | exception Need_more_units c ->
             decr budget;
             if !budget <= 0 then
-              Error "MFS: rescheduling budget exhausted (internal)"
+              Error
+                (Diag.internal ~code:"mfs.budget-exhausted"
+                   "MFS: rescheduling budget exhausted (internal)")
             else begin
               incr restarts;
               let cur = Hashtbl.find current c in
@@ -190,10 +192,11 @@ let run_time cfg g ~cs ~user_limits =
       (try loop () with
       | Unit_limit c ->
           Error
-            (Printf.sprintf
-               "MFS: cannot meet time budget %d with the given limit on %s \
-                units"
-               cs c))
+            (Diag.infeasible ~code:"mfs.unit-limit"
+               (Printf.sprintf
+                  "MFS: cannot meet time budget %d with the given limit on \
+                   %s units"
+                  cs c)))
 
 let run_resource cfg g ~limits =
   let lo = min_cs cfg g in
@@ -208,7 +211,9 @@ let run_resource cfg g ~limits =
   let restarts = ref 0 in
   let rec search cs =
     if cs > hi then
-      Error "MFS: resource-constrained search exceeded the serial horizon"
+      Error
+        (Diag.infeasible ~code:"mfs.horizon"
+           "MFS: resource-constrained search exceeded the serial horizon")
     else
       match effective_bounds cfg g ~cs with
       | Error _ -> search (cs + 1)
@@ -256,7 +261,8 @@ let run_resource cfg g ~limits =
   search lo
 
 let run ?(config = Config.default) ?(max_units = []) g spec =
-  if Dfg.Graph.num_nodes g = 0 then Error "MFS: empty graph"
+  if Dfg.Graph.num_nodes g = 0 then
+    Error (Diag.input ~code:"mfs.empty-graph" "MFS: empty graph")
   else
     match spec with
     | Time { cs } -> run_time config g ~cs ~user_limits:max_units

@@ -34,13 +34,16 @@ type outcome = {
 
 val run :
   ?config:Config.t -> ?max_units:(string * int) list -> Dfg.Graph.t ->
-  spec -> (outcome, string) result
+  spec -> (outcome, Diag.t) result
 (** Schedule the graph. [max_units] optionally caps unit counts in [Time]
     mode (the paper's user-given hardware constraint); when absent the upper
     bound comes from the ASAP/ALAP concurrency and may grow on demand.
-    Errors: infeasible time budget, or unit caps too tight. *)
+    Error diagnostics: [Infeasible] for a time budget below the critical
+    path, unit caps too tight or an exceeded resource-search horizon;
+    [Input] for an empty graph; [Internal] when the rescheduling budget is
+    exhausted (a bug). *)
 
 val schedule :
   ?config:Config.t -> ?max_units:(string * int) list -> Dfg.Graph.t ->
-  spec -> (Schedule.t, string) result
+  spec -> (Schedule.t, Diag.t) result
 (** {!run} projected on the schedule. *)

@@ -57,10 +57,11 @@ exception Infeasible_at_cs
 
 let run_at ?(config = Config.default) ?(style = Unrestricted)
     ?(weights = equal_weights) ?unit_caps ~library ~cs g =
-  if Dfg.Graph.num_nodes g = 0 then Error "MFSA: empty graph"
+  if Dfg.Graph.num_nodes g = 0 then
+    Error (Diag.input ~code:"mfsa.empty-graph" "MFSA: empty graph")
   else
     match Timeframe.bounds config g ~cs with
-    | Error _ as e -> e
+    | Error msg -> Error (Diag.infeasible ~code:"mfsa.infeasible-budget" msg)
     | Ok bounds -> (
         let n = Dfg.Graph.num_nodes g in
         let kind_of i = (Dfg.Graph.node g i).Dfg.Graph.kind in
@@ -76,7 +77,8 @@ let run_at ?(config = Config.default) ?(style = Unrestricted)
         match missing with
         | Some nd ->
             Error
-              (Printf.sprintf "MFSA: no ALU kind in the library executes %s (%s)"
+              (Diag.inputf ~code:"mfsa.missing-kind"
+                 "MFSA: no ALU kind in the library executes %s (%s)"
                  nd.Dfg.Graph.name
                  (Dfg.Op.to_string nd.Dfg.Graph.kind))
         | None ->
@@ -459,7 +461,10 @@ let run_at ?(config = Config.default) ?(style = Unrestricted)
                     Rtl.Datapath.elaborate g ~start ~delay:node_delay ~cs
                       ~assignments
                   with
-                  | Error e -> Error ("MFSA: elaboration failed: " ^ e)
+                  | Error e ->
+                      Error
+                        (Diag.internal ~code:"mfsa.elaborate"
+                           ("MFSA: elaboration failed: " ^ e))
                   | Ok datapath ->
                       let schedule = Schedule.make ~offset ~config ~cs g start in
                       let cost = Rtl.Cost.of_datapath library datapath in
@@ -474,7 +479,20 @@ let run_at ?(config = Config.default) ?(style = Unrestricted)
               | exception Grow c ->
                   decr budget;
                   if !budget <= 0 then
-                    Error "MFSA: rescheduling budget exhausted (internal)"
+                    if style = No_self_loop then
+                      (* Style 2 can genuinely deadlock: every admissible
+                         position of some operation would create a self
+                         loop. Blowing the restart budget under the extra
+                         constraint is an expected infeasibility, not a
+                         scheduler defect. *)
+                      Error
+                        (Diag.infeasible ~code:"mfsa.style2-deadlock"
+                           "MFSA: no style-2 placement within the \
+                            rescheduling budget")
+                    else
+                      Error
+                        (Diag.internal ~code:"mfsa.budget-exhausted"
+                           "MFSA: rescheduling budget exhausted (internal)")
                   else if Hashtbl.mem no_widen c then
                     if unit_caps <> None then
                       (* Hard caps: this time budget does not work. *)
@@ -495,7 +513,8 @@ let run ?config ?style ?weights ~library ~cs g =
 
 let run_resource ?(config = Config.default) ?style ?weights ~library ~limits g
     =
-  if Dfg.Graph.num_nodes g = 0 then Error "MFSA: empty graph"
+  if Dfg.Graph.num_nodes g = 0 then
+    Error (Diag.input ~code:"mfsa.empty-graph" "MFSA: empty graph")
   else begin
     let lo = Timeframe.min_cs config g in
     let hi =
@@ -505,7 +524,9 @@ let run_resource ?(config = Config.default) ?style ?weights ~library ~limits g
     in
     let rec search cs =
       if cs > hi then
-        Error "MFSA: resource-constrained search exceeded the serial horizon"
+        Error
+          (Diag.infeasible ~code:"mfsa.horizon"
+             "MFSA: resource-constrained search exceeded the serial horizon")
       else
         match
           run_at ~config ?style ?weights ~unit_caps:limits ~library ~cs g

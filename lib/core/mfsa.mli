@@ -60,7 +60,7 @@ type outcome = {
 val run :
   ?config:Config.t -> ?style:style -> ?weights:weights ->
   library:Celllib.Library.t -> cs:int -> Dfg.Graph.t ->
-  (outcome, string) result
+  (outcome, Diag.t) result
 (** Schedule and allocate within [cs] control steps. The configuration's
     delay/pipelining functions are normally {!Config.of_library}. Errors:
     infeasible budget, no capable ALU kind for some operation, or a style-2
@@ -70,7 +70,7 @@ val run :
 val run_resource :
   ?config:Config.t -> ?style:style -> ?weights:weights ->
   library:Celllib.Library.t -> limits:(string * int) list -> Dfg.Graph.t ->
-  (outcome, string) result
+  (outcome, Diag.t) result
 (** Resource-constrained MFSA: at most [limits] ALU instances capable of
     each single-function class ({!Dfg.Op.fu_class} keys; absent classes are
     unconstrained), minimising control steps first and datapath cost second

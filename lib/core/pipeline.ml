@@ -11,14 +11,22 @@ let add_instance b g suffix =
     (Dfg.Graph.nodes g)
 
 let replicate ~copies g =
-  if copies < 1 then invalid_arg "Pipeline.replicate: copies must be >= 1";
-  let b = Dfg.Graph.Builder.create () in
-  for k = 1 to copies do
-    add_instance b g (Printf.sprintf "_i%d" k)
-  done;
-  match Dfg.Graph.Builder.build b with
-  | Ok gk -> gk
-  | Error msg -> failwith ("Pipeline.replicate: renaming broke the graph: " ^ msg)
+  if copies < 1 then
+    Error
+      (Diag.input ~code:"pipeline.bad-copies"
+         "Pipeline.replicate: copies must be >= 1")
+  else begin
+    let b = Dfg.Graph.Builder.create () in
+    for k = 1 to copies do
+      add_instance b g (Printf.sprintf "_i%d" k)
+    done;
+    match Dfg.Graph.Builder.build b with
+    | Ok gk -> Ok gk
+    | Error msg ->
+        Error
+          (Diag.internal ~code:"pipeline.rename"
+             ("Pipeline.replicate: renaming broke the graph: " ^ msg))
+  end
 
 let double ?(suffixes = ("_i1", "_i2")) g =
   let s1, s2 = suffixes in
@@ -26,8 +34,11 @@ let double ?(suffixes = ("_i1", "_i2")) g =
   add_instance b g s1;
   add_instance b g s2;
   match Dfg.Graph.Builder.build b with
-  | Ok g2 -> g2
-  | Error msg -> failwith ("Pipeline.double: renaming broke the graph: " ^ msg)
+  | Ok g2 -> Ok g2
+  | Error msg ->
+      Error
+        (Diag.internal ~code:"pipeline.rename"
+           ("Pipeline.double: renaming broke the graph: " ^ msg))
 
 let unfold sched ~latency ?instances () =
   let g = sched.Schedule.graph in
@@ -38,9 +49,14 @@ let unfold sched ~latency ?instances () =
     | None -> ((cs + latency - 1) / latency) + 1
   in
   match sched.Schedule.col with
-  | None -> Error "Pipeline.unfold: needs a column-bound schedule"
-  | Some col ->
-      let gk = replicate ~copies g in
+  | None ->
+      Error
+        (Diag.input ~code:"pipeline.unbound"
+           "Pipeline.unfold: needs a column-bound schedule")
+  | Some col -> (
+      match replicate ~copies g with
+      | Error _ as e -> e
+      | Ok gk ->
       let n = Dfg.Graph.num_nodes g in
       let nk = Dfg.Graph.num_nodes gk in
       let start' = Array.make nk 0 in
@@ -63,7 +79,7 @@ let unfold sched ~latency ?instances () =
       Ok
         (Schedule.make ~col:col' ~offset:offset' ~config
            ~cs:(cs + ((copies - 1) * latency))
-           gk start')
+           gk start'))
 
 let slot ~latency step = (step - 1) mod latency
 

@@ -7,22 +7,23 @@
     (used there to derive identical instance schedules) and the derived
     throughput metrics reported in benches. *)
 
-val replicate : copies:int -> Dfg.Graph.t -> Dfg.Graph.t
+val replicate : copies:int -> Dfg.Graph.t -> (Dfg.Graph.t, Diag.t) result
 (** [copies] renamed instances of the graph side by side (suffix [_i<k>]),
     reading disjoint primary inputs — the generalisation of §5.5.2's "new
     DFG consisting of two instances". The instances share no values; the
     overlap in time comes from scheduling, not from dataflow.
 
-    @raise Invalid_argument when [copies < 1].
-    @raise Failure if the input graph was valid but renaming broke it
-    (cannot happen for graphs built through {!Dfg.Graph.Builder}). *)
+    Errors: an [Input] diagnostic when [copies < 1]; an [Internal] one if
+    renaming broke an otherwise valid graph (cannot happen for graphs built
+    through {!Dfg.Graph.Builder}). *)
 
-val double : ?suffixes:string * string -> Dfg.Graph.t -> Dfg.Graph.t
+val double :
+  ?suffixes:string * string -> Dfg.Graph.t -> (Dfg.Graph.t, Diag.t) result
 (** {!replicate}[ ~copies:2], with custom instance suffixes. *)
 
 val unfold :
   Schedule.t -> latency:int -> ?instances:int -> unit ->
-  (Schedule.t, string) result
+  (Schedule.t, Diag.t) result
 (** Materialise a folded schedule as overlapped loop initiations: instance
     [k] of the body starts [k*latency] steps after instance 0, on the same
     unit columns. The result is an ordinary (unfolded) schedule over

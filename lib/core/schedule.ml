@@ -161,10 +161,12 @@ let check t =
       done);
   match !errs with [] -> Ok () | l -> Error (List.rev l)
 
-let check_exn t =
+let check_diag t =
   match check t with
-  | Ok () -> ()
-  | Error errs -> failwith (String.concat "; " errs)
+  | Ok () -> Ok ()
+  | Error errs ->
+      Error
+        (Diag.internal ~code:"schedule.invalid" (String.concat "; " errs))
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>schedule over %d steps:@," t.cs;

@@ -43,8 +43,9 @@ val check : t -> (unit, string list) result
     modulo-latency conflicts of functional pipelining. Mutually-exclusive
     operations may overlap when the configuration allows sharing. *)
 
-val check_exn : t -> unit
-(** @raise Failure with the concatenated violations. *)
+val check_diag : t -> (unit, Diag.t) result
+(** {!check} folded into a single [schedule.invalid] internal diagnostic —
+    a produced-then-invalid schedule is always a bug, never bad input. *)
 
 val pp : Format.formatter -> t -> unit
 (** Placement-table listing: one line per step per class. *)

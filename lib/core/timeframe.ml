@@ -10,7 +10,11 @@ let step_admissible cfg g ~start ~offset i s =
       let eps = 1e-9 in
       let rec go off = function
         | [] ->
-            if off +. prop_delay (kind i) <= clock +. eps then Some off
+            (* A multi-cycle operation spans several periods by design and
+               registers per stage: the single-period fit test applies to
+               combinational (1-cycle) operations only. *)
+            if d i > 1 then Some off
+            else if off +. prop_delay (kind i) <= clock +. eps then Some off
             else None
         | p :: rest ->
             if s >= start.(p) + d p then go off rest
@@ -24,7 +28,10 @@ let bounds cfg g ~cs =
   match cfg.Config.chaining with
   | None -> Dfg.Bounds.compute ~delays:(Config.delay cfg) g ~cs
   | Some { Config.prop_delay; clock } -> (
-      match Dfg.Bounds.compute_chained ~prop_delay ~clock g ~cs with
+      match
+        Dfg.Bounds.compute_chained ~delays:(Config.delay cfg) ~prop_delay
+          ~clock g ~cs
+      with
       | Error _ as e -> e
       | Ok ch ->
           Ok
@@ -38,7 +45,10 @@ let min_cs cfg g =
   match cfg.Config.chaining with
   | None -> max 1 (Dfg.Bounds.critical_path ~delays:(Config.delay cfg) g)
   | Some { Config.prop_delay; clock } -> (
-      match Dfg.Bounds.chained_critical_path ~prop_delay ~clock g with
+      match
+        Dfg.Bounds.chained_critical_path ~delays:(Config.delay cfg)
+          ~prop_delay ~clock g
+      with
       | Ok v -> max 1 v
       | Error _ ->
           max 1 (Dfg.Bounds.critical_path ~delays:(Config.delay cfg) g))

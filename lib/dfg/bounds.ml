@@ -92,10 +92,14 @@ type chained = {
 
 let eps = 1e-9
 
-let check_fits ~prop_delay ~clock g =
+let check_fits ?(delays = unit_delays) ~prop_delay ~clock g =
+  (* Multi-cycle operations span several clock periods by design; the
+     single-period fit requirement applies to combinational (1-cycle)
+     operations only. *)
   let offender =
     List.find_opt
-      (fun nd -> prop_delay nd.Graph.kind > clock +. eps)
+      (fun nd ->
+        delay_of delays nd = 1 && prop_delay nd.Graph.kind > clock +. eps)
       (Graph.nodes g)
   in
   match offender with
@@ -108,41 +112,54 @@ let check_fits ~prop_delay ~clock g =
            (prop_delay nd.Graph.kind) clock)
   | None -> Ok ()
 
-let chained_asap ~prop_delay ~clock g =
+let chained_asap ?(delays = unit_delays) ~prop_delay ~clock g =
   let n = Graph.num_nodes g in
   let start = Array.make n (1, 0.0) in
   List.iter
     (fun i ->
       let nd = Graph.node g i in
       let d = prop_delay nd.Graph.kind in
-      (* Ready time of the latest-arriving operand, as (step, offset). *)
+      let di = delay_of delays nd in
+      (* Ready time of the latest-arriving operand, as (step, offset). An
+         edge chains only between two 1-cycle operations; a multi-cycle
+         producer (or consumer) registers the value, making it available at
+         offset 0 of the step after the producer finishes. *)
       let step, off =
         List.fold_left
           (fun (bs, bo) p ->
             let ps, po = start.(p) in
-            let pd = prop_delay (Graph.node g p).Graph.kind in
-            let fs, fo = (ps, po +. pd) in
+            let pnd = Graph.node g p in
+            let pd = prop_delay pnd.Graph.kind in
+            let pdi = delay_of delays pnd in
+            let fs, fo =
+              if pdi = 1 && di = 1 then (ps, po +. pd)
+              else (ps + pdi, 0.0)
+            in
             if fs > bs || (fs = bs && fo > bo) then (fs, fo) else (bs, bo))
           (1, 0.0) (Graph.preds g i)
       in
-      if off +. d <= clock +. eps then start.(i) <- (step, off)
+      if di = 1 && off +. d <= clock +. eps then start.(i) <- (step, off)
+      else if off <= eps then start.(i) <- (step, 0.0)
       else start.(i) <- (step + 1, 0.0))
     (Graph.topological g);
   start
 
-let chained_critical_path ~prop_delay ~clock g =
-  match check_fits ~prop_delay ~clock g with
+let chained_critical_path ?(delays = unit_delays) ~prop_delay ~clock g =
+  match check_fits ~delays ~prop_delay ~clock g with
   | Error _ as e -> e
   | Ok () ->
-      let start = chained_asap ~prop_delay ~clock g in
-      Ok (Array.fold_left (fun acc (s, _) -> max acc s) 0 start)
+      let start = chained_asap ~delays ~prop_delay ~clock g in
+      let finish i (s, _) = s + delay_of delays (Graph.node g i) - 1 in
+      let cp = ref 0 in
+      Array.iteri (fun i pos -> cp := max !cp (finish i pos)) start;
+      Ok !cp
 
-let compute_chained ~prop_delay ~clock g ~cs =
-  match check_fits ~prop_delay ~clock g with
+let compute_chained ?(delays = unit_delays) ~prop_delay ~clock g ~cs =
+  match check_fits ~delays ~prop_delay ~clock g with
   | Error _ as e -> e
   | Ok () ->
       let n = Graph.num_nodes g in
-      let ch_asap = chained_asap ~prop_delay ~clock g in
+      let ch_asap = chained_asap ~delays ~prop_delay ~clock g in
       (* Backward pass: latest (step, start offset) such that every successor
          still meets its own latest start. *)
       let ch_alap = Array.make n (cs, 0.0) in
@@ -151,20 +168,30 @@ let compute_chained ~prop_delay ~clock g ~cs =
         (fun i ->
           let nd = Graph.node g i in
           let d = prop_delay nd.Graph.kind in
+          let di = delay_of delays nd in
           let latest =
             match Graph.succs g i with
-            | [] -> (cs, clock -. d)
+            | [] ->
+                (cs - di + 1, if di = 1 then clock -. d else 0.0)
             | ss ->
                 List.fold_left
                   (fun (bs, bo) s ->
                     let ls, lo = ch_alap.(s) in
+                    let ds = delay_of delays (Graph.node g s) in
                     (* Finish no later than the successor's latest start:
-                       either chain within the successor's step, or complete
-                       by the end of the previous step. *)
-                    let cand_chain = (ls, lo -. d) in
-                    let cand_prev = (ls - 1, clock -. d) in
+                       chain within the successor's step (1-cycle pair
+                       only), or complete by the end of the step before the
+                       successor starts — [di] steps earlier for a
+                       multi-cycle producer. *)
                     let cand =
-                      if snd cand_chain >= -.eps then cand_chain else cand_prev
+                      if di = 1 && ds = 1 then begin
+                        let cand_chain = (ls, lo -. d) in
+                        let cand_prev = (ls - 1, clock -. d) in
+                        if snd cand_chain >= -.eps then cand_chain
+                        else cand_prev
+                      end
+                      else if di = 1 then (ls - 1, clock -. d)
+                      else (ls - di, 0.0)
                     in
                     if fst cand < bs || (fst cand = bs && snd cand < bo) then
                       cand

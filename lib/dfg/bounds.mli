@@ -48,12 +48,15 @@ type chained = {
 }
 
 val compute_chained :
-  prop_delay:(Op.kind -> float) -> clock:float -> Graph.t -> cs:int ->
-  (chained, string) result
-(** Chaining-aware frames. Each operation must individually fit in the clock
-    period; [Error] otherwise, or when the chained critical path exceeds
-    [cs]. *)
+  ?delays:delays -> prop_delay:(Op.kind -> float) -> clock:float ->
+  Graph.t -> cs:int -> (chained, string) result
+(** Chaining-aware frames. Each 1-cycle operation must individually fit in
+    the clock period; [Error] otherwise, or when the chained critical path
+    exceeds [cs]. With [delays], multi-cycle operations occupy their full
+    span and never chain — their edges register the value, available at
+    offset 0 of the following step. *)
 
 val chained_critical_path :
-  prop_delay:(Op.kind -> float) -> clock:float -> Graph.t -> (int, string) result
-(** Minimum step count with chaining. *)
+  ?delays:delays -> prop_delay:(Op.kind -> float) -> clock:float ->
+  Graph.t -> (int, string) result
+(** Minimum step count with chaining (and multi-cycle [delays]). *)

@@ -1,5 +1,9 @@
 (* Lexer -> recursive-descent parser (precedence climbing) -> elaboration
-   into Graph.Builder, with guards accumulated along conditional blocks. *)
+   into Graph.Builder, with guards accumulated along conditional blocks.
+   Every token carries its line/column, so rejections are typed diagnostics
+   with a real source span. *)
+
+type pos = { pl : int; pc : int }
 
 type token =
   | Ident of string
@@ -9,11 +13,18 @@ type token =
   | Kw_if
   | Kw_else
 
-type located = { tok : token; line : int }
+type located = { tok : token; at : pos }
 
-exception Fail of string
+exception Fail of Diag.t
 
-let fail line fmt = Printf.ksprintf (fun s -> raise (Fail (Printf.sprintf "line %d: %s" line s))) fmt
+let fail_at ?(code = "beh.syntax") at fmt =
+  Printf.ksprintf
+    (fun s ->
+      raise (Fail (Diag.input ~code ~span:(Diag.point ~line:at.pl ~col:at.pc) s)))
+    fmt
+
+let fail_eof ?(code = "beh.syntax") fmt =
+  Printf.ksprintf (fun s -> raise (Fail (Diag.input ~code s))) fmt
 
 (* --- lexing ------------------------------------------------------------ *)
 
@@ -25,13 +36,16 @@ let lex src =
   let n = String.length src in
   let toks = ref [] in
   let line = ref 1 in
+  let bol = ref 0 in
   let i = ref 0 in
-  let push tok = toks := { tok; line = !line } :: !toks in
+  let pos_of k = { pl = !line; pc = k - !bol + 1 } in
+  let push ~at:k tok = toks := { tok; at = pos_of k } :: !toks in
   while !i < n do
     let c = src.[!i] in
     if c = '\n' then begin
       incr line;
-      incr i
+      incr i;
+      bol := !i
     end
     else if c = ' ' || c = '\t' || c = '\r' then incr i
     else if c = '#' || (c = '/' && !i + 1 < n && src.[!i + 1] = '/') then begin
@@ -40,7 +54,7 @@ let lex src =
     else if is_digit c then begin
       let j = ref !i in
       while !j < n && is_digit src.[!j] do incr j done;
-      push (Number (int_of_string (String.sub src !i (!j - !i))));
+      push ~at:!i (Number (int_of_string (String.sub src !i (!j - !i))));
       i := !j
     end
     else if is_ident_start c then begin
@@ -48,10 +62,10 @@ let lex src =
       while !j < n && is_ident src.[!j] do incr j done;
       let word = String.sub src !i (!j - !i) in
       (match word with
-      | "input" -> push Kw_input
-      | "if" -> push Kw_if
-      | "else" -> push Kw_else
-      | _ -> push (Ident word));
+      | "input" -> push ~at:!i Kw_input
+      | "if" -> push ~at:!i Kw_if
+      | "else" -> push ~at:!i Kw_else
+      | _ -> push ~at:!i (Ident word));
       i := !j
     end
     else begin
@@ -60,15 +74,15 @@ let lex src =
       in
       match two with
       | "<=" | ">=" | "==" | "!=" | "<<" | ">>" ->
-          push (Sym two);
+          push ~at:!i (Sym two);
           i := !i + 2
       | _ -> (
           match c with
           | '+' | '-' | '*' | '/' | '%' | '&' | '|' | '^' | '~' | '<' | '>'
           | '=' | '(' | ')' | '{' | '}' | ';' | ',' ->
-              push (Sym (String.make 1 c));
+              push ~at:!i (Sym (String.make 1 c));
               incr i
-          | _ -> fail !line "unexpected character %C" c)
+          | _ -> fail_at (pos_of !i) "unexpected character %C" c)
     end
   done;
   List.rev !toks
@@ -76,15 +90,15 @@ let lex src =
 (* --- parsing ------------------------------------------------------------ *)
 
 type expr =
-  | Var of string * int  (* name, line *)
-  | Const of int * int
-  | Unop of Op.kind * expr * int
-  | Binop of Op.kind * expr * expr * int
+  | Var of string * pos
+  | Const of int * pos
+  | Unop of Op.kind * expr * pos
+  | Binop of Op.kind * expr * expr * pos
 
 type stmt =
-  | Input of string list * int
-  | Assign of string * expr * int
-  | If of expr * stmt list * stmt list * int
+  | Input of string list * pos
+  | Assign of string * expr * pos
+  | If of expr * stmt list * stmt list * pos
 
 type stream = { mutable rest : located list }
 
@@ -94,8 +108,8 @@ let advance s = match s.rest with [] -> () | _ :: r -> s.rest <- r
 let expect_sym s sym =
   match peek s with
   | Some { tok = Sym x; _ } when x = sym -> advance s
-  | Some { line; _ } -> fail line "expected %S" sym
-  | None -> fail 0 "unexpected end of input, expected %S" sym
+  | Some { at; _ } -> fail_at at "expected %S" sym
+  | None -> fail_eof "unexpected end of input, expected %S" sym
 
 
 (* Binary operator table: (symbol, kind, precedence); all left-assoc. *)
@@ -109,37 +123,37 @@ let binops =
 
 let rec parse_primary s =
   match peek s with
-  | Some { tok = Number v; line } ->
+  | Some { tok = Number v; at } ->
       advance s;
-      Const (v, line)
-  | Some { tok = Ident name; line } ->
+      Const (v, at)
+  | Some { tok = Ident name; at } ->
       advance s;
-      Var (name, line)
+      Var (name, at)
   | Some { tok = Sym "("; _ } ->
       advance s;
       let e = parse_expr s 0 in
       expect_sym s ")";
       e
-  | Some { tok = Sym "-"; line } ->
+  | Some { tok = Sym "-"; at } ->
       advance s;
-      Unop (Op.Neg, parse_primary s, line)
-  | Some { tok = Sym "~"; line } ->
+      Unop (Op.Neg, parse_primary s, at)
+  | Some { tok = Sym "~"; at } ->
       advance s;
-      Unop (Op.Not, parse_primary s, line)
-  | Some { line; _ } -> fail line "expected an expression"
-  | None -> fail 0 "unexpected end of input in expression"
+      Unop (Op.Not, parse_primary s, at)
+  | Some { at; _ } -> fail_at at "expected an expression"
+  | None -> fail_eof "unexpected end of input in expression"
 
 and parse_expr s min_prec =
   let lhs = ref (parse_primary s) in
   let continue_ = ref true in
   while !continue_ do
     match peek s with
-    | Some { tok = Sym sym; line } -> (
+    | Some { tok = Sym sym; at } -> (
         match List.find_opt (fun (x, _, _) -> x = sym) binops with
         | Some (_, kind, prec) when prec >= min_prec ->
             advance s;
             let rhs = parse_expr s (prec + 1) in
-            lhs := Binop (kind, !lhs, rhs, line)
+            lhs := Binop (kind, !lhs, rhs, at)
         | _ -> continue_ := false)
     | _ -> continue_ := false
   done;
@@ -152,7 +166,7 @@ let rec parse_stmts s stop_at_brace =
     match peek s with
     | None -> continue_ := false
     | Some { tok = Sym "}"; _ } when stop_at_brace -> continue_ := false
-    | Some { tok = Kw_input; line } ->
+    | Some { tok = Kw_input; at } ->
         advance s;
         let rec names acc =
           match peek s with
@@ -163,13 +177,13 @@ let rec parse_stmts s stop_at_brace =
                   advance s;
                   names (n :: acc)
               | _ -> List.rev (n :: acc))
-          | Some { line; _ } -> fail line "expected an input name"
-          | None -> fail line "unexpected end of input declaration"
+          | Some { at; _ } -> fail_at at "expected an input name"
+          | None -> fail_eof "unexpected end of input declaration"
         in
         let ns = names [] in
         expect_sym s ";";
-        out := Input (ns, line) :: !out
-    | Some { tok = Kw_if; line } ->
+        out := Input (ns, at) :: !out
+    | Some { tok = Kw_if; at } ->
         advance s;
         expect_sym s "(";
         let cond = parse_expr s 0 in
@@ -187,18 +201,18 @@ let rec parse_stmts s stop_at_brace =
               b
           | _ -> []
         in
-        out := If (cond, then_branch, else_branch, line) :: !out
-    | Some { tok = Ident name; line } -> (
+        out := If (cond, then_branch, else_branch, at) :: !out
+    | Some { tok = Ident name; at } -> (
         advance s;
         match peek s with
         | Some { tok = Sym "="; _ } ->
             advance s;
             let e = parse_expr s 0 in
             expect_sym s ";";
-            out := Assign (name, e, line) :: !out
-        | Some { line; _ } -> fail line "expected '=' after %S" name
-        | None -> fail line "unexpected end after %S" name)
-    | Some { line; _ } -> fail line "expected a statement"
+            out := Assign (name, e, at) :: !out
+        | Some { at; _ } -> fail_at at "expected '=' after %S" name
+        | None -> fail_eof "unexpected end after %S" name)
+    | Some { at; _ } -> fail_at at "expected a statement"
   done;
   List.rev !out
 
@@ -211,14 +225,15 @@ type env = {
   mutable fresh : int;
 }
 
-let define env name line =
-  if List.mem name env.defined then fail line "name %S assigned twice" name
+let define env name at =
+  if List.mem name env.defined then
+    fail_at ~code:"beh.reassigned" at "name %S assigned twice" name
   else env.defined <- name :: env.defined
 
 let temp env =
   let name = Printf.sprintf "_t%d" env.fresh in
   env.fresh <- env.fresh + 1;
-  define env name 0;
+  env.defined <- name :: env.defined;
   name
 
 let const_name v =
@@ -236,9 +251,9 @@ let ensure_const env v =
 let rec lower env guards ?name_hint e =
   match e with
   | Const (v, _) -> ensure_const env v
-  | Var (name, line) ->
+  | Var (name, at) ->
       if not (List.mem name env.defined) then
-        fail line "name %S is not defined here" name
+        fail_at ~code:"beh.undefined" at "name %S is not defined here" name
       else if name_hint = None then name
       else begin
         (* x = y; materialise as a move so the assigned name exists. *)
@@ -262,16 +277,18 @@ let rec elaborate env guards stmts =
   List.iter
     (fun stmt ->
       match stmt with
-      | Input (names, line) ->
-          if guards <> [] then fail line "inputs cannot be declared inside if"
+      | Input (names, at) ->
+          if guards <> [] then
+            fail_at ~code:"beh.input-in-if" at
+              "inputs cannot be declared inside if"
           else
             List.iter
               (fun n ->
-                define env n line;
+                define env n at;
                 Graph.Builder.add_input env.builder n)
               names
-      | Assign (name, e, line) ->
-          define env name line;
+      | Assign (name, e, at) ->
+          define env name at;
           (* [define] first so self-reference is caught as a cycle later;
              remove-then-lower keeps "not defined here" errors precise. *)
           env.defined <- List.filter (fun x -> x <> name) env.defined;
@@ -297,46 +314,49 @@ and assigned_names stmts =
     stmts
 
 and rename_expr names suffix = function
-  | Var (n, line) when List.mem n names -> Var (n ^ suffix, line)
+  | Var (n, at) when List.mem n names -> Var (n ^ suffix, at)
   | (Var _ | Const _) as e -> e
-  | Unop (k, e, line) -> Unop (k, rename_expr names suffix e, line)
-  | Binop (k, a, b, line) ->
-      Binop (k, rename_expr names suffix a, rename_expr names suffix b, line)
+  | Unop (k, e, at) -> Unop (k, rename_expr names suffix e, at)
+  | Binop (k, a, b, at) ->
+      Binop (k, rename_expr names suffix a, rename_expr names suffix b, at)
 
 and rename_stmt names suffix = function
-  | Assign (name, e, line) ->
+  | Assign (name, e, at) ->
       Assign
         ( (if List.mem name names then name ^ suffix else name),
           rename_expr names suffix e,
-          line )
-  | If (c, t, e, line) ->
+          at )
+  | If (c, t, e, at) ->
       If
         ( rename_expr names suffix c,
           List.map (rename_stmt names suffix) t,
           List.map (rename_stmt names suffix) e,
-          line )
+          at )
   | Input _ as s -> s
 
 let compile src =
   match lex src with
-  | exception Fail msg -> Error msg
+  | exception Fail d -> Error d
   | toks -> (
       let s = { rest = toks } in
       match parse_stmts s false with
-      | exception Fail msg -> Error msg
+      | exception Fail d -> Error d
       | stmts -> (
           let env =
             { builder = Graph.Builder.create (); defined = []; consts = [];
               fresh = 0 }
           in
           match elaborate env [] stmts with
-          | exception Fail msg -> Error msg
-          | () -> Graph.Builder.build env.builder))
+          | exception Fail d -> Error d
+          | () ->
+              Result.map_error
+                (Diag.input ~code:"beh.invalid-graph")
+                (Graph.Builder.build env.builder)))
 
 let compile_file path =
   match In_channel.with_open_text path In_channel.input_all with
-  | src -> compile src
-  | exception Sys_error msg -> Error msg
+  | src -> Result.map_error (Diag.with_file path) (compile src)
+  | exception Sys_error msg -> Error (Diag.input ~code:"io.read" msg)
 
 let const_env g =
   List.filter_map

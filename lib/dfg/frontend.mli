@@ -31,10 +31,13 @@
 
     Compound expressions introduce temporaries named [_t0], [_t1], ... *)
 
-val compile : string -> (Graph.t, string) result
-(** Compile a behavioural source text. Errors carry the line number. *)
+val compile : string -> (Graph.t, Diag.t) result
+(** Compile a behavioural source text. Diagnostics carry a line/column
+    span. *)
 
-val compile_file : string -> (Graph.t, string) result
+val compile_file : string -> (Graph.t, Diag.t) result
+(** Like {!compile}; diagnostics carry the file name, and an unreadable
+    file is an [io.read] input diagnostic. *)
 
 val const_env : Graph.t -> (string * int) list
 (** Bindings for the implicit constant inputs ([("c3", 3)], ...) — prepend

@@ -1,12 +1,33 @@
-let split_words line =
-  String.split_on_char ' ' line
-  |> List.concat_map (String.split_on_char '\t')
-  |> List.filter (fun w -> w <> "")
+(* Line-oriented DFG reader. Words are tracked with their source columns so
+   every rejection carries a real span; lines are normalised for CRLF
+   endings before splitting, so Windows-edited files parse identically. *)
 
-let strip_comment line =
-  match String.index_opt line '#' with
-  | None -> line
-  | Some i -> String.sub line 0 i
+type word = { w : string; col : int }
+
+let is_space c = c = ' ' || c = '\t'
+
+(* Words of [line] with their 1-based start columns; comments stripped. *)
+let split_words line =
+  let line =
+    match String.index_opt line '#' with
+    | None -> line
+    | Some i -> String.sub line 0 i
+  in
+  let n = String.length line in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else if is_space line.[i] then go (i + 1) acc
+    else begin
+      let j = ref i in
+      while !j < n && not (is_space line.[!j]) do incr j done;
+      go !j ({ w = String.sub line i (!j - i); col = i + 1 } :: acc)
+    end
+  in
+  go 0 []
+
+let strip_cr line =
+  let n = String.length line in
+  if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
 
 let parse_guard w =
   if String.length w > 1 && w.[0] = '!' then
@@ -15,42 +36,130 @@ let parse_guard w =
 
 let rec split_at_sign acc = function
   | [] -> (List.rev acc, [])
-  | "@" :: rest -> (List.rev acc, rest)
+  | { w = "@"; _ } :: rest -> (List.rev acc, rest)
   | w :: rest -> split_at_sign (w :: acc) rest
 
+type row = {
+  r_name : word;
+  r_kind : Op.kind;
+  r_args : word list;
+  r_guards : (word * bool) list;
+  r_line : int;
+}
+
+let err ~line word ~code fmt =
+  Printf.ksprintf
+    (fun s ->
+      Error (Diag.input ~span:(Diag.span_of_word ~line ~col:word.col word.w) ~code s))
+    fmt
+
 let parse src =
-  let b = Graph.Builder.create () in
-  let lines = String.split_on_char '\n' src in
-  let err lineno msg = Error (Printf.sprintf "line %d: %s" lineno msg) in
-  let rec go lineno = function
-    | [] -> Graph.Builder.build b
+  let lines = List.map strip_cr (String.split_on_char '\n' src) in
+  (* First pass: collect declarations, with spans. *)
+  let rec collect lineno inputs rows = function
+    | [] -> Ok (List.rev inputs, List.rev rows)
     | line :: rest -> (
-        let words = split_words (strip_comment line) in
-        match words with
-        | [] -> go (lineno + 1) rest
-        | "input" :: names ->
-            if names = [] then err lineno "input declaration without names"
-            else begin
-              List.iter (Graph.Builder.add_input b) names;
-              go (lineno + 1) rest
-            end
-        | name :: "=" :: op :: tail -> (
-            match Op.of_string op with
-            | None -> err lineno (Printf.sprintf "unknown operation %S" op)
+        match split_words line with
+        | [] -> collect (lineno + 1) inputs rows rest
+        | { w = "input"; col } :: names ->
+            if names = [] then
+              err ~line:lineno { w = "input"; col } ~code:"parse.empty-input"
+                "input declaration without names"
+            else
+              collect (lineno + 1)
+                (List.rev_append
+                   (List.map (fun n -> (n, lineno)) names)
+                   inputs)
+                rows rest
+        | name :: { w = "="; _ } :: op :: tail -> (
+            match Op.of_string op.w with
+            | None ->
+                err ~line:lineno op ~code:"parse.unknown-op"
+                  "unknown operation %S" op.w
             | Some kind ->
                 let args, guard_words = split_at_sign [] tail in
-                let guards = List.map parse_guard guard_words in
-                Graph.Builder.add_op ~guards b ~name kind args;
-                go (lineno + 1) rest)
+                let guards =
+                  List.map
+                    (fun gw ->
+                      let name, arm = parse_guard gw.w in
+                      ( { w = name; col = (gw.col + if arm then 0 else 1) },
+                        arm ))
+                    guard_words
+                in
+                collect (lineno + 1) inputs
+                  ({ r_name = name; r_kind = kind; r_args = args;
+                     r_guards = guards; r_line = lineno }
+                  :: rows)
+                  rest)
         | w :: _ ->
-            err lineno (Printf.sprintf "cannot parse declaration near %S" w))
+            err ~line:lineno w ~code:"parse.bad-declaration"
+              "cannot parse declaration near %S" w.w)
   in
-  go 1 lines
+  match collect 1 [] [] lines with
+  | Error _ as e -> e
+  | Ok (inputs, rows) -> (
+      (* Second pass: span-carrying validation of names, operand references
+         and arities. Operand references may be forward, so they resolve
+         against the full set of declared names. *)
+      let defined = Hashtbl.create 32 in
+      List.iter (fun (n, _) -> Hashtbl.replace defined n.w ()) inputs;
+      List.iter (fun r -> Hashtbl.replace defined r.r_name.w ()) rows;
+      let seen = Hashtbl.create 32 in
+      List.iter (fun (n, _) -> Hashtbl.replace seen n.w `Input) inputs;
+      let check_row r =
+        (match Hashtbl.find_opt seen r.r_name.w with
+        | Some _ ->
+            err ~line:r.r_line r.r_name ~code:"parse.duplicate-name"
+              "value %S is defined twice" r.r_name.w
+        | None ->
+            Hashtbl.replace seen r.r_name.w `Op;
+            Ok ())
+        |> function
+        | Error _ as e -> e
+        | Ok () -> (
+            let expected = Op.arity r.r_kind in
+            if List.length r.r_args <> expected then
+              err ~line:r.r_line r.r_name ~code:"parse.arity"
+                "operation %s takes %d operand(s), got %d"
+                (Op.to_string r.r_kind) expected (List.length r.r_args)
+            else
+              let bad_ref =
+                List.find_opt
+                  (fun a -> not (Hashtbl.mem defined a.w))
+                  (r.r_args @ List.map fst r.r_guards)
+              in
+              match bad_ref with
+              | Some a ->
+                  err ~line:r.r_line a ~code:"parse.unknown-value"
+                    "operand %S names no input or operation" a.w
+              | None -> Ok ())
+      in
+      let rec check = function
+        | [] -> Ok ()
+        | r :: rest -> ( match check_row r with Ok () -> check rest | e -> e)
+      in
+      match check rows with
+      | Error _ as e -> e
+      | Ok () -> (
+          let b = Graph.Builder.create () in
+          List.iter (fun (n, _) -> Graph.Builder.add_input b n.w) inputs;
+          List.iter
+            (fun r ->
+              Graph.Builder.add_op
+                ~guards:(List.map (fun (gw, arm) -> (gw.w, arm)) r.r_guards)
+                b ~name:r.r_name.w r.r_kind
+                (List.map (fun a -> a.w) r.r_args))
+            rows;
+          (* Whole-graph properties (cycles, guard scoping) have no single
+             source position. *)
+          match Graph.Builder.build b with
+          | Ok g -> Ok g
+          | Error msg -> Error (Diag.input ~code:"parse.invalid-graph" msg)))
 
 let parse_file path =
   match In_channel.with_open_text path In_channel.input_all with
-  | src -> parse src
-  | exception Sys_error msg -> Error msg
+  | src -> Result.map_error (Diag.with_file path) (parse src)
+  | exception Sys_error msg -> Error (Diag.input ~code:"io.read" msg)
 
 let to_source g =
   let buf = Buffer.create 256 in

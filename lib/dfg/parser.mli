@@ -8,18 +8,23 @@
     v}
     where [<op>] is an {!Op.kind} mnemonic or symbol ([mul] or [*]), and a
     guard is a condition value name, prefixed with [!] for the false arm.
-    Example:
+    Lines may end in LF or CRLF. Example:
     {v
     input x dx three
     m1 = * three x
     s1 = + m1 dx @ !c
-    v} *)
+    v}
 
-val parse : string -> (Graph.t, string) result
-(** Parse a whole source text. Errors are prefixed with the line number. *)
+    Rejections are typed diagnostics: word-level errors (unknown operation,
+    arity mismatch, unresolved operand, duplicate definition) carry a
+    line/column span pointing at the offending word; whole-graph errors
+    (cycles, guard scoping) are span-less. *)
 
-val parse_file : string -> (Graph.t, string) result
-(** Read and parse a file; I/O failures are returned as [Error]. *)
+val parse : string -> (Graph.t, Diag.t) result
+
+val parse_file : string -> (Graph.t, Diag.t) result
+(** Like {!parse}; diagnostics carry the file name, and an unreadable file
+    is an [io.read] input diagnostic. *)
 
 val to_source : Graph.t -> string
 (** Render a graph back to the textual format; [parse (to_source g)]

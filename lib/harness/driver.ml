@@ -1,0 +1,342 @@
+type options = {
+  cs : int;
+  limits : (string * int) list;
+  two_cycle : bool;
+  pipelined : bool;
+  latency : int option;
+  clock : float option;
+  style2 : bool;
+  cse : bool;
+}
+
+let default_options =
+  {
+    cs = 0;
+    limits = [];
+    two_cycle = false;
+    pipelined = false;
+    latency = None;
+    clock = None;
+    style2 = false;
+    cse = false;
+  }
+
+let options_to_flags o =
+  let b flag on acc = if on then flag :: acc else acc in
+  []
+  |> b "--cse" o.cse
+  |> b "--two-cycle-mult" o.two_cycle
+  |> b "--pipelined-mult" o.pipelined
+  |> b "--style 2" o.style2
+  |> (fun acc ->
+       match o.clock with
+       | None -> acc
+       | Some c -> Printf.sprintf "--clock %g" c :: acc)
+  |> (fun acc ->
+       match o.latency with
+       | None -> acc
+       | Some l -> Printf.sprintf "--latency %d" l :: acc)
+  |> (fun acc ->
+       List.fold_left
+         (fun acc (c, k) -> Printf.sprintf "--limit '%s=%d'" c k :: acc)
+         acc o.limits)
+  |> (fun acc -> if o.cs > 0 then Printf.sprintf "--cs %d" o.cs :: acc else acc)
+  |> String.concat " "
+
+type budgets = { stage_seconds : float; sim_runs : int }
+
+let default_budgets = { stage_seconds = 5.0; sim_runs = 5 }
+
+type via = Primary | Fallback of string
+
+type stage_report = {
+  stage : string;
+  seconds : float;
+  over_budget : bool;
+  note : string;
+}
+
+type outcome = {
+  schedule : Core.Schedule.t option;
+  sched_via : via;
+  bind_via : via option;
+  stopped : Diag.t option;
+  violations : Diag.t list;
+  fault_applied : bool;
+  stages : stage_report list;
+}
+
+(* Wall-clock per stage; CPU time is a lie under contention and the budget
+   is meant to catch hangs-in-the-making, not cycles. *)
+let now () = Unix.gettimeofday ()
+
+let make_library g ~two_cycle ~pipelined =
+  let lib = Celllib.Ncr.for_graph g in
+  if pipelined then Celllib.Ncr.pipelined_multiplier lib
+  else if two_cycle then Celllib.Ncr.two_cycle_multiplier lib
+  else lib
+
+let make_config lib ~clock ~latency =
+  let cfg = Core.Config.of_library lib in
+  let cfg =
+    match clock with
+    | None -> cfg
+    | Some clk ->
+        {
+          cfg with
+          Core.Config.chaining =
+            Some
+              {
+                Core.Config.prop_delay = lib.Celllib.Library.prop_delay;
+                clock = clk;
+              };
+        }
+  in
+  { cfg with Core.Config.functional_latency = latency }
+
+(* Column-packed binding from a schedule's FU columns, for the MFSA
+   fallback: every (class, column) pair becomes one single-function ALU
+   instance. [fu_class] is injective per kind here, so each group is
+   kind-homogeneous. *)
+let colbind_datapath lib config g s =
+  let col =
+    match s.Core.Schedule.col with
+    | Some c -> c
+    | None -> Baselines.Colbind.columns config g ~start:s.Core.Schedule.start
+  in
+  let groups = Hashtbl.create 16 in
+  List.iter
+    (fun nd ->
+      let key = (nd.Dfg.Graph.kind, col.(nd.Dfg.Graph.id)) in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt groups key) in
+      Hashtbl.replace groups key (nd.Dfg.Graph.id :: prev))
+    (Dfg.Graph.nodes g);
+  let assignments =
+    Hashtbl.fold
+      (fun (kind, _) ids acc ->
+        (Celllib.Library.single_function lib kind, List.rev ids) :: acc)
+      groups []
+  in
+  let delay i =
+    Core.Config.delay config (Dfg.Graph.node g i).Dfg.Graph.kind
+  in
+  Rtl.Datapath.elaborate g ~start:s.Core.Schedule.start ~delay
+    ~cs:s.Core.Schedule.cs ~assignments
+
+let run ?fault ?(budgets = default_budgets) ?(options = default_options) g0 =
+  let stages = ref [] in
+  let violations = ref [] in
+  let fault_applied = ref false in
+  let violate d = violations := d :: !violations in
+  let timed name ?(note = "") f =
+    let t0 = now () in
+    let r = f () in
+    let dt = now () -. t0 in
+    stages :=
+      {
+        stage = name;
+        seconds = dt;
+        over_budget = dt > budgets.stage_seconds;
+        note;
+      }
+      :: !stages;
+    r
+  in
+  let annotate note =
+    match !stages with
+    | s :: rest -> stages := { s with note } :: rest
+    | [] -> ()
+  in
+  let finish ?schedule ?(sched_via = Primary) ?bind_via ?stopped () =
+    {
+      schedule;
+      sched_via;
+      bind_via;
+      stopped;
+      violations = List.rev !violations;
+      fault_applied = !fault_applied;
+      stages = List.rev !stages;
+    }
+  in
+  (* --- CSE (optional); a rejection of a builder-valid graph is a CSE
+     defect, noted and survived by continuing with the original graph. *)
+  let g =
+    if not options.cse then g0
+    else
+      timed "cse" (fun () ->
+          match Dfg.Cse.eliminate g0 with
+          | Ok g -> g
+          | Error msg ->
+              violate
+                (Diag.internal ~code:"harness.cse"
+                   ("CSE failed on a valid graph: " ^ msg));
+              g0)
+  in
+  let lib = make_library g ~two_cycle:options.two_cycle ~pipelined:options.pipelined in
+  let config = make_config lib ~clock:options.clock ~latency:options.latency in
+  let cs =
+    if options.cs <= 0 then Core.Timeframe.min_cs config g else options.cs
+  in
+  (* --- Schedule: MFS, degrading to list scheduling + left-edge column
+     packing when MFS hits an internal wall (the defect is still counted —
+     degradation keeps the campaign going, it does not launder bugs). *)
+  let spec =
+    if options.limits = [] then Core.Mfs.Time { cs }
+    else Core.Mfs.Resource { limits = options.limits }
+  in
+  let sched_result =
+    timed "schedule" (fun () ->
+        match Core.Mfs.run ~config g spec with
+        | Ok o -> `Primary (o.Core.Mfs.schedule, o.Core.Mfs.trace)
+        | Error d when Diag.is_bug d -> (
+            violate d;
+            let fb =
+              if options.limits = [] then
+                Baselines.List_sched.time ~config g ~cs
+              else Baselines.List_sched.resource ~config g ~limits:options.limits
+            in
+            match fb with
+            | Ok s ->
+                let col =
+                  Baselines.Colbind.columns config g
+                    ~start:s.Core.Schedule.start
+                in
+                `Fallback { s with Core.Schedule.col = Some col }
+            | Error msg ->
+                `Stop
+                  (Diag.infeasible ~code:"harness.fallback-schedule"
+                     ("list-scheduling fallback also failed: " ^ msg)))
+        | Error d -> `Stop d)
+  in
+  match sched_result with
+  | `Stop d -> finish ~stopped:d ()
+  | (`Primary _ | `Fallback _) as r ->
+      let pristine, trace, sched_via =
+        match r with
+        | `Primary (s, tr) -> (s, Some tr, Primary)
+        | `Fallback s ->
+            annotate "MFS degraded to list scheduling + column packing";
+            (s, None, Fallback "list_sched+colbind")
+      in
+      (* --- Inject (optional): corrupt the artifact the fault targets. *)
+      let sched = ref pristine in
+      let trace = ref trace in
+      timed "inject" (fun () ->
+          match fault with
+          | None -> ()
+          | Some Fault.Corrupt_start -> (
+              match Fault.corrupt_start !sched with
+              | Some s ->
+                  sched := s;
+                  fault_applied := true
+              | None -> ())
+          | Some Fault.Corrupt_col -> (
+              match Fault.corrupt_col !sched with
+              | Some s ->
+                  sched := s;
+                  fault_applied := true
+              | None -> ())
+          | Some Fault.Corrupt_trace -> (
+              match Option.map Fault.corrupt_trace !trace with
+              | Some (Some tr) ->
+                  trace := Some tr;
+                  fault_applied := true
+              | _ -> ())
+          | Some Fault.Skew_delay -> ());
+      (* --- Invariants: schedule validity and Liapunov stability. *)
+      timed "invariants" (fun () ->
+          (match Core.Schedule.check_diag !sched with
+          | Ok () -> ()
+          | Error d -> violate d);
+          match !trace with
+          | None -> ()
+          | Some tr ->
+              if not (Core.Liapunov.Trace.non_increasing tr) then
+                violate
+                  (Diag.internal ~code:"harness.trace-monotone"
+                     "Liapunov trace is not monotone non-increasing");
+              if not (Core.Liapunov.Trace.positive tr) then
+                violate
+                  (Diag.internal ~code:"harness.trace-positive"
+                     "Liapunov trace has a non-positive energy"));
+      (* --- Bind: MFSA, degrading to the schedule's own columns bound as
+         single-function units when MFSA hits an internal wall. *)
+      let style =
+        if options.style2 then Core.Mfsa.No_self_loop
+        else Core.Mfsa.Unrestricted
+      in
+      let bind_result =
+        timed "bind" (fun () ->
+            match Core.Mfsa.run ~config ~style ~library:lib ~cs g with
+            | Ok o -> `Primary o.Core.Mfsa.datapath
+            | Error d when Diag.is_bug d -> (
+                violate d;
+                match colbind_datapath lib config g pristine with
+                | Ok dp -> `Fallback dp
+                | Error msg ->
+                    `Stop
+                      (Diag.internal ~code:"harness.fallback-bind"
+                         ("column-packed binding fallback failed: " ^ msg)))
+            | Error d -> `Stop d)
+      in
+      match bind_result with
+      | `Stop d ->
+          if Diag.is_bug d then begin
+            violate d;
+            finish ~schedule:!sched ~sched_via ()
+          end
+          else finish ~schedule:!sched ~sched_via ~stopped:d ()
+      | (`Primary _ | `Fallback _) as b ->
+          let dp, bind_via =
+            match b with
+            | `Primary dp -> (dp, Primary)
+            | `Fallback dp ->
+                annotate "MFSA degraded to column-packed single-function binding";
+                (dp, Fallback "colbind")
+          in
+          let delay i =
+            Core.Config.delay config (Dfg.Graph.node g i).Dfg.Graph.kind
+          in
+          (* --- Datapath checks, with the skew fault applied to the delay
+             model the checker sees. *)
+          timed "check" (fun () ->
+              let delay =
+                match fault with
+                | Some Fault.Skew_delay -> (
+                    match Fault.skew_delay dp ~delay with
+                    | Some d ->
+                        fault_applied := true;
+                        d
+                    | None -> delay)
+                | _ -> delay
+              in
+              match
+                Rtl.Check.datapath ~style2:options.style2
+                  ~steps_overlap:
+                    (Core.Grid.steps_overlap
+                       ~latency:config.Core.Config.functional_latency)
+                  dp ~delay
+              with
+              | Ok () -> ()
+              | Error ds -> List.iter violate ds);
+          (* --- Controller + simulation vs the golden model. *)
+          let ctrl =
+            timed "controller" (fun () ->
+                match Rtl.Controller.generate dp ~delay with
+                | Ok c -> Some c
+                | Error msg ->
+                    violate
+                      (Diag.internal ~code:"harness.controller"
+                         ("controller generation failed: " ^ msg));
+                    None)
+          in
+          (match ctrl with
+          | None -> ()
+          | Some ctrl ->
+              timed "sim" (fun () ->
+                  match
+                    Sim.Equiv.check_random ~runs:budgets.sim_runs dp ctrl
+                  with
+                  | Ok () -> ()
+                  | Error d -> violate d));
+          finish ~schedule:!sched ~sched_via ~bind_via ()

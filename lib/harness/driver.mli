@@ -1,0 +1,70 @@
+(** Staged pipeline driver with graceful degradation, shared by the fuzz
+    campaign and the CLI.
+
+    Stages: CSE → schedule (MFS) → fault injection → cross-stage
+    invariants → bind (MFSA) → datapath checks → controller → simulation
+    vs the golden model. Each stage is wall-clock timed against a budget;
+    an internal failure in a kernel stage is recorded as a violation and
+    the stage degrades to a baseline ({!Baselines.List_sched} + column
+    packing for MFS, column-packed single-function binding for MFSA), so
+    one defect never hides what the rest of the pipeline would have
+    found. Expected rejections — infeasible budgets, malformed input —
+    stop the run with [stopped] set and are not violations. *)
+
+type options = {
+  cs : int;  (** Time budget; [<= 0] means the critical-path minimum. *)
+  limits : (string * int) list;
+      (** Resource-constrained MFS when non-empty. *)
+  two_cycle : bool;
+  pipelined : bool;
+  latency : int option;
+  clock : float option;
+  style2 : bool;
+  cse : bool;
+}
+
+val default_options : options
+
+val options_to_flags : options -> string
+(** Render as [synth] command-line flags, for reproducer corpus entries. *)
+
+type budgets = {
+  stage_seconds : float;  (** Wall-clock budget per stage. *)
+  sim_runs : int;  (** Fuel for the random-equivalence stage. *)
+}
+
+val default_budgets : budgets
+
+type via = Primary | Fallback of string
+
+type stage_report = {
+  stage : string;
+  seconds : float;
+  over_budget : bool;
+  note : string;
+}
+
+type outcome = {
+  schedule : Core.Schedule.t option;
+  sched_via : via;
+  bind_via : via option;  (** [None] when binding was never reached. *)
+  stopped : Diag.t option;
+      (** Expected early stop (infeasible / bad input); never a bug. *)
+  violations : Diag.t list;
+      (** Internal diagnostics and invariant breaches — the defects. *)
+  fault_applied : bool;
+  stages : stage_report list;  (** In execution order. *)
+}
+
+val run :
+  ?fault:Fault.t -> ?budgets:budgets -> ?options:options -> Dfg.Graph.t ->
+  outcome
+(** Drive one graph through the pipeline. Never raises by design; the
+    fuzz layer still guards against escapes and classifies them as
+    crashes. *)
+
+val colbind_datapath :
+  Celllib.Library.t -> Core.Config.t -> Dfg.Graph.t -> Core.Schedule.t ->
+  (Rtl.Datapath.t, string) result
+(** The MFSA fallback binding, exposed for tests: every (class, column)
+    pair of the schedule becomes one single-function ALU instance. *)

@@ -1,0 +1,29 @@
+(** Seeded fault injection for the fuzz harness: deliberate corruptions of
+    intermediate pipeline artifacts, used to prove the cross-stage
+    invariants actually fire. Each injector returns [None] when the
+    artifact offers no place to plant its fault (e.g. no trace on a
+    fallback schedule), so campaigns can tell "not applicable" apart from
+    "injected but missed". *)
+
+type t =
+  | Corrupt_start  (** Push an operation past the schedule horizon. *)
+  | Corrupt_col
+      (** Merge two concurrent same-class operations onto one FU column
+          (or bind out of range when no such pair exists). *)
+  | Corrupt_trace  (** Make the first Liapunov move energy-increasing. *)
+  | Skew_delay
+      (** Lengthen one operation's occupancy as seen by the datapath
+          checker, creating an ALU overlap. *)
+
+val all : t list
+val to_string : t -> string
+val of_string : string -> t option
+
+val corrupt_start : Core.Schedule.t -> Core.Schedule.t option
+val corrupt_col : Core.Schedule.t -> Core.Schedule.t option
+val corrupt_trace : Core.Liapunov.Trace.t -> Core.Liapunov.Trace.t option
+
+val skew_delay :
+  Rtl.Datapath.t -> delay:(int -> int) -> (int -> int) option
+(** A skewed delay function to hand {!Rtl.Check.datapath}; [None] when no
+    ALU has back-to-back occupants to overlap. *)

@@ -1,0 +1,325 @@
+type case = {
+  inputs : string list;
+  rows : (string * Dfg.Op.kind * string list * (string * bool) list) list;
+  options : Driver.options;
+}
+
+let graph_of_case case = Dfg.Graph.of_ops ~inputs:case.inputs case.rows
+
+let case_of_graph options g =
+  {
+    inputs = Dfg.Graph.inputs g;
+    rows =
+      List.map
+        (fun nd ->
+          ( nd.Dfg.Graph.name,
+            nd.Dfg.Graph.kind,
+            nd.Dfg.Graph.args,
+            nd.Dfg.Graph.guards ))
+        (Dfg.Graph.nodes g);
+    options;
+  }
+
+let case_size case = List.length case.rows
+
+(* --- Failure classification ------------------------------------------- *)
+
+(* Stable key: same key = same failure for the shrinker's oracle. Exception
+   payloads (messages, node names) vary as the case shrinks, so the key
+   keeps only the constructor / diagnostic code. *)
+let exn_key e =
+  let s = Printexc.to_string e in
+  match String.index_opt s '(' with
+  | Some i -> String.trim (String.sub s 0 i)
+  | None -> s
+
+type verdict =
+  | Clean of Driver.outcome
+  | Stopped of Diag.t  (** Expected infeasibility / bad input. *)
+  | Skipped  (** Fault injection not applicable to this case. *)
+  | Failed of string * string  (** Classification key, human detail. *)
+
+let run_case ?fault ~budgets case =
+  match graph_of_case case with
+  | Error msg -> Failed ("crash:invalid-case", msg)
+  | Ok g -> (
+      match Driver.run ?fault ~budgets ~options:case.options g with
+      | exception e -> Failed ("crash:" ^ exn_key e, Printexc.to_string e)
+      | o -> (
+          match o.Driver.violations with
+          | d :: _ ->
+              Failed ("violation:" ^ d.Diag.code, Diag.to_string d)
+          | [] -> (
+              match (fault, o.Driver.stopped) with
+              | Some f, None when not o.Driver.fault_applied ->
+                  ignore f;
+                  Skipped
+              | Some f, None ->
+                  Failed
+                    ( "missed:" ^ Fault.to_string f,
+                      "fault injected but no invariant fired" )
+              | Some _, Some _ -> Skipped
+              | None, Some d -> Stopped d
+              | None, None -> Clean o)))
+
+(* --- Shrinking --------------------------------------------------------- *)
+
+(* Remove one row, patching references: operands naming the removed value
+   are rewired to the first primary input (always present), guards on it
+   are dropped. The result stays builder-valid, so the oracle re-runs the
+   very pipeline that failed. *)
+let remove_row case name =
+  let replacement = List.hd case.inputs in
+  let rows =
+    List.filter_map
+      (fun (n, kind, args, guards) ->
+        if String.equal n name then None
+        else
+          Some
+            ( n,
+              kind,
+              List.map (fun a -> if String.equal a name then replacement else a) args,
+              List.filter (fun (c, _) -> not (String.equal c name)) guards ))
+      case.rows
+  in
+  { case with rows }
+
+let option_simplifications =
+  [
+    ("cse", fun o -> { o with Driver.cse = false });
+    ("two_cycle", fun o -> { o with Driver.two_cycle = false });
+    ("pipelined", fun o -> { o with Driver.pipelined = false });
+    ("latency", fun o -> { o with Driver.latency = None });
+    ("clock", fun o -> { o with Driver.clock = None });
+    ("style2", fun o -> { o with Driver.style2 = false });
+    ("limits", fun o -> { o with Driver.limits = [] });
+    ("cs", fun o -> { o with Driver.cs = 0 });
+  ]
+
+let shrink ~oracle ~max_attempts case =
+  let attempts = ref 0 in
+  let try_case c =
+    incr attempts;
+    !attempts <= max_attempts && oracle c
+  in
+  let rec drop_rows case =
+    let smaller =
+      List.find_map
+        (fun (n, _, _, _) ->
+          if List.length case.rows <= 1 then None
+          else
+            let c = remove_row case n in
+            if try_case c then Some c else None)
+        case.rows
+    in
+    match smaller with Some c -> drop_rows c | None -> case
+  in
+  let simplify_options case =
+    List.fold_left
+      (fun case (_, f) ->
+        let o = f case.options in
+        if o = case.options then case
+        else
+          let c = { case with options = o } in
+          if try_case c then c else case)
+      case option_simplifications
+  in
+  (* Options first (cheap wins often unlock row removals), then rows, then
+     a second options pass over the smaller case. *)
+  case |> simplify_options |> drop_rows |> simplify_options
+
+(* --- Corpus ------------------------------------------------------------ *)
+
+let sanitize s =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '.' -> c
+      | _ -> '-')
+    s
+
+let write_reproducer ~dir ~seed ~kind ?fault case =
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let path = Filename.concat dir (Printf.sprintf "%s-seed%d.dfg" (sanitize kind) seed) in
+  let body =
+    match graph_of_case case with
+    | Ok g -> Dfg.Parser.to_source g
+    | Error _ ->
+        (* Shrunk cases are builder-valid by construction; render raw rows
+           as a last resort so the reproducer is never lost. *)
+        String.concat "\n"
+          (("input " ^ String.concat " " case.inputs)
+          :: List.map
+               (fun (n, k, args, _) ->
+                 Printf.sprintf "%s = %s %s" n (Dfg.Op.to_string k)
+                   (String.concat " " args))
+               case.rows)
+        ^ "\n"
+  in
+  let flags = Driver.options_to_flags case.options in
+  Out_channel.with_open_text path (fun oc ->
+      Printf.fprintf oc "# synth fuzz reproducer\n# failure: %s\n# seed: %d\n"
+        kind seed;
+      (match fault with
+      | Some f -> Printf.fprintf oc "# fault: %s\n" (Fault.to_string f)
+      | None -> ());
+      Printf.fprintf oc "# flags: %s\n" (if flags = "" then "(none)" else flags);
+      output_string oc body);
+  path
+
+(* --- Random campaign --------------------------------------------------- *)
+
+let kind_universe =
+  [ Dfg.Op.Add; Dfg.Op.Sub; Dfg.Op.Mul; Dfg.Op.And; Dfg.Op.Or; Dfg.Op.Lt;
+    Dfg.Op.Eq; Dfg.Op.Mov ]
+
+let sample_spec rng ~max_ops =
+  let n_kinds = 1 + Workloads.Prng.int rng (List.length kind_universe) in
+  let kinds =
+    List.filteri (fun i _ -> i < n_kinds)
+      (List.sort
+         (fun _ _ -> if Workloads.Prng.bool rng then 1 else -1)
+         kind_universe)
+  in
+  {
+    Workloads.Random_dag.ops = 1 + Workloads.Prng.int rng max_ops;
+    kinds;
+    inputs = 1 + Workloads.Prng.int rng 4;
+    locality = 2 + Workloads.Prng.int rng 9;
+    guard_prob =
+      (if Workloads.Prng.int rng 4 = 0 then 0.3 else 0.0);
+  }
+
+let sample_options rng g =
+  let cp = Dfg.Bounds.critical_path g in
+  let cs =
+    match Workloads.Prng.int rng 6 with
+    | 0 | 1 | 2 -> 0 (* critical-path minimum *)
+    | 3 -> cp + 1 + Workloads.Prng.int rng 3
+    | 4 -> max 1 (cp - 1) (* often infeasible on purpose *)
+    | _ -> cp + 5
+  in
+  let limits =
+    if Workloads.Prng.int rng 4 = 0 then
+      List.filteri
+        (fun i _ -> i < 2)
+        (List.map
+           (fun (c, _) -> (c, 1 + Workloads.Prng.int rng 2))
+           (Dfg.Graph.count_by_class g))
+    else []
+  in
+  {
+    Driver.cs;
+    limits;
+    two_cycle = Workloads.Prng.int rng 4 = 0;
+    pipelined = Workloads.Prng.int rng 8 = 0;
+    latency =
+      (if Workloads.Prng.int rng 8 = 0 then Some (2 + Workloads.Prng.int rng 3)
+       else None);
+    clock =
+      (match Workloads.Prng.int rng 6 with
+      | 0 -> Some 100.0
+      | 1 -> Some 40.0
+      | _ -> None);
+    style2 = Workloads.Prng.int rng 4 = 0;
+    cse = Workloads.Prng.int rng 3 = 0;
+  }
+
+type failure = {
+  f_kind : string;
+  f_seed : int;
+  f_detail : string;
+  f_case : case;  (** Shrunk reproducer. *)
+  f_file : string option;  (** Corpus path, when a corpus dir was given. *)
+}
+
+type report = {
+  runs : int;
+  clean : int;
+  infeasible : int;
+  degraded : int;
+  skipped : int;
+  failures : failure list;
+}
+
+let campaign ?fault ?(budgets = Driver.default_budgets) ?corpus_dir
+    ?(max_ops = 12) ?(log = fun (_ : string) -> ()) ~runs ~seed () =
+  let rng = Workloads.Prng.create seed in
+  let clean = ref 0
+  and infeasible = ref 0
+  and degraded = ref 0
+  and skipped = ref 0
+  and failures = ref [] in
+  for run = 1 to runs do
+    let case_seed = (seed * 1_000_003) + run in
+    let spec = sample_spec rng ~max_ops in
+    match Workloads.Random_dag.generate ~spec ~seed:case_seed () with
+    | Error d ->
+        failures :=
+          {
+            f_kind = "crash:generator";
+            f_seed = case_seed;
+            f_detail = Diag.to_string d;
+            f_case = { inputs = []; rows = []; options = Driver.default_options };
+            f_file = None;
+          }
+          :: !failures
+    | Ok g -> (
+        let options = sample_options rng g in
+        let case = case_of_graph options g in
+        match run_case ?fault ~budgets case with
+        | Clean o ->
+            incr clean;
+            if
+              o.Driver.sched_via <> Driver.Primary
+              || o.Driver.bind_via <> Some Driver.Primary
+            then incr degraded
+        | Stopped d ->
+            incr infeasible;
+            log
+              (Printf.sprintf "run %d: stopped (%s) — expected" run d.Diag.code)
+        | Skipped -> incr skipped
+        | Failed (kind, detail) ->
+            log (Printf.sprintf "run %d: %s — shrinking" run kind);
+            let oracle c =
+              match run_case ?fault ~budgets c with
+              | Failed (k, _) -> String.equal k kind
+              | _ -> false
+            in
+            let small = shrink ~oracle ~max_attempts:300 case in
+            let f_file =
+              Option.map
+                (fun dir ->
+                  write_reproducer ~dir ~seed:case_seed ~kind ?fault small)
+                corpus_dir
+            in
+            failures :=
+              { f_kind = kind; f_seed = case_seed; f_detail = detail;
+                f_case = small; f_file }
+              :: !failures)
+  done;
+  {
+    runs;
+    clean = !clean;
+    infeasible = !infeasible;
+    degraded = !degraded;
+    skipped = !skipped;
+    failures = List.rev !failures;
+  }
+
+let render_report r =
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf
+    "fuzz: %d run(s) — %d clean (%d degraded), %d infeasible, %d skipped, \
+     %d failure(s)\n"
+    r.runs r.clean r.degraded r.infeasible r.skipped
+    (List.length r.failures);
+  List.iter
+    (fun f ->
+      Printf.bprintf buf "  FAIL %s (seed %d, %d op(s)): %s\n" f.f_kind
+        f.f_seed (case_size f.f_case) f.f_detail;
+      match f.f_file with
+      | Some p -> Printf.bprintf buf "       reproducer: %s\n" p
+      | None -> ())
+    r.failures;
+  Buffer.contents buf

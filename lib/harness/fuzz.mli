@@ -1,0 +1,65 @@
+(** Randomized robustness campaigns over the synthesis pipeline.
+
+    Each run draws a DAG from {!Workloads.Random_dag} and a point of the
+    option space (budgets, limits, chaining clock, functional latency,
+    multiplier models, design style, CSE), drives it through
+    {!Driver.run}, and classifies the result: clean, expected
+    infeasibility, degraded-but-clean, or a failure (crash, invariant
+    violation, or a missed injected fault). Failures are shrunk to a
+    minimal reproducer and, when a corpus directory is given, written as
+    a [.dfg] file whose header comments carry the [synth] flags.
+
+    Everything is deterministic in [seed] — reruns reproduce byte-for-byte
+    the same campaign. *)
+
+type case = {
+  inputs : string list;
+  rows : (string * Dfg.Op.kind * string list * (string * bool) list) list;
+  options : Driver.options;
+}
+
+val graph_of_case : case -> (Dfg.Graph.t, string) result
+val case_of_graph : Driver.options -> Dfg.Graph.t -> case
+val case_size : case -> int
+
+type verdict =
+  | Clean of Driver.outcome
+  | Stopped of Diag.t  (** Expected infeasibility / bad input. *)
+  | Skipped  (** Fault injection not applicable to this case. *)
+  | Failed of string * string  (** Classification key, human detail. *)
+
+val run_case : ?fault:Fault.t -> budgets:Driver.budgets -> case -> verdict
+
+val shrink :
+  oracle:(case -> bool) -> max_attempts:int -> case -> case
+(** Greedy minimisation: drop rows (patching references so the case stays
+    valid) and simplify options, keeping every step the oracle accepts. *)
+
+val write_reproducer :
+  dir:string -> seed:int -> kind:string -> ?fault:Fault.t -> case -> string
+(** Write the case to [dir/<kind>-seed<N>.dfg] (creating [dir]) and
+    return the path. *)
+
+type failure = {
+  f_kind : string;  (** Stable classification key. *)
+  f_seed : int;
+  f_detail : string;
+  f_case : case;  (** Shrunk reproducer. *)
+  f_file : string option;  (** Corpus path, when a corpus dir was given. *)
+}
+
+type report = {
+  runs : int;
+  clean : int;
+  infeasible : int;
+  degraded : int;  (** Clean runs that needed a fallback stage. *)
+  skipped : int;
+  failures : failure list;
+}
+
+val campaign :
+  ?fault:Fault.t -> ?budgets:Driver.budgets -> ?corpus_dir:string ->
+  ?max_ops:int -> ?log:(string -> unit) -> runs:int -> seed:int -> unit ->
+  report
+
+val render_report : report -> string

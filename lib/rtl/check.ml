@@ -10,7 +10,11 @@ let datapath ?(style2 = false) ?(share_mutex = true) ?steps_overlap dp ~delay =
   in
   let g = dp.Datapath.graph in
   let errs = ref [] in
-  let add fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  let add ~code fmt =
+    Printf.ksprintf
+      (fun s -> errs := Diag.internal ~code s :: !errs)
+      fmt
+  in
   let name i = (Dfg.Graph.node g i).Dfg.Graph.name in
   (* ALU occupancy and capability. *)
   List.iter
@@ -20,7 +24,8 @@ let datapath ?(style2 = false) ?(share_mutex = true) ?steps_overlap dp ~delay =
           let kind = (Dfg.Graph.node g i).Dfg.Graph.kind in
           if not (Celllib.Op_set.mem kind a.Datapath.a_kind.Celllib.Library.ops)
           then
-            add "ALU %d (%s) cannot execute %s" a.Datapath.a_id
+            add ~code:"check.alu-capability"
+              "ALU %d (%s) cannot execute %s" a.Datapath.a_id
               a.Datapath.a_kind.Celllib.Library.aname (name i))
         a.Datapath.a_ops;
       let rec pairs = function
@@ -43,7 +48,8 @@ let datapath ?(style2 = false) ?(share_mutex = true) ?steps_overlap dp ~delay =
                   share_mutex && Dfg.Graph.mutually_exclusive g i j
                 in
                 if overlap && not excl then
-                  add "ALU %d executes %s and %s simultaneously"
+                  add ~code:"check.alu-overlap"
+                    "ALU %d executes %s and %s simultaneously"
                     a.Datapath.a_id (name i) (name j))
               rest;
             pairs rest
@@ -70,7 +76,8 @@ let datapath ?(style2 = false) ?(share_mutex = true) ?steps_overlap dp ~delay =
               Left_edge.register_of dp.Datapath.regs iv'.Lifetime.value
             in
             if r = r' && Lifetime.overlap iv iv' then
-              add "register clash: %s and %s overlap in reg%d"
+              add ~code:"check.reg-clash"
+                "register clash: %s and %s overlap in reg%d"
                 iv.Lifetime.value iv'.Lifetime.value
                 (Option.value ~default:(-1) r))
           rest;
@@ -79,6 +86,7 @@ let datapath ?(style2 = false) ?(share_mutex = true) ?steps_overlap dp ~delay =
   reg_pairs stored;
   if style2 then
     List.iter
-      (fun a -> add "style-2 violation: ALU %d has a self loop" a)
+      (fun a ->
+        add ~code:"check.style2" "style-2 violation: ALU %d has a self loop" a)
       (Datapath.self_loop_alus dp);
   match !errs with [] -> Ok () | l -> Error (List.rev l)

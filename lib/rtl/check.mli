@@ -1,10 +1,13 @@
 (** Structural validation of elaborated datapaths, used by tests and by the
-    CLI after every MFSA run. *)
+    CLI after every MFSA run. Violations are [Internal] diagnostics (codes
+    [check.alu-capability], [check.alu-overlap], [check.reg-clash],
+    [check.style2]): a datapath our own pipeline produced should never fail
+    these. *)
 
 val datapath :
   ?style2:bool -> ?share_mutex:bool ->
   ?steps_overlap:(int -> int -> int -> int -> bool) ->
-  Datapath.t -> delay:(int -> int) -> (unit, string list) result
+  Datapath.t -> delay:(int -> int) -> (unit, Diag.t list) result
 (** Checks:
     - every ALU instance executes at most one operation per step (operations
       occupy [delay] consecutive steps; mutually-exclusive operations may

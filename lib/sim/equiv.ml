@@ -7,10 +7,11 @@ type mismatch = {
 let mismatches dp ctrl ~env =
   let g = dp.Rtl.Datapath.graph in
   match Eval.run g env with
-  | Error e -> Error ("golden model: " ^ e)
+  | Error e -> Error (Diag.input ~code:"sim.golden" ("golden model: " ^ e))
   | Ok golden -> (
       match Machine.run dp ctrl ~env with
-      | Error e -> Error ("machine: " ^ e)
+      | Error e ->
+          Error (Diag.internal ~code:"sim.machine" ("machine: " ^ e))
       | Ok r ->
           let bad =
             List.filter_map
@@ -37,8 +38,9 @@ let check dp ctrl ~env =
   | Ok bad ->
       let shown = List.filteri (fun i _ -> i < 5) bad in
       Error
-        (Printf.sprintf "%d mismatching node(s): %s" (List.length bad)
-           (String.concat "; " (List.map describe shown)))
+        (Diag.internal ~code:"sim.mismatch"
+           (Printf.sprintf "%d mismatching node(s): %s" (List.length bad)
+              (String.concat "; " (List.map describe shown))))
 
 (* Local splitmix-style generator; kept here so the simulator substrate does
    not depend on the workloads library. *)
@@ -62,6 +64,7 @@ let check_random ?(runs = 20) ?(seed = 42) dp ctrl =
       let env = List.map (fun v -> (v, draw ())) (Dfg.Graph.inputs g) in
       match check dp ctrl ~env with
       | Ok () -> go (k + 1)
-      | Error e -> Error (Printf.sprintf "run %d: %s" k e)
+      | Error e ->
+          Error { e with Diag.message = Printf.sprintf "run %d: %s" k e.Diag.message }
   in
   go 0

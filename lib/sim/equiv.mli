@@ -13,12 +13,14 @@ type mismatch = {
 
 val check :
   Rtl.Datapath.t -> Rtl.Controller.t -> env:Eval.env ->
-  (unit, string) result
-(** [Ok] when every active node matches; [Error] carries the first few
-    mismatches or the machine's failure. *)
+  (unit, Diag.t) result
+(** [Ok] when every active node matches; the [Error] diagnostic carries the
+    first few mismatches ([sim.mismatch], internal), the machine's failure
+    ([sim.machine], internal) or the golden model's ([sim.golden], input —
+    e.g. an environment missing an input). *)
 
 val check_random :
   ?runs:int -> ?seed:int -> Rtl.Datapath.t -> Rtl.Controller.t ->
-  (unit, string) result
+  (unit, Diag.t) result
 (** {!check} over randomly drawn input environments (default 20 runs,
     deterministic seed). *)

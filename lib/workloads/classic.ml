@@ -1,7 +1,10 @@
 let build_exn name rows ~inputs =
   match Dfg.Graph.of_ops ~inputs rows with
   | Ok g -> g
-  | Error msg -> failwith (Printf.sprintf "workload %s is invalid: %s" name msg)
+  | Error msg ->
+      (* The tables below are static data; a rejection here is a programming
+         error in this file, not a runtime input condition. *)
+      invalid_arg (Printf.sprintf "workload %s is invalid: %s" name msg)
 
 let op name kind args = (name, kind, args, [])
 let gop name kind args guards = (name, kind, args, guards)

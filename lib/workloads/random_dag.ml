@@ -15,10 +15,26 @@ let default =
     guard_prob = 0.0;
   }
 
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let check_spec spec =
+  let bad code msg = Error (Diag.input ~code msg) in
+  let* () =
+    if spec.ops < 1 then
+      bad "random-dag.ops" "Random_dag.generate: ops must be >= 1"
+    else Ok ()
+  in
+  let* () =
+    if spec.inputs < 1 then
+      bad "random-dag.inputs" "Random_dag.generate: inputs must be >= 1"
+    else Ok ()
+  in
+  if spec.kinds = [] then
+    bad "random-dag.kinds" "Random_dag.generate: empty kind universe"
+  else Ok ()
+
 let generate ?(spec = default) ~seed () =
-  if spec.ops < 1 then invalid_arg "Random_dag.generate: ops must be >= 1";
-  if spec.inputs < 1 then invalid_arg "Random_dag.generate: inputs must be >= 1";
-  if spec.kinds = [] then invalid_arg "Random_dag.generate: empty kind universe";
+  let* () = check_spec spec in
   let rng = Prng.create seed in
   let input_names = List.init spec.inputs (Printf.sprintf "in%d") in
   (* Guards reference an early comparison node when requested. *)
@@ -75,5 +91,13 @@ let generate ?(spec = default) ~seed () =
     add_value guards name
   done;
   match Dfg.Graph.of_ops ~inputs:input_names (List.rev !rows) with
+  | Ok g -> Ok g
+  | Error msg ->
+      Error
+        (Diag.internal ~code:"random-dag.invalid-graph"
+           ("Random_dag.generate produced invalid graph: " ^ msg))
+
+let generate_exn ?spec ~seed () =
+  match generate ?spec ~seed () with
   | Ok g -> g
-  | Error msg -> failwith ("Random_dag.generate produced invalid graph: " ^ msg)
+  | Error d -> invalid_arg (Diag.message d)

@@ -1,0 +1,45 @@
+The CLI's diagnostic contract: typed errors on stderr, stable exit codes
+(2 usage, 3 bad input, 4 infeasible, 5 internal), JSON rendering behind
+--json-errors.
+
+A missing input file is a bad-input error (exit 3):
+
+  $ ../bin/synth.exe mfs /nonexistent/no-such.dfg
+  error: error[io.no-such-input] /nonexistent/no-such.dfg: no such file or built-in example (try ex1..ex6, diffeq, ewf, fir16, dct8, ar, tseng, chained, facet, cond)
+  [3]
+
+A parse error carries a file:line:col span pointing at the offending word:
+
+  $ printf 'input a\nn = frobnicate a\n' > bad.dfg
+  $ ../bin/synth.exe mfs bad.dfg
+  error: error[parse.unknown-op] bad.dfg:2:5: unknown operation "frobnicate"
+  [3]
+
+--json-errors renders the same diagnostic as one JSON object:
+
+  $ ../bin/synth.exe mfs bad.dfg --json-errors
+  {"code":"parse.unknown-op","category":"input","severity":"error","file":"bad.dfg","span":{"line":2,"col":5,"end_line":2,"end_col":15},"message":"unknown operation \"frobnicate\""}
+  [3]
+
+A well-formed problem with no solution under the given budget is
+infeasible (exit 4), not an input error:
+
+  $ printf 'input a b\nm = mul a b\ns = add m b\nt = sub s a\n' > chain.dfg
+  $ ../bin/synth.exe mfs chain.dfg --cs 2
+  error: error[mfs.infeasible-budget] infeasible: operation "t" cannot fit in 2 control steps (critical path is 3)
+  [4]
+
+  $ ../bin/synth.exe mfs chain.dfg --cs 2 --json-errors
+  {"code":"mfs.infeasible-budget","category":"infeasible","severity":"error","message":"infeasible: operation \"t\" cannot fit in 2 control steps (critical path is 3)"}
+  [4]
+
+Bad command lines are usage errors (exit 2):
+
+  $ ../bin/synth.exe mfsa chain.dfg --style 7 2>&1 | head -n 1
+  synth: option '--style': invalid value '7', expected either '1' or '2'
+  $ ../bin/synth.exe mfsa chain.dfg --style 7 > /dev/null 2>&1
+  [2]
+
+The happy path still exits 0:
+
+  $ ../bin/synth.exe mfs chain.dfg --cs 3 > /dev/null

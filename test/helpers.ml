@@ -56,8 +56,17 @@ let check_err what = function
   | Ok _ -> Alcotest.failf "%s unexpectedly succeeded" what
   | Error err -> err
 
+(* Diag-returning interfaces: render the diagnostic for failure output. *)
+let check_okd what = function
+  | Ok v -> v
+  | Error d -> Alcotest.failf "%s failed: %s" what (Diag.to_string d)
+
+let check_errd what = function
+  | Ok _ -> Alcotest.failf "%s unexpectedly succeeded" what
+  | Error (d : Diag.t) -> d
+
 let mfs_time ?config ?max_units g cs =
-  check_ok "MFS"
+  check_okd "MFS"
     (Core.Mfs.run ?config ?max_units g (Core.Mfs.Time { cs }))
 
 let fu_count s klass =
@@ -71,7 +80,7 @@ let qcheck ?(count = 100) name gen prop =
 let dag_gen ?(max_ops = 24) () =
   QCheck2.Gen.map
     (fun (seed, ops) ->
-      Workloads.Random_dag.generate
+      Workloads.Random_dag.generate_exn
         ~spec:{ Workloads.Random_dag.default with Workloads.Random_dag.ops }
         ~seed ())
     QCheck2.Gen.(pair (int_bound 10_000) (int_range 1 max_ops))
@@ -86,7 +95,7 @@ let wide_dag_gen ?(max_ops = 20) () =
   in
   QCheck2.Gen.map
     (fun (seed, ops) ->
-      Workloads.Random_dag.generate
+      Workloads.Random_dag.generate_exn
         ~spec:{ Workloads.Random_dag.default with Workloads.Random_dag.ops; kinds }
         ~seed ())
     QCheck2.Gen.(pair (int_bound 10_000) (int_range 1 max_ops))
@@ -95,7 +104,7 @@ let wide_dag_gen ?(max_ops = 20) () =
 let guarded_dag_gen ?(max_ops = 18) () =
   QCheck2.Gen.map
     (fun (seed, ops) ->
-      Workloads.Random_dag.generate
+      Workloads.Random_dag.generate_exn
         ~spec:
           { Workloads.Random_dag.default with
             Workloads.Random_dag.ops; guard_prob = 0.4 }

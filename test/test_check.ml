@@ -14,7 +14,7 @@ let clean_dp () =
 let clean_passes () =
   match Rtl.Check.datapath (clean_dp ()) ~delay:unit_delay with
   | Ok () -> ()
-  | Error errs -> Alcotest.failf "clean design flagged: %s" (String.concat ";" errs)
+  | Error errs -> Alcotest.failf "clean design flagged: %s" (String.concat "; " (List.map Diag.to_string errs))
 
 let occupancy_violation () =
   let g = Helpers.diamond () in
@@ -25,7 +25,9 @@ let occupancy_violation () =
            [ (alu [ Dfg.Op.Mul ], [ 0; 1 ]); (alu [ Dfg.Op.Add ], [ 2 ]) ])
   in
   let errs =
-    Helpers.check_err "double booking" (Rtl.Check.datapath dp ~delay:unit_delay)
+    List.map Diag.message
+      (Helpers.check_err "double booking"
+         (Rtl.Check.datapath dp ~delay:unit_delay))
   in
   Alcotest.(check bool) "simultaneous execution caught" true
     (List.exists (Helpers.contains ~sub:"simultaneously") errs)
@@ -56,7 +58,7 @@ let pipelined_unit_back_to_back () =
   in
   match Rtl.Check.datapath dp ~delay with
   | Ok () -> ()
-  | Error errs -> Alcotest.failf "pipelined issue flagged: %s" (String.concat ";" errs)
+  | Error errs -> Alcotest.failf "pipelined issue flagged: %s" (String.concat "; " (List.map Diag.to_string errs))
 
 let mutex_sharing_allowed () =
   let g = Workloads.Classic.cond_example () in
@@ -79,7 +81,7 @@ let mutex_sharing_allowed () =
   in
   (match Rtl.Check.datapath dp ~delay:unit_delay with
   | Ok () -> ()
-  | Error errs -> Alcotest.failf "exclusive sharing flagged: %s" (String.concat ";" errs));
+  | Error errs -> Alcotest.failf "exclusive sharing flagged: %s" (String.concat "; " (List.map Diag.to_string errs)));
   let errs =
     Helpers.check_err "sharing disabled"
       (Rtl.Check.datapath ~share_mutex:false dp ~delay:unit_delay)
@@ -97,12 +99,14 @@ let style2_flagged () =
   in
   (match Rtl.Check.datapath dp ~delay:unit_delay with
   | Ok () -> ()
-  | Error errs -> Alcotest.failf "style 1 should accept: %s" (String.concat ";" errs));
+  | Error errs -> Alcotest.failf "style 1 should accept: %s" (String.concat "; " (List.map Diag.to_string errs)));
   let errs =
     Helpers.check_err "style 2" (Rtl.Check.datapath ~style2:true dp ~delay:unit_delay)
   in
   Alcotest.(check bool) "self loop flagged" true
-    (List.exists (Helpers.contains ~sub:"self loop") errs)
+    (List.exists
+       (fun d -> Helpers.contains ~sub:"self loop" (Diag.message d))
+       errs)
 
 let suite =
   [

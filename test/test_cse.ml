@@ -83,7 +83,7 @@ let idempotent =
 let frontend_then_cse () =
   (* The front end does not CSE; the pass catches the duplicated u*dx. *)
   let src = "input u, dx, y;\na = u * dx + y;\nb = u * dx - y;\n" in
-  let g = Helpers.check_ok "compile" (Dfg.Frontend.compile src) in
+  let g = Helpers.check_okd "compile" (Dfg.Frontend.compile src) in
   Alcotest.(check int) "one duplicate" 1 (Dfg.Cse.savings g)
 
 let suite =

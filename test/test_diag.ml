@@ -1,0 +1,178 @@
+let test name f = Alcotest.test_case name `Quick f
+
+let exit_codes () =
+  Alcotest.(check int) "usage" 2
+    (Diag.exit_code (Diag.usage ~code:"x" "m"));
+  Alcotest.(check int) "input" 3 (Diag.exit_code (Diag.input ~code:"x" "m"));
+  Alcotest.(check int) "infeasible" 4 (Diag.exit_code (Diag.infeasible "m"));
+  Alcotest.(check int) "internal" 5 (Diag.exit_code (Diag.internal "m"))
+
+let is_bug_only_internal () =
+  Alcotest.(check bool) "internal is a bug" true
+    (Diag.is_bug (Diag.internal "m"));
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) ("not a bug: " ^ d.Diag.code) false
+        (Diag.is_bug d))
+    [ Diag.usage ~code:"u" "m"; Diag.input ~code:"i" "m";
+      Diag.infeasible "m" ]
+
+let spans () =
+  let s = Diag.point ~line:3 ~col:7 in
+  Alcotest.(check int) "point end col" 8 s.Diag.end_col;
+  let w = Diag.span_of_word ~line:2 ~col:5 "frobnicate" in
+  Alcotest.(check int) "word end col" 15 w.Diag.end_col;
+  Alcotest.(check int) "word same line" 2 w.Diag.end_line
+
+let rendering () =
+  let d =
+    Diag.input ~span:(Diag.span_of_word ~line:3 ~col:5 "fma")
+      ~file:"foo.dfg" ~code:"parse.unknown-op" "unknown operation \"fma\""
+  in
+  let s = Diag.to_string d in
+  List.iter
+    (fun sub ->
+      Alcotest.(check bool) ("renders " ^ sub) true
+        (Helpers.contains ~sub s))
+    [ "parse.unknown-op"; "foo.dfg:3:5"; "unknown operation" ]
+
+let json () =
+  let d =
+    Diag.input ~span:(Diag.point ~line:2 ~col:1) ~file:"a.dfg"
+      ~code:"parse.bad-line" "quote \"me\" and \\ backslash"
+  in
+  let j = Diag.to_json d in
+  List.iter
+    (fun sub ->
+      Alcotest.(check bool) ("json has " ^ sub) true
+        (Helpers.contains ~sub j))
+    [ "\"code\":\"parse.bad-line\""; "\"category\":\"input\"";
+      "\"line\":2"; "\"file\":\"a.dfg\"";
+      "\\\"me\\\""; "\\\\ backslash" ];
+  let arr = Diag.list_to_json [ d; Diag.internal "boom" ] in
+  Alcotest.(check bool) "array brackets" true
+    (String.length arr > 2 && arr.[0] = '[' && arr.[String.length arr - 1] = ']')
+
+let with_file_keeps_existing () =
+  let d = Diag.input ~file:"orig.dfg" ~code:"x" "m" in
+  Alcotest.(check (option string)) "kept" (Some "orig.dfg")
+    (Diag.with_file "other.dfg" d).Diag.file;
+  let d' = Diag.input ~code:"x" "m" in
+  Alcotest.(check (option string)) "attached" (Some "other.dfg")
+    (Diag.with_file "other.dfg" d').Diag.file
+
+let of_msg_wraps () =
+  let d = Diag.of_msg Diag.Infeasible ~code:"legacy" "old text" in
+  Alcotest.(check string) "message" "old text" (Diag.message d);
+  Alcotest.(check int) "category" 4 (Diag.exit_code d);
+  Alcotest.(check bool) "no span" true (d.Diag.span = None)
+
+(* No [failwith], [invalid_arg]-free error paths or [exit] may be reachable
+   from library code: every failure must surface as a [Diag.t] (or, for
+   programmer errors on static data, [Invalid_argument]). The lint reads
+   the library sources and rejects the banned calls outside comments. *)
+let lib_sources () =
+  let rec walk acc dir =
+    Array.fold_left
+      (fun acc entry ->
+        let path = Filename.concat dir entry in
+        if Sys.is_directory path then walk acc path
+        else if Filename.check_suffix entry ".ml" then path :: acc
+        else acc)
+      acc (Sys.readdir dir)
+  in
+  walk [] "../lib"
+
+let strip_comments_and_strings s =
+  (* Good enough for a lint: blank out (* ... *) comments (nested) and
+     string literals so banned words inside them don't trip the check. *)
+  let b = Bytes.of_string s in
+  let n = String.length s in
+  let i = ref 0 and depth = ref 0 and in_str = ref false in
+  while !i < n do
+    let c = s.[!i] in
+    if !in_str then begin
+      if c = '\\' && !i + 1 < n then begin
+        Bytes.set b !i ' ';
+        Bytes.set b (!i + 1) ' ';
+        incr i
+      end
+      else begin
+        if c = '"' then in_str := false;
+        if c <> '\n' then Bytes.set b !i ' '
+      end
+    end
+    else if !depth > 0 then begin
+      if c = '(' && !i + 1 < n && s.[!i + 1] = '*' then incr depth
+      else if c = '*' && !i + 1 < n && s.[!i + 1] = ')' then begin
+        decr depth;
+        Bytes.set b !i ' ';
+        incr i;
+        Bytes.set b !i ' '
+      end;
+      if !i < n && s.[!i] <> '\n' then Bytes.set b !i ' '
+    end
+    else if c = '(' && !i + 1 < n && s.[!i + 1] = '*' then begin
+      incr depth;
+      Bytes.set b !i ' '
+    end
+    else if c = '"' then begin
+      in_str := true;
+      Bytes.set b !i ' '
+    end;
+    incr i
+  done;
+  Bytes.to_string b
+
+let contains_word ~word line =
+  let wl = String.length word and n = String.length line in
+  let ok_boundary j =
+    (j = 0
+    || not
+         (match line.[j - 1] with
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+         | _ -> false))
+    &&
+    (j + wl >= n
+    || not
+         (match line.[j + wl] with
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+         | _ -> false))
+  in
+  let rec go j =
+    if j + wl > n then false
+    else if String.sub line j wl = word && ok_boundary j then true
+    else go (j + 1)
+  in
+  go 0
+
+let no_failwith_in_lib () =
+  let offenders = ref [] in
+  List.iter
+    (fun path ->
+      let ic = open_in_bin path in
+      let len = in_channel_length ic in
+      let src = really_input_string ic len in
+      close_in ic;
+      let cleaned = strip_comments_and_strings src in
+      List.iteri
+        (fun lineno line ->
+          if contains_word ~word:"failwith" line
+             || contains_word ~word:"exit" line then
+            offenders := Printf.sprintf "%s:%d" path (lineno + 1) :: !offenders)
+        (String.split_on_char '\n' cleaned))
+    (lib_sources ());
+  Alcotest.(check (list string)) "no failwith/exit in lib sources" []
+    !offenders
+
+let suite =
+  [
+    test "category to exit code" exit_codes;
+    test "only internal diagnostics are bugs" is_bug_only_internal;
+    test "span constructors" spans;
+    test "one-line rendering" rendering;
+    test "JSON rendering and escaping" json;
+    test "with_file keeps an existing file" with_file_keeps_existing;
+    test "legacy message wrapping" of_msg_wraps;
+    test "lint: no failwith/exit reachable from lib/" no_failwith_in_lib;
+  ]

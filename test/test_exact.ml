@@ -45,7 +45,7 @@ let multicycle_exact () =
 
 let budget_guard () =
   let g =
-    Workloads.Random_dag.generate
+    Workloads.Random_dag.generate_exn
       ~spec:{ Workloads.Random_dag.default with Workloads.Random_dag.ops = 40 }
       ~seed:3 ()
   in
@@ -72,7 +72,7 @@ let mfs_gap_bounded () =
     List.map
       (fun seed ->
         let g =
-          Workloads.Random_dag.generate
+          Workloads.Random_dag.generate_exn
             ~spec:
               { Workloads.Random_dag.default with Workloads.Random_dag.ops = 10 }
             ~seed ()

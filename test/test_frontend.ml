@@ -1,6 +1,6 @@
 let test name f = Alcotest.test_case name `Quick f
 
-let compile_ok src = Helpers.check_ok "compile" (Dfg.Frontend.compile src)
+let compile_ok src = Helpers.check_okd "compile" (Dfg.Frontend.compile src)
 
 let straight_line () =
   let g = compile_ok "input x, y;\ns = x + y;\np = s * x;\n" in
@@ -92,18 +92,25 @@ let comments_and_whitespace () =
   in
   Alcotest.(check int) "one node" 1 (Dfg.Graph.num_nodes g)
 
-let err sub src =
-  let msg = Helpers.check_err src (Dfg.Frontend.compile src) in
+let err ?line sub src =
+  let d = Helpers.check_errd src (Dfg.Frontend.compile src) in
+  let msg = Diag.message d in
   Alcotest.(check bool)
     (Printf.sprintf "%S in %S" sub msg)
-    true (Helpers.contains ~sub msg)
+    true (Helpers.contains ~sub msg);
+  match line with
+  | None -> ()
+  | Some l -> (
+      match d.Diag.span with
+      | None -> Alcotest.failf "no span on %S" msg
+      | Some span -> Alcotest.(check int) "span line" l span.Diag.line)
 
 let errors () =
-  err "line 1" "r = $;\n";
+  err ~line:1 "unexpected character" "r = $;\n";
   err "not defined" "input a;\nr = a + zz;\n";
   err "assigned twice" "input a;\nr = a;\nr = a;\n";
   err "expected" "input a\nr = a;\n";
-  err "line 2" "input a;\nr = a +;\n";
+  err ~line:2 "expected" "input a;\nr = a +;\n";
   err "inputs cannot" "input a;\nc = a < a;\nif (c) { input b; }\n"
 
 let diffeq_in_language () =
@@ -120,7 +127,7 @@ let diffeq_in_language () =
     (List.assoc_opt "*" (Dfg.Graph.count_by_class g) <> None);
   let lib = Celllib.Ncr.for_graph g in
   let cs = Dfg.Bounds.critical_path g + 1 in
-  let o = Helpers.check_ok "mfsa" (Core.Mfsa.run ~library:lib ~cs g) in
+  let o = Helpers.check_okd "mfsa" (Core.Mfsa.run ~library:lib ~cs g) in
   Helpers.check_schedule o.Core.Mfsa.schedule;
   let delay _ = 1 in
   let ctrl =
@@ -133,7 +140,7 @@ let diffeq_in_language () =
   in
   match Sim.Equiv.check o.Core.Mfsa.datapath ctrl ~env with
   | Ok () -> ()
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Diag.to_string e)
 
 let compiled_matches_classic () =
   (* The front-end diffeq computes the same values as the hand-built one. *)

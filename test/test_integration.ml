@@ -9,7 +9,7 @@ let full_flow ?(style = Core.Mfsa.Unrestricted) ?config ?lib g ~cs =
     match config with Some c -> c | None -> Core.Config.of_library library
   in
   let o =
-    Helpers.check_ok "mfsa" (Core.Mfsa.run ~config ~style ~library ~cs g)
+    Helpers.check_okd "mfsa" (Core.Mfsa.run ~config ~style ~library ~cs g)
   in
   Helpers.check_schedule o.Core.Mfsa.schedule;
   let delay i =
@@ -21,14 +21,14 @@ let full_flow ?(style = Core.Mfsa.Unrestricted) ?config ?lib g ~cs =
        o.Core.Mfsa.datapath ~delay
    with
   | Ok () -> ()
-  | Error errs -> Alcotest.failf "datapath: %s" (String.concat "; " errs));
+  | Error errs -> Alcotest.failf "datapath: %s" (String.concat "; " (List.map Diag.to_string errs)));
   let ctrl =
     Helpers.check_ok "controller"
       (Rtl.Controller.generate o.Core.Mfsa.datapath ~delay)
   in
   (match Sim.Equiv.check_random ~runs:15 o.Core.Mfsa.datapath ctrl with
   | Ok () -> ()
-  | Error e -> Alcotest.failf "equivalence: %s" e);
+  | Error e -> Alcotest.failf "equivalence: %s" (Diag.to_string e));
   o
 
 let from_text_source () =
@@ -40,7 +40,7 @@ let from_text_source () =
      r = + p q\n\
      s = - r a\n"
   in
-  let g = Helpers.check_ok "parse" (Dfg.Parser.parse src) in
+  let g = Helpers.check_okd "parse" (Dfg.Parser.parse src) in
   let o = full_flow g ~cs:4 in
   Alcotest.(check bool) "cost positive" true (o.Core.Mfsa.cost.Rtl.Cost.total > 0.)
 
@@ -113,14 +113,14 @@ let mfs_then_simulate () =
   in
   match Sim.Equiv.check_random ~runs:15 dp ctrl with
   | Ok () -> ()
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Diag.to_string e)
 
 let verilog_for_all_classics () =
   List.iter
     (fun (name, g) ->
       let lib = Celllib.Ncr.for_graph g in
       let o =
-        Helpers.check_ok "mfsa"
+        Helpers.check_okd "mfsa"
           (Core.Mfsa.run ~library:lib ~cs:(Dfg.Bounds.critical_path g + 1) g)
       in
       let ctrl =
@@ -137,7 +137,7 @@ let file_round_trip () =
   let g = Workloads.Classic.tseng () in
   Out_channel.with_open_text path (fun oc ->
       Out_channel.output_string oc (Dfg.Parser.to_source g));
-  let g' = Helpers.check_ok "parse_file" (Dfg.Parser.parse_file path) in
+  let g' = Helpers.check_okd "parse_file" (Dfg.Parser.parse_file path) in
   Alcotest.(check int) "same ops" (Dfg.Graph.num_nodes g) (Dfg.Graph.num_nodes g');
   ignore (full_flow g' ~cs:5);
   Sys.remove path
@@ -205,7 +205,7 @@ let stress_sweep () =
   for seed = 0 to 59 do
     let ops = 4 + (seed mod 13) in
     let g =
-      Workloads.Random_dag.generate
+      Workloads.Random_dag.generate_exn
         ~spec:
           { Workloads.Random_dag.default with
             Workloads.Random_dag.ops; guard_prob = 0.3 }
@@ -213,7 +213,7 @@ let stress_sweep () =
     in
     let lib = Celllib.Ncr.for_graph g in
     let cs = Dfg.Bounds.critical_path g + 1 in
-    let o = Helpers.check_ok "mfsa" (Core.Mfsa.run ~library:lib ~cs g) in
+    let o = Helpers.check_okd "mfsa" (Core.Mfsa.run ~library:lib ~cs g) in
     Helpers.check_schedule o.Core.Mfsa.schedule;
     let ctrl =
       Helpers.check_ok "ctrl"
@@ -221,7 +221,7 @@ let stress_sweep () =
     in
     match Sim.Equiv.check_random ~runs:4 o.Core.Mfsa.datapath ctrl with
     | Ok () -> ()
-    | Error e -> Alcotest.failf "seed %d: %s" seed e
+    | Error e -> Alcotest.failf "seed %d: %s" seed (Diag.to_string e)
   done
 
 let suite =

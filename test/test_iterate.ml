@@ -3,7 +3,7 @@ let test name f = Alcotest.test_case name `Quick f
 let synthesise g =
   let lib = Celllib.Ncr.for_graph g in
   let o =
-    Helpers.check_ok "mfsa"
+    Helpers.check_okd "mfsa"
       (Core.Mfsa.run ~library:lib ~cs:(Dfg.Bounds.critical_path g + 1) g)
   in
   let ctrl =

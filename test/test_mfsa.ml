@@ -5,7 +5,7 @@ let run ?config ?style ?weights ?lib g cs =
   let config =
     match config with Some c -> c | None -> Core.Config.of_library library
   in
-  Helpers.check_ok "MFSA" (Core.Mfsa.run ~config ?style ?weights ~library ~cs g)
+  Helpers.check_okd "MFSA" (Core.Mfsa.run ~config ?style ?weights ~library ~cs g)
 
 let validate o =
   Helpers.check_schedule o.Core.Mfsa.schedule;
@@ -20,7 +20,7 @@ let validate o =
       o.Core.Mfsa.datapath ~delay
   with
   | Ok () -> ()
-  | Error errs -> Alcotest.failf "datapath invalid: %s" (String.concat "; " errs)
+  | Error errs -> Alcotest.failf "datapath invalid: %s" (String.concat "; " (List.map Diag.to_string errs))
 
 let classics_synthesise () =
   List.iter
@@ -108,8 +108,9 @@ let restricted_library_missing_kind () =
       [ Dfg.Op.Add; Dfg.Op.Sub ]
   in
   let msg =
-    Helpers.check_err "no multiplier in library"
-      (Core.Mfsa.run ~library:lib ~cs:4 g)
+    Diag.message
+      (Helpers.check_errd "no multiplier in library"
+         (Core.Mfsa.run ~library:lib ~cs:4 g))
   in
   Alcotest.(check bool) "names the op kind" true (Helpers.contains ~sub:"mul" msg)
 
@@ -136,12 +137,12 @@ let restricted_library_shapes_alus () =
 let infeasible_budget () =
   let g = Workloads.Classic.diffeq () in
   let lib = Celllib.Ncr.for_graph g in
-  ignore (Helpers.check_err "cs=2" (Core.Mfsa.run ~library:lib ~cs:2 g))
+  ignore (Helpers.check_errd "cs=2" (Core.Mfsa.run ~library:lib ~cs:2 g))
 
 let empty_graph () =
   let g = Helpers.graph_exn ~inputs:[ "a" ] [] in
   let lib = Celllib.Ncr.default in
-  ignore (Helpers.check_err "empty" (Core.Mfsa.run ~library:lib ~cs:1 g))
+  ignore (Helpers.check_errd "empty" (Core.Mfsa.run ~library:lib ~cs:1 g))
 
 let two_cycle_multiplier () =
   let g = Workloads.Classic.dct8 () in
@@ -192,7 +193,7 @@ let equivalence_on_classics () =
       in
       match Sim.Equiv.check_random ~runs:10 o.Core.Mfsa.datapath ctrl with
       | Ok () -> ()
-      | Error e -> Alcotest.failf "%s: %s" name e)
+      | Error e -> Alcotest.failf "%s: %s" name (Diag.to_string e))
     (Workloads.Classic.all ())
 
 let functional_pipelining_allocation () =
@@ -205,7 +206,7 @@ let functional_pipelining_allocation () =
   in
   let cs = Dfg.Bounds.critical_path g in
   let o =
-    Helpers.check_ok "folded mfsa" (Core.Mfsa.run ~config ~library:lib ~cs g)
+    Helpers.check_okd "folded mfsa" (Core.Mfsa.run ~config ~library:lib ~cs g)
   in
   Helpers.check_schedule o.Core.Mfsa.schedule;
   (* 13 multiplications folded into 5 slots need >= 3 mult-capable ALUs. *)
@@ -222,7 +223,7 @@ let resource_mode_minimises_steps () =
   let g = Workloads.Classic.diffeq () in
   let lib = Celllib.Ncr.for_graph g in
   let one_mult =
-    Helpers.check_ok "1 mult"
+    Helpers.check_okd "1 mult"
       (Core.Mfsa.run_resource ~library:lib ~limits:[ ("*", 1) ] g)
   in
   validate one_mult;
@@ -230,7 +231,7 @@ let resource_mode_minimises_steps () =
   Alcotest.(check int) "makespan 7" 7
     (Core.Schedule.makespan one_mult.Core.Mfsa.schedule);
   let two_mult =
-    Helpers.check_ok "2 mult"
+    Helpers.check_okd "2 mult"
       (Core.Mfsa.run_resource ~library:lib ~limits:[ ("*", 2) ] g)
   in
   Alcotest.(check int) "makespan 4" 4
@@ -241,7 +242,7 @@ let resource_mode_respects_caps () =
   let lib = Celllib.Ncr.for_graph g in
   let limits = [ ("*", 1); ("+", 2) ] in
   let o =
-    Helpers.check_ok "resource" (Core.Mfsa.run_resource ~library:lib ~limits g)
+    Helpers.check_okd "resource" (Core.Mfsa.run_resource ~library:lib ~limits g)
   in
   validate o;
   List.iter
@@ -263,7 +264,7 @@ let resource_mode_cheaper_than_time_mode () =
   let g = Workloads.Classic.diffeq () in
   let lib = Celllib.Ncr.for_graph g in
   let slow =
-    Helpers.check_ok "1 mult"
+    Helpers.check_okd "1 mult"
       (Core.Mfsa.run_resource ~library:lib ~limits:[ ("*", 1) ] g)
   in
   let fast = run g 4 in

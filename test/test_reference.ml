@@ -30,9 +30,10 @@ let agree ?config ?max_units g spec =
   with
   | Ok a, Ok b ->
       same_outcome a b && Core.Liapunov.Trace.non_increasing a.Core.Mfs.trace
-  | Error e, Error e' -> e = e'
+  | Error e, Error e' -> Diag.message e = e'
   | Ok _, Error e -> Alcotest.failf "only the oracle failed: %s" e
-  | Error e, Ok _ -> Alcotest.failf "only the kernel failed: %s" e
+  | Error e, Ok _ ->
+      Alcotest.failf "only the kernel failed: %s" (Diag.message e)
 
 let two_cycle_cfg =
   {

@@ -148,14 +148,12 @@ let fu_counts_mutex_share () =
   Alcotest.(check (option int)) "one adder" (Some 1)
     (List.assoc_opt "+" (Core.Schedule.fu_counts s))
 
-let check_exn_raises () =
+let check_diag_reports () =
   let g = Helpers.diamond () in
   let s = mk g ~cs:2 [ 1; 2; 2 ] ~col:[| 1; 1; 1 |] in
-  Alcotest.(check bool) "raises" true
-    (try
-       Core.Schedule.check_exn s;
-       false
-     with Failure _ -> true)
+  let d = Helpers.check_errd "check_diag" (Core.Schedule.check_diag s) in
+  Alcotest.(check string) "code" "schedule.invalid" d.Diag.code;
+  Alcotest.(check bool) "internal" true (Diag.is_bug d)
 
 let pp_smoke () =
   let g = Helpers.diamond () in
@@ -177,6 +175,6 @@ let suite =
     test "chaining beyond the clock rejected" chaining_offset_violation;
     test "fu_counts without binding" fu_counts_without_cols;
     test "fu_counts packs exclusive ops" fu_counts_mutex_share;
-    test "check_exn raises Failure" check_exn_raises;
+    test "check_exn raises Failure" check_diag_reports;
     test "pp renders op names" pp_smoke;
   ]

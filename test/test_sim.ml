@@ -53,7 +53,7 @@ let machine_skips_inactive () =
   let g = Workloads.Classic.cond_example () in
   let lib = Celllib.Ncr.for_graph g in
   let o =
-    Helpers.check_ok "mfsa"
+    Helpers.check_okd "mfsa"
       (Core.Mfsa.run ~library:lib ~cs:(Dfg.Bounds.critical_path g) g)
   in
   let ctrl =
@@ -118,15 +118,15 @@ let equiv_detects_broken_controller () =
   in
   match Sim.Equiv.check dp broken ~env:[ ("a", 2); ("b", 3); ("c", 4); ("d", 5) ] with
   | Ok () -> Alcotest.fail "corruption not detected"
-  | Error msg ->
+  | Error d ->
       Alcotest.(check bool) "mismatch reported" true
-        (Helpers.contains ~sub:"mismatch" msg)
+        (Helpers.contains ~sub:"mismatch" (Diag.message d))
 
 let equiv_random_on_facet () =
   let g = Workloads.Classic.facet () in
   let lib = Celllib.Ncr.for_graph g in
   let o =
-    Helpers.check_ok "mfsa"
+    Helpers.check_okd "mfsa"
       (Core.Mfsa.run ~library:lib ~cs:(Dfg.Bounds.critical_path g + 1) g)
   in
   let ctrl =
@@ -135,7 +135,7 @@ let equiv_random_on_facet () =
   in
   match Sim.Equiv.check_random ~runs:30 o.Core.Mfsa.datapath ctrl with
   | Ok () -> ()
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Diag.to_string e)
 
 let eval_deterministic =
   Helpers.qcheck ~count:50 "golden model is deterministic"

@@ -3,7 +3,7 @@ let test name f = Alcotest.test_case name `Quick f
 let run_diffeq () =
   let g = Workloads.Classic.diffeq () in
   let lib = Celllib.Ncr.for_graph g in
-  let o = Helpers.check_ok "mfsa" (Core.Mfsa.run ~library:lib ~cs:4 g) in
+  let o = Helpers.check_okd "mfsa" (Core.Mfsa.run ~library:lib ~cs:4 g) in
   let ctrl =
     Helpers.check_ok "controller"
       (Rtl.Controller.generate o.Core.Mfsa.datapath ~delay:(fun _ -> 1))

@@ -4,7 +4,7 @@ let synthesised name =
   let g = Option.get (Workloads.Classic.by_name name) in
   let lib = Celllib.Ncr.for_graph g in
   let o =
-    Helpers.check_ok "mfsa"
+    Helpers.check_okd "mfsa"
       (Core.Mfsa.run ~library:lib ~cs:(Dfg.Bounds.critical_path g + 1) g)
   in
   let delay i =
@@ -66,7 +66,7 @@ let guards_in_rtl () =
   let g = Workloads.Classic.cond_example () in
   let lib = Celllib.Ncr.for_graph g in
   let o =
-    Helpers.check_ok "mfsa"
+    Helpers.check_okd "mfsa"
       (Core.Mfsa.run ~library:lib ~cs:(Dfg.Bounds.critical_path g) g)
   in
   let ctrl =

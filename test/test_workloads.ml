@@ -97,8 +97,8 @@ let prng_ranges () =
     (fun () -> ignore (Workloads.Prng.int r 0))
 
 let random_dag_deterministic () =
-  let a = Workloads.Random_dag.generate ~seed:5 () in
-  let b = Workloads.Random_dag.generate ~seed:5 () in
+  let a = Workloads.Random_dag.generate_exn ~seed:5 () in
+  let b = Workloads.Random_dag.generate_exn ~seed:5 () in
   Alcotest.(check bool) "same graph" true
     (Dfg.Parser.to_source a = Dfg.Parser.to_source b)
 
@@ -107,7 +107,7 @@ let random_dag_spec () =
     { Workloads.Random_dag.default with Workloads.Random_dag.ops = 50;
       guard_prob = 0.3 }
   in
-  let g = Workloads.Random_dag.generate ~spec ~seed:11 () in
+  let g = Workloads.Random_dag.generate_exn ~spec ~seed:11 () in
   (* 50 requested ops plus the guard condition node. *)
   Alcotest.(check int) "op count" 51 (Dfg.Graph.num_nodes g);
   let guarded =
@@ -116,10 +116,17 @@ let random_dag_spec () =
   Alcotest.(check bool) "some guarded ops" true (guarded > 0)
 
 let random_dag_bad_spec () =
-  Alcotest.check_raises "zero ops"
+  let d =
+    Helpers.check_errd "zero ops"
+      (Workloads.Random_dag.generate
+         ~spec:{ Workloads.Random_dag.default with Workloads.Random_dag.ops = 0 }
+         ~seed:1 ())
+  in
+  Alcotest.(check string) "diag code" "random-dag.ops" d.Diag.code;
+  Alcotest.check_raises "generate_exn raises"
     (Invalid_argument "Random_dag.generate: ops must be >= 1") (fun () ->
       ignore
-        (Workloads.Random_dag.generate
+        (Workloads.Random_dag.generate_exn
            ~spec:{ Workloads.Random_dag.default with Workloads.Random_dag.ops = 0 }
            ~seed:1 ()))
 
