@@ -156,6 +156,19 @@ let make_config lib ~clock ~latency =
 
 let effective_cs cfg g cs = if cs <= 0 then Core.Timeframe.min_cs cfg g else cs
 
+let fault_conv =
+  let parse s =
+    match Harness.Fault.of_string s with
+    | Some f -> Ok f
+    | None ->
+        Error
+          (`Msg
+             (s ^ ": unknown fault (corrupt-start, corrupt-col, \
+                   corrupt-trace, skew-delay)"))
+  in
+  let print ppf f = Format.pp_print_string ppf (Harness.Fault.to_string f) in
+  Arg.conv (parse, print)
+
 let fu_string s =
   String.concat ", "
     (List.map
@@ -392,20 +405,7 @@ let fuzz_cmd =
            ~doc:"Largest generated DFG size.")
   in
   let inject_arg =
-    let conv_fault =
-      let parse s =
-        match Harness.Fault.of_string s with
-        | Some f -> Ok f
-        | None ->
-            Error
-              (`Msg
-                 (s ^ ": unknown fault (corrupt-start, corrupt-col, \
-                       corrupt-trace, skew-delay)"))
-      in
-      let print ppf f = Format.pp_print_string ppf (Harness.Fault.to_string f) in
-      Arg.conv (parse, print)
-    in
-    Arg.(value & opt (some conv_fault) None & info [ "inject" ] ~docv:"FAULT"
+    Arg.(value & opt (some fault_conv) None & info [ "inject" ] ~docv:"FAULT"
            ~doc:"Inject a fault each run and require the invariants to \
                  catch it (corrupt-start, corrupt-col, corrupt-trace, \
                  skew-delay).")
@@ -444,6 +444,155 @@ let fuzz_cmd =
       const run $ runs_arg $ seed_arg $ max_ops_arg $ inject_arg $ corpus_arg
       $ stage_seconds_arg $ verbose_arg $ json_arg)
 
+(* --- lint ------------------------------------------------------------- *)
+
+let lint_cmd =
+  let doc =
+    "Static analysis: DFG lint, feasibility bounds, register lifetimes and \
+     RTL dataflow verification. Emits findings, not designs; the exit code \
+     is the worst error finding's category (0 when clean)."
+  in
+  let json_out_arg =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Print the findings as a JSON array on stdout.")
+  in
+  let dot_lint_arg =
+    Arg.(value & flag & info [ "dot-lint" ]
+           ~doc:"Print the DFG as Graphviz DOT with flagged nodes filled \
+                 (red = error, amber = warning).")
+  in
+  let inject_arg =
+    Arg.(value & opt (some fault_conv) None & info [ "inject" ] ~docv:"FAULT"
+           ~doc:"Corrupt the synthesised artefacts with a seeded fault \
+                 before the post passes run — demonstrates that the fault \
+                 is statically detectable (corrupt-start, corrupt-col, \
+                 corrupt-trace, skew-delay).")
+  in
+  let run spec cs two_cycle pipelined latency clock limits style inject
+      json_out dot_lint cse json =
+    let g = or_die ~json (load_graph spec) in
+    let g = apply_cse ~json g cse in
+    let lib = make_library g ~two_cycle ~pipelined in
+    let config = make_config lib ~clock ~latency in
+    let time_mode = limits = [] in
+    let cs = effective_cs config g cs in
+    let pre =
+      if time_mode then Analysis.Runner.pre ~cs config g
+      else Analysis.Runner.pre ~limits config g
+    in
+    let bounds =
+      Analysis.Feasibility.analyze
+        ?cs:(if time_mode then Some cs else None)
+        config g
+    in
+    let header =
+      (if time_mode then
+         Printf.sprintf "critical path: %d step(s); budget: %d"
+           bounds.Analysis.Feasibility.min_steps cs
+       else
+         Printf.sprintf "critical path: %d step(s)"
+           bounds.Analysis.Feasibility.min_steps)
+      ::
+      (match bounds.Analysis.Feasibility.fu_lower_bounds with
+      | [] -> []
+      | bs ->
+          [
+            "FU lower bounds: "
+            ^ String.concat ", "
+                (List.map (fun (c, k) -> Printf.sprintf "%s >= %d" c k) bs);
+          ])
+    in
+    (* The post passes audit a synthesised design; an error on the input
+       (e.g. an infeasible budget) stops here — MFS/MFSA never run. *)
+    let post, reg_lines =
+      if Analysis.Finding.errors pre <> [] then ([], [])
+      else begin
+        let o = or_die ~json (Core.Mfsa.run ~config ~style ~library:lib ~cs g) in
+        let dp = o.Core.Mfsa.datapath in
+        let delay i =
+          Core.Config.delay config (Dfg.Graph.node g i).Dfg.Graph.kind
+        in
+        let eff_delay = ref delay in
+        (* The MFS schedule carries FU columns (the corrupt-col target); the
+           MFSA schedule is audited against its own register binding. *)
+        let mfs_sched, mfs_trace =
+          match Core.Mfs.run ~config g (Core.Mfs.Time { cs }) with
+          | Ok m -> (Some m.Core.Mfs.schedule, Some m.Core.Mfs.trace)
+          | Error _ -> (None, None)
+        in
+        let sched = ref (Option.value mfs_sched ~default:o.Core.Mfsa.schedule) in
+        let trace = ref mfs_trace in
+        (match inject with
+        | None -> ()
+        | Some Harness.Fault.Corrupt_start -> (
+            match Harness.Fault.corrupt_start !sched with
+            | Some s -> sched := s
+            | None -> ())
+        | Some Harness.Fault.Corrupt_col -> (
+            match Harness.Fault.corrupt_col !sched with
+            | Some s -> sched := s
+            | None -> ())
+        | Some Harness.Fault.Corrupt_trace -> (
+            match Option.map Harness.Fault.corrupt_trace !trace with
+            | Some (Some tr) -> trace := Some tr
+            | _ -> ())
+        | Some Harness.Fault.Skew_delay -> (
+            match Harness.Fault.skew_delay dp ~delay with
+            | Some d -> eff_delay := d
+            | None -> ()));
+        let ctrl =
+          or_die_s ~json Diag.Internal ~code:"synth.controller"
+            (Rtl.Controller.generate dp ~delay)
+        in
+        let fs =
+          Analysis.Runner.post_schedule ?trace:!trace !sched
+          @ Analysis.Sched_lint.lifetimes ~regs:dp.Rtl.Datapath.regs
+              o.Core.Mfsa.schedule
+          @ Analysis.Runner.post_rtl
+              ~share_mutex:config.Core.Config.share_mutex
+              ?latency:config.Core.Config.functional_latency dp ctrl
+              ~delay:!eff_delay
+        in
+        ( fs,
+          [
+            Printf.sprintf "registers: %d used; lower bound %d"
+              dp.Rtl.Datapath.regs.Rtl.Left_edge.count
+              (Analysis.Sched_lint.reg_lower_bound o.Core.Mfsa.schedule);
+          ] )
+      end
+    in
+    let fs = pre @ post in
+    if dot_lint then begin
+      let fill =
+        List.map
+          (fun (n, sev) ->
+            ( n,
+              match sev with
+              | Diag.Error -> "#f4cccc"
+              | Diag.Warning -> "#ffe599" ))
+          (Analysis.Finding.flagged fs)
+      in
+      print_string (Dfg.Dot.of_graph ~fill g);
+      print_newline ()
+    end
+    else if json_out then print_endline (Analysis.Finding.to_json fs)
+    else begin
+      List.iter print_endline header;
+      List.iter print_endline reg_lines;
+      List.iter
+        (fun f -> print_endline (Diag.to_string f.Analysis.Finding.diag))
+        fs;
+      print_endline (Analysis.Runner.summary fs)
+    end;
+    let code = Analysis.Finding.exit_code fs in
+    if code <> 0 then exit code
+  in
+  Cmd.v (Cmd.info "lint" ~doc)
+    Term.(
+      const run $ graph_arg $ cs_arg $ two_cycle_arg $ pipelined_arg
+      $ latency_arg $ clock_arg $ limits_arg $ style_arg $ inject_arg
+      $ json_out_arg $ dot_lint_arg $ cse_arg $ json_arg)
+
 (* --- compile ------------------------------------------------------------ *)
 
 let compile_cmd =
@@ -461,7 +610,8 @@ let compile_cmd =
 let main =
   let doc = "MFS/MFSA high-level synthesis (DAC 1992 reproduction)" in
   Cmd.group (Cmd.info "synth" ~doc)
-    [ show_cmd; mfs_cmd; mfsa_cmd; compare_cmd; fuzz_cmd; compile_cmd ]
+    [ show_cmd; mfs_cmd; mfsa_cmd; lint_cmd; compare_cmd; fuzz_cmd;
+      compile_cmd ]
 
 let () =
   (* Cmdliner's own exit codes for CLI misuse / internal errors are 124 and

@@ -1,0 +1,223 @@
+let is_arith = function
+  | Dfg.Op.Add | Sub | Mul | Div | Mod | Shl | Shr | Neg -> true
+  | And | Or | Xor | Not | Lt | Le | Gt | Ge | Eq | Ne | Mov -> false
+
+(* Kahn's algorithm; [Graph.topological] assumes acyclicity, so the cycle
+   check re-derives the order from scratch. *)
+let cycle_nodes g =
+  let n = Dfg.Graph.num_nodes g in
+  let indeg = Array.make n 0 in
+  for i = 0 to n - 1 do
+    indeg.(i) <- List.length (Dfg.Graph.preds g i)
+  done;
+  let queue = Queue.create () in
+  Array.iteri (fun i d -> if d = 0 then Queue.add i queue) indeg;
+  let seen = ref 0 in
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    incr seen;
+    List.iter
+      (fun j ->
+        indeg.(j) <- indeg.(j) - 1;
+        if indeg.(j) = 0 then Queue.add j queue)
+      (Dfg.Graph.succs g i)
+  done;
+  if !seen = n then []
+  else
+    List.filteri (fun i _ -> indeg.(i) > 0) (List.init n Fun.id)
+
+(* ancestors.(i) holds the transitive data predecessors of node i as a
+   boolean row — cheap enough for lint-sized graphs and exact. *)
+let ancestor_rows g =
+  let n = Dfg.Graph.num_nodes g in
+  let rows = Array.init n (fun _ -> Bytes.make n '\000') in
+  List.iter
+    (fun i ->
+      List.iter
+        (fun p ->
+          Bytes.set rows.(i) p '\001';
+          Bytes.iteri
+            (fun k b -> if b = '\001' then Bytes.set rows.(i) k '\001')
+            rows.(p))
+        (Dfg.Graph.preds g i))
+    (Dfg.Graph.topological g);
+  fun i j -> Bytes.get rows.(i) j = '\001'
+
+let check ?config g =
+  let fs = ref [] in
+  let add f = fs := f :: !fs in
+  let name i = (Dfg.Graph.node g i).Dfg.Graph.name in
+  (match cycle_nodes g with
+  | [] -> ()
+  | cyc ->
+      add
+        (Finding.error ~nodes:(List.map name cyc) Diag.Input ~code:"lint.cycle"
+           "combinational cycle through %s"
+           (String.concat ", " (List.map name cyc))));
+  (* Uses: operands and guard conditions. *)
+  let used = Hashtbl.create 16 in
+  List.iter
+    (fun nd ->
+      List.iter (fun a -> Hashtbl.replace used a ()) nd.Dfg.Graph.args;
+      List.iter (fun (c, _) -> Hashtbl.replace used c ()) nd.Dfg.Graph.guards)
+    (Dfg.Graph.nodes g);
+  List.iter
+    (fun inp ->
+      if not (Hashtbl.mem used inp) then
+        add
+          (Finding.warning ~nodes:[ inp ] Diag.Input ~code:"lint.dead-input"
+             "primary input %S is never read" inp))
+    (Dfg.Graph.inputs g);
+  let sink_ids = Dfg.Graph.sinks g in
+  List.iter
+    (fun nd ->
+      let is_sink = List.mem nd.Dfg.Graph.id sink_ids in
+      if (not is_sink) && not (Hashtbl.mem used nd.Dfg.Graph.name) then
+        add
+          (Finding.warning ~nodes:[ nd.Dfg.Graph.name ] Diag.Input
+             ~code:"lint.dead-value" "value %S is computed but never read"
+             nd.Dfg.Graph.name))
+    (Dfg.Graph.nodes g);
+  (* Guard hygiene per node. *)
+  List.iter
+    (fun nd ->
+      let gs = nd.Dfg.Graph.guards in
+      let conds = List.sort_uniq compare (List.map fst gs) in
+      List.iter
+        (fun c ->
+          if List.mem (c, true) gs && List.mem (c, false) gs then
+            add
+              (Finding.error ~nodes:[ nd.Dfg.Graph.name; c ] Diag.Input
+                 ~code:"lint.contradictory-guards"
+                 "operation %S can never execute: guarded on both %s and !%s"
+                 nd.Dfg.Graph.name c c))
+        conds;
+      let rec dups = function
+        | [] -> ()
+        | x :: rest ->
+            if List.mem x rest then
+              add
+                (Finding.warning ~nodes:[ nd.Dfg.Graph.name ] Diag.Input
+                   ~code:"lint.duplicate-guard"
+                   "operation %S lists guard (%s, %b) twice" nd.Dfg.Graph.name
+                   (fst x) (snd x));
+            dups (List.filter (fun y -> y <> x) rest)
+      in
+      dups gs;
+      List.iter
+        (fun (c, _) ->
+          match Dfg.Graph.find g c with
+          | Some p when is_arith p.Dfg.Graph.kind ->
+              add
+                (Finding.warning ~nodes:[ nd.Dfg.Graph.name; c ] Diag.Input
+                   ~code:"lint.guard-arith"
+                   "condition %S guarding %S is produced by arithmetic %s, \
+                    not a comparison or logic operation"
+                   c nd.Dfg.Graph.name
+                   (Dfg.Op.to_string p.Dfg.Graph.kind))
+          | _ -> ())
+        gs)
+    (Dfg.Graph.nodes g);
+  (* Mutex misuse: exclusive-looking operations on one data path both
+     execute in any run that reaches the consumer. Unreachable through the
+     Builder (guard-scoping forbids cross-branch reads); defence in depth
+     for graphs assembled elsewhere. *)
+  let n = Dfg.Graph.num_nodes g in
+  if n > 1 then begin
+    let is_ancestor = ancestor_rows g in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        if
+          Dfg.Graph.mutually_exclusive g i j
+          && (is_ancestor i j || is_ancestor j i)
+        then
+          add
+            (Finding.error ~nodes:[ name i; name j ] Diag.Input
+               ~code:"lint.mutex-misuse"
+               "%s and %s look mutually exclusive but lie on one data path"
+               (name i) (name j))
+      done
+    done
+  end;
+  (* Chaining clock sanity: a 1-cycle op whose own propagation delay
+     exceeds the period can never be placed, chained or not. *)
+  (match config with
+  | Some
+      ({ Core.Config.chaining = Some { Core.Config.prop_delay; clock }; _ } as
+       cfg) ->
+      List.iter
+        (fun nd ->
+          let k = nd.Dfg.Graph.kind in
+          if Core.Config.delay cfg k = 1 && prop_delay k > clock +. 1e-9 then
+            add
+              (Finding.error ~nodes:[ nd.Dfg.Graph.name ] Diag.Infeasible
+                 ~code:"lint.chain-clock"
+                 "operation %S (%s) needs %.1f ns but the clock period is \
+                  %.1f ns"
+                 nd.Dfg.Graph.name
+                 (Dfg.Op.to_string k)
+                 (prop_delay k) clock))
+        (Dfg.Graph.nodes g)
+  | _ -> ());
+  List.rev !fs
+
+let rec loop_tree ?config ?(path = []) tree =
+  let fs = ref [] in
+  let add f = fs := f :: !fs in
+  let where =
+    match path with
+    | [] -> "outer loop"
+    | p -> "loop " ^ String.concat "/" (List.rev p)
+  in
+  if tree.Core.Loops.budget < 1 then
+    add
+      (Finding.error Diag.Input ~code:"lint.loop-budget"
+         "%s has a non-positive time budget (%d)" where tree.Core.Loops.budget);
+  (* Placeholder discipline, then feasibility of the expanded body. *)
+  let expanded =
+    List.fold_left
+      (fun body (ph, child) ->
+        match Dfg.Graph.find tree.Core.Loops.body ph with
+        | None ->
+            add
+              (Finding.error ~nodes:[ ph ] Diag.Input
+                 ~code:"lint.loop-placeholder"
+                 "%s names child placeholder %S but the body has no such \
+                  operation"
+                 where ph);
+            body
+        | Some nd when nd.Dfg.Graph.kind <> Dfg.Op.Mov ->
+            add
+              (Finding.error ~nodes:[ ph ] Diag.Input
+                 ~code:"lint.loop-placeholder"
+                 "%s placeholder %S must be a mov, not %s" where ph
+                 (Dfg.Op.to_string nd.Dfg.Graph.kind));
+            body
+        | Some _ -> (
+            match body with
+            | None -> None
+            | Some b -> (
+                match
+                  Core.Loops.expand_placeholder b ~name:ph
+                    ~cycles:(max 1 child.Core.Loops.budget)
+                with
+                | Ok b' -> Some b'
+                | Error _ -> None)))
+      (Some tree.Core.Loops.body) tree.Core.Loops.children
+  in
+  (match expanded with
+  | Some body when tree.Core.Loops.budget >= 1 ->
+      let cfg = Option.value config ~default:Core.Config.default in
+      let need = Core.Timeframe.min_cs cfg body in
+      if need > tree.Core.Loops.budget then
+        add
+          (Finding.error Diag.Infeasible ~code:"lint.loop-budget"
+             "%s needs at least %d step(s) but its local budget is %d" where
+             need tree.Core.Loops.budget)
+  | _ -> ());
+  List.iter
+    (fun (ph, child) -> fs := List.rev_append (loop_tree ?config ~path:(ph :: path) child) !fs)
+    tree.Core.Loops.children;
+  List.rev !fs
+
+let loop_tree ?config tree = loop_tree ?config ~path:[] tree

@@ -1,0 +1,35 @@
+(** Static lint over the input data-flow graph, before any scheduling.
+
+    Codes emitted ([Input] category unless noted):
+
+    - [lint.cycle] — combinational cycle among the operations (unreachable
+      through {!Dfg.Graph.Builder}, kept as defence in depth for graphs
+      deserialised by other paths);
+    - [lint.dead-input] (warning) — a declared primary input no operation
+      reads;
+    - [lint.dead-value] (warning) — a non-sink value no operation reads
+      (computed then dropped);
+    - [lint.contradictory-guards] — one operation guarded on both arms of
+      the same condition, so it can never execute;
+    - [lint.duplicate-guard] (warning) — the same (condition, arm) pair
+      listed twice on one operation;
+    - [lint.mutex-misuse] — two operations whose guard sets disagree (hence
+      treated as mutually exclusive and allowed to share an FU) lie on one
+      data path, so both {e do} execute in runs reaching the consumer;
+    - [lint.guard-arith] (warning) — a guard condition produced by an
+      arithmetic operation rather than a comparison/logic one;
+    - [lint.chain-clock] ([Infeasible]) — a single-cycle operation whose
+      propagation delay alone exceeds the clock period, so no chaining (or
+      placement) can ever fit it;
+    - [lint.loop-placeholder] — a loop tree names a placeholder that is
+      missing from the body or is not a [mov];
+    - [lint.loop-budget] ([Infeasible]) — a loop body (with child
+      placeholders expanded to their budgets) cannot fit its local time
+      constraint. *)
+
+val check : ?config:Core.Config.t -> Dfg.Graph.t -> Finding.t list
+(** All graph-level findings. [config] enables the chaining clock check. *)
+
+val loop_tree : ?config:Core.Config.t -> Core.Loops.tree -> Finding.t list
+(** Loop-nesting findings over a whole tree, outermost first; nested loop
+    findings carry the placeholder path in their message. *)

@@ -1,0 +1,89 @@
+type t = {
+  min_steps : int;
+  class_cells : (string * int) list;
+  fu_lower_bounds : (string * int) list;
+}
+
+(* Horizon available to one FU column: the step budget, folded to the
+   functional-pipelining latency (steps congruent mod L conflict, so a
+   column offers at most L distinct cells). *)
+let horizon config ~cs =
+  match (cs, config.Core.Config.functional_latency) with
+  | None, None -> None
+  | Some c, None -> Some c
+  | None, Some l -> Some l
+  | Some c, Some l -> Some (min c l)
+
+let class_cells config g =
+  List.fold_left
+    (fun acc nd ->
+      (* Guarded operations may be mutually exclusive with others of their
+         class and stack on one unit; only unguarded ones provably occupy
+         cells exclusively. *)
+      if nd.Dfg.Graph.guards <> [] then acc
+      else
+        let c = Dfg.Op.fu_class nd.Dfg.Graph.kind in
+        let sp =
+          let sp = Core.Config.span config nd.Dfg.Graph.kind in
+          (* Folded modulo the latency, a span covers at most L distinct
+             cells — counting more would overestimate and reject feasible
+             instances. *)
+          match config.Core.Config.functional_latency with
+          | Some l -> min sp l
+          | None -> sp
+        in
+        match List.assoc_opt c acc with
+        | Some k -> (c, k + sp) :: List.remove_assoc c acc
+        | None -> (c, sp) :: acc)
+    [] (Dfg.Graph.nodes g)
+  |> List.rev
+
+let analyze ?cs config g =
+  let min_steps = Core.Timeframe.min_cs config g in
+  let cells = class_cells config g in
+  let fu_lower_bounds =
+    match horizon config ~cs with
+    | None -> []
+    | Some h when h < 1 -> []
+    | Some h -> List.map (fun (c, w) -> (c, (w + h - 1) / h)) cells
+  in
+  { min_steps; class_cells = cells; fu_lower_bounds }
+
+let check ?cs ?(limits = []) config g =
+  if Dfg.Graph.num_nodes g = 0 then
+    [
+      Finding.error Diag.Input ~code:"lint.empty-graph"
+        "the graph has no operations to schedule";
+    ]
+  else begin
+    let b = analyze ?cs config g in
+    let fs = ref [] in
+    let add f = fs := f :: !fs in
+    (match cs with
+    | Some c when c < b.min_steps ->
+        add
+          (Finding.error Diag.Infeasible ~code:"lint.infeasible-budget"
+             "no schedule fits %d control step(s): the critical path needs %d"
+             c b.min_steps)
+    | _ -> ());
+    List.iter
+      (fun (c, k) ->
+        if List.mem_assoc c (Dfg.Graph.count_by_class g) then
+          if k < 1 then
+            add
+              (Finding.error Diag.Infeasible ~code:"lint.infeasible-units"
+                 "class %s is capped at %d unit(s) but the graph uses it" c k)
+          else
+            match List.assoc_opt c b.fu_lower_bounds with
+            | Some need when k < need ->
+                let cells = List.assoc c b.class_cells in
+                let h = Option.get (horizon config ~cs) in
+                add
+                  (Finding.error Diag.Infeasible ~code:"lint.infeasible-units"
+                     "class %s needs at least %d unit(s): %d occupied \
+                      step-cell(s) in a %d-step horizon, but the cap is %d"
+                     c need cells h k)
+            | _ -> ())
+      limits;
+    List.rev !fs
+  end

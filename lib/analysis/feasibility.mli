@@ -1,0 +1,31 @@
+(** Feasibility bounds: reject doomed instances before MFS/MFSA spends any
+    scheduler time on them (the "exit 4, not a timeout" gate).
+
+    Both bounds are {e sound}: they reject only instances no scheduler can
+    solve, so the fuzz campaign's clean runs stay clean.
+
+    - [lint.empty-graph] ([Input]) — nothing to schedule;
+    - [lint.infeasible-budget] ([Infeasible]) — the (chaining-aware)
+      critical path exceeds the control-step budget;
+    - [lint.infeasible-units] ([Infeasible]) — a unit cap is non-positive,
+      or below the occupancy lower bound [ceil(cells / horizon)] where
+      [cells] sums the FU spans of the class's {e unguarded} operations
+      (guarded ones might share units via mutual exclusion) and [horizon]
+      is the step budget folded to the functional-pipelining latency. *)
+
+type t = {
+  min_steps : int;  (** Chaining-aware critical path (>= 1). *)
+  class_cells : (string * int) list;
+      (** Occupied grid cells per FU class over unguarded operations. *)
+  fu_lower_bounds : (string * int) list;
+      (** Minimum unit count per class for the given horizon; empty when no
+          step budget bounds the horizon. *)
+}
+
+val analyze : ?cs:int -> Core.Config.t -> Dfg.Graph.t -> t
+
+val check :
+  ?cs:int -> ?limits:(string * int) list -> Core.Config.t -> Dfg.Graph.t ->
+  Finding.t list
+(** [cs] is the time budget (omit in resource-constrained mode); [limits]
+    are per-class unit caps as accepted by [synth --limit]. *)

@@ -1,0 +1,42 @@
+type t = { diag : Diag.t; nodes : string list }
+
+let make ?(nodes = []) diag = { diag; nodes }
+
+let error ?nodes category ~code fmt =
+  Printf.ksprintf (fun s -> make ?nodes (Diag.make category ~code s)) fmt
+
+let warning ?nodes category ~code fmt =
+  Printf.ksprintf
+    (fun s -> make ?nodes (Diag.make ~severity:Diag.Warning category ~code s))
+    fmt
+
+let diags fs = List.map (fun f -> f.diag) fs
+let errors fs = List.filter (fun f -> f.diag.Diag.severity = Diag.Error) fs
+let warnings fs = List.filter (fun f -> f.diag.Diag.severity = Diag.Warning) fs
+
+let flagged fs =
+  List.fold_left
+    (fun acc f ->
+      List.fold_left
+        (fun acc n ->
+          match List.assoc_opt n acc with
+          | Some Diag.Error -> acc
+          | Some Diag.Warning when f.diag.Diag.severity = Diag.Warning -> acc
+          | Some Diag.Warning -> (n, Diag.Error) :: List.remove_assoc n acc
+          | None -> (n, f.diag.Diag.severity) :: acc)
+        acc f.nodes)
+    [] fs
+  |> List.rev
+
+let exit_code fs =
+  List.fold_left (fun acc f -> max acc (Diag.exit_code f.diag)) 0 (errors fs)
+
+let render fs = String.concat "\n" (List.map (fun f -> Diag.to_string f.diag) fs)
+
+let to_json fs =
+  let one f =
+    Printf.sprintf "{\"nodes\":[%s],\"diag\":%s}"
+      (String.concat "," (List.map Diag.json_string f.nodes))
+      (Diag.to_json f.diag)
+  in
+  "[" ^ String.concat "," (List.map one fs) ^ "]"

@@ -1,0 +1,40 @@
+(** Static-analysis findings: a typed diagnostic plus the DFG nodes it
+    implicates, so renderers (and the [--dot-lint] overlay) can point back
+    into the graph. *)
+
+type t = {
+  diag : Diag.t;
+  nodes : string list;  (** Implicated node/value names, possibly empty. *)
+}
+
+val make : ?nodes:string list -> Diag.t -> t
+
+val error :
+  ?nodes:string list -> Diag.category -> code:string ->
+  ('a, unit, string, t) format4 -> 'a
+(** Error-severity finding with a printf-style message. *)
+
+val warning :
+  ?nodes:string list -> Diag.category -> code:string ->
+  ('a, unit, string, t) format4 -> 'a
+
+val diags : t list -> Diag.t list
+
+val errors : t list -> t list
+(** Error-severity findings only. *)
+
+val warnings : t list -> t list
+
+val flagged : t list -> (string * Diag.severity) list
+(** Node name -> worst severity over all findings naming it. *)
+
+val exit_code : t list -> int
+(** 0 when no error-severity finding; otherwise the worst category's exit
+    code (internal 5 > infeasible 4 > input 3 > usage 2). *)
+
+val render : t list -> string
+(** One {!Diag.to_string} line per finding. Empty string on []. *)
+
+val to_json : t list -> string
+(** JSON array; each element wraps the diagnostic with its [nodes] list:
+    [{"nodes":["a"],"diag":{...}}]. *)

@@ -1,0 +1,25 @@
+let pre ?cs ?limits config g =
+  Dfg_lint.check ~config g @ Feasibility.check ?cs ?limits config g
+
+let post_schedule ?regs ?trace s =
+  Sched_lint.schedule s
+  @ Sched_lint.lifetimes ?regs s
+  @ match trace with None -> [] | Some tr -> Sched_lint.trace tr
+
+let post_rtl = Rtl_lint.check
+
+let stop_diag fs =
+  let errs = Finding.errors fs in
+  let pick cat =
+    List.find_opt (fun f -> f.Finding.diag.Diag.category = cat) errs
+  in
+  match (pick Diag.Infeasible, errs) with
+  | Some f, _ -> Some f.Finding.diag
+  | None, f :: _ -> Some f.Finding.diag
+  | None, [] -> None
+
+let summary fs =
+  let e = List.length (Finding.errors fs)
+  and w = List.length (Finding.warnings fs) in
+  if e = 0 && w = 0 then "lint: clean"
+  else Printf.sprintf "lint: %d error(s), %d warning(s)" e w

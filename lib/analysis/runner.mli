@@ -1,0 +1,26 @@
+(** Entry points bundling the four analysis passes for the CLI and the
+    harness gates.
+
+    [pre] runs on the input DFG before any scheduling (DFG lint +
+    feasibility bounds); [post_schedule] and [post_rtl] audit pipeline
+    artefacts. *)
+
+val pre :
+  ?cs:int -> ?limits:(string * int) list -> Core.Config.t -> Dfg.Graph.t ->
+  Finding.t list
+
+val post_schedule :
+  ?regs:Rtl.Left_edge.t -> ?trace:Core.Liapunov.Trace.t -> Core.Schedule.t ->
+  Finding.t list
+
+val post_rtl :
+  ?bus:Rtl.Bus.t -> ?share_mutex:bool -> ?latency:int -> Rtl.Datapath.t ->
+  Rtl.Controller.t -> delay:(int -> int) -> Finding.t list
+
+val stop_diag : Finding.t list -> Diag.t option
+(** The first error-severity finding's diagnostic, preferring [Infeasible]
+    over [Input] — what a pipeline driver should stop with. [None] when no
+    error findings. *)
+
+val summary : Finding.t list -> string
+(** ["lint: clean"] or ["lint: %d error(s), %d warning(s)"]. *)

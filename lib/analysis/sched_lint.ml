@@ -1,0 +1,154 @@
+let internal ?nodes ~code fmt = Finding.error ?nodes Diag.Internal ~code fmt
+
+let schedule (s : Core.Schedule.t) =
+  let g = s.Core.Schedule.graph in
+  let fs = ref [] in
+  let add f = fs := f :: !fs in
+  let name i = (Dfg.Graph.node g i).Dfg.Graph.name in
+  let kind i = (Dfg.Graph.node g i).Dfg.Graph.kind in
+  let delay i = Core.Config.delay s.Core.Schedule.config (kind i) in
+  let span i = Core.Config.span s.Core.Schedule.config (kind i) in
+  let finish i = s.Core.Schedule.start.(i) + delay i - 1 in
+  let n = Dfg.Graph.num_nodes g in
+  for i = 0 to n - 1 do
+    if s.Core.Schedule.start.(i) < 1 then
+      add
+        (internal ~nodes:[ name i ] ~code:"lint.sched-start"
+           "op %s starts at step %d < 1" (name i) s.Core.Schedule.start.(i));
+    if finish i > s.Core.Schedule.cs then
+      add
+        (internal ~nodes:[ name i ] ~code:"lint.sched-horizon"
+           "op %s finishes at step %d past the %d-step horizon" (name i)
+           (finish i) s.Core.Schedule.cs);
+    List.iter
+      (fun p ->
+        let ok =
+          s.Core.Schedule.start.(i) >= s.Core.Schedule.start.(p) + delay p
+          || Core.Schedule.chain_allowed s p i
+        in
+        if not ok then
+          add
+            (internal
+               ~nodes:[ name i; name p ]
+               ~code:"lint.sched-precedence"
+               "op %s (start %d) reads %s before it finishes (step %d)"
+               (name i) s.Core.Schedule.start.(i) (name p) (finish p)))
+      (Dfg.Graph.preds g i)
+  done;
+  (match s.Core.Schedule.col with
+  | None -> ()
+  | Some col ->
+      let latency = s.Core.Schedule.config.Core.Config.functional_latency in
+      let exclusive i j =
+        s.Core.Schedule.config.Core.Config.share_mutex
+        && Dfg.Graph.mutually_exclusive g i j
+      in
+      for i = 0 to n - 1 do
+        if col.(i) < 1 then
+          add
+            (internal ~nodes:[ name i ] ~code:"lint.sched-col"
+               "op %s is bound to column %d < 1" (name i) col.(i));
+        for j = i + 1 to n - 1 do
+          if
+            String.equal (Dfg.Op.fu_class (kind i)) (Dfg.Op.fu_class (kind j))
+            && col.(i) = col.(j)
+            && Core.Grid.steps_overlap ~latency s.Core.Schedule.start.(i)
+                 (span i) s.Core.Schedule.start.(j) (span j)
+            && not (exclusive i j)
+          then
+            add
+              (internal
+                 ~nodes:[ name i; name j ]
+                 ~code:"lint.fu-conflict"
+                 "ops %s and %s occupy %s unit %d in the same step" (name i)
+                 (name j)
+                 (Dfg.Op.fu_class (kind i))
+                 col.(i))
+        done
+      done);
+  List.rev !fs
+
+let value_intervals (s : Core.Schedule.t) =
+  let g = s.Core.Schedule.graph in
+  let delay i =
+    Core.Config.delay s.Core.Schedule.config
+      (Dfg.Graph.node g i).Dfg.Graph.kind
+  in
+  Rtl.Lifetime.intervals g ~start:s.Core.Schedule.start ~delay
+    ~cs:s.Core.Schedule.cs
+
+let reg_lower_bound s = Rtl.Lifetime.max_overlap (value_intervals s)
+
+let lifetimes ?regs (s : Core.Schedule.t) =
+  let ivs = value_intervals s in
+  let fs = ref [] in
+  let add f = fs := f :: !fs in
+  List.iter
+    (fun iv ->
+      (* A value born past the final boundary (e.g. a corrupted start step)
+         is out of range even when nothing reads it afterwards. *)
+      if
+        iv.Rtl.Lifetime.birth > s.Core.Schedule.cs
+        || Rtl.Lifetime.needs_register iv
+           && (iv.Rtl.Lifetime.birth < 0
+              || iv.Rtl.Lifetime.death > s.Core.Schedule.cs)
+      then
+        add
+          (internal
+             ~nodes:[ iv.Rtl.Lifetime.value ]
+             ~code:"lint.lifetime-horizon"
+             "value %s is live across boundaries %d..%d, outside the \
+              %d-step horizon"
+             iv.Rtl.Lifetime.value iv.Rtl.Lifetime.birth iv.Rtl.Lifetime.death
+             s.Core.Schedule.cs))
+    ivs;
+  (match regs with
+  | None -> ()
+  | Some regs ->
+      let stored =
+        List.filter
+          (fun iv -> Rtl.Left_edge.register_of regs iv.Rtl.Lifetime.value <> None)
+          ivs
+      in
+      let rec pairs = function
+        | [] -> ()
+        | iv :: rest ->
+            List.iter
+              (fun iv' ->
+                let r = Rtl.Left_edge.register_of regs iv.Rtl.Lifetime.value in
+                if
+                  r = Rtl.Left_edge.register_of regs iv'.Rtl.Lifetime.value
+                  && Rtl.Lifetime.overlap iv iv'
+                then
+                  add
+                    (internal
+                       ~nodes:
+                         [ iv.Rtl.Lifetime.value; iv'.Rtl.Lifetime.value ]
+                       ~code:"lint.reg-lifetime-clash"
+                       "values %s and %s share reg%d while both are live"
+                       iv.Rtl.Lifetime.value iv'.Rtl.Lifetime.value
+                       (Option.value ~default:(-1) r)))
+              rest;
+            pairs rest
+      in
+      pairs stored;
+      let bound = Rtl.Lifetime.max_overlap ivs in
+      if regs.Rtl.Left_edge.count > bound then
+        add
+          (Finding.warning Diag.Internal ~code:"lint.reg-overallocated"
+             "binding uses %d register(s) where %d suffice"
+             regs.Rtl.Left_edge.count bound));
+  List.rev !fs
+
+let trace tr =
+  let fs = ref [] in
+  if not (Core.Liapunov.Trace.non_increasing tr) then
+    fs :=
+      internal ~code:"lint.trace-monotone"
+        "Liapunov energy increases along the move trace"
+      :: !fs;
+  if not (Core.Liapunov.Trace.positive tr) then
+    fs :=
+      internal ~code:"lint.trace-positive"
+        "Liapunov trace reaches a non-positive energy" :: !fs;
+  List.rev !fs

@@ -114,15 +114,23 @@ let chain_allowed t p i =
       && t.offset.(i) +. 1e-9 >= t.offset.(p) +. prop_delay (kind t p)
       && t.offset.(i) +. prop_delay (kind t i) <= clock +. 1e-9
 
-let check t =
+(* Violations are typed diagnostics so the CLI, the static analyzer and the
+   harness all render through one code path; [check] below keeps the legacy
+   string surface as a thin projection. *)
+let check_diags t =
   let errs = ref [] in
-  let add fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  let add ~code fmt =
+    Printf.ksprintf (fun s -> errs := Diag.internal ~code s :: !errs) fmt
+  in
   let n = Dfg.Graph.num_nodes t.graph in
   for i = 0 to n - 1 do
     let name = (Dfg.Graph.node t.graph i).Dfg.Graph.name in
-    if t.start.(i) < 1 then add "op %s starts at step %d < 1" name t.start.(i);
+    if t.start.(i) < 1 then
+      add ~code:"schedule.start-range" "op %s starts at step %d < 1" name
+        t.start.(i);
     if finish t i > t.cs then
-      add "op %s finishes at step %d > horizon %d" name (finish t i) t.cs;
+      add ~code:"schedule.horizon" "op %s finishes at step %d > horizon %d"
+        name (finish t i) t.cs;
     List.iter
       (fun p ->
         let pname = (Dfg.Graph.node t.graph p).Dfg.Graph.name in
@@ -130,8 +138,9 @@ let check t =
           t.start.(i) >= t.start.(p) + delay t p || chain_allowed t p i
         in
         if not ok then
-          add "precedence violated: %s (start %d) needs %s (finishes %d)"
-            name t.start.(i) pname (finish t p))
+          add ~code:"schedule.precedence"
+            "precedence violated: %s (start %d) needs %s (finishes %d)" name
+            t.start.(i) pname (finish t p))
       (Dfg.Graph.preds t.graph i)
   done;
   (match t.col with
@@ -139,7 +148,7 @@ let check t =
   | Some col ->
       for i = 0 to n - 1 do
         if col.(i) < 1 then
-          add "op %s bound to column %d < 1"
+          add ~code:"schedule.col-range" "op %s bound to column %d < 1"
             (Dfg.Graph.node t.graph i).Dfg.Graph.name col.(i);
         for j = i + 1 to n - 1 do
           let same_class =
@@ -152,21 +161,28 @@ let check t =
             && cells_overlap t i j
             && not (exclusive t i j)
           then
-            add "FU conflict: %s and %s share %s unit %d"
+            add ~code:"schedule.fu-conflict"
+              "FU conflict: %s and %s share %s unit %d"
               (Dfg.Graph.node t.graph i).Dfg.Graph.name
               (Dfg.Graph.node t.graph j).Dfg.Graph.name
               (Dfg.Op.fu_class (kind t i))
               col.(i)
         done
       done);
-  match !errs with [] -> Ok () | l -> Error (List.rev l)
+  List.rev !errs
+
+let check t =
+  match check_diags t with
+  | [] -> Ok ()
+  | ds -> Error (List.map Diag.message ds)
 
 let check_diag t =
-  match check t with
-  | Ok () -> Ok ()
-  | Error errs ->
+  match check_diags t with
+  | [] -> Ok ()
+  | ds ->
       Error
-        (Diag.internal ~code:"schedule.invalid" (String.concat "; " errs))
+        (Diag.internal ~code:"schedule.invalid"
+           (String.concat "; " (List.map Diag.message ds)))
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>schedule over %d steps:@," t.cs;

@@ -37,15 +37,26 @@ val fu_counts : t -> (string * int) list
 val makespan : t -> int
 (** Last finish step over all operations. *)
 
-val check : t -> (unit, string list) result
-(** All violations found: precedence (with chaining rules), horizon bounds,
+val chain_allowed : t -> int -> int -> bool
+(** [chain_allowed t p i]: consumer [i] may read producer [p] through a
+    direct wire in the same step — both single-cycle, same start step, and
+    the accumulated propagation delays fit the clock period. Always false
+    without chaining. *)
+
+val check_diags : t -> Diag.t list
+(** All violations found, as typed internal diagnostics with stable
+    [schedule.*] codes: precedence (with chaining rules), horizon bounds,
     and — when columns are bound — FU-instance conflicts, including the
     modulo-latency conflicts of functional pipelining. Mutually-exclusive
     operations may overlap when the configuration allows sharing. *)
 
+val check : t -> (unit, string list) result
+(** Thin string projection of {!check_diags} for legacy callers. *)
+
 val check_diag : t -> (unit, Diag.t) result
-(** {!check} folded into a single [schedule.invalid] internal diagnostic —
-    a produced-then-invalid schedule is always a bug, never bad input. *)
+(** {!check_diags} folded into a single [schedule.invalid] internal
+    diagnostic — a produced-then-invalid schedule is always a bug, never bad
+    input. *)
 
 val pp : Format.formatter -> t -> unit
 (** Placement-table listing: one line per step per class. *)

@@ -2,36 +2,51 @@ let escape s =
   String.concat "" (List.map (function '"' -> "\\\"" | c -> String.make 1 c)
                       (List.init (String.length s) (String.get s)))
 
-let node_lines g =
+(* Every identifier is emitted quoted: node names may contain operator
+   symbols, digits-first spellings or DOT keywords, none of which are valid
+   bare DOT IDs. *)
+let ident s = "\"" ^ escape s ^ "\""
+
+let attrs_of ~fill name =
+  match List.assoc_opt name fill with
+  | Some color -> Printf.sprintf ", style=filled, fillcolor=\"%s\"" (escape color)
+  | None -> ""
+
+let node_lines ~fill g =
   List.map
     (fun nd ->
-      Printf.sprintf "  %s [label=\"%s: %s\"];" nd.Graph.name
+      Printf.sprintf "  %s [label=\"%s: %s\"%s];" (ident nd.Graph.name)
         (escape nd.Graph.name)
-        (escape (Op.symbol nd.Graph.kind)))
+        (escape (Op.symbol nd.Graph.kind))
+        (attrs_of ~fill nd.Graph.name))
     (Graph.nodes g)
 
 let edge_lines g =
   List.concat_map
     (fun nd ->
-      List.filter_map
+      List.map
         (fun arg ->
-          match Graph.find g arg with
-          | Some src -> Some (Printf.sprintf "  %s -> %s;" src.Graph.name nd.Graph.name)
-          | None -> Some (Printf.sprintf "  %s -> %s;" arg nd.Graph.name))
+          let src =
+            match Graph.find g arg with
+            | Some src -> src.Graph.name
+            | None -> arg
+          in
+          Printf.sprintf "  %s -> %s;" (ident src) (ident nd.Graph.name))
         nd.Graph.args)
     (Graph.nodes g)
 
-let input_lines g =
+let input_lines ~fill g =
   List.map
-    (fun i -> Printf.sprintf "  %s [shape=box];" i)
+    (fun i -> Printf.sprintf "  %s [shape=box%s];" (ident i) (attrs_of ~fill i))
     (Graph.inputs g)
 
-let of_graph ?(name = "dfg") g =
+let of_graph ?(name = "dfg") ?(fill = []) g =
   String.concat "\n"
-    (("digraph " ^ name ^ " {") :: input_lines g @ node_lines g @ edge_lines g
+    (("digraph " ^ ident name ^ " {")
+     :: input_lines ~fill g @ node_lines ~fill g @ edge_lines g
      @ [ "}" ])
 
-let of_schedule ?(name = "schedule") g ~start =
+let of_schedule ?(name = "schedule") ?(fill = []) g ~start =
   let cs = Array.fold_left max 0 start in
   let ranks =
     List.init cs (fun t ->
@@ -40,8 +55,10 @@ let of_schedule ?(name = "schedule") g ~start =
           List.filter (fun nd -> start.(nd.Graph.id) = step) (Graph.nodes g)
         in
         Printf.sprintf "  { rank=same; %s }"
-          (String.concat " " (List.map (fun nd -> nd.Graph.name) members)))
+          (String.concat " "
+             (List.map (fun nd -> ident nd.Graph.name) members)))
   in
   String.concat "\n"
-    (("digraph " ^ name ^ " {")
-     :: input_lines g @ node_lines g @ edge_lines g @ ranks @ [ "}" ])
+    (("digraph " ^ ident name ^ " {")
+     :: input_lines ~fill g @ node_lines ~fill g @ edge_lines g @ ranks
+     @ [ "}" ])

@@ -1,8 +1,16 @@
-(** Graphviz export, for inspecting benchmark DFGs and schedules. *)
+(** Graphviz export, for inspecting benchmark DFGs and schedules.
 
-val of_graph : ?name:string -> Graph.t -> string
+    Identifiers are always quoted (and quotes escaped), so graphs whose node
+    names carry operator symbols or DOT keywords still emit valid DOT. *)
+
+val of_graph :
+  ?name:string -> ?fill:(string * string) list -> Graph.t -> string
 (** DOT source with one node per operation (labelled [name: symbol]) and one
-    edge per data dependency. Primary inputs are drawn as plain boxes. *)
+    edge per data dependency. Primary inputs are drawn as plain boxes.
+    [fill] maps node/input names to fill colours — the [--dot-lint] overlay
+    highlighting flagged nodes. *)
 
-val of_schedule : ?name:string -> Graph.t -> start:int array -> string
+val of_schedule :
+  ?name:string -> ?fill:(string * string) list -> Graph.t ->
+  start:int array -> string
 (** Same, with nodes ranked by their scheduled control step. *)

@@ -82,6 +82,8 @@ let json_escape s =
     s;
   Buffer.contents buf
 
+let json_string s = "\"" ^ json_escape s ^ "\""
+
 let to_json d =
   let buf = Buffer.create 128 in
   let field name value =

@@ -73,6 +73,10 @@ val to_string : t -> string
 
 val pp : Format.formatter -> t -> unit
 
+val json_string : string -> string
+(** Quote and escape a string as a JSON literal — shared by the few callers
+    that wrap diagnostics in richer JSON documents. *)
+
 val to_json : t -> string
 (** One JSON object with [code], [category], [severity], [message] and,
     when present, [file] and [span] fields. *)

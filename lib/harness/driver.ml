@@ -177,6 +177,21 @@ let run ?fault ?(budgets = default_budgets) ?(options = default_options) g0 =
   let cs =
     if options.cs <= 0 then Core.Timeframe.min_cs config g else options.cs
   in
+  (* --- Static pre-gate: DFG lint + feasibility bounds. An error finding on
+     the input stops the run before any scheduler time is spent; in
+     resource-constrained mode no step budget binds, so only the unit caps
+     are checked. *)
+  let pre_stop =
+    timed "lint-pre" (fun () ->
+        let fs =
+          if options.limits = [] then Analysis.Runner.pre ~cs config g
+          else Analysis.Runner.pre ~limits:options.limits config g
+        in
+        Analysis.Runner.stop_diag fs)
+  in
+  match pre_stop with
+  | Some d -> finish ~stopped:d ()
+  | None ->
   (* --- Schedule: MFS, degrading to list scheduling + left-edge column
      packing when MFS hits an internal wall (the defect is still counted —
      degradation keeps the campaign going, it does not launder bugs). *)
@@ -298,24 +313,24 @@ let run ?fault ?(budgets = default_budgets) ?(options = default_options) g0 =
             Core.Config.delay config (Dfg.Graph.node g i).Dfg.Graph.kind
           in
           (* --- Datapath checks, with the skew fault applied to the delay
-             model the checker sees. *)
+             model the checker (and the static RTL lint below) sees. *)
+          let eff_delay =
+            match fault with
+            | Some Fault.Skew_delay -> (
+                match Fault.skew_delay dp ~delay with
+                | Some d ->
+                    fault_applied := true;
+                    d
+                | None -> delay)
+            | _ -> delay
+          in
           timed "check" (fun () ->
-              let delay =
-                match fault with
-                | Some Fault.Skew_delay -> (
-                    match Fault.skew_delay dp ~delay with
-                    | Some d ->
-                        fault_applied := true;
-                        d
-                    | None -> delay)
-                | _ -> delay
-              in
               match
                 Rtl.Check.datapath ~style2:options.style2
                   ~steps_overlap:
                     (Core.Grid.steps_overlap
                        ~latency:config.Core.Config.functional_latency)
-                  dp ~delay
+                  dp ~delay:eff_delay
               with
               | Ok () -> ()
               | Error ds -> List.iter violate ds);
@@ -330,6 +345,23 @@ let run ?fault ?(budgets = default_budgets) ?(options = default_options) g0 =
                          ("controller generation failed: " ^ msg));
                     None)
           in
+          (* --- Static post-gate: schedule, lifetime, trace and RTL
+             dataflow audits; error findings count as violations. *)
+          timed "lint-post" (fun () ->
+              let fs =
+                Analysis.Runner.post_schedule ?trace:!trace !sched
+                @
+                match ctrl with
+                | Some c ->
+                    Analysis.Runner.post_rtl
+                      ~share_mutex:config.Core.Config.share_mutex
+                      ?latency:config.Core.Config.functional_latency dp c
+                      ~delay:eff_delay
+                | None -> []
+              in
+              List.iter
+                (fun f -> violate f.Analysis.Finding.diag)
+                (Analysis.Finding.errors fs));
           (match ctrl with
           | None -> ()
           | Some ctrl ->

@@ -40,20 +40,28 @@ let cost ?(bus_area = 900.) ?(tap_area = 60.) t =
   (float_of_int t.buses *. bus_area)
   +. (float_of_int (List.length taps) *. tap_area)
 
-let check t =
+let check_diags t =
   let errs = ref [] in
-  let add fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  let add ~code fmt =
+    Printf.ksprintf (fun s -> errs := Diag.internal ~code s :: !errs) fmt
+  in
   List.iteri
     (fun i tr ->
       if tr.t_bus < 0 || tr.t_bus >= max 1 t.buses then
-        add "transfer %d uses bus %d outside 0..%d" i tr.t_bus (t.buses - 1);
+        add ~code:"bus.range" "transfer %d uses bus %d outside 0..%d" i
+          tr.t_bus (t.buses - 1);
       List.iteri
         (fun j tr' ->
           if
             j > i && tr.t_step = tr'.t_step && tr.t_bus = tr'.t_bus
           then
-            add "transfers %d and %d share bus %d in step %d" i j tr.t_bus
-              tr.t_step)
+            add ~code:"bus.conflict" "transfers %d and %d share bus %d in step %d"
+              i j tr.t_bus tr.t_step)
         t.transfers)
     t.transfers;
-  match !errs with [] -> Ok () | l -> Error (List.rev l)
+  List.rev !errs
+
+let check t =
+  match check_diags t with
+  | [] -> Ok ()
+  | ds -> Error (List.map Diag.message ds)

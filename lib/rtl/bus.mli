@@ -29,6 +29,10 @@ val cost : ?bus_area:float -> ?tap_area:float -> t -> float
 (** Interconnect area: [buses * bus_area] plus one tap per distinct
     (source, bus) connection. Defaults: 900 and 60 µm². *)
 
+val check_diags : t -> Diag.t list
+(** No two same-step transfers share a bus ([bus.conflict]), and every bus
+    index is within range ([bus.range]) — the invariant tests rely on.
+    Typed internal diagnostics. *)
+
 val check : t -> (unit, string list) result
-(** No two same-step transfers share a bus, and every bus index is within
-    range — the invariant tests rely on. *)
+(** Thin string projection of {!check_diags} for legacy callers. *)

@@ -1,0 +1,105 @@
+The static analyzer's CLI contract: findings on stdout with stable
+lint.* codes, exit 0 on clean/warnings, 3 on bad input, 4 on an
+infeasible instance (rejected before MFS/MFSA runs), 5 when an audit of
+the produced artefacts finds an internal inconsistency.
+
+A clean design reports its feasibility bounds and the register audit:
+
+  $ printf 'input a b c d\nm1 = mul a b\nm2 = mul c d\ns = add m1 m2\n' > diamond.dfg
+  $ ../bin/synth.exe lint diamond.dfg
+  critical path: 2 step(s); budget: 2
+  FU lower bounds: * >= 1, + >= 1
+  registers: 4 used; lower bound 4
+  lint: clean
+
+Warnings do not fail the run:
+
+  $ printf 'input a b z\nm = mul a b\n' > dead.dfg
+  $ ../bin/synth.exe lint dead.dfg
+  critical path: 1 step(s); budget: 1
+  FU lower bounds: * >= 1
+  registers: 3 used; lower bound 3
+  warning[lint.dead-input] primary input "z" is never read
+  lint: 0 error(s), 1 warning(s)
+
+--json renders the findings with their implicated nodes:
+
+  $ ../bin/synth.exe lint dead.dfg --json
+  [{"nodes":["z"],"diag":{"code":"lint.dead-input","category":"input","severity":"warning","message":"primary input \"z\" is never read"}}]
+
+--dot-lint overlays the findings on the graph (warning = yellow fill):
+
+  $ ../bin/synth.exe lint dead.dfg --dot-lint
+  digraph "dfg" {
+    "a" [shape=box];
+    "b" [shape=box];
+    "z" [shape=box, style=filled, fillcolor="#ffe599"];
+    "m" [label="m: *"];
+    "a" -> "m";
+    "b" -> "m";
+  }
+
+A budget below the critical path is rejected up front — exit 4 with no
+scheduler run (note: no register audit follows the error):
+
+  $ printf 'input a b\nc1 = add a b\nc2 = add c1 b\nc3 = add c2 b\nc4 = add c3 b\n' > chain.dfg
+  $ ../bin/synth.exe lint chain.dfg --cs 2
+  critical path: 4 step(s); budget: 2
+  FU lower bounds: + >= 2
+  error[lint.infeasible-budget] no schedule fits 2 control step(s): the critical path needs 4
+  lint: 1 error(s), 0 warning(s)
+  [4]
+
+So is a unit cap below the occupancy lower bound (three concurrent
+multiplications folded into a 2-step latency horizon need two units):
+
+  $ printf 'input a b\nm1 = mul a b\nm2 = mul a b\nm3 = mul a b\n' > muls.dfg
+  $ ../bin/synth.exe lint muls.dfg --limit '*=1' --latency 2
+  critical path: 1 step(s)
+  FU lower bounds: * >= 2
+  error[lint.infeasible-units] class * needs at least 2 unit(s): 3 occupied step-cell(s) in a 2-step horizon, but the cap is 1
+  lint: 1 error(s), 0 warning(s)
+  [4]
+
+Each fault-injection mode is caught by a static pass (exit 5, internal):
+
+  $ ../bin/synth.exe lint diamond.dfg --inject corrupt-start
+  critical path: 2 step(s); budget: 2
+  FU lower bounds: * >= 1, + >= 1
+  registers: 4 used; lower bound 4
+  error[lint.sched-horizon] op s finishes at step 3 past the 2-step horizon
+  error[lint.lifetime-horizon] value s is live across boundaries 3..2, outside the 2-step horizon
+  lint: 2 error(s), 0 warning(s)
+  [5]
+
+  $ ../bin/synth.exe lint diamond.dfg --inject corrupt-col
+  critical path: 2 step(s); budget: 2
+  FU lower bounds: * >= 1, + >= 1
+  registers: 4 used; lower bound 4
+  error[lint.fu-conflict] ops m1 and m2 occupy * unit 1 in the same step
+  lint: 1 error(s), 0 warning(s)
+  [5]
+
+  $ ../bin/synth.exe lint diamond.dfg --inject corrupt-trace
+  critical path: 2 step(s); budget: 2
+  FU lower bounds: * >= 1, + >= 1
+  registers: 4 used; lower bound 4
+  error[lint.trace-monotone] Liapunov energy increases along the move trace
+  lint: 1 error(s), 0 warning(s)
+  [5]
+
+  $ ../bin/synth.exe lint chain.dfg --inject skew-delay
+  critical path: 4 step(s); budget: 4
+  FU lower bounds: + >= 1
+  registers: 2 used; lower bound 2
+  error[lint.latch-mismatch] node c1 latches at edge 1 but finishes at step 2 under the delay model
+  error[lint.alu-conflict] ALU 0 runs c1 and c2 in overlapping steps
+  error[lint.operand-not-ready] c2 reads c1 from reg0 at step 2 but it only latches at edge 2
+  lint: 3 error(s), 0 warning(s)
+  [5]
+
+Bad input stays a bad-input error:
+
+  $ ../bin/synth.exe lint /nonexistent/no-such.dfg
+  error: error[io.no-such-input] /nonexistent/no-such.dfg: no such file or built-in example (try ex1..ex6, diffeq, ewf, fir16, dct8, ar, tseng, chained, facet, cond)
+  [3]

@@ -6,16 +6,16 @@ let graph_export () =
   List.iter
     (fun sub ->
       Alcotest.(check bool) (sub ^ " present") true (Helpers.contains ~sub dot))
-    [ "digraph demo"; "m1 [label=\"m1: *\"]"; "s [label=\"s: +\"]";
-      "m1 -> s;"; "a [shape=box];" ]
+    [ "digraph \"demo\""; "\"m1\" [label=\"m1: *\"]"; "\"s\" [label=\"s: +\"]";
+      "\"m1\" -> \"s\";"; "\"a\" [shape=box];" ]
 
 let schedule_export () =
   let g = Helpers.diamond () in
   let dot = Dfg.Dot.of_schedule ~name:"sched" g ~start:[| 1; 1; 2 |] in
   Alcotest.(check bool) "rank groups by step" true
-    (Helpers.contains ~sub:"{ rank=same; m1 m2 }" dot);
+    (Helpers.contains ~sub:"{ rank=same; \"m1\" \"m2\" }" dot);
   Alcotest.(check bool) "second step ranked" true
-    (Helpers.contains ~sub:"{ rank=same; s }" dot)
+    (Helpers.contains ~sub:"{ rank=same; \"s\" }" dot)
 
 let label_escaping () =
   (* Names cannot contain quotes through the builder, but labels must still
@@ -32,6 +32,18 @@ let label_escaping () =
     (Helpers.contains ~sub:"c: <" dot);
   Alcotest.(check bool) "logic label" true (Helpers.contains ~sub:"d: &" dot)
 
+let lint_overlay () =
+  let g = Helpers.diamond () in
+  let dot =
+    Dfg.Dot.of_graph ~fill:[ ("m1", "#f4cccc"); ("a", "#fff2cc") ] g
+  in
+  Alcotest.(check bool) "flagged op filled" true
+    (Helpers.contains ~sub:"\"m1\" [label=\"m1: *\", style=filled, fillcolor=\"#f4cccc\"];" dot);
+  Alcotest.(check bool) "flagged input filled" true
+    (Helpers.contains ~sub:"\"a\" [shape=box, style=filled, fillcolor=\"#fff2cc\"];" dot);
+  Alcotest.(check bool) "unflagged op plain" true
+    (Helpers.contains ~sub:"\"m2\" [label=\"m2: *\"];" dot)
+
 let graph_pp_guards () =
   let g = Workloads.Classic.cond_example () in
   let txt = Format.asprintf "%a" Dfg.Graph.pp g in
@@ -45,5 +57,6 @@ let suite =
     test "graph export" graph_export;
     test "schedule export with ranks" schedule_export;
     test "operator labels" label_escaping;
+    test "lint overlay colours flagged nodes" lint_overlay;
     test "graph pp renders guards" graph_pp_guards;
   ]
