@@ -6,32 +6,22 @@
      synth mfsa   <dfg> --cs 8 --style 2   mixed scheduling-allocation
      synth compare <dfg> --cs 8         MFS vs the baseline schedulers
      synth fuzz   --runs 200 --seed 0   randomized robustness campaign
+     synth batch  jobs.txt --jobs 4     supervised batch over a manifest
 
    <dfg> is a file in the textual DFG format (see Dfg.Parser) or the name of
    a built-in example (ex1..ex6, diffeq, ewf, ...).
 
    Exit codes: 0 success, 2 usage, 3 bad input, 4 infeasible constraints,
-   5 internal error / defects found. Diagnostics go to stderr, as text or
-   as JSON with --json-errors. *)
+   5 internal error / defects found, 6 partial batch failure (the batch ran
+   to completion but some jobs failed), 130 interrupted. Diagnostics go to
+   stderr, as text or as JSON with --json-errors. *)
 
 open Cmdliner
 
-let load_graph spec =
-  if Sys.file_exists spec then
-    if Filename.check_suffix spec ".beh" then Dfg.Frontend.compile_file spec
-    else Dfg.Parser.parse_file spec
-  else
-    match Workloads.Classic.by_name spec with
-    | Some g -> Ok g
-    | None ->
-        Error
-          (Diag.input ~code:"io.no-such-input"
-             (Printf.sprintf
-                "%s: no such file or built-in example (try ex1..ex6, diffeq, \
-                 ewf, fir16, dct8, ar, tseng, chained, facet, cond)"
-                spec))
+let load_graph = Batch.Manifest.load_graph
 
 let die ~json d =
+  flush stdout;
   prerr_endline (if json then Diag.to_json d else "error: " ^ Diag.to_string d);
   exit (Diag.exit_code d)
 
@@ -421,15 +411,50 @@ let fuzz_cmd =
   let verbose_arg =
     Arg.(value & flag & info [ "verbose" ] ~doc:"Narrate each eventful run.")
   in
-  let run runs seed max_ops inject corpus stage_seconds verbose json =
+  let jobs_arg =
+    Arg.(value & opt int 1 & info [ "jobs" ] ~docv:"N"
+           ~doc:"Fan the campaign out over $(docv) supervised worker \
+                 processes (see $(b,synth batch)); summaries are \
+                 aggregated in seed order and therefore identical for \
+                 any worker count.")
+  in
+  let deadline_arg =
+    Arg.(value & opt float 60.0 & info [ "deadline" ] ~docv:"S"
+           ~doc:"Per-case wall-clock watchdog when --jobs > 1; a case \
+                 past the deadline is SIGKILLed and reported as a \
+                 timeout failure.")
+  in
+  let run runs seed max_ops inject corpus stage_seconds verbose jobs deadline
+      json =
     let budgets =
       { Harness.Driver.default_budgets with
         Harness.Driver.stage_seconds }
     in
     let log = if verbose then prerr_endline else fun _ -> () in
     let report =
-      Harness.Fuzz.campaign ?fault:inject ~budgets ~corpus_dir:corpus ~max_ops
-        ~log ~runs ~seed ()
+      if jobs <= 1 then
+        Harness.Fuzz.campaign ?fault:inject ~budgets ~corpus_dir:corpus
+          ~max_ops ~log ~runs ~seed ()
+      else begin
+        (* Pooled campaign: same cases, executed in forked workers under
+           the batch watchdogs, re-aggregated in seed order. *)
+        let generated = Harness.Fuzz.cases ~max_ops ~runs ~seed () in
+        let pool_jobs =
+          Batch.Jobs.fuzz_jobs ?fault:inject ~budgets ~corpus_dir:corpus
+            ~campaign_seed:seed generated
+        in
+        Batch.Pool.install_signal_handlers ();
+        let o =
+          or_die ~json
+            (Batch.Pool.run ~workers:jobs ~retry:Batch.Retry.default ~log
+               ~deadline pool_jobs)
+        in
+        if o.Batch.Pool.interrupted then begin
+          prerr_endline "fuzz: interrupted; workers killed";
+          exit 130
+        end;
+        Batch.Jobs.fuzz_report o.Batch.Pool.records
+      end
     in
     print_string (Harness.Fuzz.render_report report);
     if report.Harness.Fuzz.failures <> [] then
@@ -442,7 +467,111 @@ let fuzz_cmd =
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(
       const run $ runs_arg $ seed_arg $ max_ops_arg $ inject_arg $ corpus_arg
-      $ stage_seconds_arg $ verbose_arg $ json_arg)
+      $ stage_seconds_arg $ verbose_arg $ jobs_arg $ deadline_arg $ json_arg)
+
+(* --- batch ------------------------------------------------------------- *)
+
+let batch_cmd =
+  let doc =
+    "Run a manifest of synthesis jobs under a supervised worker pool: \
+     each job in its own forked process behind a wall-clock SIGKILL \
+     watchdog and an OCaml-heap ceiling, verdicts journalled as JSONL \
+     with per-record fsync so --resume skips completed jobs after a \
+     crash. Exits 6 when some jobs failed, 130 on interrupt."
+  in
+  let manifest_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"MANIFEST"
+           ~doc:"Manifest file: one job per line — a DFG file or builtin \
+                 name followed by synth flags and an optional \
+                 --inject FAULT (including the process faults hang and \
+                 segv). '#' starts a comment.")
+  in
+  let jobs_arg =
+    Arg.(value & opt int 4 & info [ "jobs" ] ~docv:"N"
+           ~doc:"Concurrent worker processes.")
+  in
+  let journal_arg =
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"PATH"
+           ~doc:"JSONL journal of verdicts (one fsynced record per \
+                 attempt); required for --resume.")
+  in
+  let resume_arg =
+    Arg.(value & flag & info [ "resume" ]
+           ~doc:"Skip jobs whose final verdict is already in the journal; \
+                 Timeout/Oom attempts the retry policy had not finished \
+                 restart at the next attempt.")
+  in
+  let deadline_arg =
+    Arg.(value & opt float 60.0 & info [ "deadline" ] ~docv:"S"
+           ~doc:"Per-attempt wall-clock watchdog; a worker past it is \
+                 SIGKILLed and the attempt verdict is timeout.")
+  in
+  let retries_arg =
+    Arg.(value & opt int 1 & info [ "retries" ] ~docv:"N"
+           ~doc:"Re-runs allowed after a timeout/oom attempt, each with \
+                 degraded options (halved stage budget, baseline \
+                 engines) under a halved deadline.")
+  in
+  let heap_mb_arg =
+    Arg.(value & opt int 512 & info [ "heap-mb" ] ~docv:"MB"
+           ~doc:"OCaml-heap ceiling per worker, enforced by a Gc alarm \
+                 inside the worker (verdict: oom). 0 disables it.")
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "verbose" ]
+           ~doc:"Narrate spawns, kills and verdicts on stderr.")
+  in
+  let stage_seconds_arg =
+    Arg.(value & opt float 5.0 & info [ "stage-seconds" ] ~docv:"S"
+           ~doc:"Advisory per-stage budget passed to the driver; the \
+                 hard limit is --deadline.")
+  in
+  let run manifest jobs journal resume deadline retries heap_mb stage_seconds
+      verbose json =
+    if resume && journal = None then
+      die ~json
+        (Diag.usage ~code:"batch.usage" "--resume requires --journal PATH");
+    let entries = or_die ~json (Batch.Manifest.parse_file manifest) in
+    let budgets =
+      { Harness.Driver.default_budgets with Harness.Driver.stage_seconds }
+    in
+    let pool_jobs =
+      List.mapi (fun i e -> Batch.Jobs.of_entry ~budgets ~seed:i e) entries
+    in
+    let heap_words =
+      if heap_mb <= 0 then None
+      else Some (heap_mb * 1024 * 1024 / (Sys.word_size / 8))
+    in
+    let log = if verbose then prerr_endline else fun _ -> () in
+    Batch.Pool.install_signal_handlers ();
+    let o =
+      or_die ~json
+        (Batch.Pool.run ~workers:jobs
+           ~retry:(Batch.Retry.of_retries retries)
+           ?journal ~resume ?heap_words ~log ~deadline pool_jobs)
+    in
+    if o.Batch.Pool.interrupted then begin
+      prerr_endline "batch: interrupted; workers killed, journal flushed";
+      exit 130
+    end;
+    if o.Batch.Pool.resumed > 0 then
+      Printf.printf "resume: %d job(s) already journalled, skipped\n"
+        o.Batch.Pool.resumed;
+    print_string (Batch.Jobs.summarize o.Batch.Pool.records);
+    let failed =
+      List.filter Batch.Jobs.record_failed o.Batch.Pool.records
+    in
+    if failed <> [] then
+      die ~json
+        (Diag.partial
+           (Printf.sprintf "%d of %d job(s) failed" (List.length failed)
+              (List.length o.Batch.Pool.records)))
+  in
+  Cmd.v (Cmd.info "batch" ~doc)
+    Term.(
+      const run $ manifest_arg $ jobs_arg $ journal_arg $ resume_arg
+      $ deadline_arg $ retries_arg $ heap_mb_arg $ stage_seconds_arg
+      $ verbose_arg $ json_arg)
 
 (* --- lint ------------------------------------------------------------- *)
 
@@ -470,6 +599,17 @@ let lint_cmd =
   in
   let run spec cs two_cycle pipelined latency clock limits style inject
       json_out dot_lint cse json =
+    (match inject with
+    | Some f when Harness.Fault.is_process f ->
+        die ~json
+          (Diag.usage ~code:"lint.process-fault"
+             (Printf.sprintf
+                "--inject %s is a process fault: it takes the worker down \
+                 instead of corrupting an artefact a static pass could \
+                 catch. Use 'synth batch' with a manifest fault to prove \
+                 containment."
+                (Harness.Fault.to_string f)))
+    | _ -> ());
     let g = or_die ~json (load_graph spec) in
     let g = apply_cse ~json g cse in
     let lib = make_library g ~two_cycle ~pipelined in
@@ -539,7 +679,10 @@ let lint_cmd =
         | Some Harness.Fault.Skew_delay -> (
             match Harness.Fault.skew_delay dp ~delay with
             | Some d -> eff_delay := d
-            | None -> ()));
+            | None -> ())
+        | Some (Harness.Fault.Hang | Harness.Fault.Segv) ->
+            (* Rejected above; process faults never reach the passes. *)
+            ());
         let ctrl =
           or_die_s ~json Diag.Internal ~code:"synth.controller"
             (Rtl.Controller.generate dp ~delay)
@@ -611,7 +754,7 @@ let main =
   let doc = "MFS/MFSA high-level synthesis (DAC 1992 reproduction)" in
   Cmd.group (Cmd.info "synth" ~doc)
     [ show_cmd; mfs_cmd; mfsa_cmd; lint_cmd; compare_cmd; fuzz_cmd;
-      compile_cmd ]
+      batch_cmd; compile_cmd ]
 
 let () =
   (* Cmdliner's own exit codes for CLI misuse / internal errors are 124 and

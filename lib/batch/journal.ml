@@ -1,0 +1,113 @@
+type record = {
+  id : string;
+  seed : int;
+  descr : string;
+  attempt : int;
+  final : bool;
+  verdict : Verdict.t;
+  seconds : float;
+}
+
+let record_to_json r =
+  Jsonl.to_string
+    (Jsonl.Obj
+       ([
+          ("id", Jsonl.String r.id);
+          ("seed", Jsonl.Int r.seed);
+          ("descr", Jsonl.String r.descr);
+          ("attempt", Jsonl.Int r.attempt);
+          ("final", Jsonl.Bool r.final);
+          ("seconds", Jsonl.Float r.seconds);
+        ]
+       @ Verdict.to_fields r.verdict))
+
+let record_of_json v =
+  match
+    ( Jsonl.str "id" v,
+      Jsonl.int "seed" v,
+      Jsonl.str "descr" v,
+      Jsonl.int "attempt" v,
+      Jsonl.member "final" v,
+      Jsonl.float "seconds" v )
+  with
+  | Some id, Some seed, Some descr, Some attempt, Some (Jsonl.Bool final),
+    Some seconds ->
+      Result.map
+        (fun verdict -> { id; seed; descr; attempt; final; verdict; seconds })
+        (Verdict.of_fields v)
+  | _ -> Error "record missing id/seed/descr/attempt/final/seconds"
+
+type writer = { fd : Unix.file_descr }
+
+let open_writer path =
+  { fd = Unix.openfile path [ Unix.O_WRONLY; O_CREAT; O_APPEND ] 0o644 }
+
+(* One write(2) per record: O_APPEND makes concurrent appends land whole,
+   and a SIGKILL cannot tear a write that already entered the kernel — the
+   worst case is a missing trailing newline from a crash between records,
+   which load drops. *)
+let append w r =
+  let line = record_to_json r ^ "\n" in
+  let b = Bytes.of_string line in
+  let rec write_all off =
+    if off < Bytes.length b then
+      let n = Unix.write w.fd b off (Bytes.length b - off) in
+      write_all (off + n)
+  in
+  write_all 0;
+  Unix.fsync w.fd
+
+let close w = try Unix.close w.fd with Unix.Unix_error _ -> ()
+
+let load path =
+  if not (Sys.file_exists path) then Ok []
+  else begin
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let body = really_input_string ic len in
+    close_in ic;
+    let lines = String.split_on_char '\n' body in
+    (* A well-formed journal ends in '\n', so the split yields a trailing
+       "" we drop; a torn final line has no terminator and is dropped too
+       (its record never completed). *)
+    let rec whole = function
+      | [] | [ _ ] -> []
+      | l :: rest -> l :: whole rest
+    in
+    let lines = whole lines in
+    let rec parse acc lineno = function
+      | [] -> Ok (List.rev acc)
+      | l :: rest when String.trim l = "" -> parse acc (lineno + 1) rest
+      | l :: rest -> (
+          match Result.bind (Jsonl.parse l) record_of_json with
+          | Ok r -> parse (r :: acc) (lineno + 1) rest
+          | Error msg ->
+              Error
+                (Diag.input ~code:"batch.journal" ~file:path
+                   ~span:(Diag.point ~line:lineno ~col:1)
+                   (Printf.sprintf "corrupt journal record: %s" msg)))
+    in
+    parse [] 1 lines
+  end
+
+let finals records =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun r -> if r.final then Hashtbl.replace tbl r.id r) records;
+  tbl
+
+let last_attempts records =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace tbl r.id r) records;
+  tbl
+
+let equivalent a b =
+  let fa = finals a and fb = finals b in
+  Hashtbl.length fa = Hashtbl.length fb
+  && Hashtbl.fold
+       (fun id (ra : record) ok ->
+         ok
+         &&
+         match Hashtbl.find_opt fb id with
+         | Some rb -> Verdict.equal ra.verdict rb.verdict
+         | None -> false)
+       fa true

@@ -1,0 +1,38 @@
+(** Minimal JSON values for the batch journal.
+
+    The journal is JSON Lines: one object per record, written with a
+    single [write] and fsynced, parsed back on [--resume]. This module
+    is deliberately tiny — just enough JSON to round-trip our own
+    records without an external dependency. Strings are escaped with
+    {!Diag.json_string}; numbers are OCaml [int]s and [float]s. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact one-line rendering (no newlines, ever — one record must stay
+    one journal line). *)
+
+val parse : string -> (t, string) result
+(** Parse one JSON document; trailing whitespace is allowed, trailing
+    garbage is an error. *)
+
+(** Accessors; all return [None] on a type or key mismatch. *)
+
+val member : string -> t -> t option
+val to_str : t -> string option
+val to_int : t -> int option
+val to_float : t -> float option
+(** [to_float] also accepts [Int]. *)
+
+val str : string -> t -> string option
+(** [str key obj] = [member key obj |> to_str], and similarly below. *)
+
+val int : string -> t -> int option
+val float : string -> t -> float option

@@ -1,0 +1,320 @@
+type job = {
+  id : string;
+  seed : int;
+  descr : string;
+  work : unit -> (string, Diag.t) result;
+  degraded : (unit -> (string, Diag.t) result) option;
+}
+
+let job ?degraded ~id ~seed ~descr work = { id; seed; descr; work; degraded }
+
+let oom_exit_code = 9
+
+(* Single-domain process: a plain ref written from a signal handler and
+   polled by the supervision loop is race-free enough. *)
+let stop_requested = ref false
+let request_stop () = stop_requested := true
+
+let install_signal_handlers () =
+  let handle = Sys.Signal_handle (fun _ -> request_stop ()) in
+  Sys.set_signal Sys.sigint handle;
+  Sys.set_signal Sys.sigterm handle
+
+type outcome = {
+  records : Journal.record list;
+  resumed : int;
+  interrupted : bool;
+}
+
+(* --- Worker side ------------------------------------------------------- *)
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let rec go off =
+    if off < Bytes.length b then
+      match Unix.write fd b off (Bytes.length b - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+(* The worker: run the attempt's closure, serialize the result onto the
+   pipe, _exit without flushing the parent's buffered channels. Crashes,
+   hangs and heap blowups simply happen — classification is the parent's
+   job. *)
+let exec_child ~heap_words ~attempt job wfd =
+  Sys.set_signal Sys.sigint Sys.Signal_default;
+  Sys.set_signal Sys.sigterm Sys.Signal_default;
+  (match heap_words with
+  | None -> ()
+  | Some ceiling ->
+      ignore
+        (Gc.create_alarm (fun () ->
+             if (Gc.quick_stat ()).Gc.heap_words > ceiling then
+               Unix._exit oom_exit_code)));
+  let work =
+    if attempt > 1 then Option.value job.degraded ~default:job.work
+    else job.work
+  in
+  let result =
+    try work ()
+    with e ->
+      Error
+        (Diag.internal ~code:"batch.worker-exn"
+           ("worker raised: " ^ Printexc.to_string e))
+  in
+  let doc =
+    match result with
+    | Ok payload -> Jsonl.Obj [ ("ok", Jsonl.String payload) ]
+    | Error d -> Jsonl.Obj [ ("rejected", Verdict.diag_to_json d) ]
+  in
+  write_all wfd (Jsonl.to_string doc);
+  (try Unix.close wfd with Unix.Unix_error _ -> ());
+  Unix._exit 0
+
+(* --- Supervisor -------------------------------------------------------- *)
+
+type slot = {
+  pid : int;
+  s_job : job;
+  attempt : int;
+  fd : Unix.file_descr;
+  buf : Buffer.t;
+  started : float;
+  kill_at : float;
+  mutable eof : bool;
+  mutable killed : bool;  (** We sent the deadline SIGKILL. *)
+}
+
+let spawn ~heap_words ~deadline job attempt =
+  let rfd, wfd = Unix.pipe () in
+  match Unix.fork () with
+  | 0 ->
+      (try Unix.close rfd with Unix.Unix_error _ -> ());
+      exec_child ~heap_words ~attempt job wfd
+  | pid ->
+      Unix.close wfd;
+      Unix.set_nonblock rfd;
+      let now = Unix.gettimeofday () in
+      {
+        pid;
+        s_job = job;
+        attempt;
+        fd = rfd;
+        buf = Buffer.create 256;
+        started = now;
+        kill_at = now +. deadline;
+        eof = false;
+        killed = false;
+      }
+
+let drain slot =
+  if not slot.eof then begin
+    let chunk = Bytes.create 4096 in
+    let rec go () =
+      match Unix.read slot.fd chunk 0 (Bytes.length chunk) with
+      | 0 -> slot.eof <- true
+      | n ->
+          Buffer.add_subbytes slot.buf chunk 0 n;
+          go ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    in
+    go ()
+  end
+
+let payload_verdict slot =
+  match Jsonl.parse (Buffer.contents slot.buf) with
+  | Ok doc -> (
+      match (Jsonl.str "ok" doc, Jsonl.member "rejected" doc) with
+      | Some payload, _ -> Verdict.Done payload
+      | None, Some d -> (
+          match Verdict.diag_of_json d with
+          | Ok d -> Verdict.Rejected d
+          | Error _ -> Verdict.Crashed (Verdict.Exit 0))
+      | None, None -> Verdict.Crashed (Verdict.Exit 0))
+  | Error _ -> Verdict.Crashed (Verdict.Exit 0)
+
+let classify slot status =
+  match status with
+  | Unix.WEXITED 0 -> payload_verdict slot
+  | Unix.WEXITED n when n = oom_exit_code -> Verdict.Oom
+  | Unix.WEXITED n -> Verdict.Crashed (Verdict.Exit n)
+  | Unix.WSIGNALED _ when slot.killed -> Verdict.Timeout
+  | Unix.WSIGNALED s -> Verdict.Crashed (Verdict.Signal (Verdict.signal_name s))
+  | Unix.WSTOPPED _ ->
+      (* Unreachable without WUNTRACED; classify defensively. *)
+      Verdict.Crashed (Verdict.Exit 255)
+
+let kill_slot slot =
+  slot.killed <- true;
+  try Unix.kill slot.pid Sys.sigkill with Unix.Unix_error _ -> ()
+
+let reap_blocking slot =
+  let rec go () =
+    match Unix.waitpid [] slot.pid with
+    | _, status -> status
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  let status = go () in
+  drain slot;
+  (try Unix.close slot.fd with Unix.Unix_error _ -> ());
+  status
+
+let run ?(workers = 1) ?(retry = Retry.default) ?journal ?(resume = false)
+    ?heap_words ?(log = fun (_ : string) -> ()) ~deadline jobs =
+  let workers = max 1 workers in
+  stop_requested := false;
+  let previous =
+    if resume then
+      match journal with
+      | None -> Ok []
+      | Some path -> Journal.load path
+    else Ok []
+  in
+  match previous with
+  | Error d -> Error d
+  | Ok previous ->
+      let finals = Journal.finals previous in
+      let lasts = Journal.last_attempts previous in
+      let writer = Option.map Journal.open_writer journal in
+      let results : (string, Journal.record) Hashtbl.t =
+        Hashtbl.create (List.length jobs)
+      in
+      let resumed = ref 0 in
+      (* Work queue in submission order; resume decides the first attempt. *)
+      let queue = Queue.create () in
+      List.iter
+        (fun j ->
+          match Hashtbl.find_opt finals j.id with
+          | Some r ->
+              incr resumed;
+              Hashtbl.replace results j.id r;
+              log (Printf.sprintf "%s: resumed (%s)" j.descr
+                     (Verdict.describe r.Journal.verdict))
+          | None ->
+              let attempt =
+                match Hashtbl.find_opt lasts j.id with
+                | Some r -> r.Journal.attempt + 1
+                | None -> 1
+              in
+              Queue.add (j, attempt) queue)
+        jobs;
+      let slots : slot option array = Array.make workers None in
+      let active () =
+        Array.fold_left
+          (fun n s -> match s with Some _ -> n + 1 | None -> n)
+          0 slots
+      in
+      let journal_record r =
+        Option.iter (fun w -> Journal.append w r) writer
+      in
+      let finish_attempt slot status =
+        let verdict = classify slot status in
+        let seconds = Unix.gettimeofday () -. slot.started in
+        let final =
+          not (Retry.should_retry retry ~attempt:slot.attempt verdict)
+        in
+        let record =
+          {
+            Journal.id = slot.s_job.id;
+            seed = slot.s_job.seed;
+            descr = slot.s_job.descr;
+            attempt = slot.attempt;
+            final;
+            verdict;
+            seconds;
+          }
+        in
+        journal_record record;
+        if final then begin
+          Hashtbl.replace results slot.s_job.id record;
+          log
+            (Printf.sprintf "%s: %s (%.1fs%s)" slot.s_job.descr
+               (Verdict.describe verdict) seconds
+               (if slot.attempt > 1 then ", retry" else ""))
+        end
+        else begin
+          log
+            (Printf.sprintf "%s: %s (%.1fs) — retrying degraded"
+               slot.s_job.descr (Verdict.describe verdict) seconds);
+          Queue.add (slot.s_job, slot.attempt + 1) queue
+        end
+      in
+      let interrupted = ref false in
+      let rec supervise () =
+        if !stop_requested && not !interrupted then begin
+          interrupted := true;
+          Queue.clear queue;
+          Array.iteri
+            (fun i -> function
+              | None -> ()
+              | Some slot ->
+                  kill_slot slot;
+                  ignore (reap_blocking slot);
+                  slots.(i) <- None)
+            slots
+        end;
+        if Queue.is_empty queue && active () = 0 then ()
+        else begin
+          (* Fill free slots. *)
+          Array.iteri
+            (fun i s ->
+              if s = None && not (Queue.is_empty queue) then begin
+                let j, attempt = Queue.pop queue in
+                let d = Retry.deadline retry ~attempt deadline in
+                slots.(i) <- Some (spawn ~heap_words ~deadline:d j attempt)
+              end)
+            slots;
+          (* Wait for pipe traffic (or just a tick), then drain. *)
+          let fds =
+            Array.to_list slots
+            |> List.filter_map (function
+                 | Some s when not s.eof -> Some s.fd
+                 | _ -> None)
+          in
+          (match Unix.select fds [] [] 0.05 with
+          | ready, _, _ ->
+              Array.iter
+                (function
+                  | Some s when List.memq s.fd ready -> drain s
+                  | _ -> ())
+                slots
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+          let now = Unix.gettimeofday () in
+          Array.iteri
+            (fun i -> function
+              | None -> ()
+              | Some slot ->
+                  if now > slot.kill_at && not slot.killed then
+                    kill_slot slot;
+                  (match Unix.waitpid [ Unix.WNOHANG ] slot.pid with
+                  | 0, _ -> ()
+                  | _, status ->
+                      drain slot;
+                      (* The child is gone: read the rest to EOF. *)
+                      let rec to_eof () =
+                        if not slot.eof then begin
+                          drain slot;
+                          if not slot.eof then begin
+                            ignore (Unix.select [ slot.fd ] [] [] 0.01);
+                            to_eof ()
+                          end
+                        end
+                      in
+                      to_eof ();
+                      (try Unix.close slot.fd with Unix.Unix_error _ -> ());
+                      slots.(i) <- None;
+                      finish_attempt slot status
+                  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()))
+            slots;
+          supervise ()
+        end
+      in
+      supervise ();
+      Option.iter Journal.close writer;
+      let records =
+        List.filter_map (fun j -> Hashtbl.find_opt results j.id) jobs
+      in
+      Ok { records; resumed = !resumed; interrupted = !interrupted }

@@ -1,0 +1,73 @@
+(** Supervised, fault-isolated job execution.
+
+    Each job runs in its own forked worker process ([Unix.fork]; no
+    external dependencies), so a segfault, a runaway allocation or an
+    infinite loop in one synthesis job cannot take down the batch: the
+    parent supervises up to [workers] children at a time behind two hard
+    watchdogs —
+
+    - a {b wall-clock deadline}: the worker is SIGKILLed (not asked
+      nicely) when its attempt exceeds the deadline, closing the gap
+      left by {!Harness.Driver}'s post-hoc [over_budget] flag;
+    - a {b heap ceiling}: a {!Gc} alarm inside the worker aborts the
+      job as soon as the OCaml major heap crosses [heap_words].
+
+    Workers stream their result back over a pipe as a typed
+    {!Verdict.t}; every attempt is appended to the {!Journal} (when one
+    is given) before the pool moves on, so [~resume:true] after a crash
+    or SIGKILL skips already-completed jobs deterministically.
+    [Timeout]/[Oom] verdicts go through the {!Retry} policy — one
+    re-run with the job's [degraded] closure — before becoming final. *)
+
+type job = {
+  id : string;  (** Stable digest; the journal / resume key. *)
+  seed : int;  (** Ordering key for order-independent aggregation. *)
+  descr : string;  (** Human label for logs and the journal. *)
+  work : unit -> (string, Diag.t) result;
+      (** Runs in the worker. [Ok payload] becomes [Done payload];
+          [Error d] becomes [Rejected d]. Must not write to stdout. *)
+  degraded : (unit -> (string, Diag.t) result) option;
+      (** Cheaper variant for the retry attempt (lower budgets, baseline
+          engines). [None] retries with [work] itself. *)
+}
+
+val job :
+  ?degraded:(unit -> (string, Diag.t) result) ->
+  id:string -> seed:int -> descr:string ->
+  (unit -> (string, Diag.t) result) -> job
+
+val oom_exit_code : int
+(** Exit code a worker reserves for "heap ceiling breached" (9). Job
+    closures must not [exit] with it — or at all. *)
+
+val request_stop : unit -> unit
+(** Ask the running pool to stop: live workers are SIGKILLed, the
+    journal stays flushed (it is fsynced per record), and {!run} returns
+    with [interrupted = true]. Safe to call from a signal handler. *)
+
+val install_signal_handlers : unit -> unit
+(** Route SIGINT and SIGTERM to {!request_stop}. The CLI exits 130
+    when [interrupted] is set. *)
+
+type outcome = {
+  records : Journal.record list;
+      (** Final record per submitted job, in submission order — including
+          records replayed from the journal on resume. Jobs in flight at
+          an interrupt have no record. *)
+  resumed : int;  (** Jobs skipped because the journal already had them. *)
+  interrupted : bool;
+}
+
+val run :
+  ?workers:int ->
+  ?retry:Retry.policy ->
+  ?journal:string ->
+  ?resume:bool ->
+  ?heap_words:int ->
+  ?log:(string -> unit) ->
+  deadline:float ->
+  job list ->
+  (outcome, Diag.t) result
+(** Run the batch. [deadline] is per-attempt wall-clock seconds.
+    [Error] is reserved for environment problems (unreadable or corrupt
+    journal); job failures are data — look at the records. *)

@@ -1,0 +1,12 @@
+type policy = { max_attempts : int; deadline_scale : float }
+
+let default = { max_attempts = 2; deadline_scale = 0.5 }
+let none = { max_attempts = 1; deadline_scale = 1.0 }
+let of_retries n = { default with max_attempts = 1 + max 0 n }
+
+let should_retry p ~attempt verdict =
+  attempt < p.max_attempts
+  && match verdict with Verdict.Timeout | Verdict.Oom -> true | _ -> false
+
+let deadline p ~attempt base =
+  base *. (p.deadline_scale ** float_of_int (attempt - 1))

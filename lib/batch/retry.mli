@@ -1,0 +1,30 @@
+(** Retry policy for resource-limited verdicts.
+
+    A job that hits the wall-clock watchdog ([Timeout]) or the heap
+    ceiling ([Oom]) may be a straggler rather than a defect; the policy
+    re-runs it once with degraded options — the job's [degraded] closure
+    (typically lower [stage_seconds] and forced baseline engines, see
+    {!Jobs}) under a scaled deadline — before classifying it as failed.
+    [Rejected], [Crashed] and [Done] verdicts are never retried: they are
+    deterministic outcomes, not resource exhaustion. *)
+
+type policy = {
+  max_attempts : int;  (** Total attempts, retries included. *)
+  deadline_scale : float;
+      (** Deadline multiplier per extra attempt; degraded engines should
+          need {e less} time, so the default shrinks the window. *)
+}
+
+val default : policy
+(** Two attempts, deadline halved on the retry. *)
+
+val none : policy
+(** Single attempt — every [Timeout]/[Oom] is immediately final. *)
+
+val of_retries : int -> policy
+(** [of_retries n] allows [n] re-runs after the first attempt. *)
+
+val should_retry : policy -> attempt:int -> Verdict.t -> bool
+
+val deadline : policy -> attempt:int -> float -> float
+(** Deadline for the given 1-based [attempt]. *)

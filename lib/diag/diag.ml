@@ -1,6 +1,6 @@
 type severity = Error | Warning
 
-type category = Usage | Input | Infeasible | Internal
+type category = Usage | Input | Infeasible | Internal | Partial
 
 type span = { line : int; col : int; end_line : int; end_col : int }
 
@@ -25,6 +25,7 @@ let usage ?span ?file ~code message = make ?span ?file Usage ~code message
 let input ?span ?file ~code message = make ?span ?file Input ~code message
 let infeasible ?(code = "infeasible") message = make Infeasible ~code message
 let internal ?(code = "internal") message = make Internal ~code message
+let partial ?(code = "batch.partial-failure") message = make Partial ~code message
 
 let inputf ?span ?file ~code fmt =
   Printf.ksprintf (fun s -> input ?span ?file ~code s) fmt
@@ -40,12 +41,22 @@ let exit_code d =
   | Input -> 3
   | Infeasible -> 4
   | Internal -> 5
+  | Partial -> 6
 
 let category_name = function
   | Usage -> "usage"
   | Input -> "input"
   | Infeasible -> "infeasible"
   | Internal -> "internal"
+  | Partial -> "partial"
+
+let category_of_name = function
+  | "usage" -> Some Usage
+  | "input" -> Some Input
+  | "infeasible" -> Some Infeasible
+  | "internal" -> Some Internal
+  | "partial" -> Some Partial
+  | _ -> None
 
 let severity_name = function Error -> "error" | Warning -> "warning"
 

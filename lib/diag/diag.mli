@@ -19,6 +19,10 @@ type category =
   | Internal
       (** A bug: exhausted internal budgets, broken invariants; exit
           code 5. *)
+  | Partial
+      (** A batch ran to completion but some jobs failed (timed out,
+          exceeded the heap ceiling, crashed, or reported violations)
+          while others completed; exit code 6. *)
 
 (** Half-open source region; columns are 1-based, [end_col] points one past
     the last character. A point span has [end_line = line] and
@@ -48,6 +52,7 @@ val usage : ?span:span -> ?file:string -> code:string -> string -> t
 val input : ?span:span -> ?file:string -> code:string -> string -> t
 val infeasible : ?code:string -> string -> t
 val internal : ?code:string -> string -> t
+val partial : ?code:string -> string -> t
 
 val inputf :
   ?span:span -> ?file:string -> code:string ->
@@ -59,9 +64,14 @@ val with_file : string -> t -> t
 val message : t -> string
 
 val exit_code : t -> int
-(** 2 = usage, 3 = input, 4 = infeasible, 5 = internal. *)
+(** 2 = usage, 3 = input, 4 = infeasible, 5 = internal, 6 = partial
+    batch failure. *)
 
 val category_name : category -> string
+
+val category_of_name : string -> category option
+(** Inverse of {!category_name}; used when diagnostics are read back
+    from a batch journal. *)
 
 val is_bug : t -> bool
 (** [true] only for {!Internal} diagnostics — the ones the fuzz harness

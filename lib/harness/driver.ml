@@ -7,6 +7,7 @@ type options = {
   clock : float option;
   style2 : bool;
   cse : bool;
+  baseline_only : bool;
 }
 
 let default_options =
@@ -19,11 +20,13 @@ let default_options =
     clock = None;
     style2 = false;
     cse = false;
+    baseline_only = false;
   }
 
 let options_to_flags o =
   let b flag on acc = if on then flag :: acc else acc in
   []
+  |> b "--baseline-only" o.baseline_only
   |> b "--cse" o.cse
   |> b "--two-cycle-mult" o.two_cycle
   |> b "--pipelined-mult" o.pipelined
@@ -199,29 +202,32 @@ let run ?fault ?(budgets = default_budgets) ?(options = default_options) g0 =
     if options.limits = [] then Core.Mfs.Time { cs }
     else Core.Mfs.Resource { limits = options.limits }
   in
+  let baseline_schedule () =
+    let fb =
+      if options.limits = [] then Baselines.List_sched.time ~config g ~cs
+      else Baselines.List_sched.resource ~config g ~limits:options.limits
+    in
+    match fb with
+    | Ok s ->
+        let col =
+          Baselines.Colbind.columns config g ~start:s.Core.Schedule.start
+        in
+        `Fallback { s with Core.Schedule.col = Some col }
+    | Error msg ->
+        `Stop
+          (Diag.infeasible ~code:"harness.fallback-schedule"
+             ("list-scheduling fallback also failed: " ^ msg))
+  in
   let sched_result =
     timed "schedule" (fun () ->
-        match Core.Mfs.run ~config g spec with
-        | Ok o -> `Primary (o.Core.Mfs.schedule, o.Core.Mfs.trace)
-        | Error d when Diag.is_bug d -> (
-            violate d;
-            let fb =
-              if options.limits = [] then
-                Baselines.List_sched.time ~config g ~cs
-              else Baselines.List_sched.resource ~config g ~limits:options.limits
-            in
-            match fb with
-            | Ok s ->
-                let col =
-                  Baselines.Colbind.columns config g
-                    ~start:s.Core.Schedule.start
-                in
-                `Fallback { s with Core.Schedule.col = Some col }
-            | Error msg ->
-                `Stop
-                  (Diag.infeasible ~code:"harness.fallback-schedule"
-                     ("list-scheduling fallback also failed: " ^ msg)))
-        | Error d -> `Stop d)
+        if options.baseline_only then baseline_schedule ()
+        else
+          match Core.Mfs.run ~config g spec with
+          | Ok o -> `Primary (o.Core.Mfs.schedule, o.Core.Mfs.trace)
+          | Error d when Diag.is_bug d ->
+              violate d;
+              baseline_schedule ()
+          | Error d -> `Stop d)
   in
   match sched_result with
   | `Stop d -> finish ~stopped:d ()
@@ -230,7 +236,10 @@ let run ?fault ?(budgets = default_budgets) ?(options = default_options) g0 =
         match r with
         | `Primary (s, tr) -> (s, Some tr, Primary)
         | `Fallback s ->
-            annotate "MFS degraded to list scheduling + column packing";
+            annotate
+              (if options.baseline_only then
+                 "baseline engines forced (list scheduling + column packing)"
+               else "MFS degraded to list scheduling + column packing");
             (s, None, Fallback "list_sched+colbind")
       in
       (* --- Inject (optional): corrupt the artifact the fault targets. *)
@@ -257,7 +266,17 @@ let run ?fault ?(budgets = default_budgets) ?(options = default_options) g0 =
                   trace := Some tr;
                   fault_applied := true
               | _ -> ())
-          | Some Fault.Skew_delay -> ());
+          | Some Fault.Skew_delay -> ()
+          | Some Fault.Hang ->
+              (* A process fault: the pipeline never returns from here.
+                 Only the batch pool's wall-clock SIGKILL ends the run —
+                 the per-stage budget below is advisory and would merely
+                 have recorded the overrun post-hoc. *)
+              fault_applied := true;
+              Fault.hang ()
+          | Some Fault.Segv ->
+              fault_applied := true;
+              Fault.segv ());
       (* --- Invariants: schedule validity and Liapunov stability. *)
       timed "invariants" (fun () ->
           (match Core.Schedule.check_diag !sched with
@@ -280,19 +299,24 @@ let run ?fault ?(budgets = default_budgets) ?(options = default_options) g0 =
         if options.style2 then Core.Mfsa.No_self_loop
         else Core.Mfsa.Unrestricted
       in
+      let baseline_bind () =
+        match colbind_datapath lib config g pristine with
+        | Ok dp -> `Fallback dp
+        | Error msg ->
+            `Stop
+              (Diag.internal ~code:"harness.fallback-bind"
+                 ("column-packed binding fallback failed: " ^ msg))
+      in
       let bind_result =
         timed "bind" (fun () ->
-            match Core.Mfsa.run ~config ~style ~library:lib ~cs g with
-            | Ok o -> `Primary o.Core.Mfsa.datapath
-            | Error d when Diag.is_bug d -> (
-                violate d;
-                match colbind_datapath lib config g pristine with
-                | Ok dp -> `Fallback dp
-                | Error msg ->
-                    `Stop
-                      (Diag.internal ~code:"harness.fallback-bind"
-                         ("column-packed binding fallback failed: " ^ msg)))
-            | Error d -> `Stop d)
+            if options.baseline_only then baseline_bind ()
+            else
+              match Core.Mfsa.run ~config ~style ~library:lib ~cs g with
+              | Ok o -> `Primary o.Core.Mfsa.datapath
+              | Error d when Diag.is_bug d ->
+                  violate d;
+                  baseline_bind ()
+              | Error d -> `Stop d)
       in
       match bind_result with
       | `Stop d ->
@@ -306,7 +330,11 @@ let run ?fault ?(budgets = default_budgets) ?(options = default_options) g0 =
             match b with
             | `Primary dp -> (dp, Primary)
             | `Fallback dp ->
-                annotate "MFSA degraded to column-packed single-function binding";
+                annotate
+                  (if options.baseline_only then
+                     "baseline engines forced (column-packed binding)"
+                   else
+                     "MFSA degraded to column-packed single-function binding");
                 (dp, Fallback "colbind")
           in
           let delay i =

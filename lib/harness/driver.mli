@@ -21,6 +21,12 @@ type options = {
   clock : float option;
   style2 : bool;
   cse : bool;
+  baseline_only : bool;
+      (** Skip the MFS/MFSA primaries and run the degradation chain
+          directly (list scheduling + column packing, column-packed
+          single-function binding). Used by the batch {!Retry} policy to
+          re-run a timed-out job on cheaper engines; [sched_via] /
+          [bind_via] report [Fallback] without recording a violation. *)
 }
 
 val default_options : options
@@ -29,7 +35,14 @@ val options_to_flags : options -> string
 (** Render as [synth] command-line flags, for reproducer corpus entries. *)
 
 type budgets = {
-  stage_seconds : float;  (** Wall-clock budget per stage. *)
+  stage_seconds : float;
+      (** Wall-clock budget per stage. {b Advisory}: the driver measures
+          each stage {e after it returns} and merely sets
+          {!stage_report.over_budget} post-hoc — a stage stuck in an
+          infinite loop is never preempted in-process. Hard enforcement
+          is the batch layer's job: run the driver under {!Batch.Pool},
+          whose per-job wall-clock watchdog SIGKILLs the worker at its
+          deadline (verdict [Timeout]). *)
   sim_runs : int;  (** Fuel for the random-equivalence stage. *)
 }
 
@@ -41,6 +54,9 @@ type stage_report = {
   stage : string;
   seconds : float;
   over_budget : bool;
+      (** Post-hoc record that [seconds] exceeded
+          {!budgets.stage_seconds}; nothing was interrupted. See the
+          advisory note on {!budgets}. *)
   note : string;
 }
 

@@ -1,19 +1,42 @@
-type t = Corrupt_start | Corrupt_col | Corrupt_trace | Skew_delay
+type t =
+  | Corrupt_start
+  | Corrupt_col
+  | Corrupt_trace
+  | Skew_delay
+  | Hang
+  | Segv
 
 let all = [ Corrupt_start; Corrupt_col; Corrupt_trace; Skew_delay ]
+let process = [ Hang; Segv ]
+let is_process = function Hang | Segv -> true | _ -> false
 
 let to_string = function
   | Corrupt_start -> "corrupt-start"
   | Corrupt_col -> "corrupt-col"
   | Corrupt_trace -> "corrupt-trace"
   | Skew_delay -> "skew-delay"
+  | Hang -> "hang"
+  | Segv -> "segv"
 
 let of_string = function
   | "corrupt-start" -> Some Corrupt_start
   | "corrupt-col" -> Some Corrupt_col
   | "corrupt-trace" -> Some Corrupt_trace
   | "skew-delay" -> Some Skew_delay
+  | "hang" -> Some Hang
+  | "segv" -> Some Segv
   | _ -> None
+
+let hang () =
+  let rec spin n = spin (Sys.opaque_identity (n + 1)) in
+  spin 0
+
+let segv () =
+  Unix.kill (Unix.getpid ()) Sys.sigsegv;
+  (* The runtime intercepts SIGSEGV for stack-overflow detection; should
+     the signal somehow be swallowed, die loudly anyway. *)
+  Unix.kill (Unix.getpid ()) Sys.sigabrt;
+  assert false
 
 let corrupt_start s =
   let n = Dfg.Graph.num_nodes s.Core.Schedule.graph in

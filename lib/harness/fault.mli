@@ -1,9 +1,18 @@
-(** Seeded fault injection for the fuzz harness: deliberate corruptions of
-    intermediate pipeline artifacts, used to prove the cross-stage
-    invariants actually fire. Each injector returns [None] when the
-    artifact offers no place to plant its fault (e.g. no trace on a
-    fallback schedule), so campaigns can tell "not applicable" apart from
-    "injected but missed". *)
+(** Seeded fault injection for the fuzz harness and the batch layer.
+
+    Two families:
+
+    - {b Artifact corruptions} ({!all}) — deliberate corruptions of
+      intermediate pipeline artifacts, used to prove the cross-stage
+      invariants actually fire. Each injector returns [None] when the
+      artifact offers no place to plant its fault (e.g. no trace on a
+      fallback schedule), so campaigns can tell "not applicable" apart
+      from "injected but missed".
+    - {b Process faults} ({!process}) — [Hang] and [Segv] take the whole
+      worker process down (or never return). No invariant can catch
+      them; they exist to prove the batch pool's watchdogs and crash
+      containment work end-to-end. Injecting them outside a supervised
+      worker hangs or kills the calling process — that is the point. *)
 
 type t =
   | Corrupt_start  (** Push an operation past the schedule horizon. *)
@@ -14,8 +23,21 @@ type t =
   | Skew_delay
       (** Lengthen one operation's occupancy as seen by the datapath
           checker, creating an ALU overlap. *)
+  | Hang
+      (** Spin forever inside the pipeline — only the batch watchdog's
+          SIGKILL ends it. *)
+  | Segv  (** Die of a genuine SIGSEGV inside the pipeline. *)
 
 val all : t list
+(** The artifact corruptions — every fault an invariant can catch.
+    Process faults are deliberately excluded: iterate {!process} under a
+    supervised pool instead. *)
+
+val process : t list
+(** [[Hang; Segv]]. *)
+
+val is_process : t -> bool
+
 val to_string : t -> string
 val of_string : string -> t option
 
@@ -27,3 +49,10 @@ val skew_delay :
   Rtl.Datapath.t -> delay:(int -> int) -> (int -> int) option
 (** A skewed delay function to hand {!Rtl.Check.datapath}; [None] when no
     ALU has back-to-back occupants to overlap. *)
+
+val hang : unit -> 'a
+(** Never returns: a CPU-burning loop the compiler cannot elide. *)
+
+val segv : unit -> 'a
+(** Never returns: raises SIGSEGV in the current process (falls back to
+    SIGABRT should the runtime swallow it). *)

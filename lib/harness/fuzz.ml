@@ -223,13 +223,14 @@ let sample_options rng g =
       | _ -> None);
     style2 = Workloads.Prng.int rng 4 = 0;
     cse = Workloads.Prng.int rng 3 = 0;
+    baseline_only = false;
   }
 
 type failure = {
   f_kind : string;
   f_seed : int;
   f_detail : string;
-  f_case : case;  (** Shrunk reproducer. *)
+  f_size : int;  (** Operations left in the shrunk reproducer. *)
   f_file : string option;  (** Corpus path, when a corpus dir was given. *)
 }
 
@@ -242,70 +243,124 @@ type report = {
   failures : failure list;
 }
 
-let campaign ?fault ?(budgets = Driver.default_budgets) ?corpus_dir
-    ?(max_ops = 12) ?(log = fun (_ : string) -> ()) ~runs ~seed () =
+(* --- Deterministic case generation ------------------------------------- *)
+
+(* The whole campaign's randomness lives here: spec and options are drawn
+   from one sequential PRNG, so the case list is a pure function of
+   (seed, runs, max_ops) and can be generated up front — in the parent —
+   while the cases themselves execute on a worker pool in any order. *)
+
+type generated = { g_run : int; g_seed : int; g_case : (case, Diag.t) result }
+
+let cases ?(max_ops = 12) ~runs ~seed () =
   let rng = Workloads.Prng.create seed in
+  List.init runs (fun i ->
+      let run = i + 1 in
+      let case_seed = (seed * 1_000_003) + run in
+      let spec = sample_spec rng ~max_ops in
+      let g_case =
+        match Workloads.Random_dag.generate ~spec ~seed:case_seed () with
+        | Error d -> Error d
+        | Ok g ->
+            (* Options are drawn only for generable specs, matching the
+               historical draw order. *)
+            let options = sample_options rng g in
+            Ok (case_of_graph options g)
+      in
+      { g_run = run; g_seed = case_seed; g_case })
+
+(* --- Per-case execution ------------------------------------------------ *)
+
+type classified =
+  | C_clean of { c_degraded : bool }
+  | C_stopped of string  (** Diagnostic code of the expected stop. *)
+  | C_skipped
+  | C_failed of failure
+
+let execute ?fault ?(budgets = Driver.default_budgets) ?corpus_dir g =
+  match g.g_case with
+  | Error d ->
+      C_failed
+        { f_kind = "crash:generator"; f_seed = g.g_seed;
+          f_detail = Diag.to_string d; f_size = 0; f_file = None }
+  | Ok case -> (
+      match run_case ?fault ~budgets case with
+      | Clean o ->
+          C_clean
+            {
+              c_degraded =
+                o.Driver.sched_via <> Driver.Primary
+                || o.Driver.bind_via <> Some Driver.Primary;
+            }
+      | Stopped d -> C_stopped d.Diag.code
+      | Skipped -> C_skipped
+      | Failed (kind, detail) ->
+          let oracle c =
+            match run_case ?fault ~budgets c with
+            | Failed (k, _) -> String.equal k kind
+            | _ -> false
+          in
+          let small = shrink ~oracle ~max_attempts:300 case in
+          let f_file =
+            Option.map
+              (fun dir ->
+                write_reproducer ~dir ~seed:g.g_seed ~kind ?fault small)
+              corpus_dir
+          in
+          C_failed
+            { f_kind = kind; f_seed = g.g_seed; f_detail = detail;
+              f_size = case_size small; f_file })
+
+(* --- Aggregation ------------------------------------------------------- *)
+
+(* Fold classifications in run order. The pool hands them back keyed by
+   seed, so summaries are identical whether the campaign ran on 1 worker
+   or 8 — completion order never leaks into the report. *)
+let report_of_classified classified =
   let clean = ref 0
   and infeasible = ref 0
   and degraded = ref 0
   and skipped = ref 0
-  and failures = ref [] in
-  for run = 1 to runs do
-    let case_seed = (seed * 1_000_003) + run in
-    let spec = sample_spec rng ~max_ops in
-    match Workloads.Random_dag.generate ~spec ~seed:case_seed () with
-    | Error d ->
-        failures :=
-          {
-            f_kind = "crash:generator";
-            f_seed = case_seed;
-            f_detail = Diag.to_string d;
-            f_case = { inputs = []; rows = []; options = Driver.default_options };
-            f_file = None;
-          }
-          :: !failures
-    | Ok g -> (
-        let options = sample_options rng g in
-        let case = case_of_graph options g in
-        match run_case ?fault ~budgets case with
-        | Clean o ->
-            incr clean;
-            if
-              o.Driver.sched_via <> Driver.Primary
-              || o.Driver.bind_via <> Some Driver.Primary
-            then incr degraded
-        | Stopped d ->
-            incr infeasible;
-            log
-              (Printf.sprintf "run %d: stopped (%s) — expected" run d.Diag.code)
-        | Skipped -> incr skipped
-        | Failed (kind, detail) ->
-            log (Printf.sprintf "run %d: %s — shrinking" run kind);
-            let oracle c =
-              match run_case ?fault ~budgets c with
-              | Failed (k, _) -> String.equal k kind
-              | _ -> false
-            in
-            let small = shrink ~oracle ~max_attempts:300 case in
-            let f_file =
-              Option.map
-                (fun dir ->
-                  write_reproducer ~dir ~seed:case_seed ~kind ?fault small)
-                corpus_dir
-            in
-            failures :=
-              { f_kind = kind; f_seed = case_seed; f_detail = detail;
-                f_case = small; f_file }
-              :: !failures)
-  done;
+  and failures = ref []
+  and runs = ref 0 in
+  List.iter
+    (fun c ->
+      incr runs;
+      match c with
+      | C_clean { c_degraded } ->
+          incr clean;
+          if c_degraded then incr degraded
+      | C_stopped _ -> incr infeasible
+      | C_skipped -> incr skipped
+      | C_failed f -> failures := f :: !failures)
+    classified;
   {
-    runs;
+    runs = !runs;
     clean = !clean;
     infeasible = !infeasible;
     degraded = !degraded;
     skipped = !skipped;
     failures = List.rev !failures;
   }
+
+let campaign ?fault ?(budgets = Driver.default_budgets) ?corpus_dir
+    ?(max_ops = 12) ?(log = fun (_ : string) -> ()) ~runs ~seed () =
+  let classified =
+    List.map
+      (fun g ->
+        let c = execute ?fault ~budgets ?corpus_dir g in
+        (match c with
+        | C_stopped code ->
+            log
+              (Printf.sprintf "run %d: stopped (%s) — expected" g.g_run code)
+        | C_failed f when f.f_kind <> "crash:generator" ->
+            log (Printf.sprintf "run %d: %s — shrunk to %d op(s)" g.g_run
+                   f.f_kind f.f_size)
+        | _ -> ());
+        c)
+      (cases ~max_ops ~runs ~seed ())
+  in
+  report_of_classified classified
 
 let render_report r =
   let buf = Buffer.create 256 in
@@ -317,7 +372,7 @@ let render_report r =
   List.iter
     (fun f ->
       Printf.bprintf buf "  FAIL %s (seed %d, %d op(s)): %s\n" f.f_kind
-        f.f_seed (case_size f.f_case) f.f_detail;
+        f.f_seed f.f_size f.f_detail;
       match f.f_file with
       | Some p -> Printf.bprintf buf "       reproducer: %s\n" p
       | None -> ())

@@ -44,7 +44,9 @@ type failure = {
   f_kind : string;  (** Stable classification key. *)
   f_seed : int;
   f_detail : string;
-  f_case : case;  (** Shrunk reproducer. *)
+  f_size : int;
+      (** Operations left in the shrunk reproducer (the case itself lives
+          in the corpus file when one was written). *)
   f_file : string option;  (** Corpus path, when a corpus dir was given. *)
 }
 
@@ -56,6 +58,38 @@ type report = {
   skipped : int;
   failures : failure list;
 }
+
+(** {2 Decomposed campaign}
+
+    A campaign is [cases] (all the randomness, drawn sequentially up
+    front) → [execute] per case (deterministic in the case and its seed;
+    safe to fan out over {!Batch.Pool} workers) → [report_of_classified]
+    (aggregation in run order, so the summary is independent of worker
+    completion order). {!campaign} is the sequential composition. *)
+
+type generated = {
+  g_run : int;  (** 1-based run index. *)
+  g_seed : int;  (** Per-case seed, also the journal ordering key. *)
+  g_case : (case, Diag.t) result;
+      (** [Error] when the DAG generator itself rejected the spec — a
+          campaign failure, classified as [crash:generator]. *)
+}
+
+val cases : ?max_ops:int -> runs:int -> seed:int -> unit -> generated list
+
+type classified =
+  | C_clean of { c_degraded : bool }
+  | C_stopped of string  (** Diagnostic code of the expected stop. *)
+  | C_skipped
+  | C_failed of failure
+
+val execute :
+  ?fault:Fault.t -> ?budgets:Driver.budgets -> ?corpus_dir:string ->
+  generated -> classified
+(** Run, classify, shrink failures, write the corpus reproducer. *)
+
+val report_of_classified : classified list -> report
+(** Fold in run order; [runs] is the list length. *)
 
 val campaign :
   ?fault:Fault.t -> ?budgets:Driver.budgets -> ?corpus_dir:string ->

@@ -43,3 +43,73 @@ Bad command lines are usage errors (exit 2):
 The happy path still exits 0:
 
   $ ../bin/synth.exe mfs chain.dfg --cs 3 > /dev/null
+
+The batch runner: a manifest of jobs under the supervised pool. The
+happy path journals every verdict and exits 0:
+
+  $ printf 'diffeq --cs 4\newf --cs 17\nex1 --cse\n# a comment\ndiffeq --cs 1\n' > jobs.txt
+  $ ../bin/synth.exe batch jobs.txt --jobs 2 --journal batch.jsonl
+  #1 diffeq --cs 4: done
+  #2 ewf --cs 17: done
+  #3 ex1 --cse: done
+  #4 diffeq --cs 1: rejected (lint.infeasible-budget)
+  batch: 4 job(s) — 4 completed, 0 failed
+
+Fault containment: one job hangs, one segfaults; the watchdogs kill and
+classify them while every other job completes, and the batch reports
+partial failure (exit 6):
+
+  $ printf 'diffeq --cs 4\newf --inject hang\nex1 --inject segv\nex2\nex3\n' > faulty.txt
+  $ ../bin/synth.exe batch faulty.txt --jobs 2 --journal faulty.jsonl --deadline 2 --retries 0
+  #1 diffeq --cs 4: done
+  #2 ewf --inject hang: timeout
+  #3 ex1 --inject segv: crashed (SIGSEGV)
+  #4 ex2: done
+  #5 ex3: done
+  batch: 5 job(s) — 3 completed, 2 failed
+  error: error[batch.partial-failure] 2 of 5 job(s) failed
+  [6]
+
+--resume replays the journalled verdicts without re-running anything
+(the hang would otherwise cost another deadline):
+
+  $ ../bin/synth.exe batch faulty.txt --jobs 2 --journal faulty.jsonl --resume --deadline 2 --retries 0
+  resume: 5 job(s) already journalled, skipped
+  #1 diffeq --cs 4: done
+  #2 ewf --inject hang: timeout
+  #3 ex1 --inject segv: crashed (SIGSEGV)
+  #4 ex2: done
+  #5 ex3: done
+  batch: 5 job(s) — 3 completed, 2 failed
+  error: error[batch.partial-failure] 2 of 5 job(s) failed
+  [6]
+
+--resume without a journal is a usage error:
+
+  $ ../bin/synth.exe batch jobs.txt --resume
+  error: error[batch.usage] --resume requires --journal PATH
+  [2]
+
+A malformed manifest line is rejected with a file:line span:
+
+  $ printf 'diffeq --cs nope\n' > broken.txt
+  $ ../bin/synth.exe batch broken.txt
+  error: error[batch.manifest] broken.txt:1:1: --cs nope: expected an integer
+  [3]
+
+SIGINT kills the workers, leaves the journal flushed, and exits 130:
+
+  $ printf 'diffeq --inject hang\newf --inject hang\n' > slow.txt
+  $ ../bin/synth.exe batch slow.txt --jobs 2 --deadline 30 --retries 0 > /dev/null 2> interrupted.log & pid=$!
+  $ sleep 0.5
+  $ kill -INT $pid
+  $ wait $pid
+  [130]
+  $ cat interrupted.log
+  batch: interrupted; workers killed, journal flushed
+
+Process faults make no sense for the static lint passes — the CLI says
+where they belong:
+
+  $ ../bin/synth.exe lint diffeq --inject segv 2>&1 | head -n 1
+  error: error[lint.process-fault] --inject segv is a process fault: it takes the worker down instead of corrupting an artefact a static pass could catch. Use 'synth batch' with a manifest fault to prove containment.
