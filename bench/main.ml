@@ -317,10 +317,27 @@ let time_best ?(reps = 3) f =
 (* Measurements land in BENCH_scaling.json so EXPERIMENTS.md (and the next
    session) can cite exact numbers.  Format: one object with bench metadata
    (workload generator, seed, cs rule, timing method) and a [sizes] array of
-   {ops, cs, kernel_ms, seed_kernel_ms, speedup, local_exponent}, where
-   local_exponent is the log-log slope of kernel_ms between consecutive
-   sizes and speedup = seed_kernel_ms / kernel_ms. *)
+   {ops, cs, opts_hash, kernel_ms, seed_kernel_ms, speedup, local_exponent},
+   where local_exponent is the log-log slope of kernel_ms between consecutive
+   sizes and speedup = seed_kernel_ms / kernel_ms.  opts_hash is the
+   content-addressed option key the explore cache would use for the same
+   (graph, engine, cs) point, so bench rows stay joinable with sweep
+   results across option-default changes. *)
 let scaling_json = "BENCH_scaling.json"
+
+let scaling_opts_hash g ~cs =
+  Explore.Lattice.key ~graph:g
+    {
+      Explore.Lattice.index = 0;
+      engine = Explore.Spec.Mfs;
+      style = Core.Mfsa.Unrestricted;
+      weights = Core.Mfsa.equal_weights;
+      constr = Explore.Spec.Time cs;
+      library = Explore.Spec.Default;
+      clock = None;
+      cse = false;
+      fault = None;
+    }
 
 let scaling () =
   print_endline
@@ -343,20 +360,20 @@ let scaling () =
           time_best (fun () ->
               ignore (ok (Reference.Seed_mfs.schedule g (Core.Mfs.Time { cs }))))
         in
-        (ops, cs, t, t_seed))
+        (ops, cs, scaling_opts_hash g ~cs, t, t_seed))
       sizes
   in
   let exponent idx t =
     if idx = 0 then None
     else
-      let prev_ops, _, prev_t, _ = List.nth measurements (idx - 1) in
-      let ops, _, _, _ = List.nth measurements idx in
+      let prev_ops, _, _, prev_t, _ = List.nth measurements (idx - 1) in
+      let ops, _, _, _, _ = List.nth measurements idx in
       Some
         (log (t /. prev_t) /. log (float_of_int ops /. float_of_int prev_ops))
   in
   let rows =
     List.mapi
-      (fun idx (ops, _, t, t_seed) ->
+      (fun idx (ops, _, _, t, t_seed) ->
         [ string_of_int ops;
           Printf.sprintf "%.2f" (t *. 1e3);
           Printf.sprintf "%.2f" (t_seed *. 1e3);
@@ -385,12 +402,13 @@ let scaling () =
     \  \"timing\": \"best of 3 wall-clock runs, Sys.time\",\n\
     \  \"sizes\": [\n";
   List.iteri
-    (fun idx (ops, cs, t, t_seed) ->
+    (fun idx (ops, cs, opts_hash, t, t_seed) ->
       Printf.fprintf oc
-        "    { \"ops\": %d, \"cs\": %d, \"kernel_ms\": %.3f, \
+        "    { \"ops\": %d, \"cs\": %d, \"opts_hash\": \"%s\", \
+         \"kernel_ms\": %.3f, \
          \"seed_kernel_ms\": %.3f, \"speedup\": %.2f, \
          \"local_exponent\": %s }%s\n"
-        ops cs (t *. 1e3) (t_seed *. 1e3) (t_seed /. t)
+        ops cs opts_hash (t *. 1e3) (t_seed *. 1e3) (t_seed /. t)
         (match exponent idx t with
         | None -> "null"
         | Some e -> Printf.sprintf "%.3f" e)

@@ -5,6 +5,7 @@
      synth mfs    <dfg> --cs 8          Move Frame Scheduling
      synth mfsa   <dfg> --cs 8 --style 2   mixed scheduling-allocation
      synth compare <dfg> --cs 8         MFS vs the baseline schedulers
+     synth explore sweep.spec --jobs 4  Pareto sweep over a job lattice
      synth fuzz   --runs 200 --seed 0   randomized robustness campaign
      synth batch  jobs.txt --jobs 4     supervised batch over a manifest
 
@@ -298,9 +299,13 @@ let mfsa_cmd =
 
 (* --- compare ---------------------------------------------------------- *)
 
+let csv_arg =
+  let doc = "Emit the result table as CSV on stdout instead of aligned text." in
+  Arg.(value & flag & info [ "csv" ] ~doc)
+
 let compare_cmd =
   let doc = "Compare MFS against list scheduling, FDS and annealing." in
-  let run spec cs two_cycle pipelined latency clock limits cse json =
+  let run spec cs two_cycle pipelined latency clock limits cse csv json =
     let g = or_die ~json (load_graph spec) in
     let g = apply_cse ~json g cse in
     let config =
@@ -359,20 +364,27 @@ let compare_cmd =
           [ "annealing"; "n/a under resource limits"; "-"; "-" ];
         ]
     in
-    if limits = [] then Printf.printf "time budget: %d steps\n" cs
-    else
-      Printf.printf "resource limits: %s\n"
-        (String.concat ", "
-           (List.map (fun (c, k) -> Printf.sprintf "%s=%d" c k) limits));
-    print_string
-      (Report.Table.render
-         ~header:[ "scheduler"; "units"; "valid"; "via" ]
-         (mfs_row :: baseline_rows))
+    if csv then
+      print_string
+        (Report.Table.to_csv
+           ~header:[ "scheduler"; "units"; "valid"; "via" ]
+           (mfs_row :: baseline_rows))
+    else begin
+      if limits = [] then Printf.printf "time budget: %d steps\n" cs
+      else
+        Printf.printf "resource limits: %s\n"
+          (String.concat ", "
+             (List.map (fun (c, k) -> Printf.sprintf "%s=%d" c k) limits));
+      print_string
+        (Report.Table.render
+           ~header:[ "scheduler"; "units"; "valid"; "via" ]
+           (mfs_row :: baseline_rows))
+    end
   in
   Cmd.v (Cmd.info "compare" ~doc)
     Term.(
       const run $ graph_arg $ cs_arg $ two_cycle_arg $ pipelined_arg
-      $ latency_arg $ clock_arg $ limits_arg $ cse_arg $ json_arg)
+      $ latency_arg $ clock_arg $ limits_arg $ cse_arg $ csv_arg $ json_arg)
 
 (* --- fuzz ------------------------------------------------------------- *)
 
@@ -573,6 +585,108 @@ let batch_cmd =
       $ deadline_arg $ retries_arg $ heap_mb_arg $ stage_seconds_arg
       $ verbose_arg $ json_arg)
 
+(* --- explore ----------------------------------------------------------- *)
+
+let explore_cmd =
+  let doc =
+    "Design-space exploration: expand a sweep spec (MFSA weight vectors, \
+     time/resource constraints, cell-library variants, design styles, \
+     engines) into a job lattice, evaluate it under the supervised batch \
+     pool, and fold the results into a Pareto front over (control steps, \
+     ALU area, MUX area, registers). A content-addressed result cache \
+     keyed on the canonicalized DFG plus the full option vector lets \
+     repeated or resumed sweeps skip every already-evaluated point. \
+     Exits 6 when some points failed, 130 on interrupt."
+  in
+  let spec_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SPEC"
+           ~doc:"Sweep specification file (see Explore.Spec for the \
+                 line-oriented format: graph, engine, style, weights, cs, \
+                 limits, library, clock, cse, budget, inject).")
+  in
+  let jobs_arg =
+    Arg.(value & opt int 1 & info [ "jobs" ] ~docv:"N"
+           ~doc:"Concurrent worker processes.")
+  in
+  let cache_arg =
+    Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"PATH"
+           ~doc:"Content-addressed result cache (JSONL, fsynced appends). \
+                 Loaded before the sweep; every solved or infeasible \
+                 point is appended, failures never are.")
+  in
+  let journal_arg =
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"PATH"
+           ~doc:"Pool verdict journal; required for --resume.")
+  in
+  let resume_arg =
+    Arg.(value & flag & info [ "resume" ]
+           ~doc:"Replay final verdicts from the journal instead of \
+                 re-forking their workers.")
+  in
+  let budget_arg =
+    Arg.(value & opt (some int) None & info [ "budget" ] ~docv:"N"
+           ~doc:"Adaptive-refinement point budget; overrides the spec's \
+                 $(b,budget) directive (0 disables refinement).")
+  in
+  let deadline_arg =
+    Arg.(value & opt float 60.0 & info [ "deadline" ] ~docv:"S"
+           ~doc:"Per-point wall-clock watchdog; a worker past it is \
+                 SIGKILLed and the point counts as failed.")
+  in
+  let json_out_arg =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Print the full outcome (counts + per-point records) as \
+                 one JSON object on stdout.")
+  in
+  let dot_front_arg =
+    Arg.(value & flag & info [ "dot-front" ]
+           ~doc:"Print the dominance graph as Graphviz DOT: a node per \
+                 solved point (front members filled), an edge from a \
+                 dominating front member to each dominated point.")
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "verbose" ]
+           ~doc:"Narrate batches, spawns and verdicts on stderr.")
+  in
+  let run spec_file jobs cache journal resume budget deadline csv json_out
+      dot_front verbose json =
+    if resume && journal = None then
+      die ~json
+        (Diag.usage ~code:"explore.usage" "--resume requires --journal PATH");
+    let spec = or_die ~json (Explore.Spec.load spec_file) in
+    let log = if verbose then prerr_endline else fun _ -> () in
+    Batch.Pool.install_signal_handlers ();
+    let o =
+      or_die ~json
+        (Explore.Engine.run ~workers:jobs ?cache ?journal ~resume ~deadline
+           ?budget ~log spec)
+    in
+    if o.Explore.Engine.interrupted then begin
+      prerr_endline "explore: interrupted; workers killed, journal flushed";
+      exit 130
+    end;
+    if json_out then print_string (Explore.Front_report.json o ^ "\n")
+    else if csv then print_string (Explore.Front_report.csv o)
+    else if dot_front then print_string (Explore.Front_report.dot o)
+    else begin
+      print_string (Explore.Front_report.summary o);
+      print_string (Explore.Front_report.table o)
+    end;
+    flush stdout;
+    List.iter prerr_endline (Explore.Front_report.failure_lines o);
+    let failures = Explore.Engine.failures o in
+    if failures <> [] then
+      die ~json
+        (Diag.partial ~code:"explore.partial-failure"
+           (Printf.sprintf "%d of %d point(s) failed" (List.length failures)
+              (List.length o.Explore.Engine.evals)))
+  in
+  Cmd.v (Cmd.info "explore" ~doc)
+    Term.(
+      const run $ spec_arg $ jobs_arg $ cache_arg $ journal_arg $ resume_arg
+      $ budget_arg $ deadline_arg $ csv_arg $ json_out_arg $ dot_front_arg
+      $ verbose_arg $ json_arg)
+
 (* --- lint ------------------------------------------------------------- *)
 
 let lint_cmd =
@@ -753,8 +867,8 @@ let compile_cmd =
 let main =
   let doc = "MFS/MFSA high-level synthesis (DAC 1992 reproduction)" in
   Cmd.group (Cmd.info "synth" ~doc)
-    [ show_cmd; mfs_cmd; mfsa_cmd; lint_cmd; compare_cmd; fuzz_cmd;
-      batch_cmd; compile_cmd ]
+    [ show_cmd; mfs_cmd; mfsa_cmd; lint_cmd; compare_cmd; explore_cmd;
+      fuzz_cmd; batch_cmd; compile_cmd ]
 
 let () =
   (* Cmdliner's own exit codes for CLI misuse / internal errors are 124 and

@@ -14,6 +14,14 @@ let record_failed (r : Journal.record) =
   | Verdict.Done payload -> payload_failed payload
   | v -> Verdict.is_failure v
 
+(* --- Generic structured-payload jobs ------------------------------------ *)
+
+let serialize work () = Result.map Jsonl.to_string (work ())
+
+let generic ?degraded ~id ~seed ~descr work =
+  Pool.job ~id ~seed ~descr (serialize work)
+    ?degraded:(Option.map serialize degraded)
+
 (* --- Manifest jobs ----------------------------------------------------- *)
 
 let via_string = function

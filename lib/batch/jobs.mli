@@ -24,6 +24,18 @@ val record_failed : Journal.record -> bool
 (** Failure for exit-code purposes: {!Verdict.is_failure} or a [Done]
     with {!payload_failed}. Expected [Rejected] stops are not failures. *)
 
+(** {2 Generic jobs} *)
+
+val generic :
+  ?degraded:(unit -> (Jsonl.t, Diag.t) result) ->
+  id:string -> seed:int -> descr:string ->
+  (unit -> (Jsonl.t, Diag.t) result) -> Pool.job
+(** Structured-payload job: the closure's {!Jsonl.t} document is
+    serialized as the worker payload, so new job families (e.g.
+    {!Explore}) reuse the pool without inventing a string protocol.
+    Include a ["status"] field if the records will be summarized through
+    {!payload_failed} (payloads without one count as failed). *)
+
 (** {2 Manifest jobs} *)
 
 val of_entry :

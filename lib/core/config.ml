@@ -33,3 +33,41 @@ let of_library lib =
 
 let delay t kind = max 1 (t.delays kind)
 let span t kind = if t.pipelined kind then 1 else delay t kind
+
+(* Canonical form: the functional fields are sampled over the closed kind
+   alphabet, every field is rendered as "name=value", and the fields are
+   sorted by name — so the string depends only on the configuration's
+   observable behaviour, not on record field order, on whether a value was
+   spelled out or defaulted, or on what the defaults happen to be. *)
+
+let float_repr f = Printf.sprintf "%.12g" f
+
+let per_kind render f =
+  String.concat ","
+    (List.map (fun k -> Dfg.Op.to_string k ^ ":" ^ render (f k)) Dfg.Op.all)
+
+let canonical t =
+  let fields =
+    [
+      ( "chaining",
+        match t.chaining with
+        | None -> "none"
+        | Some c ->
+            Printf.sprintf "{clock=%s;prop=%s}" (float_repr c.clock)
+              (per_kind float_repr c.prop_delay) );
+      (* Effective (clamped) delays: a raw delay of 0 behaves as 1. *)
+      ("delays", per_kind string_of_int (delay t));
+      ( "functional_latency",
+        match t.functional_latency with
+        | None -> "none"
+        | Some l -> string_of_int l );
+      ("pipelined", per_kind string_of_bool t.pipelined);
+      ("share_mutex", string_of_bool t.share_mutex);
+    ]
+  in
+  String.concat ";"
+    (List.map
+       (fun (k, v) -> k ^ "=" ^ v)
+       (List.sort (fun (a, _) (b, _) -> String.compare a b) fields))
+
+let hash t = Digest.to_hex (Digest.string (canonical t))

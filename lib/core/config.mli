@@ -38,3 +38,16 @@ val delay : t -> Dfg.Op.kind -> int
 val span : t -> Dfg.Op.kind -> int
 (** Steps during which the op {e occupies} its FU: 1 for pipelined kinds,
     [delay] otherwise. *)
+
+val canonical : t -> string
+(** Canonical one-line rendering of the full option vector. The
+    functional fields ([delays], [pipelined], chaining propagation
+    delays) are sampled over the closed {!Dfg.Op.all} alphabet and every
+    field is emitted as [name=value] in sorted-by-name order, so the
+    string is stable across record field reordering and across default
+    changes: two configurations observably equal over the kind alphabet
+    canonicalize identically. Used as the option half of the
+    design-space-exploration cache key ([Explore.Lattice.key]). *)
+
+val hash : t -> string
+(** Stable hex digest of {!canonical}. *)

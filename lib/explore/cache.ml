@@ -1,0 +1,87 @@
+type outcome = Metrics of Lattice.metrics | Infeasible of string
+
+type entry = { key : string; descr : string; outcome : outcome }
+
+let entry_to_json e =
+  let outcome_fields =
+    match e.outcome with
+    | Metrics m -> [ ("metrics", Lattice.metrics_to_json m) ]
+    | Infeasible code -> [ ("infeasible", Batch.Jsonl.String code) ]
+  in
+  Batch.Jsonl.to_string
+    (Batch.Jsonl.Obj
+       ([
+          ("key", Batch.Jsonl.String e.key);
+          ("descr", Batch.Jsonl.String e.descr);
+        ]
+       @ outcome_fields))
+
+let entry_of_json doc =
+  match (Batch.Jsonl.str "key" doc, Batch.Jsonl.str "descr" doc) with
+  | Some key, Some descr -> (
+      match
+        (Batch.Jsonl.member "metrics" doc, Batch.Jsonl.str "infeasible" doc)
+      with
+      | Some m, None ->
+          Result.map
+            (fun m -> { key; descr; outcome = Metrics m })
+            (Lattice.metrics_of_json m)
+      | None, Some code -> Ok { key; descr; outcome = Infeasible code }
+      | _ -> Error "cache entry needs exactly one of metrics/infeasible")
+  | _ -> Error "cache entry missing key/descr"
+
+type t = (string, entry) Hashtbl.t
+
+let empty () : t = Hashtbl.create 16
+let find (t : t) key = Hashtbl.find_opt t key
+let size (t : t) = Hashtbl.length t
+
+(* Same torn-tail discipline as the batch journal: a crash mid-append
+   leaves at most one unterminated trailing line, which load drops; any
+   other unparsable line means the store is corrupt. Later entries for a
+   key win (an append-only store never rewrites). *)
+let load path : (t, Diag.t) result =
+  let t = empty () in
+  if not (Sys.file_exists path) then Ok t
+  else begin
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let body = really_input_string ic len in
+    close_in ic;
+    let lines = String.split_on_char '\n' body in
+    let rec whole = function [] | [ _ ] -> [] | l :: rest -> l :: whole rest in
+    let rec parse lineno = function
+      | [] -> Ok t
+      | l :: rest when String.trim l = "" -> parse (lineno + 1) rest
+      | l :: rest -> (
+          match Result.bind (Batch.Jsonl.parse l) entry_of_json with
+          | Ok e ->
+              Hashtbl.replace t e.key e;
+              parse (lineno + 1) rest
+          | Error msg ->
+              Error
+                (Diag.input ~file:path
+                   ~span:(Diag.point ~line:lineno ~col:1)
+                   ~code:"explore.cache"
+                   ("corrupt cache entry: " ^ msg)))
+    in
+    parse 1 (whole lines)
+  end
+
+type writer = { fd : Unix.file_descr }
+
+let open_writer path =
+  { fd = Unix.openfile path [ Unix.O_WRONLY; O_CREAT; O_APPEND ] 0o644 }
+
+let append w e =
+  let line = entry_to_json e ^ "\n" in
+  let b = Bytes.of_string line in
+  let rec write_all off =
+    if off < Bytes.length b then
+      let n = Unix.write w.fd b off (Bytes.length b - off) in
+      write_all (off + n)
+  in
+  write_all 0;
+  Unix.fsync w.fd
+
+let close w = try Unix.close w.fd with Unix.Unix_error _ -> ()

@@ -1,0 +1,41 @@
+(** Content-addressed result cache for sweep evaluations.
+
+    An fsynced JSONL store (one entry per line, {!Batch.Jsonl} documents,
+    the batch journal's torn-tail discipline) keyed by {!Lattice.key} —
+    the digest of the canonicalized DFG and the full canonical option
+    vector. Repeated or refined sweeps look every point up here first and
+    skip evaluation on a hit; {e infeasible} verdicts are cached too, so
+    a warm re-run evaluates zero points even when parts of the lattice
+    were rejected. Failures (timeout, OOM, crash) are deliberately never
+    cached — they may be environmental and must re-run. *)
+
+type outcome =
+  | Metrics of Lattice.metrics
+  | Infeasible of string  (** The rejecting diagnostic's code. *)
+
+type entry = { key : string; descr : string; outcome : outcome }
+
+val entry_to_json : entry -> string
+val entry_of_json : Batch.Jsonl.t -> (entry, string) result
+
+type t
+
+val empty : unit -> t
+
+val load : string -> (t, Diag.t) result
+(** A missing file is an empty cache; an unterminated trailing line is
+    dropped; any other unparsable line is an [explore.cache] input error.
+    Later entries win on duplicate keys. *)
+
+val find : t -> string -> entry option
+val size : t -> int
+
+type writer
+
+val open_writer : string -> writer
+(** Open (create) for append. *)
+
+val append : writer -> entry -> unit
+(** One line, one [write], then fsync. *)
+
+val close : writer -> unit

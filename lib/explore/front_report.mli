@@ -1,0 +1,31 @@
+(** Rendering for sweep outcomes: frontier table, CSV export, dominance
+    DOT overlay and machine-readable JSON.
+
+    All renderings are deterministic — wall-clock seconds are recorded in
+    the cache and JSON metrics but never appear in the table, CSV front
+    column or DOT, so cram tests can lock the output byte-for-byte. *)
+
+val summary : Engine.outcome -> string
+(** Two-line sweep accounting: points seeded/refined/total, then cache
+    hits, fresh pool evaluations, journal-resumed verdicts, infeasible
+    and failed counts. Ends with a newline. *)
+
+val failure_lines : Engine.outcome -> string list
+(** One ["failed: <point>: <why>"] line per failed point, lattice order. *)
+
+val table : Engine.outcome -> string
+(** Frontier table (front members only, objective order) followed by a
+    ["front: N non-dominated of M solved point(s)"] line. *)
+
+val csv : Engine.outcome -> string
+(** Every evaluated point, one row each, via {!Report.Table.to_csv}:
+    axes, content key, status, metrics (empty for infeasible/failed
+    rows), front membership and source. *)
+
+val dot : Engine.outcome -> string
+(** Graphviz dominance overlay: a node per solved point (front members
+    filled), one edge from a dominating front member to each dominated
+    point. *)
+
+val json : Engine.outcome -> string
+(** Full outcome as a single JSON object (counts + per-point records). *)

@@ -1,0 +1,252 @@
+type point = {
+  index : int;
+  engine : Spec.engine;
+  style : Core.Mfsa.style;
+  weights : Core.Mfsa.weights;
+  constr : Spec.constraint_;
+  library : Spec.library_variant;
+  clock : float option;
+  cse : bool;
+  fault : Harness.Fault.t option;
+}
+
+(* Style and the Liapunov weights only steer MFSA; normalizing them for
+   the other engines keeps the lattice free of points that would evaluate
+   identically under different keys. *)
+let normalize p =
+  match p.engine with
+  | Spec.Mfsa -> p
+  | Spec.Mfs | Spec.List_sched ->
+      { p with
+        style = Core.Mfsa.Unrestricted;
+        weights = Core.Mfsa.equal_weights }
+
+let axes_name p =
+  String.concat " "
+    ([
+       Spec.engine_name p.engine;
+       "lib=" ^ Spec.library_name p.library;
+       "s" ^ Spec.style_name p.style;
+       "w=" ^ Spec.weights_name p.weights;
+       Spec.constraint_name p.constr;
+     ]
+    @ (match p.clock with
+      | None -> []
+      | Some c -> [ Printf.sprintf "clock=%g" c ])
+    @ (if p.cse then [ "cse" ] else []))
+
+let descr p =
+  axes_name p
+  ^
+  match p.fault with
+  | None -> ""
+  | Some f -> " +" ^ Harness.Fault.to_string f
+
+let expand (spec : Spec.t) =
+  let seen = Hashtbl.create 64 in
+  let points = ref [] in
+  let n = ref 0 in
+  List.iter
+    (fun engine ->
+      List.iter
+        (fun library ->
+          List.iter
+            (fun style ->
+              List.iter
+                (fun weights ->
+                  List.iter
+                    (fun constr ->
+                      let p =
+                        normalize
+                          {
+                            index = !n;
+                            engine;
+                            style;
+                            weights;
+                            constr;
+                            library;
+                            clock = spec.Spec.clock;
+                            cse = spec.Spec.cse;
+                            fault = None;
+                          }
+                      in
+                      let key = axes_name p in
+                      if not (Hashtbl.mem seen key) then begin
+                        Hashtbl.add seen key ();
+                        points := { p with index = !n } :: !points;
+                        incr n
+                      end)
+                    spec.Spec.constraints)
+                spec.Spec.weights)
+            spec.Spec.styles)
+        spec.Spec.libraries)
+    spec.Spec.engines;
+  List.rev_map
+    (fun p -> { p with fault = List.assoc_opt p.index spec.Spec.inject })
+    !points
+
+(* --- Derived configuration --------------------------------------------- *)
+
+let library_for g = function
+  | Spec.Default -> Celllib.Ncr.for_graph g
+  | Spec.Two_cycle -> Celllib.Ncr.two_cycle_multiplier (Celllib.Ncr.for_graph g)
+  | Spec.Pipelined -> Celllib.Ncr.pipelined_multiplier (Celllib.Ncr.for_graph g)
+
+let config_for lib ~clock =
+  let cfg = Core.Config.of_library lib in
+  match clock with
+  | None -> cfg
+  | Some clk ->
+      { cfg with
+        Core.Config.chaining =
+          Some
+            { Core.Config.prop_delay = lib.Celllib.Library.prop_delay;
+              clock = clk } }
+
+(* --- Content-addressed keys --------------------------------------------- *)
+
+let options_canonical ~graph p =
+  let config = config_for (library_for graph p.library) ~clock:p.clock in
+  String.concat ";"
+    [
+      "config=" ^ Core.Config.canonical config;
+      "constraint=" ^ Spec.constraint_name p.constr;
+      "cse=" ^ string_of_bool p.cse;
+      "engine=" ^ Spec.engine_name p.engine;
+      ( "fault="
+      ^ match p.fault with
+        | None -> "none"
+        | Some f -> Harness.Fault.to_string f );
+      "library=" ^ Spec.library_name p.library;
+      "style=" ^ Spec.style_name p.style;
+      "weights=" ^ Spec.weights_name p.weights;
+    ]
+
+let key ~graph p =
+  Batch.Jobs.digest
+    (String.concat "|"
+       [ "explore"; Dfg.Parser.to_source graph; options_canonical ~graph p ])
+
+(* --- Metrics ------------------------------------------------------------ *)
+
+type metrics = {
+  m_csteps : int;
+  m_units : int;
+  m_alu : float;
+  m_mux : float;
+  m_reg : int;
+  m_total : float;
+  m_seconds : float;
+}
+
+(* Dominance objectives, all minimized. Wall time is deliberately last so
+   callers wanting deterministic fronts can drop it (the default engine
+   front uses [objectives]; [objectives_with_time] adds the fifth axis). *)
+let objectives m =
+  [| float_of_int m.m_csteps; m.m_alu; m.m_mux; float_of_int m.m_reg |]
+
+let objectives_with_time m = Array.append (objectives m) [| m.m_seconds |]
+
+let metrics_to_json m =
+  Batch.Jsonl.Obj
+    [
+      ("status", Batch.Jsonl.String "ok");
+      ("csteps", Batch.Jsonl.Int m.m_csteps);
+      ("units", Batch.Jsonl.Int m.m_units);
+      ("alu", Batch.Jsonl.Float m.m_alu);
+      ("mux", Batch.Jsonl.Float m.m_mux);
+      ("reg", Batch.Jsonl.Int m.m_reg);
+      ("total", Batch.Jsonl.Float m.m_total);
+      ("seconds", Batch.Jsonl.Float m.m_seconds);
+    ]
+
+let metrics_of_json doc =
+  match
+    ( Batch.Jsonl.int "csteps" doc,
+      Batch.Jsonl.int "units" doc,
+      Batch.Jsonl.float "alu" doc,
+      Batch.Jsonl.float "mux" doc,
+      Batch.Jsonl.int "reg" doc,
+      Batch.Jsonl.float "total" doc,
+      Batch.Jsonl.float "seconds" doc )
+  with
+  | Some m_csteps, Some m_units, Some m_alu, Some m_mux, Some m_reg,
+    Some m_total, Some m_seconds ->
+      Ok { m_csteps; m_units; m_alu; m_mux; m_reg; m_total; m_seconds }
+  | _ -> Error "metrics record missing csteps/units/alu/mux/reg/total/seconds"
+
+(* --- Evaluation --------------------------------------------------------- *)
+
+let total_units s =
+  List.fold_left (fun n (_, k) -> n + k) 0 (Core.Schedule.fu_counts s)
+
+let effective_cs config g cs = if cs <= 0 then Core.Timeframe.min_cs config g else cs
+
+(* MFS and the list baseline do not bind; cost them through the fallback
+   column binding (one single-function ALU per schedule column), the same
+   accounting the harness degradation chain uses. *)
+let colbind_cost lib config g s =
+  match Harness.Driver.colbind_datapath lib config g s with
+  | Error e -> Error (Diag.of_msg Diag.Internal ~code:"explore.bind" e)
+  | Ok dp -> Ok (s, Rtl.Cost.of_datapath lib dp)
+
+let evaluate ~graph:g p =
+  (match p.fault with
+  | Some Harness.Fault.Hang -> Harness.Fault.hang ()
+  | Some Harness.Fault.Segv -> Harness.Fault.segv ()
+  | Some _ | None -> ());
+  let t0 = Unix.gettimeofday () in
+  let lib = library_for g p.library in
+  let config = config_for lib ~clock:p.clock in
+  let outcome =
+    match (p.engine, p.constr) with
+    | Spec.Mfsa, Spec.Time cs ->
+        let cs = effective_cs config g cs in
+        Result.map
+          (fun (o : Core.Mfsa.outcome) -> (o.Core.Mfsa.schedule, o.Core.Mfsa.cost))
+          (Core.Mfsa.run ~config ~style:p.style ~weights:p.weights ~library:lib
+             ~cs g)
+    | Spec.Mfsa, Spec.Resource limits ->
+        Result.map
+          (fun (o : Core.Mfsa.outcome) -> (o.Core.Mfsa.schedule, o.Core.Mfsa.cost))
+          (Core.Mfsa.run_resource ~config ~style:p.style ~weights:p.weights
+             ~library:lib ~limits g)
+    | Spec.Mfs, constr ->
+        let spec_kind =
+          match constr with
+          | Spec.Time cs -> Core.Mfs.Time { cs = effective_cs config g cs }
+          | Spec.Resource limits -> Core.Mfs.Resource { limits }
+        in
+        Result.bind
+          (Core.Mfs.schedule ~config g spec_kind)
+          (colbind_cost lib config g)
+    | Spec.List_sched, constr ->
+        let sched =
+          match constr with
+          | Spec.Time cs ->
+              Baselines.List_sched.time ~config g ~cs:(effective_cs config g cs)
+          | Spec.Resource limits ->
+              Baselines.List_sched.resource ~config g ~limits
+        in
+        Result.bind
+          (Result.map_error
+             (Diag.of_msg Diag.Infeasible ~code:"explore.engine")
+             sched)
+          (colbind_cost lib config g)
+  in
+  Result.map
+    (fun ((s : Core.Schedule.t), (cost : Rtl.Cost.breakdown)) ->
+      {
+        m_csteps = s.Core.Schedule.cs;
+        m_units = total_units s;
+        m_alu = cost.Rtl.Cost.alu_area;
+        m_mux = cost.Rtl.Cost.mux_area;
+        m_reg = cost.Rtl.Cost.n_regs;
+        m_total = cost.Rtl.Cost.total;
+        m_seconds = Unix.gettimeofday () -. t0;
+      })
+    outcome
+
+let job ~graph p =
+  Batch.Jobs.generic ~id:(key ~graph p) ~seed:p.index ~descr:(descr p)
+    (fun () -> Result.map metrics_to_json (evaluate ~graph p))

@@ -1,0 +1,74 @@
+(** Job lattices: a {!Spec.t} expanded into concrete sweep points, their
+    content-addressed keys, and their evaluation as {!Batch.Pool} jobs. *)
+
+type point = {
+  index : int;  (** Lattice position — the pool seed / [inject] anchor. *)
+  engine : Spec.engine;
+  style : Core.Mfsa.style;
+  weights : Core.Mfsa.weights;
+  constr : Spec.constraint_;
+  library : Spec.library_variant;
+  clock : float option;
+  cse : bool;
+  fault : Harness.Fault.t option;
+}
+
+val expand : Spec.t -> point list
+(** Cross product of the spec's axes in fixed nesting order (engine,
+    library, style, weights, constraint — innermost fastest), with
+    points that would evaluate identically deduplicated: style and
+    weights are normalized for the non-MFSA engines before comparison,
+    so [engine mfs] crossed with three weight vectors yields one point
+    per constraint. Indices are assigned after deduplication; [inject]
+    faults attach by index. *)
+
+val descr : point -> string
+(** Human label, e.g. ["mfsa lib=default s2 w=1/1/1/20 T=17"]. *)
+
+val options_canonical : graph:Dfg.Graph.t -> point -> string
+(** Canonical full option vector: the derived {!Core.Config.canonical}
+    plus every explore-level axis value as [name=value] in sorted-by-name
+    order. *)
+
+val key : graph:Dfg.Graph.t -> point -> string
+(** Content-addressed identity — the stable hex digest of the
+    canonicalized DFG ({!Dfg.Parser.to_source}) and
+    {!options_canonical}. Used as the {!Cache} key {e and} the pool/job
+    journal id, so a resumed or repeated sweep recognizes completed
+    points under either store. *)
+
+(** {2 Metrics} *)
+
+type metrics = {
+  m_csteps : int;  (** Achieved schedule horizon. *)
+  m_units : int;  (** Total FU count over all classes. *)
+  m_alu : float;  (** ALU area, um^2. *)
+  m_mux : float;  (** Multiplexer area, um^2. *)
+  m_reg : int;  (** Register count. *)
+  m_total : float;  (** Total datapath area, um^2. *)
+  m_seconds : float;  (** Wall-clock of the evaluation. *)
+}
+
+val objectives : metrics -> float array
+(** The deterministic dominance vector (csteps, ALU area, MUX area,
+    registers), all minimized — the default front. *)
+
+val objectives_with_time : metrics -> float array
+(** {!objectives} extended with wall time as a fifth axis (front contents
+    then depend on machine load; reporting only). *)
+
+val metrics_to_json : metrics -> Batch.Jsonl.t
+val metrics_of_json : Batch.Jsonl.t -> (metrics, string) result
+
+(** {2 Evaluation} *)
+
+val evaluate : graph:Dfg.Graph.t -> point -> (metrics, Diag.t) result
+(** Run the point's engine on the graph and cost the result: MFSA costs
+    its own binding; MFS and the list baseline are costed through the
+    fallback column binding ({!Harness.Driver.colbind_datapath}).
+    Planted process faults hang or kill the calling process — evaluate
+    such points only under the supervised pool. *)
+
+val job : graph:Dfg.Graph.t -> point -> Batch.Pool.job
+(** The point as a supervised pool job: id = {!key}, seed = [index],
+    payload = {!metrics_to_json}. *)

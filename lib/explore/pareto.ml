@@ -1,0 +1,34 @@
+type 'a t = { objectives : 'a -> float array; members : 'a list }
+
+let dominates ~objectives a b =
+  let va = objectives a and vb = objectives b in
+  if Array.length va <> Array.length vb then
+    invalid_arg "Pareto.dominates: objective arity mismatch";
+  let le = ref true and lt = ref false in
+  Array.iteri
+    (fun i x -> if x > vb.(i) then le := false else if x < vb.(i) then lt := true)
+    va;
+  !le && !lt
+
+let empty ~objectives = { objectives; members = [] }
+
+let insert t x =
+  if List.exists (fun m -> dominates ~objectives:t.objectives m x) t.members
+  then t
+  else
+    { t with
+      members =
+        x
+        :: List.filter
+             (fun m -> not (dominates ~objectives:t.objectives x m))
+             t.members }
+
+let of_list ~objectives xs = List.fold_left insert (empty ~objectives) xs
+let size t = List.length t.members
+
+let members t =
+  List.sort (fun a b -> compare (t.objectives a) (t.objectives b)) t.members
+
+let mem t x =
+  let v = t.objectives x in
+  List.exists (fun m -> t.objectives m = v) t.members

@@ -1,0 +1,33 @@
+(** N-dimensional Pareto fronts over sweep results.
+
+    All objectives are minimized. A point [a] {e dominates} [b] when it
+    is no worse in every objective and strictly better in at least one;
+    the front holds exactly the non-dominated points seen so far. Points
+    with {e equal} objective vectors neither dominate each other, so ties
+    all survive — which is what makes the front independent of insertion
+    order (see the property suite in [test/test_explore.ml]). *)
+
+type 'a t
+
+val dominates : objectives:('a -> float array) -> 'a -> 'a -> bool
+(** [dominates a b]: [a] is [<=] component-wise and [<] somewhere.
+    Irreflexive and antisymmetric.
+
+    @raise Invalid_argument if the two vectors differ in length. *)
+
+val empty : objectives:('a -> float array) -> 'a t
+
+val insert : 'a t -> 'a -> 'a t
+(** Drop [x] if a member dominates it; otherwise admit [x] and evict the
+    members it dominates. *)
+
+val of_list : objectives:('a -> float array) -> 'a list -> 'a t
+
+val members : 'a t -> 'a list
+(** Sorted lexicographically by objective vector (deterministic up to
+    exact objective ties). *)
+
+val size : 'a t -> int
+
+val mem : 'a t -> 'a -> bool
+(** Whether some member has [x]'s exact objective vector. *)

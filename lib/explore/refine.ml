@@ -1,0 +1,61 @@
+let mid a b = (a +. b) /. 2.
+
+let mid_weights (a : Core.Mfsa.weights) (b : Core.Mfsa.weights) =
+  {
+    Core.Mfsa.w_time = mid a.Core.Mfsa.w_time b.Core.Mfsa.w_time;
+    w_alu = mid a.Core.Mfsa.w_alu b.Core.Mfsa.w_alu;
+    w_mux = mid a.Core.Mfsa.w_mux b.Core.Mfsa.w_mux;
+    w_reg = mid a.Core.Mfsa.w_reg b.Core.Mfsa.w_reg;
+  }
+
+(* Weights only steer MFSA, so refinement bisects between MFSA front
+   points. Candidate order is deterministic: front points sorted by
+   (csteps, total area, descr); each adjacent pair contributes up to two
+   candidates — the midpoint weights under either endpoint's non-weight
+   axes — deduplicated by content key against everything already
+   evaluated (which kills the degenerate equal-weights midpoints for
+   free). *)
+let bisect ~front ~seen ~graph ~next_index ~budget =
+  if budget <= 0 then []
+  else begin
+    let mfsa =
+      List.filter
+        (fun ((p : Lattice.point), _) -> p.Lattice.engine = Spec.Mfsa)
+        front
+    in
+    let ordered =
+      List.sort
+        (fun ((pa : Lattice.point), (ma : Lattice.metrics)) (pb, mb) ->
+          compare
+            (ma.Lattice.m_csteps, ma.Lattice.m_total, Lattice.descr pa)
+            (mb.Lattice.m_csteps, mb.Lattice.m_total, Lattice.descr pb))
+        mfsa
+    in
+    let rec pairs = function
+      | (a, _) :: ((b, _) :: _ as rest) -> (a, b) :: pairs rest
+      | _ -> []
+    in
+    let fresh = Hashtbl.create 16 in
+    let out = ref [] in
+    let count = ref 0 in
+    let consider base weights =
+      if !count < budget then begin
+        let candidate =
+          { base with Lattice.weights; index = next_index + !count; fault = None }
+        in
+        let k = Lattice.key ~graph candidate in
+        if not (seen k) && not (Hashtbl.mem fresh k) then begin
+          Hashtbl.add fresh k ();
+          out := candidate :: !out;
+          incr count
+        end
+      end
+    in
+    List.iter
+      (fun ((a : Lattice.point), (b : Lattice.point)) ->
+        let w = mid_weights a.Lattice.weights b.Lattice.weights in
+        consider a w;
+        consider b w)
+      (pairs ordered);
+    List.rev !out
+  end

@@ -1,0 +1,26 @@
+(** Adaptive frontier refinement: densify the Pareto front by bisecting
+    the MFSA weight axes between adjacent front points.
+
+    One round turns the current front into a batch of new sweep points;
+    the {!Engine} evaluates them, folds survivors into the front, and
+    asks for another round until the point budget is spent or a round
+    comes back empty (every midpoint already evaluated — the axis is
+    saturated at this resolution). *)
+
+val mid_weights : Core.Mfsa.weights -> Core.Mfsa.weights -> Core.Mfsa.weights
+(** Component-wise mean. *)
+
+val bisect :
+  front:(Lattice.point * Lattice.metrics) list ->
+  seen:(string -> bool) ->
+  graph:Dfg.Graph.t ->
+  next_index:int ->
+  budget:int ->
+  Lattice.point list
+(** At most [budget] fresh candidates: the MFSA members of [front] are
+    sorted by (csteps, total area, descr); each adjacent pair yields the
+    component-wise-mean weight vector under either endpoint's remaining
+    axes. Candidates whose content key is already [seen] (evaluated, in
+    the cache, or produced earlier in this round) are dropped. Indices
+    count on from [next_index]; planted faults never propagate into
+    refined points. *)

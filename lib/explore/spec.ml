@@ -1,0 +1,226 @@
+type engine = Mfsa | Mfs | List_sched
+type library_variant = Default | Two_cycle | Pipelined
+type constraint_ = Time of int | Resource of (string * int) list
+
+type t = {
+  graph : string;
+  engines : engine list;
+  styles : Core.Mfsa.style list;
+  weights : Core.Mfsa.weights list;
+  constraints : constraint_ list;
+  libraries : library_variant list;
+  clock : float option;
+  cse : bool;
+  budget : int;
+  inject : (int * Harness.Fault.t) list;
+}
+
+let default ~graph =
+  {
+    graph;
+    engines = [ Mfsa ];
+    styles = [ Core.Mfsa.Unrestricted ];
+    weights = [ Core.Mfsa.equal_weights ];
+    constraints = [ Time 0 ];
+    libraries = [ Default ];
+    clock = None;
+    cse = false;
+    budget = 0;
+    inject = [];
+  }
+
+let engine_name = function
+  | Mfsa -> "mfsa"
+  | Mfs -> "mfs"
+  | List_sched -> "list"
+
+let engine_of_name = function
+  | "mfsa" -> Some Mfsa
+  | "mfs" -> Some Mfs
+  | "list" -> Some List_sched
+  | _ -> None
+
+let library_name = function
+  | Default -> "default"
+  | Two_cycle -> "two-cycle"
+  | Pipelined -> "pipelined"
+
+let library_of_name = function
+  | "default" -> Some Default
+  | "two-cycle" -> Some Two_cycle
+  | "pipelined" -> Some Pipelined
+  | _ -> None
+
+let style_name = function
+  | Core.Mfsa.Unrestricted -> "1"
+  | Core.Mfsa.No_self_loop -> "2"
+
+let float_repr f = Printf.sprintf "%.12g" f
+
+let weights_name (w : Core.Mfsa.weights) =
+  Printf.sprintf "%s/%s/%s/%s" (float_repr w.Core.Mfsa.w_time)
+    (float_repr w.Core.Mfsa.w_alu) (float_repr w.Core.Mfsa.w_mux)
+    (float_repr w.Core.Mfsa.w_reg)
+
+let weights_of_name s =
+  match List.map float_of_string_opt (String.split_on_char '/' s) with
+  | [ Some w_time; Some w_alu; Some w_mux; Some w_reg ]
+    when List.for_all
+           (fun v -> v >= 0.)
+           [ w_time; w_alu; w_mux; w_reg ] ->
+      Some { Core.Mfsa.w_time; w_alu; w_mux; w_reg }
+  | _ -> None
+
+let limits_of_name s =
+  let parse_one part =
+    match String.split_on_char '=' part with
+    | [ c; n ] when c <> "" -> (
+        match int_of_string_opt n with
+        | Some k when k >= 0 -> Some (c, k)
+        | _ -> None)
+    | _ -> None
+  in
+  let parts = String.split_on_char ',' s in
+  let parsed = List.map parse_one parts in
+  if List.exists (( = ) None) parsed then None
+  else Some (List.filter_map Fun.id parsed)
+
+let constraint_name = function
+  | Time cs -> Printf.sprintf "T=%d" cs
+  | Resource limits ->
+      "R{"
+      ^ String.concat ","
+          (List.map
+             (fun (c, k) -> Printf.sprintf "%s=%d" c k)
+             (List.sort compare limits))
+      ^ "}"
+
+(* --- Spec files --------------------------------------------------------- *)
+
+let err ~file ~line code msg =
+  Error (Diag.input ~file ~span:(Diag.point ~line ~col:1) ~code msg)
+
+let tokens line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | None -> line
+  | Some i -> String.sub line 0 i
+
+(* One directive per line; later lines of the same directive extend the
+   axis. Unknown directives and malformed values are [explore.spec]
+   input errors with a file:line span. *)
+let parse_line ~file ~line acc text =
+  let fail msg = err ~file ~line "explore.spec" msg in
+  let map_values ~what parse values k =
+    let parsed = List.map parse values in
+    match List.find_opt (fun (_, p) -> p = None) (List.combine values parsed) with
+    | Some (raw, _) -> fail (Printf.sprintf "%s: malformed %s" raw what)
+    | None -> k (List.filter_map Fun.id parsed)
+  in
+  match tokens (strip_comment text) with
+  | [] -> Ok acc
+  | "graph" :: [ g ] -> Ok { acc with graph = g }
+  | "graph" :: _ -> fail "graph: expected exactly one DFG file or builtin name"
+  | "engine" :: (_ :: _ as vs) ->
+      map_values ~what:"engine (mfsa, mfs, list)" engine_of_name vs (fun es ->
+          Ok { acc with engines = acc.engines @ es })
+  | "style" :: (_ :: _ as vs) ->
+      map_values ~what:"style (1 or 2)"
+        (function
+          | "1" -> Some Core.Mfsa.Unrestricted
+          | "2" -> Some Core.Mfsa.No_self_loop
+          | _ -> None)
+        vs
+        (fun ss -> Ok { acc with styles = acc.styles @ ss })
+  | "weights" :: (_ :: _ as vs) ->
+      map_values ~what:"weight vector (T/ALU/MUX/REG, e.g. 1/1/1/20)"
+        weights_of_name vs (fun ws ->
+          Ok { acc with weights = acc.weights @ ws })
+  | "cs" :: (_ :: _ as vs) ->
+      map_values ~what:"control-step budget" int_of_string_opt vs (fun cs ->
+          Ok
+            { acc with
+              constraints = acc.constraints @ List.map (fun c -> Time c) cs })
+  | "limits" :: (_ :: _ as vs) ->
+      map_values ~what:"resource limits (CLASS=COUNT[,CLASS=COUNT...])"
+        limits_of_name vs (fun ls ->
+          Ok
+            { acc with
+              constraints =
+                acc.constraints @ List.map (fun l -> Resource l) ls })
+  | "library" :: (_ :: _ as vs) ->
+      map_values ~what:"library variant (default, two-cycle, pipelined)"
+        library_of_name vs (fun ls ->
+          Ok { acc with libraries = acc.libraries @ ls })
+  | [ "clock"; v ] -> (
+      match float_of_string_opt v with
+      | Some c when c > 0. -> Ok { acc with clock = Some c }
+      | _ -> fail (v ^ ": malformed clock period (positive ns)"))
+  | [ "cse" ] -> Ok { acc with cse = true }
+  | [ "budget"; v ] -> (
+      match int_of_string_opt v with
+      | Some b when b >= 0 -> Ok { acc with budget = b }
+      | _ -> fail (v ^ ": malformed refinement budget"))
+  | [ "inject"; f; idx ] -> (
+      match (Harness.Fault.of_string f, int_of_string_opt idx) with
+      | Some fault, Some i when Harness.Fault.is_process fault && i >= 0 ->
+          Ok { acc with inject = acc.inject @ [ (i, fault) ] }
+      | Some fault, Some _ when not (Harness.Fault.is_process fault) ->
+          fail
+            (f
+           ^ ": only process faults (hang, segv) make sense for a sweep \
+              point — artifact corruptions belong to 'synth lint --inject'")
+      | _ -> fail "inject: expected 'inject FAULT POINT-INDEX'")
+  | d :: _ ->
+      fail
+        (d
+       ^ ": unknown directive (graph, engine, style, weights, cs, limits, \
+          library, clock, cse, budget, inject)")
+
+let parse ~file text =
+  let lines = String.split_on_char '\n' text in
+  let empty =
+    { (default ~graph:"") with
+      engines = []; styles = []; weights = []; constraints = []; libraries = []
+    }
+  in
+  let rec go acc line = function
+    | [] -> Ok acc
+    | l :: rest -> (
+        match parse_line ~file ~line acc l with
+        | Error _ as e -> e
+        | Ok acc -> go acc (line + 1) rest)
+  in
+  match go empty 1 lines with
+  | Error _ as e -> e
+  | Ok acc ->
+      if acc.graph = "" then
+        err ~file ~line:1 "explore.spec" "spec names no graph (add 'graph NAME')"
+      else
+        (* Unset axes collapse to the default singleton. *)
+        let or_default d = function [] -> d | l -> l in
+        Ok
+          {
+            acc with
+            engines = or_default [ Mfsa ] acc.engines;
+            styles = or_default [ Core.Mfsa.Unrestricted ] acc.styles;
+            weights = or_default [ Core.Mfsa.equal_weights ] acc.weights;
+            constraints = or_default [ Time 0 ] acc.constraints;
+            libraries = or_default [ Default ] acc.libraries;
+          }
+
+let load path =
+  match
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let body = really_input_string ic len in
+    close_in ic;
+    body
+  with
+  | body -> parse ~file:path body
+  | exception Sys_error msg ->
+      Error (Diag.input ~file:path ~code:"explore.spec" ("cannot read spec: " ^ msg))

@@ -1,0 +1,68 @@
+(** Declarative sweep specifications for design-space exploration.
+
+    A spec is a set of {e axes}; their cross product (deduplicated by
+    {!Lattice.expand}) is the job lattice one [synth explore] run
+    evaluates. The file format is line-oriented:
+
+    {v
+    # sweep over the elliptic filter
+    graph ewf
+    engine mfsa mfs          # mfsa | mfs | list
+    style 1 2
+    weights 1/1/1/1 1/1/1/20 # w_TIME/w_ALU/w_MUX/w_REG
+    cs 17 19 21              # time-constrained points (0 = critical path)
+    limits *=1,+=1 *=2,+=2   # resource-constrained points
+    library default two-cycle pipelined
+    clock 100                # enable chaining, period in ns
+    cse
+    budget 8                 # adaptive-refinement point budget
+    inject hang 5            # plant a process fault at lattice index 5
+    v}
+
+    Repeated directive lines extend the axis; unset axes collapse to a
+    singleton default (engine [mfsa], style 1, equal weights, [cs 0],
+    library [default]). Malformed lines are [explore.spec] input errors
+    with a file:line span. *)
+
+type engine = Mfsa | Mfs | List_sched
+
+type library_variant = Default | Two_cycle | Pipelined
+(** {!Celllib.Ncr.for_graph} and its two-cycle / pipelined multiplier
+    variants. *)
+
+type constraint_ = Time of int | Resource of (string * int) list
+(** One point of the merged time/resource axis: a control-step budget
+    ([Time 0] = critical-path minimum) or per-class FU limits. *)
+
+type t = {
+  graph : string;  (** DFG file or builtin name ({!Batch.Manifest.load_graph}). *)
+  engines : engine list;
+  styles : Core.Mfsa.style list;
+  weights : Core.Mfsa.weights list;
+  constraints : constraint_ list;
+  libraries : library_variant list;
+  clock : float option;  (** Chaining clock period, applied to every point. *)
+  cse : bool;  (** Run CSE on the graph before the sweep. *)
+  budget : int;  (** Adaptive-refinement point budget (0 = seed lattice only). *)
+  inject : (int * Harness.Fault.t) list;
+      (** Process faults planted at lattice indices — the explore-smoke
+          containment proof. Parse rejects artifact faults. *)
+}
+
+val default : graph:string -> t
+(** Singleton axes: one MFSA style-1 equal-weights critical-path point. *)
+
+val parse : file:string -> string -> (t, Diag.t) result
+val load : string -> (t, Diag.t) result
+
+(** Stable axis-value names, shared by parsing, point descriptions and
+    the canonical option vector. *)
+
+val engine_name : engine -> string
+val engine_of_name : string -> engine option
+val library_name : library_variant -> string
+val library_of_name : string -> library_variant option
+val style_name : Core.Mfsa.style -> string
+val weights_name : Core.Mfsa.weights -> string
+val weights_of_name : string -> Core.Mfsa.weights option
+val constraint_name : constraint_ -> string

@@ -39,6 +39,30 @@ let render ?aligns ~header rows =
   in
   String.concat "\n" (line header :: rule :: List.map line rows) ^ "\n"
 
+(* RFC-4180-style quoting: a field containing a comma, quote or line
+   break is wrapped in double quotes with embedded quotes doubled. *)
+let csv_field s =
+  let needs_quote =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+  in
+  if not needs_quote then s
+  else begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\""
+        else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let to_csv ?header rows =
+  let line cells = String.concat "," (List.map csv_field cells) in
+  let all = match header with None -> rows | Some h -> h :: rows in
+  String.concat "\n" (List.map line all) ^ "\n"
+
 let render_kv pairs =
   let w =
     List.fold_left (fun acc (k, _) -> max acc (String.length k)) 0 pairs

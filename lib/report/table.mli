@@ -8,5 +8,10 @@ val render :
 (** Fixed-width table with a header rule. Rows shorter than the header are
     padded with empty cells; [aligns] defaults to all-left. *)
 
+val to_csv : ?header:string list -> string list list -> string
+(** The same rows as CSV (RFC-4180 quoting: fields containing commas,
+    quotes or line breaks are double-quoted with quotes doubled). Used by
+    [synth explore --csv] and [synth compare --csv]. *)
+
 val render_kv : (string * string) list -> string
 (** Two-column key/value block. *)

@@ -1,0 +1,112 @@
+The design-space exploration command: a sweep spec expands into a job
+lattice, every point runs under the supervised batch pool, and the
+results fold into a Pareto front over (csteps, ALU area, MUX area,
+registers). Wall time is kept out of the dominance vector and the
+reports, so this output is locked byte-for-byte.
+
+A tiny 2-axis sweep (two weight vectors x two time budgets) over the
+builtin differential-equation example:
+
+  $ printf 'graph diffeq\nweights 1/1/1/1 1/1/1/20\ncs 4 6\n' > sweep.spec
+  $ ../bin/synth.exe explore sweep.spec --cache cache.jsonl --journal journal.jsonl
+  sweep: 4 seed point(s), 0 refined, 4 total
+  cache: 0 hit(s); pool: 4 fresh evaluation(s), 0 resumed; 0 infeasible, 0 failed
+  #  point                               csteps  FUs  ALU um2  MUX um2  REG  total um2
+  -  ----------------------------------  ------  ---  -------  -------  ---  ---------
+  2  mfsa lib=default s1 w=1/1/1/20 T=4       4    5    34690     3360    8      43250
+  0  mfsa lib=default s1 w=1/1/1/1 T=4        4    5    34690     3360    8      43250
+  3  mfsa lib=default s1 w=1/1/1/20 T=6       6    5    30862     3900    8      39962
+  1  mfsa lib=default s1 w=1/1/1/1 T=6        6    5    30862     3900    8      39962
+  front: 4 non-dominated of 4 solved point(s)
+
+The cache is content-addressed (key = digest of the canonicalized DFG
+plus the full canonical option vector), so the second run evaluates
+nothing — every point is a cache hit:
+
+  $ ../bin/synth.exe explore sweep.spec --cache cache.jsonl
+  sweep: 4 seed point(s), 0 refined, 4 total
+  cache: 4 hit(s); pool: 0 fresh evaluation(s), 0 resumed; 0 infeasible, 0 failed
+  #  point                               csteps  FUs  ALU um2  MUX um2  REG  total um2
+  -  ----------------------------------  ------  ---  -------  -------  ---  ---------
+  2  mfsa lib=default s1 w=1/1/1/20 T=4       4    5    34690     3360    8      43250
+  0  mfsa lib=default s1 w=1/1/1/1 T=4        4    5    34690     3360    8      43250
+  3  mfsa lib=default s1 w=1/1/1/20 T=6       6    5    30862     3900    8      39962
+  1  mfsa lib=default s1 w=1/1/1/1 T=6        6    5    30862     3900    8      39962
+  front: 4 non-dominated of 4 solved point(s)
+
+--csv emits every evaluated point with its content key, front
+membership and source:
+
+  $ ../bin/synth.exe explore sweep.spec --cache cache.jsonl --csv
+  index,key,engine,library,style,weights,constraint,status,csteps,units,alu_um2,mux_um2,reg,total_um2,front,source
+  0,462da05d250660cc04f47308252cea64,mfsa,default,1,1/1/1/1,T=4,ok,4,5,34690,3360,8,43250,yes,cache
+  1,55e4b0de273911b229548a32422abe9f,mfsa,default,1,1/1/1/1,T=6,ok,6,5,30862,3900,8,39962,yes,cache
+  2,9963ecc004923dd073f2f44df7060d63,mfsa,default,1,1/1/1/20,T=4,ok,4,5,34690,3360,8,43250,yes,cache
+  3,d708156efd9728c991863c5aa7f9ef84,mfsa,default,1,1/1/1/20,T=6,ok,6,5,30862,3900,8,39962,yes,cache
+
+--dot-front draws the dominance graph (all four points tie onto the
+front here, so there are no edges):
+
+  $ ../bin/synth.exe explore sweep.spec --cache cache.jsonl --dot-front | head -n 3
+  digraph front {
+    rankdir=LR;
+    node [shape=box];
+
+A planted process fault (hang) is contained by the pool's watchdog:
+the point times out, the sweep is partial (exit 6), the other points
+still make the front:
+
+  $ printf 'graph diffeq\nweights 1/1/1/1 1/1/1/20\ncs 4 6\ninject hang 3\n' > hang.spec
+  $ ../bin/synth.exe explore hang.spec --cache hcache.jsonl --journal hjournal.jsonl --deadline 2
+  sweep: 4 seed point(s), 0 refined, 4 total
+  cache: 0 hit(s); pool: 4 fresh evaluation(s), 0 resumed; 0 infeasible, 1 failed
+  #  point                               csteps  FUs  ALU um2  MUX um2  REG  total um2
+  -  ----------------------------------  ------  ---  -------  -------  ---  ---------
+  2  mfsa lib=default s1 w=1/1/1/20 T=4       4    5    34690     3360    8      43250
+  0  mfsa lib=default s1 w=1/1/1/1 T=4        4    5    34690     3360    8      43250
+  1  mfsa lib=default s1 w=1/1/1/1 T=6        6    5    30862     3900    8      39962
+  front: 3 non-dominated of 3 solved point(s)
+  failed: mfsa lib=default s1 w=1/1/1/20 T=6 +hang: timeout
+  error: error[explore.partial-failure] 1 of 4 point(s) failed
+  [6]
+
+  $ grep -c '"verdict":"timeout"' hjournal.jsonl
+  1
+
+Failures are never cached (they may be environmental), but --resume
+replays the journalled timeout verdict instead of re-forking the
+worker: a warm re-run spawns zero fresh evaluations:
+
+  $ ../bin/synth.exe explore hang.spec --cache hcache.jsonl --journal hjournal.jsonl --resume --deadline 2
+  sweep: 4 seed point(s), 0 refined, 4 total
+  cache: 3 hit(s); pool: 0 fresh evaluation(s), 1 resumed; 0 infeasible, 1 failed
+  #  point                               csteps  FUs  ALU um2  MUX um2  REG  total um2
+  -  ----------------------------------  ------  ---  -------  -------  ---  ---------
+  2  mfsa lib=default s1 w=1/1/1/20 T=4       4    5    34690     3360    8      43250
+  0  mfsa lib=default s1 w=1/1/1/1 T=4        4    5    34690     3360    8      43250
+  1  mfsa lib=default s1 w=1/1/1/1 T=6        6    5    30862     3900    8      39962
+  front: 3 non-dominated of 3 solved point(s)
+  failed: mfsa lib=default s1 w=1/1/1/20 T=6 +hang: timeout
+  error: error[explore.partial-failure] 1 of 4 point(s) failed
+  [6]
+
+--resume without a journal is a usage error (exit 2); a malformed spec
+is an input error (exit 3) with a file:line span:
+
+  $ ../bin/synth.exe explore hang.spec --resume
+  error: error[explore.usage] --resume requires --journal PATH
+  [2]
+
+  $ printf 'graph diffeq\nweights 1/1/1\n' > bad.spec
+  $ ../bin/synth.exe explore bad.spec
+  error: error[explore.spec] bad.spec:2:1: 1/1/1: malformed weight vector (T/ALU/MUX/REG, e.g. 1/1/1/20)
+  [3]
+
+synth compare shares the CSV renderer:
+
+  $ ../bin/synth.exe compare diffeq --cs 4 --csv
+  scheduler,units,valid,via
+  MFS,"2 x *, 1 x -, 1 x +, 1 x <",yes,primary
+  list,"2 x *, 1 x -, 1 x +, 1 x <",yes,primary
+  FDS,"2 x *, 1 x -, 1 x +, 1 x <",yes,primary
+  annealing,"2 x *, 1 x -, 1 x +, 1 x <",yes,primary
