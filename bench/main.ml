@@ -303,10 +303,13 @@ let speed () =
 
 (* --- Scaling: the O(l^3) worst-case claim ------------------------------ *)
 
+(* Monotonic-enough wall clock.  [Sys.time] is CPU time and was previously
+   reported under a "wall-clock" label; wall time is also what a user of the
+   synthesis loop experiences. *)
 let time_once f =
-  let t0 = Sys.time () in
+  let t0 = Unix.gettimeofday () in
   f ();
-  Sys.time () -. t0
+  Unix.gettimeofday () -. t0
 
 let time_best ?(reps = 3) f =
   let rec go best k =
@@ -314,15 +317,27 @@ let time_best ?(reps = 3) f =
   in
   go (time_once f) (reps - 1)
 
+(* Scaling-bench timing: one untimed warm-up run (heap growth and cache
+   warming otherwise land in the first timed rep and tilt the small tiers),
+   a major collection to settle the heap, then best of [reps]. *)
+let time_scaling ?(reps = 5) f =
+  ignore (time_once f);
+  Gc.major ();
+  time_best ~reps f
+
 (* Measurements land in BENCH_scaling.json so EXPERIMENTS.md (and the next
    session) can cite exact numbers.  Format: one object with bench metadata
    (workload generator, seed, cs rule, timing method) and a [sizes] array of
-   {ops, cs, opts_hash, kernel_ms, seed_kernel_ms, speedup, local_exponent},
-   where local_exponent is the log-log slope of kernel_ms between consecutive
-   sizes and speedup = seed_kernel_ms / kernel_ms.  opts_hash is the
-   content-addressed option key the explore cache would use for the same
-   (graph, engine, cs) point, so bench rows stay joinable with sweep
-   results across option-default changes. *)
+   {ops, cs, opts_hash, attempts, total_ms, kernel_ms, seed_kernel_ms,
+   speedup, local_exponent}.  [attempts] is the number of placement attempts
+   the run needs (restarts + 1) — a step function of the workload, not of
+   the kernel — and [kernel_ms] is total_ms / attempts, the per-attempt cost
+   the fitted exponent is computed over.  local_exponent is the log-log
+   slope of kernel_ms between consecutive sizes and speedup =
+   seed_kernel_ms / kernel_ms.  opts_hash is the content-addressed option
+   key the explore cache would use for the same (graph, engine, cs) point,
+   so bench rows stay joinable with sweep results across option-default
+   changes. *)
 let scaling_json = "BENCH_scaling.json"
 
 let scaling_opts_hash g ~cs =
@@ -339,46 +354,117 @@ let scaling_opts_hash g ~cs =
       fault = None;
     }
 
+(* A dense geometric ladder (~1.6x per tier): the fitted exponent is a
+   least-squares slope, and sparse tiers let one noisy size tilt the whole
+   fit.  The exponent is fitted over the per-attempt time: a restart
+   re-places everything, so the total time is (restarts + 1) x the attempt
+   cost, and the restart count is a step function of the workload (0 below
+   ~1000 ops, 2-3 above, 5 at 25k on this generator) that would otherwise
+   alias into the slope.  Both the total and the attempt count are reported
+   alongside so nothing is hidden by the normalisation. *)
+let scaling_sizes =
+  [ 50; 100; 200; 400; 700; 1000; 1600; 2500; 4000; 6300; 10_000; 16_000;
+    25_000 ]
+
+(* The frozen list-based oracle is measured only up to this size: its
+   superlinear inner scans make larger tiers take minutes, and its purpose —
+   the speedup column — is served on the shared small tiers. *)
+let seed_size_cap = 400
+
+type scaling_row = {
+  m_ops : int;
+  m_cs : int;
+  m_hash : string;
+  m_attempts : int; (* placement attempts = restarts + 1 *)
+  m_t : float; (* array kernel, total seconds across all attempts *)
+  m_seed : float option; (* frozen oracle, seconds; None above the cap *)
+}
+
+(* Per-attempt time — what the fitted exponent is computed over. *)
+let per_attempt m = m.m_t /. float_of_int m.m_attempts
+
+let measure_scaling sizes =
+  List.map
+    (fun ops ->
+      let g =
+        Workloads.Random_dag.generate_exn
+          ~spec:{ Workloads.Random_dag.default with Workloads.Random_dag.ops }
+          ~seed:17 ()
+      in
+      let cs = Dfg.Bounds.critical_path g + 2 in
+      let attempts =
+        (okd (Core.Mfs.run g (Core.Mfs.Time { cs }))).Core.Mfs.restarts + 1
+      in
+      let t =
+        time_scaling (fun () ->
+            ignore (okd (Core.Mfs.schedule g (Core.Mfs.Time { cs }))))
+      in
+      let t_seed =
+        if ops > seed_size_cap then None
+        else
+          Some
+            (time_scaling (fun () ->
+                 ignore
+                   (ok (Reference.Seed_mfs.schedule g (Core.Mfs.Time { cs })))))
+      in
+      { m_ops = ops; m_cs = cs; m_hash = scaling_opts_hash g ~cs;
+        m_attempts = attempts; m_t = t; m_seed = t_seed })
+    sizes
+
+(* Per-pair exponent: log-log slope between consecutive sizes (None for the
+   first row).  Noisy — adjacent tiers differ by small factors — so the
+   headline number is [fitted_exponent], the least-squares slope of
+   log(kernel_ms) against log(ops) over every size at once. *)
+let pair_exponent measurements idx =
+  if idx = 0 then None
+  else
+    let prev = List.nth measurements (idx - 1)
+    and m = List.nth measurements idx in
+    Some
+      (log (per_attempt m /. per_attempt prev)
+      /. log (float_of_int m.m_ops /. float_of_int prev.m_ops))
+
+let fitted_exponent points =
+  match points with
+  | [] | [ _ ] -> None
+  | _ ->
+      let n = float_of_int (List.length points) in
+      let xs = List.map (fun (ops, _) -> log (float_of_int ops)) points in
+      let ys = List.map (fun (_, t) -> log t) points in
+      let mean l = List.fold_left ( +. ) 0. l /. n in
+      let xbar = mean xs and ybar = mean ys in
+      let num =
+        List.fold_left2
+          (fun acc x y -> acc +. ((x -. xbar) *. (y -. ybar)))
+          0. xs ys
+      in
+      let den =
+        List.fold_left (fun acc x -> acc +. ((x -. xbar) ** 2.)) 0. xs
+      in
+      if den = 0. then None else Some (num /. den)
+
+let scaling_fit measurements =
+  fitted_exponent (List.map (fun m -> (m.m_ops, per_attempt m)) measurements)
+
 let scaling () =
   print_endline
     "== Scaling: MFS runtime vs problem size, array vs seed list kernel ==";
-  let sizes = [ 50; 100; 200; 400 ] in
-  let measurements =
-    List.map
-      (fun ops ->
-        let g =
-          Workloads.Random_dag.generate_exn
-            ~spec:{ Workloads.Random_dag.default with Workloads.Random_dag.ops }
-            ~seed:17 ()
-        in
-        let cs = Dfg.Bounds.critical_path g + 2 in
-        let t =
-          time_best (fun () ->
-              ignore (okd (Core.Mfs.schedule g (Core.Mfs.Time { cs }))))
-        in
-        let t_seed =
-          time_best (fun () ->
-              ignore (ok (Reference.Seed_mfs.schedule g (Core.Mfs.Time { cs }))))
-        in
-        (ops, cs, scaling_opts_hash g ~cs, t, t_seed))
-      sizes
-  in
-  let exponent idx t =
-    if idx = 0 then None
-    else
-      let prev_ops, _, _, prev_t, _ = List.nth measurements (idx - 1) in
-      let ops, _, _, _, _ = List.nth measurements idx in
-      Some
-        (log (t /. prev_t) /. log (float_of_int ops /. float_of_int prev_ops))
-  in
+  let measurements = measure_scaling scaling_sizes in
+  let fit = scaling_fit measurements in
   let rows =
     List.mapi
-      (fun idx (ops, _, _, t, t_seed) ->
-        [ string_of_int ops;
-          Printf.sprintf "%.2f" (t *. 1e3);
-          Printf.sprintf "%.2f" (t_seed *. 1e3);
-          Printf.sprintf "%.1fx" (t_seed /. t);
-          (match exponent idx t with
+      (fun idx m ->
+        [ string_of_int m.m_ops;
+          Printf.sprintf "%.2f" (m.m_t *. 1e3);
+          string_of_int m.m_attempts;
+          Printf.sprintf "%.2f" (per_attempt m *. 1e3);
+          (match m.m_seed with
+          | Some t -> Printf.sprintf "%.2f" (t *. 1e3)
+          | None -> "-");
+          (match m.m_seed with
+          | Some t -> Printf.sprintf "%.1fx" (t /. m.m_t)
+          | None -> "-");
+          (match pair_exponent measurements idx with
           | None -> "-"
           | Some e -> Printf.sprintf "%.2f" e) ])
       measurements
@@ -386,30 +472,48 @@ let scaling () =
   print_string
     (Report.Table.render
        ~header:
-         [ "ops"; "array kernel (ms)"; "seed kernel (ms)"; "speedup";
-           "local exponent" ]
+         [ "ops"; "total (ms)"; "attempts"; "per attempt (ms)";
+           "seed kernel (ms)"; "speedup"; "local exponent" ]
        rows);
+  (match fit with
+  | Some b -> Printf.printf "fitted exponent (least squares over all sizes): %.3f\n" b
+  | None -> ());
   print_endline
-    "(exponent = log-log slope between consecutive sizes; the paper's bound\n\
-     is cubic, typical graphs sit well below it.  The seed kernel is the\n\
-     frozen list-based oracle in lib/reference.)";
+    "(per attempt = total / attempts; a restart re-places every operation,\n\
+     and the restart count is a workload step function, so the exponent is\n\
+     fitted over the per-attempt time.  local exponent = log-log slope of\n\
+     the per-attempt time between consecutive sizes, noisy by construction;\n\
+     the fitted exponent is the least-squares slope over all sizes.  The\n\
+     paper's bound is cubic, typical graphs sit well below it.  The seed\n\
+     kernel is the frozen list-based oracle in lib/reference, measured up\n\
+     to 400 ops.)";
   let oc = open_out scaling_json in
   Printf.fprintf oc
     "{\n\
     \  \"bench\": \"mfs-scaling\",\n\
     \  \"workload\": \"Workloads.Random_dag.generate ~seed:17\",\n\
     \  \"cs\": \"critical_path + 2\",\n\
-    \  \"timing\": \"best of 3 wall-clock runs, Sys.time\",\n\
-    \  \"sizes\": [\n";
+    \  \"timing\": \"wall clock (Unix.gettimeofday), one untimed warm-up \
+     then best of 5; kernel_ms = total_ms / attempts\",\n\
+    \  \"fitted_exponent\": %s,\n\
+    \  \"sizes\": [\n"
+    (match fit with Some b -> Printf.sprintf "%.3f" b | None -> "null");
   List.iteri
-    (fun idx (ops, cs, opts_hash, t, t_seed) ->
+    (fun idx m ->
       Printf.fprintf oc
         "    { \"ops\": %d, \"cs\": %d, \"opts_hash\": \"%s\", \
-         \"kernel_ms\": %.3f, \
-         \"seed_kernel_ms\": %.3f, \"speedup\": %.2f, \
+         \"attempts\": %d, \"total_ms\": %.3f, \"kernel_ms\": %.3f, \
+         \"seed_kernel_ms\": %s, \"speedup\": %s, \
          \"local_exponent\": %s }%s\n"
-        ops cs opts_hash (t *. 1e3) (t_seed *. 1e3) (t_seed /. t)
-        (match exponent idx t with
+        m.m_ops m.m_cs m.m_hash m.m_attempts (m.m_t *. 1e3)
+        (per_attempt m *. 1e3)
+        (match m.m_seed with
+        | Some t -> Printf.sprintf "%.3f" (t *. 1e3)
+        | None -> "null")
+        (match m.m_seed with
+        | Some t -> Printf.sprintf "%.2f" (t /. m.m_t)
+        | None -> "null")
+        (match pair_exponent measurements idx with
         | None -> "null"
         | Some e -> Printf.sprintf "%.3f" e)
         (if idx = List.length measurements - 1 then "" else ","))
@@ -417,6 +521,86 @@ let scaling () =
   Printf.fprintf oc "  ]\n}\n";
   close_out oc;
   Printf.printf "(raw measurements written to %s)\n" scaling_json;
+  print_newline ()
+
+(* --- Gate: perf regression check against the committed baseline ---------- *)
+
+(* Reads the committed BENCH_scaling.json (never writes it — CI checks the
+   tree stays clean), re-measures the same sizes, and fails when the kernel
+   regresses.  kernel_ms is the per-attempt time on both sides, so a change
+   in the restart count shows up as a total_ms shift without corrupting the
+   comparison.  Thresholds: a row fails when its fresh kernel_ms exceeds
+   the committed one by more than 25% plus a 0.5 ms absolute slack (sub-ms
+   rows would otherwise flake on scheduler jitter), and the freshly fitted
+   exponent must stay at or below 1.15. *)
+let gate () =
+  print_endline "== Bench gate: kernel_ms and fitted exponent vs committed ==";
+  let doc =
+    let ic = open_in scaling_json in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    match Batch.Jsonl.parse s with
+    | Ok v -> v
+    | Error e ->
+        Printf.eprintf "bench gate: cannot parse %s: %s\n" scaling_json e;
+        exit 1
+  in
+  let committed =
+    match Batch.Jsonl.member "sizes" doc with
+    | Some (Batch.Jsonl.List rows) ->
+        List.filter_map
+          (fun r ->
+            match (Batch.Jsonl.int "ops" r, Batch.Jsonl.float "kernel_ms" r) with
+            | Some ops, Some ms -> Some (ops, ms)
+            | _ -> None)
+          rows
+    | _ ->
+        Printf.eprintf "bench gate: %s has no sizes array\n" scaling_json;
+        exit 1
+  in
+  if committed = [] then begin
+    Printf.eprintf "bench gate: no usable rows in %s\n" scaling_json;
+    exit 1
+  end;
+  let measurements = measure_scaling (List.map fst committed) in
+  let fit = scaling_fit measurements in
+  let failures = ref [] in
+  let rows =
+    List.map2
+      (fun (ops, committed_ms) m ->
+        let fresh_ms = per_attempt m *. 1e3 in
+        let limit = (committed_ms *. 1.25) +. 0.5 in
+        let ok = fresh_ms <= limit in
+        if not ok then
+          failures :=
+            Printf.sprintf
+              "ops=%d: kernel_ms %.3f exceeds committed %.3f by more than \
+               25%% (+0.5ms slack)"
+              ops fresh_ms committed_ms
+            :: !failures;
+        [ string_of_int ops;
+          Printf.sprintf "%.2f" committed_ms;
+          Printf.sprintf "%.2f" fresh_ms;
+          (if ok then "ok" else "REGRESSED") ])
+      committed measurements
+  in
+  print_string
+    (Report.Table.render
+       ~header:[ "ops"; "committed (ms)"; "fresh (ms)"; "verdict" ]
+       rows);
+  (match fit with
+  | Some b ->
+      Printf.printf "fitted exponent: %.3f (limit 1.15)\n" b;
+      if b > 1.15 then
+        failures :=
+          Printf.sprintf "fitted exponent %.3f exceeds 1.15" b :: !failures
+  | None -> failures := "could not fit an exponent" :: !failures);
+  if !failures <> [] then begin
+    List.iter (fun f -> Printf.eprintf "bench gate: FAIL: %s\n" f) !failures;
+    exit 1
+  end;
+  print_endline "bench gate: pass";
   print_newline ()
 
 (* --- Exact: the size-explosion contrast --------------------------------- *)
@@ -446,13 +630,13 @@ let exact () =
               List.fold_left (fun a (_, k) -> a + k) 0 (Core.Schedule.fu_counts s)
           | Error _ -> -1
         in
-        let t0 = Sys.time () in
+        let t0 = Unix.gettimeofday () in
         match Baselines.Exact.run ~node_budget:20_000_000 g ~cs with
         | Error _ ->
             [ string_of_int ops; string_of_int cs; "(budget blown)"; ">sec";
               string_of_int mfs_units; Printf.sprintf "%.2f" (t_mfs *. 1e3) ]
         | Ok o ->
-            let t_exact = Sys.time () -. t0 in
+            let t_exact = Unix.gettimeofday () -. t0 in
             [ string_of_int ops; string_of_int cs;
               Printf.sprintf "%.0f%s" o.Baselines.Exact.optimum
                 (if o.Baselines.Exact.proven then "" else " (unproven)");
@@ -623,6 +807,10 @@ let sections =
     ("figure2", figure2); ("speed", speed); ("scaling", scaling); ("exact", exact);
     ("versus", versus); ("ablation", ablation) ]
 
+(* [gate] is deliberately not part of the run-everything default: it is the
+   CI regression check and must not rewrite BENCH_scaling.json. *)
+let extra_sections = [ ("gate", gate) ]
+
 let () =
   let requested =
     match Array.to_list Sys.argv with
@@ -631,10 +819,11 @@ let () =
   in
   List.iter
     (fun name ->
-      match List.assoc_opt name sections with
+      match List.assoc_opt name (sections @ extra_sections) with
       | Some f -> f ()
       | None ->
           Printf.eprintf "unknown section %S (have: %s)\n" name
-            (String.concat ", " (List.map fst sections));
+            (String.concat ", "
+               (List.map fst (sections @ extra_sections)));
           exit 1)
     requested

@@ -50,6 +50,49 @@ let primary ~step_lo ~step_hi ~max_cols =
 let redundant ~current ~max_cols ~step_lo ~step_hi =
   { col_lo = current + 1; col_hi = max_cols; step_lo; step_hi }
 
+(* First free move-frame position in scan order, as nested integer loops:
+   the kernel's inner search, equivalent to consuming {!move_frame_seq} but
+   with no closure or cons cell per visited position — only the returned
+   [pos] allocates. *)
+let find ?(scan = Row_major) ?(rev = false) ~pf ~rf ~forbidden ~free () =
+  if rect_is_empty pf then None
+  else begin
+    let in_rf col step =
+      col >= rf.col_lo && col <= rf.col_hi && step >= rf.step_lo
+      && step <= rf.step_hi
+    in
+    let o_lo, o_hi, i_lo, i_hi =
+      match scan with
+      | Row_major -> (pf.step_lo, pf.step_hi, pf.col_lo, pf.col_hi)
+      | Col_major -> (pf.col_lo, pf.col_hi, pf.step_lo, pf.step_hi)
+    in
+    let o_first, o_last, i_first, i_last, dir =
+      if rev then (o_hi, o_lo, i_hi, i_lo, -1) else (o_lo, o_hi, i_lo, i_hi, 1)
+    in
+    let found = ref None in
+    let o = ref o_first in
+    while !found = None && (if dir > 0 then !o <= o_last else !o >= o_last) do
+      (* In row-major order the outer coordinate is the step: a forbidden
+         step rejects its whole row without visiting any column. *)
+      let skip_row = (match scan with Row_major -> forbidden !o | Col_major -> false) in
+      if not skip_row then begin
+        let i = ref i_first in
+        while
+          !found = None && (if dir > 0 then !i <= i_last else !i >= i_last)
+        do
+          let col, step =
+            match scan with Row_major -> (!i, !o) | Col_major -> (!o, !i)
+          in
+          if (not (in_rf col step)) && (not (forbidden step)) && free ~col ~step
+          then found := Some { col; step };
+          i := !i + dir
+        done
+      end;
+      o := !o + dir
+    done;
+    !found
+  end
+
 let move_frame_seq ?scan ?rev ~pf ~rf ~forbidden () =
   Seq.filter
     (fun p -> (not (rect_mem rf p)) && not (forbidden p.step))

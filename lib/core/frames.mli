@@ -44,6 +44,15 @@ val primary : step_lo:int -> step_hi:int -> max_cols:int -> rect
 val redundant : current:int -> max_cols:int -> step_lo:int -> step_hi:int -> rect
 (** RF: columns [current+1 .. max_cols] of the same time frame. *)
 
+val find :
+  ?scan:scan -> ?rev:bool -> pf:rect -> rf:rect -> forbidden:(int -> bool) ->
+  free:(col:int -> step:int -> bool) -> unit -> pos option
+(** First free position of [MF = PF - (RF + FF)] in the given scan order
+    ([rev] walks it backwards) — semantically [Seq.find] over
+    {!move_frame_seq} restricted to [free] positions, but implemented as
+    nested integer loops with an unboxed occupancy probe so the kernel's
+    inner search allocates nothing until the hit. *)
+
 val move_frame_seq :
   ?scan:scan -> ?rev:bool -> pf:rect -> rf:rect -> forbidden:(int -> bool) ->
   unit -> pos Seq.t

@@ -1,8 +1,12 @@
 (** Occupancy of the 2-D placement table for one FU type (paper Fig. 1).
 
-    Backed by an occupancy matrix: one cell per (column, step) with its
-    occupant ops plus per-column fill counts, so [free]/[conflicts]/
-    [occupants] cost O(span of the candidate) instead of O(placements).
+    Backed by word-packed bitset rows: each column carries a bit per control
+    step (set iff the cell holds at least one op), so an empty-span fit probe
+    costs O(span / word size) word operations and per-column fill counts are
+    popcounts over the same words. Occupant identity — needed for
+    mutual-exclusion sharing and [conflicts] — lives in a parallel cell
+    array, so [free]/[conflicts]/[occupants] stay O(span of the candidate)
+    instead of O(placements).
 
     A placement occupies [span] consecutive steps of one column (one step for
     operations running on pipelined units, which only block their issue
@@ -12,6 +16,12 @@
     (§5.5.2). *)
 
 type t
+
+exception Invariant of Diag.t
+(** Raised when grid bookkeeping is caught out of sync — e.g. unplacing an op
+    that is not placed (double unplace), or a cell record disagreeing with the
+    placement table. Carries a typed internal diagnostic instead of silently
+    corrupting occupancy state. *)
 
 val create : steps:int -> cols:int -> t
 
@@ -29,7 +39,8 @@ val place : t -> op:int -> col:int -> step:int -> span:int -> unit
 val unplace : t -> op:int -> unit
 (** Remove one placement, freeing its cells — used by local rescheduling to
     undo a single move without rebuilding the whole grid.
-    @raise Invalid_argument when [op] is not placed. *)
+    @raise Invariant when [op] is not placed (double unplace or never
+    placed); the grid is left unchanged. *)
 
 val clear : t -> unit
 (** Remove every placement (used by local rescheduling restarts); keeps the
@@ -51,6 +62,16 @@ val free :
   op:int -> span:int -> Frames.pos -> bool
 (** Whether the candidate placement at [pos] causes no conflict (any
     occupant must be mutually exclusive with [op]). *)
+
+val free_at :
+  t -> exclusive:(int -> int -> bool) -> latency:int option ->
+  op:int -> span:int -> col:int -> step:int -> bool
+(** [free] taking the position unboxed — the scheduler's inner-loop probe,
+    avoiding a {!Frames.pos} allocation per candidate. *)
+
+val fill : t -> col:int -> int
+(** Number of occupied cells in a column (popcount over its packed rows);
+    0 for out-of-range columns. *)
 
 val occupants : t -> col:int -> step:int -> int list
 (** Ops occupying a cell (without modulo folding), most recent first. *)

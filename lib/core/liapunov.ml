@@ -18,6 +18,25 @@ let worst_lazy obj ~pf ~rf ~forbidden ~free =
   Seq.find free
     (Frames.move_frame_seq ~scan:(scan obj) ~rev:true ~pf ~rf ~forbidden ())
 
+let best_find obj ~pf ~rf ~forbidden ~free =
+  Frames.find ~scan:(scan obj) ~pf ~rf ~forbidden ~free ()
+
+let worst_find obj ~pf ~rf ~forbidden ~free =
+  Frames.find ~scan:(scan obj) ~rev:true ~pf ~rf ~forbidden ~free ()
+
+let total obj positions =
+  List.fold_left (fun acc p -> acc + value obj p) 0 positions
+
+module Acc = struct
+  type t = { objective : objective; mutable total : int }
+
+  let create ?(total = 0) objective = { objective; total }
+  let objective t = t.objective
+  let total t = t.total
+  let add t p = t.total <- t.total + value t.objective p
+  let remove t p = t.total <- t.total - value t.objective p
+end
+
 let best obj positions =
   let better a b =
     let va = value obj a and vb = value obj b in

@@ -46,6 +46,45 @@ val worst_lazy :
     recorded move starts from — found by walking the {!scan} order
     backwards, so it usually stops after a handful of probes. *)
 
+val best_find :
+  objective -> pf:Frames.rect -> rf:Frames.rect ->
+  forbidden:(int -> bool) -> free:(col:int -> step:int -> bool) ->
+  Frames.pos option
+(** {!best_lazy} with the occupancy probe unboxed, backed by {!Frames.find}:
+    the scheduler's inner-loop search, allocating nothing until the hit. *)
+
+val worst_find :
+  objective -> pf:Frames.rect -> rf:Frames.rect ->
+  forbidden:(int -> bool) -> free:(col:int -> step:int -> bool) ->
+  Frames.pos option
+(** {!worst_lazy}, likewise unboxed. *)
+
+val total : objective -> Frames.pos list -> int
+(** Eager Liapunov value of a whole configuration: the sum of {!value} over
+    every placed operation — the re-fold that {!Acc} tracks incrementally. *)
+
+(** Running Liapunov value of the placement configuration, maintained by
+    place/unplace deltas in O(1) instead of a re-fold over all placements.
+    [Acc.total] after any sequence of {!Acc.add}/{!Acc.remove} equals
+    {!total} over the live positions (each add contributes [value obj p],
+    each remove subtracts it). *)
+module Acc : sig
+  type t
+
+  val create : ?total:int -> objective -> t
+  (** Fresh accumulator; [total] seeds it (e.g. from a schedule's known
+      energy when rescheduling incrementally). *)
+
+  val objective : t -> objective
+  val total : t -> int
+
+  val add : t -> Frames.pos -> unit
+  (** A placement at this position. *)
+
+  val remove : t -> Frames.pos -> unit
+  (** An unplacement. *)
+end
+
 (** {1 Stability diagnostics}
 
     Each placement is recorded as a move from the operation's ALFAP corner

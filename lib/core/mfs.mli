@@ -30,6 +30,11 @@ type outcome = {
           upper bounds grown beyond the concurrency estimate (time mode), or
           control-step increments above the minimum budget (resource
           mode). *)
+  energy : int;
+      (** Liapunov value of the final configuration — the sum of
+          {!Liapunov.value} over every placed operation, maintained
+          incrementally by place/unplace deltas ({!Liapunov.Acc}) rather
+          than a re-fold. *)
 }
 
 val run :
@@ -47,3 +52,43 @@ val schedule :
   ?config:Config.t -> ?max_units:(string * int) list -> Dfg.Graph.t ->
   spec -> (Schedule.t, Diag.t) result
 (** {!run} projected on the schedule. *)
+
+(** {1 Incremental rescheduling}
+
+    After a small graph edit, most of an existing schedule is still valid:
+    placement only constrains descendants, so only the edit's forward cone
+    has to move.  {!reschedule} keeps the complement of the cone at its old
+    positions and re-runs move-frame placement on the cone alone. *)
+
+(** One graph edit, identified by node {e name} — node ids are dense and
+    shift between graph versions, names persist. *)
+type delta =
+  | Op_added of string  (** The named op exists only in the new graph. *)
+  | Op_removed of string  (** The named op existed only in the old graph. *)
+  | Op_changed of string
+      (** The named op's kind, operands or guards changed. *)
+
+type reschedule_stats = {
+  replaced : int;  (** Operations re-placed — the size of the edit cone. *)
+  kept : int;  (** Operations seeded at their old positions. *)
+  fell_back : bool;
+      (** The incremental path could not patch the schedule and the whole
+          graph was rescheduled from scratch. *)
+}
+
+val reschedule :
+  ?config:Config.t -> ?max_units:(string * int) list -> old:outcome ->
+  Dfg.Graph.t -> delta list -> spec ->
+  (outcome * reschedule_stats, Diag.t) result
+(** [reschedule ~old g deltas spec] schedules the edited graph [g]
+    incrementally against [old] (an outcome for the pre-edit graph, with
+    the same [config]).  The cone is seeded from [deltas], widened by a
+    structural diff against the old graph (so an understated delta list
+    degrades to a larger cone, never to a wrong schedule) and by a sweep
+    for kept positions violating the new ASAP/ALAP bounds, then closed over
+    forward data dependencies.  The result always satisfies
+    {!Schedule.check_diags}: if the patched placement does not, the
+    function transparently falls back to a full {!run} (also for
+    [Resource] specs, whose outer control-step search has no single frame
+    context to patch).  [restarts]/[widenings] in the outcome count only
+    the incremental attempt's work. *)

@@ -10,10 +10,71 @@ let readiness cfg g bounds i =
       max acc (bounds.Dfg.Bounds.asap.(p) + pd))
     1 (Dfg.Graph.preds g i)
 
+(* Ready-queue as a binary min-heap over the precomputed priority key
+   (alap, mobility, readiness, id).  Only usable when that key induces a
+   total order — see [order] for why multi-cycle configurations do not. *)
+module Heap = struct
+  type t = {
+    key : int -> int -> int; (* strict total order as a comparison *)
+    mutable heap : int array;
+    mutable size : int;
+  }
+
+  let create ~capacity key =
+    { key; heap = Array.make (max 1 capacity) 0; size = 0 }
+
+  let swap t a b =
+    let x = t.heap.(a) in
+    t.heap.(a) <- t.heap.(b);
+    t.heap.(b) <- x
+
+  let rec sift_up t k =
+    if k > 0 then begin
+      let parent = (k - 1) / 2 in
+      if t.key t.heap.(k) t.heap.(parent) < 0 then begin
+        swap t k parent;
+        sift_up t parent
+      end
+    end
+
+  let rec sift_down t k =
+    let l = (2 * k) + 1 and r = (2 * k) + 2 in
+    let smallest = ref k in
+    if l < t.size && t.key t.heap.(l) t.heap.(!smallest) < 0 then smallest := l;
+    if r < t.size && t.key t.heap.(r) t.heap.(!smallest) < 0 then smallest := r;
+    if !smallest <> k then begin
+      swap t k !smallest;
+      sift_down t !smallest
+    end
+
+  let push t x =
+    if t.size = Array.length t.heap then begin
+      let grown = Array.make (2 * t.size) 0 in
+      Array.blit t.heap 0 grown 0 t.size;
+      t.heap <- grown
+    end;
+    t.heap.(t.size) <- x;
+    t.size <- t.size + 1;
+    sift_up t (t.size - 1)
+
+  let pop t =
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    t.heap.(0) <- t.heap.(t.size);
+    if t.size > 0 then sift_down t 0;
+    top
+end
+
 let order cfg g bounds =
+  let n = Dfg.Graph.num_nodes g in
   let delay i = Config.delay cfg (Dfg.Graph.node g i).Dfg.Graph.kind in
+  (* Readiness is O(|preds|); precomputing it makes each comparison O(1)
+     instead of re-walking predecessor lists. *)
+  let ready = Array.init n (readiness cfg g bounds) in
+  let alap = bounds.Dfg.Bounds.alap in
+  let mob = Array.init n (mobility bounds) in
   let compare_mobility i j =
-    let mi = mobility bounds i and mj = mobility bounds j in
+    let mi = mob.(i) and mj = mob.(j) in
     let di = delay i and dj = delay j in
     (* §5.3: between two multi-cycle operations whose mobilities differ by
        less than their cycle count, the more mobile one goes first. *)
@@ -21,35 +82,64 @@ let order cfg g bounds =
     else compare mi mj
   in
   let compare_ops i j =
-    let c = compare bounds.Dfg.Bounds.alap.(i) bounds.Dfg.Bounds.alap.(j) in
+    let c = compare alap.(i) alap.(j) in
     if c <> 0 then c
     else
       let c = compare_mobility i j in
       if c <> 0 then c
       else
-        let c =
-          compare (readiness cfg g bounds i) (readiness cfg g bounds j)
-        in
+        let c = compare ready.(i) ready.(j) in
         if c <> 0 then c else compare i j
   in
   (* Emit the highest-priority READY node each round. Plain sorting is not
      enough: under chaining a predecessor can share its successor's ALAP
      step, so (alap, mobility) alone is not a linear extension. *)
-  let n = Dfg.Graph.num_nodes g in
-  let pending = Array.map List.length (Array.init n (Dfg.Graph.preds g)) in
-  let emitted = Array.make n false in
-  let rec emit acc remaining =
-    if remaining = 0 then List.rev acc
-    else begin
-      let best = ref (-1) in
-      for i = 0 to n - 1 do
-        if (not emitted.(i)) && pending.(i) = 0 then
-          if !best < 0 || compare_ops i !best < 0 then best := i
-      done;
-      let i = !best in
-      emitted.(i) <- true;
-      List.iter (fun s -> pending.(s) <- pending.(s) - 1) (Dfg.Graph.succs g i);
-      emit (i :: acc) (remaining - 1)
-    end
+  let pending = Array.init n (fun i -> List.length (Dfg.Graph.preds g i)) in
+  let uniform_delay =
+    let rec go i = i >= n || (delay i = 1 && go (i + 1)) in
+    go 0
   in
-  emit [] n
+  if uniform_delay then begin
+    (* With every delay = 1 the §5.3 multi-cycle inversion never fires, so
+       [compare_ops] is plain lexicographic comparison on the precomputed
+       key — a total order — and a ready-heap emits exactly the node the
+       argmin scan would, in O((V+E) log V) instead of O(V²).  With any
+       multi-cycle operation the inversion makes the comparator intransitive
+       (e.g. delays 3/3/3 and mobilities 5/3/1 order a<b, b<c, c<a), so an
+       argmin over the ready set is the semantics and a heap does not apply. *)
+    let heap = Heap.create ~capacity:n compare_ops in
+    for i = 0 to n - 1 do
+      if pending.(i) = 0 then Heap.push heap i
+    done;
+    let acc = ref [] in
+    for _ = 1 to n do
+      let i = Heap.pop heap in
+      List.iter
+        (fun s ->
+          pending.(s) <- pending.(s) - 1;
+          if pending.(s) = 0 then Heap.push heap s)
+        (Dfg.Graph.succs g i);
+      acc := i :: !acc
+    done;
+    List.rev !acc
+  end
+  else begin
+    let emitted = Array.make n false in
+    let rec emit acc remaining =
+      if remaining = 0 then List.rev acc
+      else begin
+        let best = ref (-1) in
+        for i = 0 to n - 1 do
+          if (not emitted.(i)) && pending.(i) = 0 then
+            if !best < 0 || compare_ops i !best < 0 then best := i
+        done;
+        let i = !best in
+        emitted.(i) <- true;
+        List.iter
+          (fun s -> pending.(s) <- pending.(s) - 1)
+          (Dfg.Graph.succs g i);
+        emit (i :: acc) (remaining - 1)
+      end
+    in
+    emit [] n
+  end

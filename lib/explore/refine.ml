@@ -1,5 +1,66 @@
 let mid a b = (a +. b) /. 2.
 
+(* --- Output-sensitivity probes over the incremental scheduler ----------- *)
+
+type impact = {
+  i_op : string;
+  i_makespan : int;
+  i_units : int;
+  i_replaced : int;
+  i_fell_back : bool;
+}
+
+let total_units schedule =
+  List.fold_left (fun acc (_, k) -> acc + k) 0 (Core.Schedule.fu_counts schedule)
+
+(* Rebuild the graph without one sink operation.  Sinks have no consumers
+   (guard producers always have successors), so dropping the row alone
+   yields a well-formed graph. *)
+let drop_sink g name =
+  let rows =
+    List.filter_map
+      (fun (nd : Dfg.Graph.node) ->
+        if nd.Dfg.Graph.name = name then None
+        else
+          Some
+            ( nd.Dfg.Graph.name, nd.Dfg.Graph.kind, nd.Dfg.Graph.args,
+              nd.Dfg.Graph.guards ))
+      (Dfg.Graph.nodes g)
+  in
+  Dfg.Graph.of_ops ~inputs:(Dfg.Graph.inputs g) rows
+
+let sensitivity ?(config = Core.Config.default) ?limit ~graph ~base ~cs () =
+  let sinks =
+    List.map (fun i -> (Dfg.Graph.node graph i).Dfg.Graph.name)
+      (Dfg.Graph.sinks graph)
+  in
+  let sinks =
+    match limit with
+    | Some k when k >= 0 -> List.filteri (fun i _ -> i < k) sinks
+    | _ -> sinks
+  in
+  List.filter_map
+    (fun name ->
+      match drop_sink graph name with
+      | Error _ -> None
+      | Ok g' -> (
+          match
+            Core.Mfs.reschedule ~config ~old:base g'
+              [ Core.Mfs.Op_removed name ]
+              (Core.Mfs.Time { cs })
+          with
+          | Error _ -> None
+          | Ok (o, stats) ->
+              Some
+                {
+                  i_op = name;
+                  i_makespan = Core.Schedule.makespan o.Core.Mfs.schedule;
+                  i_units = total_units o.Core.Mfs.schedule;
+                  i_replaced = stats.Core.Mfs.replaced;
+                  i_fell_back = stats.Core.Mfs.fell_back;
+                }))
+    sinks
+
 let mid_weights (a : Core.Mfsa.weights) (b : Core.Mfsa.weights) =
   {
     Core.Mfsa.w_time = mid a.Core.Mfsa.w_time b.Core.Mfsa.w_time;

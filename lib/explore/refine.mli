@@ -10,6 +10,29 @@
 val mid_weights : Core.Mfsa.weights -> Core.Mfsa.weights -> Core.Mfsa.weights
 (** Component-wise mean. *)
 
+(** Cost impact of deleting one output (sink) operation, measured by
+    incrementally rescheduling the pruned graph against the already-computed
+    base schedule. *)
+type impact = {
+  i_op : string;  (** The removed sink's name. *)
+  i_makespan : int;  (** Makespan of the pruned graph's schedule. *)
+  i_units : int;  (** Total FU instances across classes. *)
+  i_replaced : int;  (** Operations the incremental path re-placed. *)
+  i_fell_back : bool;  (** True when it fell back to a full reschedule. *)
+}
+
+val sensitivity :
+  ?config:Core.Config.t -> ?limit:int -> graph:Dfg.Graph.t ->
+  base:Core.Mfs.outcome -> cs:int -> unit -> impact list
+(** One probe per sink of [graph] (at most [limit] when given, in sink
+    order): drop the sink, {!Core.Mfs.reschedule} the pruned graph against
+    [base] under the same time budget [cs], and report the resulting cost.
+    Each probe re-places only the edit cone of its deletion — usually a
+    handful of operations — so a full sensitivity sweep costs a fraction of
+    one scheduling run.  Probes whose pruned graph fails to build or to
+    schedule are dropped. [base] must come from a run of [graph] with the
+    same [config]. *)
+
 val bisect :
   front:(Lattice.point * Lattice.metrics) list ->
   seen:(string -> bool) ->

@@ -178,6 +178,17 @@ let initial_counts cfg g bounds ~user_limits ~cs =
 
 let total_ops g = Dfg.Graph.num_nodes g
 
+(* The seed computes the final configuration's Liapunov value the obvious
+   way — a full fold over every placement — serving as the oracle for the
+   kernel's incrementally maintained total. *)
+let config_energy objective st g =
+  Core.Liapunov.total objective
+    (List.map
+       (fun nd ->
+         let i = nd.Dfg.Graph.id in
+         { Core.Frames.col = st.col.(i); step = st.start.(i) })
+       (Dfg.Graph.nodes g))
+
 let run_time cfg g ~cs ~user_limits =
   match effective_bounds cfg g ~cs with
   | Error _ as e -> e
@@ -206,6 +217,7 @@ let run_time cfg g ~cs ~user_limits =
                 trace;
                 restarts = !restarts;
                 widenings = !widenings;
+                energy = config_energy objective st g;
               }
         | exception Need_more_units c ->
             decr budget;
@@ -282,6 +294,7 @@ let run_resource cfg g ~limits =
                   trace;
                   restarts = !restarts;
                   widenings = cs - lo;
+                  energy = config_energy objective st g;
                 }
           | exception Need_more_units _ ->
               incr restarts;

@@ -108,16 +108,75 @@ let unplace_then_replace () =
   Alcotest.(check (list int)) "new cells collide" [ 0 ]
     (Core.Grid.conflicts g ~latency:(Some 3) ~col:1 ~step:5 ~span:1)
 
+let check_unplace_invariant label f =
+  match f () with
+  | () -> Alcotest.failf "%s: expected Grid.Invariant" label
+  | exception Core.Grid.Invariant d ->
+      Alcotest.(check bool)
+        (label ^ ": diagnostic names unplace")
+        true
+        (Helpers.contains ~sub:"Grid.unplace" (Diag.to_string d))
+
 let unplace_unknown_raises () =
   let g = Core.Grid.create ~steps:3 ~cols:1 in
-  Alcotest.check_raises "never placed"
-    (Invalid_argument "Grid.unplace: op 4 is not placed") (fun () ->
+  check_unplace_invariant "never placed" (fun () ->
       Core.Grid.unplace g ~op:4);
   Core.Grid.place g ~op:4 ~col:1 ~step:1 ~span:1;
   Core.Grid.unplace g ~op:4;
-  Alcotest.check_raises "already unplaced"
-    (Invalid_argument "Grid.unplace: op 4 is not placed") (fun () ->
+  check_unplace_invariant "already unplaced" (fun () ->
       Core.Grid.unplace g ~op:4)
+
+(* Regression: a double unplace used to decrement fill counters for cells it
+   never freed, silently corrupting the column. The typed failure must leave
+   the grid exactly as it was. *)
+let double_unplace_preserves_state () =
+  let g = Core.Grid.create ~steps:6 ~cols:2 in
+  Core.Grid.place g ~op:0 ~col:1 ~step:2 ~span:3;
+  Core.Grid.place g ~op:1 ~col:1 ~step:5 ~span:1;
+  Core.Grid.unplace g ~op:0;
+  check_unplace_invariant "double unplace rejected" (fun () ->
+      Core.Grid.unplace g ~op:0);
+  Alcotest.(check int) "fill untouched" 1 (Core.Grid.fill g ~col:1);
+  Alcotest.(check (list int)) "survivor's cells intact" [ 1 ]
+    (Core.Grid.conflicts g ~latency:None ~col:1 ~step:5 ~span:1);
+  Alcotest.(check bool) "freed span reusable" true
+    (Core.Grid.free g ~exclusive:no_excl ~latency:None ~op:2 ~span:3 (pos 1 2))
+
+let fill_counts_popcount () =
+  let g = Core.Grid.create ~steps:70 ~cols:2 in
+  (* Span crossing the 63-bit word boundary within one column. *)
+  Core.Grid.place g ~op:0 ~col:1 ~step:60 ~span:8;
+  Core.Grid.place g ~op:1 ~col:1 ~step:1 ~span:2;
+  Alcotest.(check int) "fill spans word boundary" 10 (Core.Grid.fill g ~col:1);
+  Alcotest.(check int) "other column empty" 0 (Core.Grid.fill g ~col:2);
+  Alcotest.(check bool) "cross-word span seen occupied" false
+    (Core.Grid.free g ~exclusive:no_excl ~latency:None ~op:2 ~span:5 (pos 1 62));
+  Alcotest.(check bool) "cross-word gap still free" true
+    (Core.Grid.free g ~exclusive:no_excl ~latency:None ~op:2 ~span:57 (pos 1 3));
+  Core.Grid.unplace g ~op:0;
+  Alcotest.(check int) "fill after unplace" 2 (Core.Grid.fill g ~col:1)
+
+(* Shared cells (mutually exclusive ops) must only come free once the last
+   occupant leaves. *)
+let shared_cell_unplace_order () =
+  let g = Core.Grid.create ~steps:4 ~cols:1 in
+  let excl _ _ = true in
+  Core.Grid.place g ~op:0 ~col:1 ~step:2 ~span:1;
+  Core.Grid.place g ~op:1 ~col:1 ~step:2 ~span:1;
+  Core.Grid.place g ~op:2 ~col:1 ~step:2 ~span:1;
+  Alcotest.(check int) "shared cell counts once" 1 (Core.Grid.fill g ~col:1);
+  Core.Grid.unplace g ~op:1;
+  Alcotest.(check bool) "still occupied for strangers" false
+    (Core.Grid.free g ~exclusive:no_excl ~latency:None ~op:9 ~span:1 (pos 1 2));
+  Alcotest.(check bool) "still open to exclusive ops" true
+    (Core.Grid.free g ~exclusive:excl ~latency:None ~op:9 ~span:1 (pos 1 2));
+  Core.Grid.unplace g ~op:0;
+  Alcotest.(check (list int)) "last occupant remains" [ 2 ]
+    (Core.Grid.occupants g ~col:1 ~step:2);
+  Core.Grid.unplace g ~op:2;
+  Alcotest.(check bool) "free once all gone" true
+    (Core.Grid.free g ~exclusive:no_excl ~latency:None ~op:9 ~span:1 (pos 1 2));
+  Alcotest.(check int) "fill drained" 0 (Core.Grid.fill g ~col:1)
 
 let double_place_raises () =
   let g = Core.Grid.create ~steps:3 ~cols:2 in
@@ -166,6 +225,9 @@ let suite =
     test "unplace frees covered cells" unplace_frees_cells;
     test "unplace then replace with a new span" unplace_then_replace;
     test "unplace of an unknown op raises" unplace_unknown_raises;
+    test "double unplace leaves the grid untouched" double_unplace_preserves_state;
+    test "fill popcounts across word boundaries" fill_counts_popcount;
+    test "shared cells free only with the last occupant" shared_cell_unplace_order;
     test "double placement of one op raises" double_place_raises;
     place_unplace_roundtrip;
     modulo_identity;

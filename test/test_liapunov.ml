@@ -35,6 +35,38 @@ let best_picks_minimum =
             (fun p -> Core.Liapunov.value obj chosen <= Core.Liapunov.value obj p)
             ps)
 
+(* The incremental accumulator against the eager re-fold: run an arbitrary
+   place/unplace sequence (each event adds a fresh position, or removes a
+   random live one), then compare Acc.total with a full fold over whatever
+   is still placed. *)
+let acc_matches_refold =
+  Helpers.qcheck ~count:300 "Acc total = re-fold after random place/unplace"
+    QCheck2.Gen.(
+      list_size (int_range 0 40)
+        (triple pos_gen bool (int_range 0 1000)))
+    (fun events ->
+      List.for_all
+        (fun obj ->
+          let acc = Core.Liapunov.Acc.create obj in
+          let live = ref [] in
+          List.iter
+            (fun (pos, unplace, salt) ->
+              match (unplace, !live) with
+              | true, _ :: _ ->
+                  let k = salt mod List.length !live in
+                  let victim = List.nth !live k in
+                  live := List.filteri (fun i _ -> i <> k) !live;
+                  Core.Liapunov.Acc.remove acc victim
+              | _ ->
+                  live := pos :: !live;
+                  Core.Liapunov.Acc.add acc pos)
+            events;
+          Core.Liapunov.Acc.total acc = Core.Liapunov.total obj !live)
+        [
+          Core.Liapunov.Time_constrained { n = 8 };
+          Core.Liapunov.Resource_constrained { cs = 12 };
+        ])
+
 let best_empty () =
   Alcotest.(check bool) "none on empty" true
     (Core.Liapunov.best (Core.Liapunov.Time_constrained { n = 3 }) [] = None)
@@ -158,6 +190,7 @@ let suite =
     test "best of empty list" best_empty;
     lazy_best_matches_eager;
     lazy_worst_matches_eager;
+    acc_matches_refold;
     test "best tie-breaking" best_deterministic_tiebreak;
     test "trace records Liapunov properties" trace_properties;
     test "trace flags energy increase" trace_detects_increase;

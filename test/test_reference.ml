@@ -17,6 +17,8 @@ let same_outcome (a : Core.Mfs.outcome) (b : Core.Mfs.outcome) =
   && a.Core.Mfs.objective = b.Core.Mfs.objective
   && a.Core.Mfs.restarts = b.Core.Mfs.restarts
   && a.Core.Mfs.widenings = b.Core.Mfs.widenings
+  (* Incrementally maintained Liapunov total vs. the seed's full re-fold. *)
+  && a.Core.Mfs.energy = b.Core.Mfs.energy
   && Core.Liapunov.Trace.entries a.Core.Mfs.trace
      = Core.Liapunov.Trace.entries b.Core.Mfs.trace
 
