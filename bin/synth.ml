@@ -8,14 +8,17 @@
      synth explore sweep.spec --jobs 4  Pareto sweep over a job lattice
      synth fuzz   --runs 200 --seed 0   randomized robustness campaign
      synth batch  jobs.txt --jobs 4     supervised batch over a manifest
+     synth serve  --socket synth.sock   crash-safe synthesis daemon
+     synth bombard --socket synth.sock  load-test a running daemon
 
    <dfg> is a file in the textual DFG format (see Dfg.Parser) or the name of
    a built-in example (ex1..ex6, diffeq, ewf, ...).
 
    Exit codes: 0 success, 2 usage, 3 bad input, 4 infeasible constraints,
    5 internal error / defects found, 6 partial batch failure (the batch ran
-   to completion but some jobs failed), 130 interrupted. Diagnostics go to
-   stderr, as text or as JSON with --json-errors. *)
+   to completion but some jobs failed), 7 service unavailable (daemon
+   overloaded or draining), 130 interrupted. Diagnostics go to stderr, as
+   text or as JSON with --json-errors. *)
 
 open Cmdliner
 
@@ -864,13 +867,213 @@ let compile_cmd =
   Cmd.v (Cmd.info "compile" ~doc)
     Term.(const run $ graph_arg $ cse_arg $ json_arg)
 
+(* --- serve -------------------------------------------------------------- *)
+
+let socket_arg =
+  Arg.(value & opt string "synth.sock"
+       & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix-domain socket path; a stale file is replaced.")
+
+let serve_cmd =
+  let doc =
+    "Run the crash-safe synthesis daemon: length-prefixed JSON frames \
+     over a Unix socket (optionally TCP on localhost), requests \
+     dispatched to a supervised worker pool behind per-request deadlines \
+     and heap ceilings, repeats answered from the shared content-addressed \
+     result cache. Admission is bounded — overload is shed with a typed \
+     serve.overloaded rejection and a retry-after hint, never an unbounded \
+     queue. The cache and request journal are fsynced JSONL, so kill -9 \
+     plus restart resumes warm; SIGTERM drains gracefully and exits 0."
+  in
+  let tcp_arg =
+    Arg.(value & opt (some int) None & info [ "tcp" ] ~docv:"PORT"
+           ~doc:"Also listen on 127.0.0.1:PORT.")
+  in
+  let jobs_arg =
+    Arg.(value & opt int 4 & info [ "jobs" ] ~docv:"N"
+           ~doc:"Concurrent worker processes.")
+  in
+  let deadline_arg =
+    Arg.(value & opt float 30.0 & info [ "deadline" ] ~docv:"S"
+           ~doc:"Per-request wall-clock ceiling; a request's own deadline \
+                 field may only lower it. Workers past it are SIGKILLed \
+                 and the client gets a typed serve.deadline error.")
+  in
+  let heap_mb_arg =
+    Arg.(value & opt int 512 & info [ "heap-mb" ] ~docv:"MB"
+           ~doc:"OCaml-heap ceiling per worker (0 disables).")
+  in
+  let queue_arg =
+    Arg.(value & opt int 64 & info [ "queue-limit" ] ~docv:"N"
+           ~doc:"Admission queue bound; arrivals beyond it are shed with \
+                 serve.overloaded.")
+  in
+  let max_conns_arg =
+    Arg.(value & opt int 128 & info [ "max-conns" ] ~docv:"N"
+           ~doc:"Connection ceiling; excess connects get one typed \
+                 rejection frame and are closed.")
+  in
+  let read_timeout_arg =
+    Arg.(value & opt float 10.0 & info [ "read-timeout" ] ~docv:"S"
+           ~doc:"Drop a connection whose partial frame makes no progress \
+                 for this long (slowloris guard).")
+  in
+  let drain_timeout_arg =
+    Arg.(value & opt float 5.0 & info [ "drain-timeout" ] ~docv:"S"
+           ~doc:"On SIGTERM, wait this long for in-flight work before \
+                 SIGKILLing it.")
+  in
+  let cache_arg =
+    Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"PATH"
+           ~doc:"Shared JSONL result cache (fsynced per entry); reloaded \
+                 warm after a restart. A corrupt store is moved aside to \
+                 PATH.corrupt, never fatal.")
+  in
+  let cache_max_arg =
+    Arg.(value & opt int 0 & info [ "cache-max" ] ~docv:"N"
+           ~doc:"Resident cache entries to keep (LRU eviction; in-flight \
+                 keys are never evicted). 0 = unbounded.")
+  in
+  let journal_arg =
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"PATH"
+           ~doc:"JSONL request journal (one fsynced verdict per completed \
+                 request).")
+  in
+  let max_frame_arg =
+    Arg.(value & opt int Batch.Jsonl.default_max_document_bytes
+         & info [ "max-frame" ] ~docv:"BYTES"
+             ~doc:"Wire frame / JSON document ceiling; larger frames are \
+                   refused from their header alone.")
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "verbose" ]
+           ~doc:"Narrate connections, drains and store recovery on stderr.")
+  in
+  let run socket tcp_port jobs deadline heap_mb queue_limit max_conns
+      read_timeout drain_timeout cache cache_max journal max_frame verbose
+      json =
+    let heap_words =
+      if heap_mb <= 0 then None
+      else Some (heap_mb * 1024 * 1024 / (Sys.word_size / 8))
+    in
+    let cfg =
+      {
+        (Serve.Daemon.default ~socket) with
+        Serve.Daemon.tcp_port;
+        workers = max 1 jobs;
+        deadline;
+        heap_words;
+        queue_limit;
+        max_conns;
+        max_frame;
+        read_timeout;
+        drain_timeout;
+        cache_path = cache;
+        cache_max = (if cache_max <= 0 then None else Some cache_max);
+        journal_path = journal;
+        log = (if verbose then prerr_endline else fun _ -> ());
+      }
+    in
+    or_die ~json (Serve.Daemon.run cfg)
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ socket_arg $ tcp_arg $ jobs_arg $ deadline_arg
+      $ heap_mb_arg $ queue_arg $ max_conns_arg $ read_timeout_arg
+      $ drain_timeout_arg $ cache_arg $ cache_max_arg $ journal_arg
+      $ max_frame_arg $ verbose_arg $ json_arg)
+
+(* --- bombard ------------------------------------------------------------ *)
+
+let bombard_cmd =
+  let doc =
+    "Load-test a running synth serve daemon: fork concurrent clients \
+     firing a mixed request corpus, optionally planting faults (hanging \
+     jobs, oversized frames, half-closed sockets), then assert the \
+     robustness contract — every request answered with a typed response, \
+     planted faults classified under their expected codes, and (for warm \
+     re-runs) a minimum cache hit rate. Exits 5 when an assertion fails."
+  in
+  let jobs_arg =
+    Arg.(value & opt int 8 & info [ "jobs" ] ~docv:"N"
+           ~doc:"Concurrent client processes.")
+  in
+  let requests_arg =
+    Arg.(value & opt int 25 & info [ "requests" ] ~docv:"N"
+           ~doc:"Requests per client.")
+  in
+  let graph_corpus_arg =
+    Arg.(value & opt string "diffeq" & info [ "graph" ] ~docv:"DFG"
+           ~doc:"Corpus graph (builtin name or file).")
+  in
+  let hang_arg =
+    Arg.(value & flag & info [ "plant-hang" ]
+           ~doc:"Plant schedule requests that hang in the worker (1s \
+                 request deadline); expect serve.deadline verdicts.")
+  in
+  let oversize_arg =
+    Arg.(value & flag & info [ "plant-oversize" ]
+           ~doc:"Plant frames over the daemon's limit; expect \
+                 serve.frame-too-large.")
+  in
+  let half_close_arg =
+    Arg.(value & flag & info [ "plant-half-close" ]
+           ~doc:"Plant connections that shut down their send side right \
+                 after the request; the response must still arrive.")
+  in
+  let timeout_arg =
+    Arg.(value & opt float 30.0 & info [ "timeout" ] ~docv:"S"
+           ~doc:"Client-side wait per response.")
+  in
+  let hit_rate_arg =
+    Arg.(value & opt (some float) None & info [ "expect-hit-rate" ]
+           ~docv:"R"
+           ~doc:"Assert cached/ok is at least R (warm re-run check).")
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "verbose" ] ~doc:"Narrate on stderr.")
+  in
+  let run socket jobs requests graph plant_hang plant_oversize
+      plant_half_close timeout expect_hit_rate verbose json =
+    let cfg =
+      {
+        Serve.Bombard.socket;
+        jobs;
+        requests;
+        graph;
+        plant_hang;
+        plant_oversize;
+        plant_half_close;
+        timeout;
+        expect_hit_rate;
+        log = (if verbose then prerr_endline else fun _ -> ());
+      }
+    in
+    let report = or_die ~json (Serve.Bombard.run cfg) in
+    print_endline (Serve.Bombard.report_to_json report);
+    match report.Serve.Bombard.b_failures with
+    | [] -> ()
+    | failures ->
+        die ~json
+          (Diag.internal ~code:"serve.bombard-failed"
+             (String.concat "; " failures))
+  in
+  Cmd.v (Cmd.info "bombard" ~doc)
+    Term.(
+      const run $ socket_arg $ jobs_arg $ requests_arg $ graph_corpus_arg
+      $ hang_arg $ oversize_arg $ half_close_arg $ timeout_arg
+      $ hit_rate_arg $ verbose_arg $ json_arg)
+
 let main =
   let doc = "MFS/MFSA high-level synthesis (DAC 1992 reproduction)" in
   Cmd.group (Cmd.info "synth" ~doc)
     [ show_cmd; mfs_cmd; mfsa_cmd; lint_cmd; compare_cmd; explore_cmd;
-      fuzz_cmd; batch_cmd; compile_cmd ]
+      fuzz_cmd; batch_cmd; compile_cmd; serve_cmd; bombard_cmd ]
 
 let () =
+  (* A vanished peer (redirected stderr, daemon client, journal sink) must
+     surface as a typed EPIPE diagnostic, never a SIGPIPE kill. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   (* Cmdliner's own exit codes for CLI misuse / internal errors are 124 and
      125; fold them into this tool's documented contract (2 = usage,
      5 = internal). *)

@@ -45,17 +45,28 @@ let open_writer path =
 (* One write(2) per record: O_APPEND makes concurrent appends land whole,
    and a SIGKILL cannot tear a write that already entered the kernel — the
    worst case is a missing trailing newline from a crash between records,
-   which load drops. *)
+   which load drops. EINTR restarts the write; any other Unix error (EPIPE
+   on a redirected journal, ENOSPC, EBADF) becomes a typed diagnostic so a
+   vanished sink never raises through a daemon's supervision loop. *)
 let append w r =
   let line = record_to_json r ^ "\n" in
   let b = Bytes.of_string line in
   let rec write_all off =
     if off < Bytes.length b then
-      let n = Unix.write w.fd b off (Bytes.length b - off) in
-      write_all (off + n)
+      match Unix.write w.fd b off (Bytes.length b - off) with
+      | n -> write_all (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all off
   in
-  write_all 0;
-  Unix.fsync w.fd
+  match
+    write_all 0;
+    Unix.fsync w.fd
+  with
+  | () -> Ok ()
+  | exception Unix.Unix_error (err, _, _) ->
+      Error
+        (Diag.input ~code:"batch.journal-write"
+           (Printf.sprintf "journal append failed: %s"
+              (Unix.error_message err)))
 
 let close w = try Unix.close w.fd with Unix.Unix_error _ -> ()
 

@@ -30,8 +30,10 @@ type writer
 val open_writer : string -> writer
 (** Open (create) for append. *)
 
-val append : writer -> record -> unit
-(** One line, one [write], then fsync. *)
+val append : writer -> record -> (unit, Diag.t) result
+(** One line, one [write] (EINTR-restarted), then fsync. A failed write
+    or fsync is a typed [batch.journal-write] error — never an uncaught
+    [Unix_error] — so long-lived supervisors can log and keep running. *)
 
 val close : writer -> unit
 

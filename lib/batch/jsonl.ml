@@ -197,6 +197,19 @@ let parse s =
   | v -> Ok v
   | exception Bad msg -> Error msg
 
+let default_max_document_bytes = 1 lsl 20
+
+let parse_bounded ?(max_bytes = default_max_document_bytes) s =
+  if String.length s > max_bytes then
+    Error
+      (Diag.input ~code:"batch.frame-too-large"
+         (Printf.sprintf "document is %d bytes; the limit is %d"
+            (String.length s) max_bytes))
+  else
+    Result.map_error
+      (fun msg -> Diag.input ~code:"batch.jsonl" ("malformed JSON: " ^ msg))
+      (parse s)
+
 (* --- Accessors --------------------------------------------------------- *)
 
 let member key = function

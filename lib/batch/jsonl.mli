@@ -23,6 +23,17 @@ val parse : string -> (t, string) result
 (** Parse one JSON document; trailing whitespace is allowed, trailing
     garbage is an error. *)
 
+val default_max_document_bytes : int
+(** 1 MiB — the default cap for {!parse_bounded} and the daemon's frame
+    decoder. *)
+
+val parse_bounded : ?max_bytes:int -> string -> (t, Diag.t) result
+(** {!parse} behind a byte ceiling: documents over [max_bytes] are
+    rejected with a typed [batch.frame-too-large] input error {e before}
+    any parsing work, so untrusted inputs (socket frames, oversized
+    journal lines) cannot buffer unboundedly; parse failures become
+    [batch.jsonl] errors. *)
+
 (** Accessors; all return [None] on a type or key mismatch. *)
 
 val member : string -> t -> t option

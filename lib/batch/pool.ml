@@ -162,6 +162,113 @@ let reap_blocking slot =
   (try Unix.close slot.fd with Unix.Unix_error _ -> ());
   status
 
+(* --- Incremental pool --------------------------------------------------- *)
+
+type completion = {
+  c_job : job;
+  c_attempt : int;
+  c_verdict : Verdict.t;
+  c_seconds : float;
+}
+
+type t = {
+  p_heap_words : int option;
+  p_slots : slot option array;
+  p_queue : (job * int * float) Queue.t;  (* job, attempt, deadline *)
+}
+
+let create ?(workers = 1) ?heap_words () =
+  let workers = max 1 workers in
+  {
+    p_heap_words = heap_words;
+    p_slots = Array.make workers None;
+    p_queue = Queue.create ();
+  }
+
+let submit t ?(attempt = 1) ~deadline job =
+  Queue.add (job, attempt, deadline) t.p_queue
+
+let in_flight t =
+  Array.fold_left
+    (fun n s -> match s with Some _ -> n + 1 | None -> n)
+    0 t.p_slots
+
+let queued t = Queue.length t.p_queue
+let load t = in_flight t + queued t
+let capacity t = Array.length t.p_slots
+
+let worker_fds t =
+  Array.to_list t.p_slots
+  |> List.filter_map (function
+       | Some s when not s.eof -> Some s.fd
+       | _ -> None)
+
+(* The child is gone: read the pipe to EOF so no payload byte is lost. *)
+let drain_to_eof slot =
+  let rec go () =
+    if not slot.eof then begin
+      drain slot;
+      if not slot.eof then begin
+        ignore (Unix.select [ slot.fd ] [] [] 0.01);
+        go ()
+      end
+    end
+  in
+  go ()
+
+let reap_slot t i slot status =
+  drain_to_eof slot;
+  (try Unix.close slot.fd with Unix.Unix_error _ -> ());
+  t.p_slots.(i) <- None;
+  {
+    c_job = slot.s_job;
+    c_attempt = slot.attempt;
+    c_verdict = classify slot status;
+    c_seconds = Unix.gettimeofday () -. slot.started;
+  }
+
+let step t =
+  (* Fill free slots from the queue. *)
+  Array.iteri
+    (fun i s ->
+      if s = None && not (Queue.is_empty t.p_queue) then begin
+        let j, attempt, deadline = Queue.pop t.p_queue in
+        t.p_slots.(i) <-
+          Some (spawn ~heap_words:t.p_heap_words ~deadline j attempt)
+      end)
+    t.p_slots;
+  (* Drain pipe traffic, enforce deadlines, reap exits — all non-blocking
+     (worker pipes are O_NONBLOCK; waitpid uses WNOHANG). *)
+  let now = Unix.gettimeofday () in
+  let finished = ref [] in
+  Array.iteri
+    (fun i -> function
+      | None -> ()
+      | Some slot -> (
+          drain slot;
+          if now > slot.kill_at && not slot.killed then kill_slot slot;
+          match Unix.waitpid [ Unix.WNOHANG ] slot.pid with
+          | 0, _ -> ()
+          | _, status -> finished := reap_slot t i slot status :: !finished
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()))
+    t.p_slots;
+  List.rev !finished
+
+let kill_all t =
+  Queue.clear t.p_queue;
+  let finished = ref [] in
+  Array.iteri
+    (fun i -> function
+      | None -> ()
+      | Some slot ->
+          kill_slot slot;
+          let status = reap_blocking slot in
+          finished := reap_slot t i slot status :: !finished)
+    t.p_slots;
+  List.rev !finished
+
+(* --- Batch driver ------------------------------------------------------- *)
+
 let run ?(workers = 1) ?(retry = Retry.default) ?journal ?(resume = false)
     ?heap_words ?(log = fun (_ : string) -> ()) ~deadline jobs =
   let workers = max 1 workers in
@@ -183,8 +290,8 @@ let run ?(workers = 1) ?(retry = Retry.default) ?journal ?(resume = false)
         Hashtbl.create (List.length jobs)
       in
       let resumed = ref 0 in
-      (* Work queue in submission order; resume decides the first attempt. *)
-      let queue = Queue.create () in
+      let pool = create ~workers ?heap_words () in
+      (* Submission order; resume decides the first attempt. *)
       List.iter
         (fun j ->
           match Hashtbl.find_opt finals j.id with
@@ -199,116 +306,67 @@ let run ?(workers = 1) ?(retry = Retry.default) ?journal ?(resume = false)
                 | Some r -> r.Journal.attempt + 1
                 | None -> 1
               in
-              Queue.add (j, attempt) queue)
+              submit pool ~attempt
+                ~deadline:(Retry.deadline retry ~attempt deadline) j)
         jobs;
-      let slots : slot option array = Array.make workers None in
-      let active () =
-        Array.fold_left
-          (fun n s -> match s with Some _ -> n + 1 | None -> n)
-          0 slots
-      in
       let journal_record r =
-        Option.iter (fun w -> Journal.append w r) writer
+        (* A dead journal sink must not abort the batch: the only cost of
+           a lost record is redone work on the next resume. *)
+        Option.iter
+          (fun w ->
+            match Journal.append w r with
+            | Ok () -> ()
+            | Error d -> log (Diag.to_string d))
+          writer
       in
-      let finish_attempt slot status =
-        let verdict = classify slot status in
-        let seconds = Unix.gettimeofday () -. slot.started in
+      let finish c =
         let final =
-          not (Retry.should_retry retry ~attempt:slot.attempt verdict)
+          not (Retry.should_retry retry ~attempt:c.c_attempt c.c_verdict)
         in
         let record =
           {
-            Journal.id = slot.s_job.id;
-            seed = slot.s_job.seed;
-            descr = slot.s_job.descr;
-            attempt = slot.attempt;
+            Journal.id = c.c_job.id;
+            seed = c.c_job.seed;
+            descr = c.c_job.descr;
+            attempt = c.c_attempt;
             final;
-            verdict;
-            seconds;
+            verdict = c.c_verdict;
+            seconds = c.c_seconds;
           }
         in
         journal_record record;
         if final then begin
-          Hashtbl.replace results slot.s_job.id record;
+          Hashtbl.replace results c.c_job.id record;
           log
-            (Printf.sprintf "%s: %s (%.1fs%s)" slot.s_job.descr
-               (Verdict.describe verdict) seconds
-               (if slot.attempt > 1 then ", retry" else ""))
+            (Printf.sprintf "%s: %s (%.1fs%s)" c.c_job.descr
+               (Verdict.describe c.c_verdict) c.c_seconds
+               (if c.c_attempt > 1 then ", retry" else ""))
         end
         else begin
           log
             (Printf.sprintf "%s: %s (%.1fs) — retrying degraded"
-               slot.s_job.descr (Verdict.describe verdict) seconds);
-          Queue.add (slot.s_job, slot.attempt + 1) queue
+               c.c_job.descr (Verdict.describe c.c_verdict) c.c_seconds);
+          let attempt = c.c_attempt + 1 in
+          submit pool ~attempt
+            ~deadline:(Retry.deadline retry ~attempt deadline) c.c_job
         end
       in
       let interrupted = ref false in
       let rec supervise () =
         if !stop_requested && not !interrupted then begin
           interrupted := true;
-          Queue.clear queue;
-          Array.iteri
-            (fun i -> function
-              | None -> ()
-              | Some slot ->
-                  kill_slot slot;
-                  ignore (reap_blocking slot);
-                  slots.(i) <- None)
-            slots
+          (* Interrupt discards in-flight attempts unrecorded, so a resume
+             re-runs them from their last journalled attempt. *)
+          ignore (kill_all pool)
         end;
-        if Queue.is_empty queue && active () = 0 then ()
+        if load pool = 0 then ()
         else begin
-          (* Fill free slots. *)
-          Array.iteri
-            (fun i s ->
-              if s = None && not (Queue.is_empty queue) then begin
-                let j, attempt = Queue.pop queue in
-                let d = Retry.deadline retry ~attempt deadline in
-                slots.(i) <- Some (spawn ~heap_words ~deadline:d j attempt)
-              end)
-            slots;
-          (* Wait for pipe traffic (or just a tick), then drain. *)
-          let fds =
-            Array.to_list slots
-            |> List.filter_map (function
-                 | Some s when not s.eof -> Some s.fd
-                 | _ -> None)
-          in
-          (match Unix.select fds [] [] 0.05 with
-          | ready, _, _ ->
-              Array.iter
-                (function
-                  | Some s when List.memq s.fd ready -> drain s
-                  | _ -> ())
-                slots
-          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
-          let now = Unix.gettimeofday () in
-          Array.iteri
-            (fun i -> function
-              | None -> ()
-              | Some slot ->
-                  if now > slot.kill_at && not slot.killed then
-                    kill_slot slot;
-                  (match Unix.waitpid [ Unix.WNOHANG ] slot.pid with
-                  | 0, _ -> ()
-                  | _, status ->
-                      drain slot;
-                      (* The child is gone: read the rest to EOF. *)
-                      let rec to_eof () =
-                        if not slot.eof then begin
-                          drain slot;
-                          if not slot.eof then begin
-                            ignore (Unix.select [ slot.fd ] [] [] 0.01);
-                            to_eof ()
-                          end
-                        end
-                      in
-                      to_eof ();
-                      (try Unix.close slot.fd with Unix.Unix_error _ -> ());
-                      slots.(i) <- None;
-                      finish_attempt slot status
-                  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()))
-            slots;
+          let completions = step pool in
+          List.iter finish completions;
+          (if completions = [] then
+             match Unix.select (worker_fds pool) [] [] 0.05 with
+             | _ -> ()
+             | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
           supervise ()
         end
       in

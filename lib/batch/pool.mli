@@ -49,6 +49,65 @@ val install_signal_handlers : unit -> unit
 (** Route SIGINT and SIGTERM to {!request_stop}. The CLI exits 130
     when [interrupted] is set. *)
 
+(** {2 Incremental pool}
+
+    The event-loop face of the same machinery: a long-lived supervisor
+    (the serve daemon, or {!run} itself) owns a pool, {!submit}s jobs as
+    they arrive, folds {!worker_fds} into its own [select], and collects
+    {!completion}s from non-blocking {!step} calls. All the containment
+    guarantees above (fork isolation, SIGKILL deadline, heap ceiling)
+    apply per attempt; retry and journalling policy live in the caller. *)
+
+type t
+(** A pool of at most [workers] live worker processes plus a FIFO of
+    submitted-but-unstarted attempts. Not thread-safe; drive it from one
+    event loop. *)
+
+type completion = {
+  c_job : job;
+  c_attempt : int;  (** As passed to {!submit}. *)
+  c_verdict : Verdict.t;
+  c_seconds : float;  (** Attempt wall-clock. *)
+}
+
+val create : ?workers:int -> ?heap_words:int -> unit -> t
+
+val submit : t -> ?attempt:int -> deadline:float -> job -> unit
+(** Enqueue one attempt ([attempt] defaults to 1). [deadline] is this
+    attempt's wall-clock budget in seconds, applied from the moment the
+    worker is forked (not from submission). Never blocks and never
+    rejects — admission control is the caller's job; see {!load}. *)
+
+val in_flight : t -> int
+(** Live worker processes. *)
+
+val queued : t -> int
+(** Submitted attempts not yet forked. *)
+
+val load : t -> int
+(** [in_flight + queued] — what an admission controller compares against
+    its ceiling. *)
+
+val capacity : t -> int
+(** The [workers] bound. *)
+
+val worker_fds : t -> Unix.file_descr list
+(** Read ends of live worker pipes, for the caller's [select]. Readable
+    fds (or a timeout tick — deadlines need one) mean {!step} has work. *)
+
+val step : t -> completion list
+(** One non-blocking supervision tick: fork queued attempts into free
+    slots, drain worker pipes, SIGKILL attempts past their deadline, and
+    reap exited workers. Returns completions in reap order (possibly
+    none). Call it at least every ~50ms while {!load} is positive so
+    deadlines are enforced promptly. *)
+
+val kill_all : t -> completion list
+(** SIGKILL every live worker, reap them all (blocking, but workers die
+    to SIGKILL immediately), and discard the queue. Returns the killed
+    attempts' completions (verdict [Timeout], by the deadline-kill
+    classification) for callers that still owe responses for them. *)
+
 type outcome = {
   records : Journal.record list;
       (** Final record per submitted job, in submission order — including

@@ -1,6 +1,6 @@
 type severity = Error | Warning
 
-type category = Usage | Input | Infeasible | Internal | Partial
+type category = Usage | Input | Infeasible | Internal | Partial | Unavailable
 
 type span = { line : int; col : int; end_line : int; end_col : int }
 
@@ -27,6 +27,9 @@ let infeasible ?(code = "infeasible") message = make Infeasible ~code message
 let internal ?(code = "internal") message = make Internal ~code message
 let partial ?(code = "batch.partial-failure") message = make Partial ~code message
 
+let unavailable ?(code = "serve.overloaded") message =
+  make Unavailable ~code message
+
 let inputf ?span ?file ~code fmt =
   Printf.ksprintf (fun s -> input ?span ?file ~code s) fmt
 
@@ -42,6 +45,7 @@ let exit_code d =
   | Infeasible -> 4
   | Internal -> 5
   | Partial -> 6
+  | Unavailable -> 7
 
 let category_name = function
   | Usage -> "usage"
@@ -49,6 +53,7 @@ let category_name = function
   | Infeasible -> "infeasible"
   | Internal -> "internal"
   | Partial -> "partial"
+  | Unavailable -> "unavailable"
 
 let category_of_name = function
   | "usage" -> Some Usage
@@ -56,6 +61,7 @@ let category_of_name = function
   | "infeasible" -> Some Infeasible
   | "internal" -> Some Internal
   | "partial" -> Some Partial
+  | "unavailable" -> Some Unavailable
   | _ -> None
 
 let severity_name = function Error -> "error" | Warning -> "warning"

@@ -23,6 +23,10 @@ type category =
       (** A batch ran to completion but some jobs failed (timed out,
           exceeded the heap ceiling, crashed, or reported violations)
           while others completed; exit code 6. *)
+  | Unavailable
+      (** A transient service condition: the daemon shed the request under
+          load or is draining. Not the client's fault and not a bug —
+          retry later (responses carry a retry-after hint); exit code 7. *)
 
 (** Half-open source region; columns are 1-based, [end_col] points one past
     the last character. A point span has [end_line = line] and
@@ -53,6 +57,7 @@ val input : ?span:span -> ?file:string -> code:string -> string -> t
 val infeasible : ?code:string -> string -> t
 val internal : ?code:string -> string -> t
 val partial : ?code:string -> string -> t
+val unavailable : ?code:string -> string -> t
 
 val inputf :
   ?span:span -> ?file:string -> code:string ->
@@ -65,7 +70,7 @@ val message : t -> string
 
 val exit_code : t -> int
 (** 2 = usage, 3 = input, 4 = infeasible, 5 = internal, 6 = partial
-    batch failure. *)
+    batch failure, 7 = transient service unavailability. *)
 
 val category_name : category -> string
 

@@ -30,18 +30,118 @@ let entry_of_json doc =
       | _ -> Error "cache entry needs exactly one of metrics/infeasible")
   | _ -> Error "cache entry missing key/descr"
 
-type t = (string, entry) Hashtbl.t
+(* LRU bookkeeping is lazy: every touch appends (key, tick) to the queue
+   and stamps the node; eviction pops the queue head and acts only when
+   the popped tick is still the node's current one, so a key touched N
+   times costs N stale queue lines instead of a doubly-linked list. *)
+type node = { entry : entry; mutable tick : int }
 
-let empty () : t = Hashtbl.create 16
-let find (t : t) key = Hashtbl.find_opt t key
-let size (t : t) = Hashtbl.length t
+type t = {
+  tbl : (string, node) Hashtbl.t;
+  lru : (string * int) Queue.t;
+  pins : (string, int) Hashtbl.t;  (* refcounted in-flight keys *)
+  max_entries : int option;
+  mutable next_tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let empty ?max_entries () =
+  {
+    tbl = Hashtbl.create 16;
+    lru = Queue.create ();
+    pins = Hashtbl.create 4;
+    max_entries;
+    next_tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let size t = Hashtbl.length t.tbl
+
+let touch t node key =
+  node.tick <- t.next_tick;
+  Queue.add (key, t.next_tick) t.lru;
+  t.next_tick <- t.next_tick + 1
+
+let pin t key =
+  Hashtbl.replace t.pins key
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.pins key))
+
+let unpin t key =
+  match Hashtbl.find_opt t.pins key with
+  | Some n when n <= 1 -> Hashtbl.remove t.pins key
+  | Some n -> Hashtbl.replace t.pins key (n - 1)
+  | None -> ()
+
+let pinned t key = Hashtbl.mem t.pins key
+
+(* The budget bounds the scan: if everything left is pinned, the cache
+   stays over cap (soft cap) rather than spinning on re-queued keys. *)
+let evict t =
+  match t.max_entries with
+  | None -> ()
+  | Some cap ->
+      let budget = ref (Queue.length t.lru) in
+      while size t > cap && !budget > 0 do
+        decr budget;
+        match Queue.take_opt t.lru with
+        | None -> budget := 0
+        | Some (key, tick) -> (
+            match Hashtbl.find_opt t.tbl key with
+            | Some node when node.tick = tick ->
+                if pinned t key then touch t node key
+                else begin
+                  Hashtbl.remove t.tbl key;
+                  t.evictions <- t.evictions + 1
+                end
+            | _ -> ())
+      done
+
+let insert t e =
+  let node = { entry = e; tick = 0 } in
+  Hashtbl.replace t.tbl e.key node;
+  touch t node e.key;
+  evict t
+
+let find t key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some node ->
+      t.hits <- t.hits + 1;
+      touch t node key;
+      Some node.entry
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let peek t key =
+  Option.map (fun n -> n.entry) (Hashtbl.find_opt t.tbl key)
+
+type stats = {
+  entries : int;
+  max_entries : int option;
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+let stats t =
+  {
+    entries = size t;
+    max_entries = t.max_entries;
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+  }
 
 (* Same torn-tail discipline as the batch journal: a crash mid-append
    leaves at most one unterminated trailing line, which load drops; any
    other unparsable line means the store is corrupt. Later entries for a
    key win (an append-only store never rewrites). *)
-let load path : (t, Diag.t) result =
-  let t = empty () in
+let load ?max_entries path : (t, Diag.t) result =
+  let t = empty ?max_entries () in
   if not (Sys.file_exists path) then Ok t
   else begin
     let ic = open_in_bin path in
@@ -51,12 +151,16 @@ let load path : (t, Diag.t) result =
     let lines = String.split_on_char '\n' body in
     let rec whole = function [] | [ _ ] -> [] | l :: rest -> l :: whole rest in
     let rec parse lineno = function
-      | [] -> Ok t
+      | [] ->
+          (* Replayed lines are history, not traffic. *)
+          t.hits <- 0;
+          t.misses <- 0;
+          Ok t
       | l :: rest when String.trim l = "" -> parse (lineno + 1) rest
       | l :: rest -> (
           match Result.bind (Batch.Jsonl.parse l) entry_of_json with
           | Ok e ->
-              Hashtbl.replace t e.key e;
+              insert t e;
               parse (lineno + 1) rest
           | Error msg ->
               Error
@@ -78,10 +182,18 @@ let append w e =
   let b = Bytes.of_string line in
   let rec write_all off =
     if off < Bytes.length b then
-      let n = Unix.write w.fd b off (Bytes.length b - off) in
-      write_all (off + n)
+      match Unix.write w.fd b off (Bytes.length b - off) with
+      | n -> write_all (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all off
   in
-  write_all 0;
-  Unix.fsync w.fd
+  match
+    write_all 0;
+    Unix.fsync w.fd
+  with
+  | () -> Ok ()
+  | exception Unix.Unix_error (err, _, _) ->
+      Error
+        (Diag.input ~code:"explore.cache-write"
+           (Printf.sprintf "cache append failed: %s" (Unix.error_message err)))
 
 let close w = try Unix.close w.fd with Unix.Unix_error _ -> ()

@@ -7,7 +7,15 @@
     skip evaluation on a hit; {e infeasible} verdicts are cached too, so
     a warm re-run evaluates zero points even when parts of the lattice
     were rejected. Failures (timeout, OOM, crash) are deliberately never
-    cached — they may be environmental and must re-run. *)
+    cached — they may be environmental and must re-run.
+
+    The in-memory side is admission-controlled: an optional [max_entries]
+    cap evicts least-recently-touched entries so a long-lived daemon
+    sharing one cache across thousands of requests holds bounded memory.
+    {!pin}ned (in-flight) keys are never evicted, and hit/miss/eviction
+    counters feed the daemon's [stats] endpoint. The JSONL file itself is
+    append-only and uncapped — it is the durable store; the cap only
+    bounds what stays resident. *)
 
 type outcome =
   | Metrics of Lattice.metrics
@@ -20,22 +28,56 @@ val entry_of_json : Batch.Jsonl.t -> (entry, string) result
 
 type t
 
-val empty : unit -> t
+val empty : ?max_entries:int -> unit -> t
+(** [max_entries] omitted means unbounded (the one-shot [synth explore]
+    default). *)
 
-val load : string -> (t, Diag.t) result
+val load : ?max_entries:int -> string -> (t, Diag.t) result
 (** A missing file is an empty cache; an unterminated trailing line is
     dropped; any other unparsable line is an [explore.cache] input error.
-    Later entries win on duplicate keys. *)
+    Later entries win on duplicate keys. With a cap, only the most
+    recently appended [max_entries] survive the replay; counters start
+    at zero either way. *)
 
 val find : t -> string -> entry option
+(** A hit bumps the hit counter and the entry's recency; a miss bumps
+    the miss counter. *)
+
+val peek : t -> string -> entry option
+(** {!find} without the side effects — for introspection and tests. *)
+
+val insert : t -> entry -> unit
+(** Add (or overwrite) in memory, then evict down to the cap — never a
+    {!pin}ned key. Durability is separate: callers that want the entry
+    to survive a restart also {!append} it to the writer. *)
+
+val pin : t -> string -> unit
+(** Refcounted eviction shield for in-flight keys. Pin before starting
+    work on a key (it need not be resident yet), {!unpin} after the
+    response is sent. If every resident key is pinned the cap is soft —
+    the cache runs over rather than evicting work in progress. *)
+
+val unpin : t -> string -> unit
+val pinned : t -> string -> bool
 val size : t -> int
+
+type stats = {
+  entries : int;
+  max_entries : int option;
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+val stats : t -> stats
 
 type writer
 
 val open_writer : string -> writer
 (** Open (create) for append. *)
 
-val append : writer -> entry -> unit
-(** One line, one [write], then fsync. *)
+val append : writer -> entry -> (unit, Diag.t) result
+(** One line, one [write] (EINTR-restarted), then fsync. Failures are
+    typed [explore.cache-write] errors, never uncaught [Unix_error]s. *)
 
 val close : writer -> unit

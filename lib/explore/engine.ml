@@ -65,7 +65,8 @@ let status_of_record (r : Batch.Journal.record) =
   | Batch.Verdict.Rejected d -> (
       match d.Diag.category with
       | Diag.Infeasible | Diag.Input -> Infeasible d.Diag.code
-      | Diag.Usage | Diag.Internal | Diag.Partial -> Failed d.Diag.code)
+      | Diag.Usage | Diag.Internal | Diag.Partial | Diag.Unavailable ->
+          Failed d.Diag.code)
   | Batch.Verdict.Timeout -> Failed "timeout"
   | Batch.Verdict.Oom -> Failed "oom"
   | Batch.Verdict.Crashed _ as v -> Failed (Batch.Verdict.describe v)
@@ -75,14 +76,21 @@ let status_of_record (r : Batch.Journal.record) =
    never failures) are appended to the cache. *)
 let evaluate_batch ~graph ~store ~writer ~workers ~journal ~resume ~deadline
     ~log points =
-  let keyed = List.map (fun p -> (p, Lattice.key ~graph p)) points in
-  let hits, misses =
-    List.partition (fun (_, k) -> Cache.find store k <> None) keyed
+  let keyed =
+    List.map
+      (fun p ->
+        let k = Lattice.key ~graph p in
+        (p, k, Cache.find store k))
+      points
   in
+  let hits, misses =
+    List.partition (fun (_, _, hit) -> hit <> None) keyed
+  in
+  let misses = List.map (fun (p, k, _) -> (p, k)) misses in
   let hit_evals =
     List.map
-      (fun (p, k) ->
-        let entry = Option.get (Cache.find store k) in
+      (fun (p, k, hit) ->
+        let entry = Option.get hit in
         let status =
           match entry.Cache.outcome with
           | Cache.Metrics m -> Solved m
@@ -104,6 +112,17 @@ let evaluate_batch ~graph ~store ~writer ~workers ~journal ~resume ~deadline
         (fun (r : Batch.Journal.record) ->
           Hashtbl.replace by_id r.Batch.Journal.id r)
         o.Batch.Pool.records;
+      (* Keep memory and disk in step; a dead cache sink only costs cold
+         lookups next run, so log and continue. *)
+      let record_entry e =
+        Cache.insert store e;
+        Option.iter
+          (fun w ->
+            match Cache.append w e with
+            | Ok () -> ()
+            | Error d -> log (Diag.to_string d))
+          writer
+      in
       let evals =
         List.filter_map
           (fun (p, k) ->
@@ -111,16 +130,16 @@ let evaluate_batch ~graph ~store ~writer ~workers ~journal ~resume ~deadline
             | None -> None (* in flight at an interrupt *)
             | Some r ->
                 let status = status_of_record r in
-                (match (status, writer) with
-                | Solved m, Some w ->
-                    Cache.append w
+                (match status with
+                | Solved m ->
+                    record_entry
                       { Cache.key = k; descr = Lattice.descr p;
                         outcome = Cache.Metrics m }
-                | Infeasible code, Some w ->
-                    Cache.append w
+                | Infeasible code ->
+                    record_entry
                       { Cache.key = k; descr = Lattice.descr p;
                         outcome = Cache.Infeasible code }
-                | _ -> ());
+                | Failed _ -> ());
                 Some { e_point = p; e_key = k; e_status = status;
                        e_source = Evaluated })
           misses

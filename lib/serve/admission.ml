@@ -1,0 +1,34 @@
+type 'a t = {
+  limit : int;
+  q : 'a Queue.t;
+  mutable shed : int;
+  mutable ewma : float;  (* seconds per request *)
+}
+
+let create ~limit =
+  { limit = max 1 limit; q = Queue.create (); shed = 0; ewma = 1.0 }
+
+let depth t = Queue.length t.q
+let shed_count t = t.shed
+let avg_service t = t.ewma
+
+let note_service t seconds =
+  if Float.is_finite seconds && seconds >= 0. then
+    t.ewma <- (0.8 *. t.ewma) +. (0.2 *. seconds)
+
+let try_admit t ~in_flight ~workers x =
+  if Queue.length t.q >= t.limit then begin
+    t.shed <- t.shed + 1;
+    let eta =
+      float_of_int (Queue.length t.q + in_flight + 1)
+      *. t.ewma
+      /. float_of_int (max 1 workers)
+    in
+    `Shed (Float.max 0.5 (Float.min 60. eta))
+  end
+  else begin
+    Queue.add x t.q;
+    `Admitted
+  end
+
+let pop t = Queue.take_opt t.q

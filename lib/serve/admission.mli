@@ -1,0 +1,26 @@
+(** Bounded admission queue with load shedding.
+
+    The daemon's only queue: pool slots are fed from here, and arrivals
+    beyond [limit] are {e shed} — answered immediately with a typed
+    [serve.overloaded] rejection carrying a retry-after hint — instead
+    of buffered without bound. The hint is Little's-law arithmetic over
+    an exponentially weighted service-time average: how long the work
+    already in the system should take to clear at current throughput. *)
+
+type 'a t
+
+val create : limit:int -> 'a t
+(** [limit] < 1 is clamped to 1. *)
+
+val try_admit : 'a t -> in_flight:int -> workers:int -> 'a -> [ `Admitted | `Shed of float ]
+(** Enqueue, or return the retry-after hint (seconds, clamped to
+    [0.5, 60]) and bump the shed counter. *)
+
+val pop : 'a t -> 'a option
+val depth : 'a t -> int
+val shed_count : 'a t -> int
+
+val note_service : 'a t -> float -> unit
+(** Feed one completed request's wall-clock into the EWMA. *)
+
+val avg_service : 'a t -> float

@@ -1,0 +1,63 @@
+module Jsonl = Batch.Jsonl
+
+type t = { c_fd : Unix.file_descr }
+
+let fd t = t.c_fd
+let close t = try Unix.close t.c_fd with Unix.Unix_error _ -> ()
+
+let connect_error what err =
+  Diag.input ~code:"serve.connect"
+    (Printf.sprintf "cannot connect to %s: %s" what (Unix.error_message err))
+
+(* Retry briefly on the races a crash-only daemon makes routine: the
+   socket file exists before listen, or not yet at all after a restart. *)
+let connect_addr ?(timeout = 5.) what domain addr =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec attempt () =
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    match Unix.connect fd addr with
+    | () -> Ok { c_fd = fd }
+    | exception Unix.Unix_error (err, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        if Unix.gettimeofday () < deadline then begin
+          ignore (Unix.select [] [] [] 0.05);
+          attempt ()
+        end
+        else Error (connect_error what err)
+  in
+  attempt ()
+
+let connect ?timeout path =
+  connect_addr ?timeout path Unix.PF_UNIX (Unix.ADDR_UNIX path)
+
+let connect_tcp ?timeout ~port () =
+  connect_addr ?timeout
+    (Printf.sprintf "127.0.0.1:%d" port)
+    Unix.PF_INET
+    (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+
+let build ~op ~id fields =
+  Jsonl.to_string
+    (Jsonl.Obj
+       (("op", Jsonl.String op) :: ("id", Jsonl.String id) :: fields))
+
+let send t payload = Frame.send t.c_fd payload
+
+let recv ?max_frame ?(timeout = 30.) t =
+  match Frame.recv ?max_frame ~timeout t.c_fd with
+  | Error d -> Error d
+  | Ok None -> Ok None
+  | Ok (Some payload) ->
+      Result.map Option.some (Protocol.parse_response ?max_bytes:max_frame payload)
+
+let request ?timeout t payload =
+  match send t payload with
+  | Error d -> Error d
+  | Ok () -> (
+      match recv ?timeout t with
+      | Error d -> Error d
+      | Ok (Some r) -> Ok r
+      | Ok None ->
+          Error
+            (Diag.input ~code:"serve.io"
+               "daemon closed the connection before responding"))

@@ -1,0 +1,33 @@
+(** Blocking client for the synthesis daemon — the CLI's, the load
+    generator's and the test suite's side of the wire. *)
+
+type t
+
+val connect : ?timeout:float -> string -> (t, Diag.t) result
+(** Connect to a Unix-domain socket path ([serve.connect] on failure;
+    [timeout], default 5s, bounds the attempt). *)
+
+val connect_tcp : ?timeout:float -> port:int -> unit -> (t, Diag.t) result
+(** Connect to 127.0.0.1:[port]. *)
+
+val fd : t -> Unix.file_descr
+(** For fault injection in tests (half-close via [Unix.shutdown], raw
+    writes). *)
+
+val close : t -> unit
+
+val build : op:string -> id:string -> (string * Batch.Jsonl.t) list -> string
+(** Request payload: [{"op":…,"id":…,FIELDS}]. *)
+
+val send : t -> string -> (unit, Diag.t) result
+(** Send one framed payload. *)
+
+val recv :
+  ?max_frame:int -> ?timeout:float -> t ->
+  (Protocol.response option, Diag.t) result
+(** Next response frame; [Ok None] on clean EOF. [timeout] defaults to
+    30s. *)
+
+val request :
+  ?timeout:float -> t -> string -> (Protocol.response, Diag.t) result
+(** [send] then [recv]; EOF before a response is a [serve.io] error. *)

@@ -1,0 +1,782 @@
+module Jsonl = Batch.Jsonl
+module Pool = Batch.Pool
+module Journal = Batch.Journal
+module Cache = Explore.Cache
+module Lattice = Explore.Lattice
+module P = Protocol
+
+type config = {
+  socket : string;
+  tcp_port : int option;
+  workers : int;
+  deadline : float;
+  heap_words : int option;
+  queue_limit : int;
+  max_conns : int;
+  max_frame : int;
+  read_timeout : float;
+  drain_timeout : float;
+  cache_path : string option;
+  cache_max : int option;
+  journal_path : string option;
+  log : string -> unit;
+}
+
+let default ~socket =
+  {
+    socket;
+    tcp_port = None;
+    workers = 4;
+    deadline = 30.;
+    heap_words = None;
+    queue_limit = 64;
+    max_conns = 128;
+    max_frame = Jsonl.default_max_document_bytes;
+    read_timeout = 10.;
+    drain_timeout = 5.;
+    cache_path = None;
+    cache_max = None;
+    journal_path = None;
+    log = (fun (_ : string) -> ());
+  }
+
+(* Single-domain process: a ref written from the signal handler and
+   polled by the loop, same discipline as Batch.Pool. *)
+let drain_requested = ref false
+
+(* --- Connections -------------------------------------------------------- *)
+
+type conn = {
+  c_fd : Unix.file_descr;
+  c_dec : Frame.decoder;
+  mutable c_out : string;  (* bytes accepted but not yet written *)
+  mutable c_last_read : float;
+  mutable c_eof : bool;  (* peer half-closed; finish writes, then close *)
+  mutable c_outstanding : int;  (* responses owed by in-flight work *)
+  mutable c_alive : bool;
+}
+
+let close_conn c =
+  if c.c_alive then begin
+    c.c_alive <- false;
+    try Unix.close c.c_fd with Unix.Unix_error _ -> ()
+  end
+
+(* Nonblocking flush; a vanished peer (EPIPE, ECONNRESET) just closes the
+   connection — SIGPIPE is ignored process-wide. *)
+let flush_conn c =
+  if c.c_alive && c.c_out <> "" then begin
+    let b = Bytes.unsafe_of_string c.c_out in
+    let rec go off =
+      if off >= Bytes.length b then off
+      else
+        match Unix.write c.c_fd b off (Bytes.length b - off) with
+        | n -> go (off + n)
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          ->
+            off
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+        | exception Unix.Unix_error (_, _, _) ->
+            close_conn c;
+            Bytes.length b
+    in
+    let off = go 0 in
+    if c.c_alive then
+      c.c_out <-
+        (if off >= String.length c.c_out then ""
+         else String.sub c.c_out off (String.length c.c_out - off))
+  end
+
+(* --- Daemon state ------------------------------------------------------- *)
+
+type waiter = { w_conn : conn; w_id : string }
+
+type cache_as = No_cache | Cache_point of string  (* entry descr *)
+
+type inflight = { mutable waiters : waiter list; cache_as : cache_as }
+
+type state = {
+  cfg : config;
+  pool : Pool.t;
+  adm : (Pool.job * float) Admission.t;
+  cache : Cache.t;
+  cache_writer : Cache.writer option;
+  journal : Journal.writer option;
+  stats : Stats.t;
+  mutable conns : conn list;
+  inflight : (string, inflight) Hashtbl.t;  (* job id -> *)
+  graphs : (string, Dfg.Graph.t) Hashtbl.t;  (* parsed-DFG memo *)
+  mutable draining : bool;
+  mutable drain_at : float;
+}
+
+let respond st c payload =
+  if c.c_alive then begin
+    c.c_out <- c.c_out ^ Frame.encode payload;
+    flush_conn c
+  end;
+  ignore st
+
+let respond_ok st c s =
+  Stats.note_ok st.stats;
+  respond st c s
+
+let respond_error st c s =
+  Stats.note_error st.stats;
+  respond st c s
+
+(* --- Graph resolution --------------------------------------------------- *)
+
+let resolve_graph st source ~cse =
+  let tag =
+    (match source with
+    | P.Inline s -> "inline|" ^ s
+    | P.Named n -> "named|" ^ n)
+    ^ if cse then "|cse" else ""
+  in
+  let memo_key = Batch.Jobs.digest tag in
+  match Hashtbl.find_opt st.graphs memo_key with
+  | Some g -> Ok g
+  | None ->
+      let parsed =
+        match source with
+        | P.Inline s -> Dfg.Parser.parse s
+        | P.Named n -> Batch.Manifest.load_graph n
+      in
+      let parsed =
+        if cse then
+          Result.bind parsed (fun g ->
+              Result.map_error
+                (Diag.of_msg Diag.Input ~code:"cse.invalid-graph")
+                (Dfg.Cse.eliminate g))
+        else parsed
+      in
+      Result.map
+        (fun g ->
+          if Hashtbl.length st.graphs > 128 then Hashtbl.reset st.graphs;
+          Hashtbl.replace st.graphs memo_key g;
+          g)
+        parsed
+
+(* --- Verdicts to responses ---------------------------------------------- *)
+
+let verdict_response ~id = function
+  | Batch.Verdict.Done payload -> (
+      match Jsonl.parse payload with
+      | Ok doc -> P.ok_response ~id doc
+      | Error _ ->
+          P.error_response ~id
+            (Diag.internal ~code:"serve.bad-payload"
+               "worker returned an unparsable payload"))
+  | Batch.Verdict.Rejected d -> P.error_response ~id d
+  | Batch.Verdict.Timeout ->
+      P.error_response ~id
+        (Diag.partial ~code:"serve.deadline"
+           "request exceeded its wall-clock deadline and was killed")
+  | Batch.Verdict.Oom ->
+      P.error_response ~id
+        (Diag.partial ~code:"serve.heap-ceiling"
+           "request exceeded the worker heap ceiling")
+  | Batch.Verdict.Crashed _ as v ->
+      P.error_response ~id
+        (Diag.internal ~code:"serve.worker-crashed"
+           ("worker " ^ Batch.Verdict.describe v))
+
+(* --- Request handling --------------------------------------------------- *)
+
+let cached_entry_response ~id (e : Cache.entry) =
+  match e.Cache.outcome with
+  | Cache.Metrics m -> P.ok_response ~id ~cached:true (Lattice.metrics_to_json m)
+  | Cache.Infeasible code ->
+      P.error_response ~id
+        (Diag.of_msg Diag.Infeasible ~code "point is infeasible (cached)")
+
+(* Enqueue one pool-bound request, coalescing on the job id: a second
+   request for work already queued or running just joins its waiters. *)
+let enqueue st conn ~id ~cache_as ~deadline job =
+  let w = { w_conn = conn; w_id = id } in
+  match Hashtbl.find_opt st.inflight job.Pool.id with
+  | Some infl ->
+      infl.waiters <- w :: infl.waiters;
+      conn.c_outstanding <- conn.c_outstanding + 1
+  | None ->
+      if st.draining then
+        respond_error st conn
+          (P.error_response ~id
+             (Diag.unavailable ~code:"serve.draining"
+                "daemon is draining; retry against a fresh instance"))
+      else begin
+        match
+          Admission.try_admit st.adm
+            ~in_flight:(Pool.in_flight st.pool)
+            ~workers:st.cfg.workers (job, deadline)
+        with
+        | `Shed retry_after ->
+            respond_error st conn
+              (P.error_response ~id ~retry_after
+                 (Diag.unavailable ~code:"serve.overloaded"
+                    (Printf.sprintf
+                       "queue is full (%d deep); retry in ~%.1fs"
+                       (Admission.depth st.adm) retry_after)))
+        | `Admitted ->
+            Hashtbl.replace st.inflight job.Pool.id
+              { waiters = [ w ]; cache_as };
+            conn.c_outstanding <- conn.c_outstanding + 1;
+            Cache.pin st.cache job.Pool.id
+      end
+
+let effective_deadline st (env : P.envelope) =
+  match env.P.req_deadline with
+  | Some d -> Float.min d st.cfg.deadline
+  | None -> st.cfg.deadline
+
+let handle_lint st conn ~id source clock =
+  match resolve_graph st source ~cse:false with
+  | Error d -> respond_error st conn (P.error_response ~id d)
+  | Ok graph ->
+      let lib = Celllib.Ncr.for_graph graph in
+      let config = Core.Config.of_library lib in
+      let config =
+        match clock with
+        | None -> config
+        | Some clk ->
+            {
+              config with
+              Core.Config.chaining =
+                Some
+                  {
+                    Core.Config.prop_delay = lib.Celllib.Library.prop_delay;
+                    clock = clk;
+                  };
+            }
+      in
+      let findings = Analysis.Dfg_lint.check ~config graph in
+      let errors = Analysis.Finding.errors findings in
+      let warnings = Analysis.Finding.warnings findings in
+      let finding_json severity (f : Analysis.Finding.t) =
+        Jsonl.Obj
+          [
+            ("severity", Jsonl.String severity);
+            ("code", Jsonl.String f.Analysis.Finding.diag.Diag.code);
+            ("message", Jsonl.String f.Analysis.Finding.diag.Diag.message);
+            ( "nodes",
+              Jsonl.List
+                (List.map (fun n -> Jsonl.String n) f.Analysis.Finding.nodes)
+            );
+          ]
+      in
+      respond_ok st conn
+        (P.ok_response ~id
+           (Jsonl.Obj
+              [
+                ("errors", Jsonl.Int (List.length errors));
+                ("warnings", Jsonl.Int (List.length warnings));
+                ( "findings",
+                  Jsonl.List
+                    (List.map (finding_json "error") errors
+                    @ List.map (finding_json "warning") warnings) );
+              ]))
+
+let reschedule_job ~job_id ~base ~edited ~deltas ~cs =
+  let ( let* ) = Result.bind in
+  Batch.Jobs.generic ~id:job_id ~seed:0 ~descr:"reschedule" (fun () ->
+      let* base_g = Dfg.Parser.parse base in
+      let* edited_g = Dfg.Parser.parse edited in
+      let spec = Core.Mfs.Time { cs } in
+      let* old = Core.Mfs.run base_g spec in
+      let* out, stats = Core.Mfs.reschedule ~old edited_g deltas spec in
+      Ok
+        (Jsonl.Obj
+           [
+             ("status", Jsonl.String "ok");
+             ( "csteps",
+               Jsonl.Int out.Core.Mfs.schedule.Core.Schedule.cs );
+             ("replaced", Jsonl.Int stats.Core.Mfs.replaced);
+             ("kept", Jsonl.Int stats.Core.Mfs.kept);
+             ("fell_back", Jsonl.Bool stats.Core.Mfs.fell_back);
+             ("restarts", Jsonl.Int out.Core.Mfs.restarts);
+           ]))
+
+let explore_job ~job_id ~spec_text ~cache_path ~deadline =
+  let ( let* ) = Result.bind in
+  Batch.Jobs.generic ~id:job_id ~seed:0 ~descr:"explore" (fun () ->
+      let* spec = Explore.Spec.parse ~file:"<request>" spec_text in
+      let* o = Explore.Engine.run ~workers:1 ?cache:cache_path ~deadline spec in
+      let front = Explore.Engine.front o in
+      Ok
+        (Jsonl.Obj
+           [
+             ("status", Jsonl.String "ok");
+             ( "points",
+               Jsonl.Int
+                 (o.Explore.Engine.seed_points
+                 + o.Explore.Engine.refined_points) );
+             ("evaluated", Jsonl.Int o.Explore.Engine.fresh);
+             ("cache_hits", Jsonl.Int o.Explore.Engine.cache_hits);
+             ("front", Jsonl.Int (List.length front));
+             ("interrupted", Jsonl.Bool o.Explore.Engine.interrupted);
+           ]))
+
+let handle_request st conn (env : P.envelope) =
+  let id = env.P.req_id in
+  Stats.note_request st.stats (P.request_op_name env.P.request);
+  match env.P.request with
+  | P.Ping ->
+      respond_ok st conn (P.ok_response ~id (Jsonl.Obj [ ("pong", Jsonl.Bool true) ]))
+  | P.Health ->
+      respond_ok st conn
+        (P.ok_response ~id
+           (Jsonl.Obj
+              [
+                ( "status",
+                  Jsonl.String (if st.draining then "draining" else "ok") );
+                ("pid", Jsonl.Int (Unix.getpid ()));
+              ]))
+  | P.Stats ->
+      respond_ok st conn
+        (P.ok_response ~id
+           (Stats.to_json st.stats
+              ~queue_depth:(Admission.depth st.adm)
+              ~in_flight:(Pool.in_flight st.pool)
+              ~connections:(List.length st.conns)
+              ~shed:(Admission.shed_count st.adm)
+              ~cache:(Cache.stats st.cache)))
+  | P.Lint { source; clock } -> handle_lint st conn ~id source clock
+  | P.Schedule { source; opts } -> (
+      match resolve_graph st source ~cse:opts.P.cse with
+      | Error d -> respond_error st conn (P.error_response ~id d)
+      | Ok graph -> (
+          let point =
+            {
+              Lattice.index = 0;
+              engine = opts.P.engine;
+              style = opts.P.style;
+              weights = opts.P.weights;
+              constr = opts.P.constr;
+              library = opts.P.library;
+              clock = opts.P.clock;
+              cse = opts.P.cse;
+              fault = opts.P.fault;
+            }
+          in
+          let key = Lattice.key ~graph point in
+          match Cache.find st.cache key with
+          | Some entry ->
+              Stats.note_ok st.stats;
+              respond st conn (cached_entry_response ~id entry)
+          | None ->
+              enqueue st conn ~id
+                ~cache_as:(Cache_point (Lattice.descr point))
+                ~deadline:(effective_deadline st env)
+                (Lattice.job ~graph point)))
+  | P.Reschedule { base; edited; deltas; cs } ->
+      let src = function P.Inline s -> s | P.Named n -> "named|" ^ n in
+      let delta_name = function
+        | Core.Mfs.Op_added n -> "a:" ^ n
+        | Core.Mfs.Op_removed n -> "r:" ^ n
+        | Core.Mfs.Op_changed n -> "c:" ^ n
+      in
+      let job_id =
+        Batch.Jobs.digest
+          (String.concat "|"
+             ([ "reschedule"; src base; src edited; string_of_int cs ]
+             @ List.map delta_name deltas))
+      in
+      enqueue st conn ~id ~cache_as:No_cache
+        ~deadline:(effective_deadline st env)
+        (reschedule_job ~job_id ~base:(src base) ~edited:(src edited) ~deltas
+           ~cs)
+  | P.Explore { spec_text } ->
+      let job_id = Batch.Jobs.digest ("explore-request|" ^ spec_text) in
+      enqueue st conn ~id ~cache_as:No_cache
+        ~deadline:(effective_deadline st env)
+        (explore_job ~job_id ~spec_text ~cache_path:st.cfg.cache_path
+           ~deadline:st.cfg.deadline)
+
+(* --- Completions -------------------------------------------------------- *)
+
+let journal_completion st (c : Pool.completion) =
+  Option.iter
+    (fun w ->
+      let r =
+        {
+          Journal.id = c.Pool.c_job.Pool.id;
+          seed = c.Pool.c_job.Pool.seed;
+          descr = c.Pool.c_job.Pool.descr;
+          attempt = c.Pool.c_attempt;
+          final = true;
+          verdict = c.Pool.c_verdict;
+          seconds = c.Pool.c_seconds;
+        }
+      in
+      match Journal.append w r with
+      | Ok () -> ()
+      | Error d -> st.cfg.log (Diag.to_string d))
+    st.journal
+
+let cache_completion st ~key ~cache_as verdict =
+  match cache_as with
+  | No_cache -> ()
+  | Cache_point descr -> (
+      let record entry =
+        Cache.insert st.cache entry;
+        Option.iter
+          (fun w ->
+            match Cache.append w entry with
+            | Ok () -> ()
+            | Error d -> st.cfg.log (Diag.to_string d))
+          st.cache_writer
+      in
+      match verdict with
+      | Batch.Verdict.Done payload -> (
+          match
+            Result.bind (Jsonl.parse payload) Lattice.metrics_of_json
+          with
+          | Ok m ->
+              record { Cache.key; descr; outcome = Cache.Metrics m }
+          | Error _ -> ())
+      | Batch.Verdict.Rejected d
+        when d.Diag.category = Diag.Infeasible
+             || d.Diag.category = Diag.Input ->
+          record
+            { Cache.key; descr; outcome = Cache.Infeasible d.Diag.code }
+      | _ -> ())
+
+let complete st (c : Pool.completion) =
+  let key = c.Pool.c_job.Pool.id in
+  Stats.note_verdict st.stats c.Pool.c_verdict;
+  Admission.note_service st.adm c.Pool.c_seconds;
+  journal_completion st c;
+  match Hashtbl.find_opt st.inflight key with
+  | None -> ()  (* waiters already answered (drain) *)
+  | Some infl ->
+      Hashtbl.remove st.inflight key;
+      cache_completion st ~key ~cache_as:infl.cache_as c.Pool.c_verdict;
+      List.iter
+        (fun w ->
+          w.w_conn.c_outstanding <- w.w_conn.c_outstanding - 1;
+          let resp = verdict_response ~id:w.w_id c.Pool.c_verdict in
+          (match c.Pool.c_verdict with
+          | Batch.Verdict.Done _ -> Stats.note_ok st.stats
+          | _ -> Stats.note_error st.stats);
+          respond st w.w_conn resp)
+        (List.rev infl.waiters);
+      Cache.unpin st.cache key
+
+(* Answer every outstanding waiter with a typed diagnostic (drain
+   timeout, shutdown) and forget the work. *)
+let fail_all_inflight st d =
+  Hashtbl.iter
+    (fun key infl ->
+      List.iter
+        (fun w ->
+          w.w_conn.c_outstanding <- w.w_conn.c_outstanding - 1;
+          respond_error st w.w_conn (P.error_response ~id:w.w_id d))
+        (List.rev infl.waiters);
+      Cache.unpin st.cache key)
+    st.inflight;
+  Hashtbl.reset st.inflight;
+  let rec drop () =
+    match Admission.pop st.adm with Some _ -> drop () | None -> ()
+  in
+  drop ()
+
+(* --- Listeners ---------------------------------------------------------- *)
+
+let bind_error what err =
+  Diag.input ~code:"serve.bind"
+    (Printf.sprintf "cannot listen on %s: %s" what (Unix.error_message err))
+
+let unix_listener path =
+  match
+    (try Unix.unlink path with Unix.Unix_error _ -> ());
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.set_nonblock fd;
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 64;
+    fd
+  with
+  | fd -> Ok fd
+  | exception Unix.Unix_error (err, _, _) -> Error (bind_error path err)
+
+let tcp_listener port =
+  match
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.set_nonblock fd;
+    Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    Unix.listen fd 64;
+    fd
+  with
+  | fd -> Ok fd
+  | exception Unix.Unix_error (err, _, _) ->
+      Error (bind_error (Printf.sprintf "127.0.0.1:%d" port) err)
+
+(* --- Crash-only store loading ------------------------------------------- *)
+
+let load_cache cfg =
+  match cfg.cache_path with
+  | None -> Cache.empty ?max_entries:cfg.cache_max ()
+  | Some path -> (
+      match Cache.load ?max_entries:cfg.cache_max path with
+      | Ok c ->
+          cfg.log
+            (Printf.sprintf "cache: %d entr%s warm from %s" (Cache.size c)
+               (if Cache.size c = 1 then "y" else "ies")
+               path);
+          c
+      | Error d ->
+          (* Crash-only: a corrupt store is moved aside, never fatal. *)
+          let aside = path ^ ".corrupt" in
+          (try Sys.rename path aside with Sys_error _ -> ());
+          cfg.log (Diag.to_string d);
+          cfg.log
+            (Printf.sprintf "cache: corrupt store moved to %s; starting cold"
+               aside);
+          Cache.empty ?max_entries:cfg.cache_max ())
+
+(* --- Main loop ----------------------------------------------------------- *)
+
+let run ?(ready = fun () -> ()) cfg =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  drain_requested := false;
+  let handle = Sys.Signal_handle (fun _ -> drain_requested := true) in
+  Sys.set_signal Sys.sigterm handle;
+  Sys.set_signal Sys.sigint handle;
+  let ( let* ) = Result.bind in
+  let* unix_fd = unix_listener cfg.socket in
+  let* tcp_fd =
+    match cfg.tcp_port with
+    | None -> Ok None
+    | Some port -> Result.map Option.some (tcp_listener port)
+  in
+  let st =
+    {
+      cfg;
+      pool = Pool.create ~workers:cfg.workers ?heap_words:cfg.heap_words ();
+      adm = Admission.create ~limit:cfg.queue_limit;
+      cache = load_cache cfg;
+      cache_writer = Option.map Cache.open_writer cfg.cache_path;
+      journal = Option.map Journal.open_writer cfg.journal_path;
+      stats = Stats.create ();
+      conns = [];
+      inflight = Hashtbl.create 32;
+      graphs = Hashtbl.create 32;
+      draining = false;
+      drain_at = 0.;
+    }
+  in
+  let listeners = ref (unix_fd :: Option.to_list tcp_fd) in
+  cfg.log
+    (Printf.sprintf "listening on %s%s (workers=%d deadline=%.0fs queue=%d)"
+       cfg.socket
+       (match cfg.tcp_port with
+       | None -> ""
+       | Some p -> Printf.sprintf " and 127.0.0.1:%d" p)
+       cfg.workers cfg.deadline cfg.queue_limit);
+  ready ();
+  let chunk = Bytes.create 65536 in
+  let overloaded_conn fd =
+    (* Accepted over max_conns: one typed frame, then close, so the
+       accept queue never silently starves. Best effort — the frame is
+       small enough to fit the socket buffer. *)
+    ignore
+      (Frame.send fd
+         (P.error_response ~id:""
+            (Diag.unavailable ~code:"serve.overloaded"
+               "connection limit reached; retry shortly")));
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  in
+  let accept_ready ready_fds =
+    List.iter
+      (fun lfd ->
+        if List.memq lfd ready_fds then begin
+          let rec accept_loop () =
+            match Unix.accept lfd with
+            | fd, _ ->
+                Unix.set_nonblock fd;
+                if List.length st.conns >= cfg.max_conns then
+                  overloaded_conn fd
+                else
+                  st.conns <-
+                    {
+                      c_fd = fd;
+                      c_dec = Frame.decoder ~max_frame:cfg.max_frame ();
+                      c_out = "";
+                      c_last_read = Unix.gettimeofday ();
+                      c_eof = false;
+                      c_outstanding = 0;
+                      c_alive = true;
+                    }
+                    :: st.conns;
+                accept_loop ()
+            | exception
+                Unix.Unix_error
+                  ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ECONNABORTED), _, _)
+              ->
+                ()
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+          in
+          accept_loop ()
+        end)
+      !listeners
+  in
+  let read_conn c =
+    let rec go () =
+      match Unix.read c.c_fd chunk 0 (Bytes.length chunk) with
+      | 0 ->
+          (* Half-close: the peer is done sending but may still be
+             reading. Keep the connection until owed responses and
+             buffered bytes are out. *)
+          c.c_eof <- true;
+          if Frame.has_partial c.c_dec then close_conn c
+          else if c.c_outstanding = 0 && c.c_out = "" then close_conn c
+      | n -> (
+          c.c_last_read <- Unix.gettimeofday ();
+          match Frame.feed c.c_dec (Bytes.sub_string chunk 0 n) with
+          | Error d ->
+              (* Oversized frame: the stream cannot re-sync. One typed
+                 response, flush, close. *)
+              respond_error st c (P.error_response ~id:"" d);
+              flush_conn c;
+              close_conn c
+          | Ok frames ->
+              List.iter
+                (fun payload ->
+                  if c.c_alive then
+                    match
+                      P.parse_request ~max_bytes:cfg.max_frame payload
+                    with
+                    | Error d ->
+                        respond_error st c (P.error_response ~id:"" d)
+                    | Ok env -> handle_request st c env)
+                frames;
+              if c.c_alive then go ())
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error (_, _, _) -> close_conn c
+    in
+    if c.c_alive && not c.c_eof then go ()
+  in
+  let dispatch () =
+    let rec go () =
+      if Pool.load st.pool < cfg.workers then
+        match Admission.pop st.adm with
+        | None -> ()
+        | Some (job, deadline) ->
+            Pool.submit st.pool ~deadline job;
+            go ()
+    in
+    go ()
+  in
+  let enforce_read_timeouts now =
+    List.iter
+      (fun c ->
+        if
+          c.c_alive
+          && (not c.c_eof)
+          && Frame.has_partial c.c_dec
+          && now -. c.c_last_read > cfg.read_timeout
+        then begin
+          respond_error st c
+            (P.error_response ~id:""
+               (Diag.input ~code:"serve.read-timeout"
+                  (Printf.sprintf
+                     "no progress on a partial frame for %.0fs" cfg.read_timeout)));
+          flush_conn c;
+          close_conn c
+        end)
+      st.conns
+  in
+  let prune_conns () =
+    List.iter
+      (fun c ->
+        if c.c_alive && c.c_eof && c.c_outstanding = 0 && c.c_out = "" then
+          close_conn c)
+      st.conns;
+    st.conns <- List.filter (fun c -> c.c_alive) st.conns
+  in
+  let rec loop () =
+    if !drain_requested && not st.draining then begin
+      st.draining <- true;
+      st.drain_at <- Unix.gettimeofday () +. cfg.drain_timeout;
+      List.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        !listeners;
+      listeners := [];
+      cfg.log "drain: stopped accepting; finishing in-flight work"
+    end;
+    let finished =
+      st.draining
+      && Admission.depth st.adm = 0
+      && Pool.load st.pool = 0
+      && List.for_all (fun c -> c.c_out = "") st.conns
+    in
+    if not finished then begin
+      let rfds =
+        !listeners
+        @ List.filter_map
+            (fun c ->
+              if c.c_alive && not c.c_eof then Some c.c_fd else None)
+            st.conns
+        @ Pool.worker_fds st.pool
+      in
+      let wfds =
+        List.filter_map
+          (fun c -> if c.c_alive && c.c_out <> "" then Some c.c_fd else None)
+          st.conns
+      in
+      let ready_r, ready_w =
+        match Unix.select rfds wfds [] 0.05 with
+        | r, w, _ -> (r, w)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [])
+      in
+      accept_ready ready_r;
+      List.iter
+        (fun c -> if List.memq c.c_fd ready_r then read_conn c)
+        st.conns;
+      dispatch ();
+      List.iter (complete st) (Pool.step st.pool);
+      List.iter
+        (fun c -> if List.memq c.c_fd ready_w then flush_conn c)
+        st.conns;
+      let now = Unix.gettimeofday () in
+      enforce_read_timeouts now;
+      if st.draining && now > st.drain_at && Pool.load st.pool > 0 then begin
+        cfg.log "drain: timeout; killing in-flight work";
+        List.iter (complete st) (Pool.kill_all st.pool);
+        fail_all_inflight st
+          (Diag.unavailable ~code:"serve.draining"
+             "daemon shut down before this request completed")
+      end;
+      prune_conns ();
+      loop ()
+    end
+  in
+  loop ();
+  (* Drained: flush what remains (bounded), then tear down. *)
+  let flush_deadline = Unix.gettimeofday () +. 1.0 in
+  let rec final_flush () =
+    let pending =
+      List.filter (fun c -> c.c_alive && c.c_out <> "") st.conns
+    in
+    if pending <> [] && Unix.gettimeofday () < flush_deadline then begin
+      (match
+         Unix.select [] (List.map (fun c -> c.c_fd) pending) [] 0.1
+       with
+      | _, ready, _ ->
+          List.iter
+            (fun c -> if List.memq c.c_fd ready then flush_conn c)
+            pending
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      final_flush ()
+    end
+  in
+  final_flush ();
+  List.iter close_conn st.conns;
+  Option.iter Cache.close st.cache_writer;
+  Option.iter Journal.close st.journal;
+  (try Unix.unlink cfg.socket with Unix.Unix_error _ -> ());
+  cfg.log "drain: complete";
+  Ok ()

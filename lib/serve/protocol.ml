@@ -1,0 +1,301 @@
+module Jsonl = Batch.Jsonl
+module Spec = Explore.Spec
+
+type graph_source = Inline of string | Named of string
+
+type sched_options = {
+  engine : Spec.engine;
+  style : Core.Mfsa.style;
+  weights : Core.Mfsa.weights;
+  constr : Spec.constraint_;
+  library : Spec.library_variant;
+  clock : float option;
+  cse : bool;
+  fault : Harness.Fault.t option;
+}
+
+let default_options =
+  {
+    engine = Spec.Mfsa;
+    style = Core.Mfsa.Unrestricted;
+    weights = Core.Mfsa.equal_weights;
+    constr = Spec.Time 0;
+    library = Spec.Default;
+    clock = None;
+    cse = false;
+    fault = None;
+  }
+
+type request =
+  | Schedule of { source : graph_source; opts : sched_options }
+  | Reschedule of {
+      base : graph_source;
+      edited : graph_source;
+      deltas : Core.Mfs.delta list;
+      cs : int;
+    }
+  | Lint of { source : graph_source; clock : float option }
+  | Explore of { spec_text : string }
+  | Health
+  | Stats
+  | Ping
+
+type envelope = {
+  req_id : string;
+  req_deadline : float option;
+  request : request;
+}
+
+let request_op_name = function
+  | Schedule _ -> "schedule"
+  | Reschedule _ -> "reschedule"
+  | Lint _ -> "lint"
+  | Explore _ -> "explore"
+  | Health -> "health"
+  | Stats -> "stats"
+  | Ping -> "ping"
+
+(* --- Request parsing ---------------------------------------------------- *)
+
+let bad msg = Diag.input ~code:"serve.bad-request" msg
+let badf fmt = Printf.ksprintf bad fmt
+
+let ( let* ) = Result.bind
+
+let graph_source doc =
+  match (Jsonl.str "graph" doc, Jsonl.str "spec" doc) with
+  | Some src, None -> Ok (Inline src)
+  | None, Some name -> Ok (Named name)
+  | Some _, Some _ -> Error (bad "give either \"graph\" or \"spec\", not both")
+  | None, None -> Error (bad "missing \"graph\" (inline source) or \"spec\"")
+
+let parse_limits s =
+  let parts = String.split_on_char ',' s in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | part :: rest -> (
+        match String.index_opt part '=' with
+        | None -> Error (badf "malformed limit %S (want CLASS=N)" part)
+        | Some i -> (
+            let cls = String.trim (String.sub part 0 i) in
+            let n =
+              String.trim (String.sub part (i + 1) (String.length part - i - 1))
+            in
+            match int_of_string_opt n with
+            | Some n when n > 0 && cls <> "" -> go ((cls, n) :: acc) rest
+            | _ -> Error (badf "malformed limit %S (want CLASS=N)" part)))
+  in
+  go [] parts
+
+let parse_constr doc =
+  match (Jsonl.int "cs" doc, Jsonl.str "limits" doc) with
+  | Some _, Some _ -> Error (bad "give either \"cs\" or \"limits\", not both")
+  | None, Some s -> Result.map (fun l -> Spec.Resource l) (parse_limits s)
+  | Some cs, None when cs >= 0 -> Ok (Spec.Time cs)
+  | Some cs, None -> Error (badf "negative \"cs\" %d" cs)
+  | None, None -> Ok (Spec.Time 0)
+
+let parse_options doc =
+  let* engine =
+    match Jsonl.str "engine" doc with
+    | None -> Ok default_options.engine
+    | Some s -> (
+        match Spec.engine_of_name s with
+        | Some e -> Ok e
+        | None -> Error (badf "unknown engine %S" s))
+  in
+  let* style =
+    match Jsonl.int "style" doc with
+    | None -> Ok default_options.style
+    | Some 1 -> Ok Core.Mfsa.Unrestricted
+    | Some 2 -> Ok Core.Mfsa.No_self_loop
+    | Some n -> Error (badf "unknown style %d (want 1 or 2)" n)
+  in
+  let* weights =
+    match Jsonl.str "weights" doc with
+    | None -> Ok default_options.weights
+    | Some s -> (
+        match Spec.weights_of_name s with
+        | Some w -> Ok w
+        | None -> Error (badf "malformed weights %S (want T/A/M/R)" s))
+  in
+  let* constr = parse_constr doc in
+  let* library =
+    match Jsonl.str "library" doc with
+    | None -> Ok default_options.library
+    | Some s -> (
+        match Spec.library_of_name s with
+        | Some l -> Ok l
+        | None -> Error (badf "unknown library %S" s))
+  in
+  let* clock =
+    match Jsonl.member "clock" doc with
+    | None -> Ok None
+    | Some v -> (
+        match Jsonl.to_float v with
+        | Some c when c > 0. -> Ok (Some c)
+        | _ -> Error (bad "\"clock\" must be a positive period in ns"))
+  in
+  let* cse =
+    match Jsonl.member "cse" doc with
+    | None -> Ok false
+    | Some (Jsonl.Bool b) -> Ok b
+    | Some _ -> Error (bad "\"cse\" must be a boolean")
+  in
+  let* fault =
+    match Jsonl.str "inject" doc with
+    | None -> Ok None
+    | Some s -> (
+        match Harness.Fault.of_string s with
+        | Some f when Harness.Fault.is_process f -> Ok (Some f)
+        | Some _ ->
+            Error (badf "inject %S: only process faults (hang/segv) here" s)
+        | None -> Error (badf "unknown fault %S" s))
+  in
+  Ok { engine; style; weights; constr; library; clock; cse; fault }
+
+let parse_deltas doc =
+  match Jsonl.member "deltas" doc with
+  | None | Some (Jsonl.List []) -> Ok []
+  | Some (Jsonl.List items) ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | item :: rest -> (
+            match (Jsonl.str "kind" item, Jsonl.str "node" item) with
+            | Some kind, Some node -> (
+                match kind with
+                | "added" -> go (Core.Mfs.Op_added node :: acc) rest
+                | "removed" -> go (Core.Mfs.Op_removed node :: acc) rest
+                | "changed" -> go (Core.Mfs.Op_changed node :: acc) rest
+                | k -> Error (badf "unknown delta kind %S" k))
+            | _ -> Error (bad "each delta needs \"kind\" and \"node\""))
+      in
+      go [] items
+  | Some _ -> Error (bad "\"deltas\" must be a list")
+
+let parse_request ?max_bytes payload =
+  let* doc = Jsonl.parse_bounded ?max_bytes payload in
+  let req_id = Option.value ~default:"" (Jsonl.str "id" doc) in
+  let* req_deadline =
+    match Jsonl.member "deadline" doc with
+    | None -> Ok None
+    | Some v -> (
+        match Jsonl.to_float v with
+        | Some d when d > 0. -> Ok (Some d)
+        | _ -> Error (bad "\"deadline\" must be positive seconds"))
+  in
+  let* request =
+    match Jsonl.str "op" doc with
+    | None -> Error (bad "missing \"op\"")
+    | Some "ping" -> Ok Ping
+    | Some "health" -> Ok Health
+    | Some "stats" -> Ok Stats
+    | Some "schedule" ->
+        let* source = graph_source doc in
+        let* opts = parse_options doc in
+        Ok (Schedule { source; opts })
+    | Some "lint" ->
+        let* source = graph_source doc in
+        let* clock =
+          match Jsonl.member "clock" doc with
+          | None -> Ok None
+          | Some v -> (
+              match Jsonl.to_float v with
+              | Some c when c > 0. -> Ok (Some c)
+              | _ -> Error (bad "\"clock\" must be a positive period in ns"))
+        in
+        Ok (Lint { source; clock })
+    | Some "explore" -> (
+        match Jsonl.str "spec_text" doc with
+        | Some spec_text when String.trim spec_text <> "" ->
+            Ok (Explore { spec_text })
+        | _ -> Error (bad "explore needs a non-empty \"spec_text\""))
+    | Some "reschedule" -> (
+        let* base =
+          match Jsonl.str "base" doc with
+          | Some s -> Ok (Inline s)
+          | None -> Error (bad "reschedule needs \"base\" (pre-edit source)")
+        in
+        let* edited =
+          match Jsonl.str "graph" doc with
+          | Some s -> Ok (Inline s)
+          | None -> Error (bad "reschedule needs \"graph\" (edited source)")
+        in
+        let* deltas = parse_deltas doc in
+        match Jsonl.int "cs" doc with
+        | Some cs when cs >= 0 ->
+            Ok (Reschedule { base; edited; deltas; cs })
+        | Some cs -> Error (badf "negative \"cs\" %d" cs)
+        | None -> Ok (Reschedule { base; edited; deltas; cs = 0 }))
+    | Some op -> Error (badf "unknown op %S" op)
+  in
+  Ok { req_id; req_deadline; request }
+
+(* --- Responses ---------------------------------------------------------- *)
+
+let ok_response ~id ?(cached = false) payload =
+  Jsonl.to_string
+    (Jsonl.Obj
+       [
+         ("id", Jsonl.String id);
+         ("status", Jsonl.String "ok");
+         ("cached", Jsonl.Bool cached);
+         ("payload", payload);
+       ])
+
+let error_response ~id ?retry_after d =
+  Jsonl.to_string
+    (Jsonl.Obj
+       ([
+          ("id", Jsonl.String id);
+          ("status", Jsonl.String "error");
+          ("diag", Batch.Verdict.diag_to_json d);
+        ]
+       @
+       match retry_after with
+       | None -> []
+       | Some s -> [ ("retry_after", Jsonl.Float s) ]))
+
+type response = {
+  r_id : string;
+  r_ok : bool;
+  r_cached : bool;
+  r_retry_after : float option;
+  r_payload : Jsonl.t option;
+  r_diag : Diag.t option;
+}
+
+let parse_response ?max_bytes payload =
+  let* doc = Jsonl.parse_bounded ?max_bytes payload in
+  let r_id = Option.value ~default:"" (Jsonl.str "id" doc) in
+  match Jsonl.str "status" doc with
+  | Some "ok" ->
+      Ok
+        {
+          r_id;
+          r_ok = true;
+          r_cached =
+            (match Jsonl.member "cached" doc with
+            | Some (Jsonl.Bool b) -> b
+            | _ -> false);
+          r_retry_after = None;
+          r_payload = Jsonl.member "payload" doc;
+          r_diag = None;
+        }
+  | Some "error" -> (
+      match Jsonl.member "diag" doc with
+      | None -> Error (bad "error response missing \"diag\"")
+      | Some d -> (
+          match Batch.Verdict.diag_of_json d with
+          | Error msg -> Error (bad ("unparsable diag: " ^ msg))
+          | Ok d ->
+              Ok
+                {
+                  r_id;
+                  r_ok = false;
+                  r_cached = false;
+                  r_retry_after = Jsonl.float "retry_after" doc;
+                  r_payload = None;
+                  r_diag = Some d;
+                }))
+  | _ -> Error (bad "response missing \"status\"")

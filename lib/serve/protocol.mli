@@ -1,0 +1,90 @@
+(** Typed request/response envelopes for the synthesis daemon.
+
+    Every frame payload is one {!Batch.Jsonl} object. Requests carry an
+    ["op"], a client-chosen ["id"] (echoed verbatim in the response so
+    clients may pipeline), and op-specific fields:
+
+    {v
+    {"op":"schedule","id":"1","graph":"...dfg source...","cs":4,
+     "engine":"mfsa","style":2,"weights":"1/1/1/20","library":"default",
+     "clock":100,"cse":true}
+    {"op":"reschedule","id":"2","base":"...","graph":"...",
+     "deltas":[{"kind":"changed","node":"n3"}],"cs":8}
+    {"op":"lint","id":"3","spec":"diffeq"}
+    {"op":"explore","id":"4","spec_text":"graph ewf\nengine mfsa mfs\n"}
+    {"op":"health","id":"5"}   {"op":"stats","id":"6"}  {"op":"ping","id":"7"}
+    v}
+
+    A graph comes either inline (["graph"], DFG source) or by name
+    (["spec"], a file path or builtin resolved with
+    {!Batch.Manifest.load_graph}); ["inject"] plants a process fault
+    ([hang] / [segv]) for containment testing. Responses echo the id and
+    either [{"status":"ok","cached":BOOL,"payload":…}] or
+    [{"status":"error","diag":{…},"retry_after":SECONDS?}] — the [diag]
+    object round-trips a {!Diag.t}, so clients get the same typed codes
+    and exit-code mapping as the CLI. *)
+
+type graph_source =
+  | Inline of string  (** DFG source text. *)
+  | Named of string  (** File path or builtin example name. *)
+
+type sched_options = {
+  engine : Explore.Spec.engine;
+  style : Core.Mfsa.style;
+  weights : Core.Mfsa.weights;
+  constr : Explore.Spec.constraint_;
+  library : Explore.Spec.library_variant;
+  clock : float option;
+  cse : bool;
+  fault : Harness.Fault.t option;
+}
+
+val default_options : sched_options
+(** MFSA, style 1, equal weights, critical-path time budget, default
+    library — the same defaults as a bare [synth mfsa] run. *)
+
+type request =
+  | Schedule of { source : graph_source; opts : sched_options }
+  | Reschedule of {
+      base : graph_source;
+      edited : graph_source;
+      deltas : Core.Mfs.delta list;
+      cs : int;
+    }
+  | Lint of { source : graph_source; clock : float option }
+  | Explore of { spec_text : string }
+  | Health
+  | Stats
+  | Ping
+
+type envelope = {
+  req_id : string;
+  req_deadline : float option;
+      (** Client-requested wall-clock budget (seconds); the daemon clamps
+          it to its own per-request ceiling. *)
+  request : request;
+}
+
+val parse_request : ?max_bytes:int -> string -> (envelope, Diag.t) result
+(** Parse one frame payload. Errors are typed: [batch.frame-too-large]
+    over the byte ceiling, [batch.jsonl] for malformed JSON,
+    [serve.bad-request] for a well-formed document that is not a valid
+    request. *)
+
+val request_op_name : request -> string
+
+(** {2 Responses} *)
+
+val ok_response : id:string -> ?cached:bool -> Batch.Jsonl.t -> string
+val error_response : id:string -> ?retry_after:float -> Diag.t -> string
+
+type response = {
+  r_id : string;
+  r_ok : bool;
+  r_cached : bool;
+  r_retry_after : float option;
+  r_payload : Batch.Jsonl.t option;  (** Present when [r_ok]. *)
+  r_diag : Diag.t option;  (** Present when not [r_ok]. *)
+}
+
+val parse_response : ?max_bytes:int -> string -> (response, Diag.t) result

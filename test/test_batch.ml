@@ -98,8 +98,8 @@ let journal_roundtrip_and_torn_line () =
   let r2 =
     record ~id:"b" ~seed:1 ~final:false Batch.Verdict.Timeout ~attempt:1
   in
-  Batch.Journal.append w r1;
-  Batch.Journal.append w r2;
+  Helpers.check_okd "append r1" (Batch.Journal.append w r1);
+  Helpers.check_okd "append r2" (Batch.Journal.append w r2);
   Batch.Journal.close w;
   (* Simulate a SIGKILL mid-append: a torn record with no newline. *)
   let oc = open_out_gen [ Open_append ] 0o644 path in

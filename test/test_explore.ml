@@ -255,13 +255,13 @@ let cache_store_roundtrip () =
   let path = tmp_path "cache.jsonl" in
   rm path;
   let w = Cache.open_writer path in
-  Cache.append w
-    { Cache.key = "a"; descr = "p0"; outcome = Cache.Metrics sample_metrics };
-  Cache.append w
-    { Cache.key = "b"; descr = "p1"; outcome = Cache.Infeasible "x.y" };
+  Helpers.check_okd "append" (Cache.append w
+    { Cache.key = "a"; descr = "p0"; outcome = Cache.Metrics sample_metrics });
+  Helpers.check_okd "append" (Cache.append w
+    { Cache.key = "b"; descr = "p1"; outcome = Cache.Infeasible "x.y" });
   (* Duplicate key: the later entry must win on load. *)
-  Cache.append w
-    { Cache.key = "b"; descr = "p1-later"; outcome = Cache.Infeasible "x.z" };
+  Helpers.check_okd "append" (Cache.append w
+    { Cache.key = "b"; descr = "p1-later"; outcome = Cache.Infeasible "x.z" });
   Cache.close w;
   let t = Helpers.check_okd "load" (Cache.load path) in
   Alcotest.(check int) "two keys" 2 (Cache.size t);
@@ -300,6 +300,119 @@ let cache_rejects_garbage () =
 let cache_missing_is_empty () =
   let t = Helpers.check_okd "load" (Cache.load (tmp_path "nonexistent")) in
   Alcotest.(check int) "empty" 0 (Cache.size t)
+
+(* --- Cache admission control (LRU cap, pins, counters) ------------------- *)
+
+let mini_entry key =
+  { Cache.key; descr = "d:" ^ key; outcome = Cache.Infeasible "x.y" }
+
+let cache_lru_evicts_least_recent () =
+  let t = Cache.empty ~max_entries:2 () in
+  Cache.insert t (mini_entry "a");
+  Cache.insert t (mini_entry "b");
+  (* Touch "a" so "b" becomes the least recently used. *)
+  ignore (Cache.find t "a");
+  Cache.insert t (mini_entry "c");
+  Alcotest.(check bool) "a survives (recently touched)" true
+    (Cache.peek t "a" <> None);
+  Alcotest.(check bool) "b evicted (least recent)" true
+    (Cache.peek t "b" = None);
+  Alcotest.(check bool) "c resident" true (Cache.peek t "c" <> None);
+  let s = Cache.stats t in
+  Alcotest.(check int) "entries at cap" 2 s.Cache.entries;
+  Alcotest.(check int) "one eviction" 1 s.Cache.evictions
+
+let cache_counts_hits_and_misses () =
+  let t = Cache.empty () in
+  Cache.insert t (mini_entry "a");
+  ignore (Cache.find t "a");
+  ignore (Cache.find t "a");
+  ignore (Cache.find t "absent");
+  ignore (Cache.peek t "absent");
+  (* peek is silent *)
+  let s = Cache.stats t in
+  Alcotest.(check int) "hits" 2 s.Cache.hits;
+  Alcotest.(check int) "misses" 1 s.Cache.misses;
+  Alcotest.(check int) "no evictions unbounded" 0 s.Cache.evictions
+
+let cache_pins_shield_in_flight_keys () =
+  let t = Cache.empty ~max_entries:1 () in
+  Cache.pin t "a";
+  Cache.pin t "b";
+  Cache.insert t (mini_entry "a");
+  Cache.insert t (mini_entry "b");
+  (* Every resident key pinned: the cap is soft, nothing is evicted. *)
+  Alcotest.(check int) "soft cap holds both" 2 (Cache.size t);
+  Alcotest.(check int) "no evictions while pinned" 0
+    (Cache.stats t).Cache.evictions;
+  Cache.unpin t "a";
+  Cache.insert t (mini_entry "c");
+  Alcotest.(check bool) "unpinned a now evictable" true
+    (Cache.peek t "a" = None);
+  Alcotest.(check bool) "pinned b survives" true (Cache.peek t "b" <> None);
+  (* Refcounting: double pin needs double unpin. *)
+  Cache.pin t "b";
+  Cache.unpin t "b";
+  Alcotest.(check bool) "still pinned after one unpin" true (Cache.pinned t "b");
+  Cache.unpin t "b";
+  Alcotest.(check bool) "fully unpinned" false (Cache.pinned t "b")
+
+let cache_load_respects_cap () =
+  let path = tmp_path "capped-cache.jsonl" in
+  rm path;
+  let w = Cache.open_writer path in
+  List.iter
+    (fun k -> Helpers.check_okd "append" (Cache.append w (mini_entry k)))
+    [ "a"; "b"; "c" ];
+  Cache.close w;
+  let t = Helpers.check_okd "load" (Cache.load ~max_entries:2 path) in
+  Alcotest.(check int) "only the cap survives replay" 2 (Cache.size t);
+  Alcotest.(check bool) "oldest dropped" true (Cache.peek t "a" = None);
+  Alcotest.(check bool) "recent kept" true
+    (Cache.peek t "b" <> None && Cache.peek t "c" <> None);
+  let s = Cache.stats t in
+  Alcotest.(check (list int)) "replay is history, not traffic" [ 0; 0 ]
+    [ s.Cache.hits; s.Cache.misses ];
+  rm path
+
+(* Two processes appending to one cache file concurrently — the daemon's
+   shared-store discipline (O_APPEND, one write per whole line) must leave
+   no torn or interleaved lines for the reader. *)
+let cache_concurrent_writers_no_torn_lines () =
+  let path = tmp_path "shared-cache.jsonl" in
+  rm path;
+  let per_child = 50 in
+  let child tag =
+    match Unix.fork () with
+    | 0 ->
+        let w = Cache.open_writer path in
+        for i = 0 to per_child - 1 do
+          let e =
+            {
+              Cache.key = Printf.sprintf "%s-%03d" tag i;
+              descr = String.make 120 tag.[0];
+              outcome = Cache.Infeasible "mfsa.no-schedule";
+            }
+          in
+          match Cache.append w e with
+          | Ok () -> ()
+          | Error _ -> Unix._exit 1
+        done;
+        Cache.close w;
+        Unix._exit 0
+    | pid -> pid
+  in
+  let pids = [ child "a"; child "b" ] in
+  List.iter
+    (fun pid ->
+      match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 0 -> ()
+      | _ -> Alcotest.fail "cache writer child failed")
+    pids;
+  let t = Helpers.check_okd "load survives concurrency" (Cache.load path) in
+  Alcotest.(check int) "every line intact and distinct" (2 * per_child)
+    (Cache.size t);
+  rm path
 
 (* --- Refine -------------------------------------------------------------- *)
 
@@ -501,6 +614,12 @@ let suite =
     test "cache: torn trailing line dropped" cache_tolerates_torn_tail;
     test "cache: garbage is an explore.cache error" cache_rejects_garbage;
     test "cache: missing file is empty" cache_missing_is_empty;
+    test "cache: LRU cap evicts the least recent" cache_lru_evicts_least_recent;
+    test "cache: hit/miss counters" cache_counts_hits_and_misses;
+    test "cache: pinned keys never evicted" cache_pins_shield_in_flight_keys;
+    test "cache: load respects the resident cap" cache_load_respects_cap;
+    test "cache: concurrent writers leave no torn lines"
+      cache_concurrent_writers_no_torn_lines;
     test "refine: midpoint weights are means" mid_weights_mean;
     test "refine: budget and indices respected" bisect_respects_budget;
     test "engine: sweep then warm cache evaluates zero" tiny_sweep_then_warm_cache;
