@@ -349,6 +349,7 @@ let scaling_opts_hash g ~cs =
       weights = Core.Mfsa.equal_weights;
       constr = Explore.Spec.Time cs;
       library = Explore.Spec.Default;
+      widths = false;
       clock = None;
       cse = false;
       fault = None;

@@ -129,11 +129,28 @@ let fsm_arg =
   in
   Arg.(value & opt (some enc) None & info [ "fsm" ] ~docv:"ENCODING" ~doc)
 
+let widths_arg =
+  let doc =
+    "Width-aware mode: run the value-range/bitwidth analysis, scale \
+     per-node chaining delays, price the datapath at inferred widths and \
+     prove narrowing safe against the full-width golden model."
+  in
+  Arg.(value & flag & info [ "widths" ] ~doc)
+
 let make_library g ~two_cycle ~pipelined =
   let lib = Celllib.Ncr.for_graph g in
   if pipelined then Celllib.Ncr.pipelined_multiplier lib
   else if two_cycle then Celllib.Ncr.two_cycle_multiplier lib
   else lib
+
+(* Range facts for width-aware commands: the value-width function feeds
+   cost/Verilog/simulation, the node-delay list feeds chaining probes. *)
+let width_support lib g ~widths =
+  if not widths then (None, [])
+  else
+    let facts = Analysis.Ranges.analyze g in
+    ( Some (facts, fun name -> Analysis.Ranges.width_of facts name),
+      Analysis.Ranges.node_delays lib g facts )
 
 let make_config lib ~clock ~latency =
   let cfg = Core.Config.of_library lib in
@@ -233,16 +250,24 @@ let mfs_cmd =
 let mfsa_cmd =
   let doc = "Mixed scheduling-allocation: schedule, bind ALUs/REGs/MUXes." in
   let run spec cs two_cycle pipelined latency clock style verilog simulate cse
-      vcd netlist fsm json =
+      widths vcd netlist fsm json =
     let g = or_die ~json (load_graph spec) in
     let g = apply_cse ~json g cse in
     let lib = make_library g ~two_cycle ~pipelined in
     let config = make_config lib ~clock ~latency in
+    let wsup, node_delay = width_support lib g ~widths in
+    let config = { config with Core.Config.node_delay } in
     let cs = effective_cs config g cs in
     let o = or_die ~json (Core.Mfsa.run ~config ~style ~library:lib ~cs g) in
     Format.printf "%a@." Core.Schedule.pp o.Core.Mfsa.schedule;
     Format.printf "%a@." Rtl.Datapath.pp o.Core.Mfsa.datapath;
-    Format.printf "%a@.@." Rtl.Cost.pp o.Core.Mfsa.cost;
+    Format.printf "%a@." Rtl.Cost.pp o.Core.Mfsa.cost;
+    (match wsup with
+    | None -> ()
+    | Some (_, w) ->
+        Format.printf "width-aware %a@." Rtl.Cost.pp
+          (Rtl.Cost.of_datapath ~widths:w lib o.Core.Mfsa.datapath));
+    Format.printf "@.";
     let delay i =
       Core.Config.delay config (Dfg.Graph.node g i).Dfg.Graph.kind
     in
@@ -264,9 +289,21 @@ let mfsa_cmd =
           (fun e -> print_endline ("datapath check FAILED: " ^ Diag.to_string e))
           errs);
     if simulate then begin
-      match Sim.Equiv.check_random o.Core.Mfsa.datapath ctrl with
+      (match Sim.Equiv.check_random o.Core.Mfsa.datapath ctrl with
       | Ok () -> print_endline "simulation vs golden model: ok (20 random runs)"
-      | Error e -> print_endline ("simulation FAILED: " ^ Diag.to_string e)
+      | Error e -> print_endline ("simulation FAILED: " ^ Diag.to_string e));
+      match wsup with
+      | None -> ()
+      | Some (_, w) -> (
+          match
+            Sim.Equiv.check_narrowing ~widths:w o.Core.Mfsa.datapath ctrl
+          with
+          | Ok () ->
+              print_endline
+                "narrowing safety vs full-width model: ok (5 directed + 20 \
+                 random vectors)"
+          | Error e ->
+              print_endline ("narrowing safety FAILED: " ^ Diag.to_string e))
     end;
     (match vcd with
     | None -> ()
@@ -291,14 +328,17 @@ let mfsa_cmd =
     end;
     if verilog then begin
       print_newline ();
-      print_string (Rtl.Verilog.emit o.Core.Mfsa.datapath ctrl)
+      print_string
+        (Rtl.Verilog.emit
+           ?widths:(Option.map snd wsup)
+           o.Core.Mfsa.datapath ctrl)
     end
   in
   Cmd.v (Cmd.info "mfsa" ~doc)
     Term.(
       const run $ graph_arg $ cs_arg $ two_cycle_arg $ pipelined_arg
       $ latency_arg $ clock_arg $ style_arg $ verilog_arg $ simulate_arg
-      $ cse_arg $ vcd_arg $ netlist_arg $ fsm_arg $ json_arg)
+      $ cse_arg $ widths_arg $ vcd_arg $ netlist_arg $ fsm_arg $ json_arg)
 
 (* --- compare ---------------------------------------------------------- *)
 
@@ -311,20 +351,32 @@ let compare_cmd =
   let run spec cs two_cycle pipelined latency clock limits cse csv json =
     let g = or_die ~json (load_graph spec) in
     let g = apply_cse ~json g cse in
-    let config =
-      make_config (make_library g ~two_cycle ~pipelined) ~clock ~latency
-    in
+    let lib = make_library g ~two_cycle ~pipelined in
+    let config = make_config lib ~clock ~latency in
     let cs = effective_cs config g cs in
+    (* Width-aware area of each scheduler's design, through the same
+       column-packed binding for every row so the column compares
+       schedules, not binders. "-" when the binding fails. *)
+    let facts = Analysis.Ranges.analyze g in
+    let wfun name = Analysis.Ranges.width_of facts name in
+    let warea s =
+      match Harness.Driver.colbind_datapath lib config g s with
+      | Ok dp ->
+          Printf.sprintf "%.0f"
+            (Rtl.Cost.of_datapath ~widths:wfun lib dp).Rtl.Cost.total
+      | Error _ -> "-"
+    in
     let row name ?(via = "primary") result =
       match result with
       | Ok s ->
           [
             name;
             fu_string s;
+            warea s;
             (match Core.Schedule.check s with Ok () -> "yes" | Error _ -> "NO");
             via;
           ]
-      | Error e -> [ name; "error: " ^ e; "-"; via ]
+      | Error e -> [ name; "error: " ^ e; "-"; "-"; via ]
     in
     (* The MFS row goes through the harness driver so the table shows
        whether the schedule came from MFS itself or from the degradation
@@ -363,14 +415,14 @@ let compare_cmd =
       else
         [
           row "list" (Baselines.List_sched.resource ~config g ~limits);
-          [ "FDS"; "n/a under resource limits"; "-"; "-" ];
-          [ "annealing"; "n/a under resource limits"; "-"; "-" ];
+          [ "FDS"; "n/a under resource limits"; "-"; "-"; "-" ];
+          [ "annealing"; "n/a under resource limits"; "-"; "-"; "-" ];
         ]
     in
     if csv then
       print_string
         (Report.Table.to_csv
-           ~header:[ "scheduler"; "units"; "valid"; "via" ]
+           ~header:[ "scheduler"; "units"; "widths"; "valid"; "via" ]
            (mfs_row :: baseline_rows))
     else begin
       if limits = [] then Printf.printf "time budget: %d steps\n" cs
@@ -380,7 +432,7 @@ let compare_cmd =
              (List.map (fun (c, k) -> Printf.sprintf "%s=%d" c k) limits));
       print_string
         (Report.Table.render
-           ~header:[ "scheduler"; "units"; "valid"; "via" ]
+           ~header:[ "scheduler"; "units"; "widths"; "valid"; "via" ]
            (mfs_row :: baseline_rows))
     end
   in
@@ -715,7 +767,7 @@ let lint_cmd =
                  corrupt-trace, skew-delay).")
   in
   let run spec cs two_cycle pipelined latency clock limits style inject
-      json_out dot_lint cse json =
+      json_out dot_lint cse widths json =
     (match inject with
     | Some f when Harness.Fault.is_process f ->
         die ~json
@@ -733,9 +785,16 @@ let lint_cmd =
     let config = make_config lib ~clock ~latency in
     let time_mode = limits = [] in
     let cs = effective_cs config g cs in
-    let pre =
-      if time_mode then Analysis.Runner.pre ~cs config g
-      else Analysis.Runner.pre ~limits config g
+    let pre, pre_times =
+      if time_mode then Analysis.Runner.pre_timed ~cs config g
+      else Analysis.Runner.pre_timed ~limits config g
+    in
+    let post_times = ref [] in
+    let timed name f =
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      post_times := (name, (Unix.gettimeofday () -. t0) *. 1000.) :: !post_times;
+      r
     in
     let bounds =
       Analysis.Feasibility.analyze
@@ -804,15 +863,22 @@ let lint_cmd =
           or_die_s ~json Diag.Internal ~code:"synth.controller"
             (Rtl.Controller.generate dp ~delay)
         in
-        let fs =
-          Analysis.Runner.post_schedule ?trace:!trace !sched
-          @ Analysis.Sched_lint.lifetimes ~regs:dp.Rtl.Datapath.regs
-              o.Core.Mfsa.schedule
-          @ Analysis.Runner.post_rtl
-              ~share_mutex:config.Core.Config.share_mutex
-              ?latency:config.Core.Config.functional_latency dp ctrl
-              ~delay:!eff_delay
+        (* Explicit lets: [@] evaluates right-to-left, which would
+           reverse the recorded pass order. *)
+        let post_sched =
+          timed "post-schedule" (fun () ->
+              Analysis.Runner.post_schedule ?trace:!trace !sched
+              @ Analysis.Sched_lint.lifetimes ~regs:dp.Rtl.Datapath.regs
+                  o.Core.Mfsa.schedule)
         in
+        let post_rtl =
+          timed "post-rtl" (fun () ->
+              Analysis.Runner.post_rtl
+                ~share_mutex:config.Core.Config.share_mutex
+                ?latency:config.Core.Config.functional_latency dp ctrl
+                ~delay:!eff_delay)
+        in
+        let fs = post_sched @ post_rtl in
         ( fs,
           [
             Printf.sprintf "registers: %d used; lower bound %d"
@@ -835,10 +901,19 @@ let lint_cmd =
       print_string (Dfg.Dot.of_graph ~fill g);
       print_newline ()
     end
-    else if json_out then print_endline (Analysis.Finding.to_json fs)
+    else if json_out then begin
+      (* Report object: the findings plus per-pass wall-clock timings. *)
+      let times = pre_times @ List.rev !post_times in
+      Printf.printf "{\"findings\":%s,\"timings_ms\":{%s}}\n"
+        (Analysis.Finding.to_json fs)
+        (String.concat ","
+           (List.map (fun (n, ms) -> Printf.sprintf "%S:%.3f" n ms) times))
+    end
     else begin
       List.iter print_endline header;
       List.iter print_endline reg_lines;
+      if widths then
+        print_string (Analysis.Ranges.width_table g (Analysis.Ranges.analyze g));
       List.iter
         (fun f -> print_endline (Diag.to_string f.Analysis.Finding.diag))
         fs;
@@ -851,7 +926,7 @@ let lint_cmd =
     Term.(
       const run $ graph_arg $ cs_arg $ two_cycle_arg $ pipelined_arg
       $ latency_arg $ clock_arg $ limits_arg $ style_arg $ inject_arg
-      $ json_out_arg $ dot_lint_arg $ cse_arg $ json_arg)
+      $ json_out_arg $ dot_lint_arg $ cse_arg $ widths_arg $ json_arg)
 
 (* --- compile ------------------------------------------------------------ *)
 

@@ -148,7 +148,8 @@ let check ?config g =
       List.iter
         (fun nd ->
           let k = nd.Dfg.Graph.kind in
-          if Core.Config.delay cfg k = 1 && prop_delay k > clock +. 1e-9 then
+          let d = Core.Config.node_prop cfg prop_delay nd in
+          if Core.Config.delay cfg k = 1 && d > clock +. 1e-9 then
             add
               (Finding.error ~nodes:[ nd.Dfg.Graph.name ] Diag.Infeasible
                  ~code:"lint.chain-clock"
@@ -156,7 +157,7 @@ let check ?config g =
                   %.1f ns"
                  nd.Dfg.Graph.name
                  (Dfg.Op.to_string k)
-                 (prop_delay k) clock))
+                 d clock))
         (Dfg.Graph.nodes g)
   | _ -> ());
   List.rev !fs

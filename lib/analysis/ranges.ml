@@ -1,0 +1,610 @@
+(* Value-range & bitwidth abstract interpretation. See ranges.mli for the
+   domain contract and DESIGN.md §15 for the soundness argument.
+
+   Soundness hinges on matching Op.eval's *actual* semantics: native
+   OCaml ints that wrap on overflow, division by zero yielding 0,
+   out-of-range shifts yielding 0. Interval arithmetic therefore never
+   saturates silently — any endpoint computation that would overflow
+   makes the whole interval top, because the concrete wrapped result can
+   land anywhere. *)
+
+type interval = { lo : int; hi : int }
+type bits = { bzero : int; bone : int }
+type fact = { itv : interval; kb : bits }
+
+let top_itv = { lo = min_int; hi = max_int }
+let top_kb = { bzero = 0; bone = 0 }
+let top = { itv = top_itv; kb = top_kb }
+
+(* ---- Lattice plumbing ---------------------------------------------- *)
+
+let meet_itv a b = { lo = max a.lo b.lo; hi = min a.hi b.hi }
+
+(* Masks implied by an interval: non-negative values know their high
+   zero bits, negative values know their sign bit. *)
+let kb_of_itv { lo; hi } =
+  if lo >= 0 then begin
+    let m = ref 0 in
+    while !m < hi do
+      m := (!m lsl 1) lor 1
+    done;
+    { bzero = lnot !m; bone = 0 }
+  end
+  else if hi < 0 then { bzero = 0; bone = min_int }
+  else top_kb
+
+(* Interval implied by the masks — only meaningful when the sign bit
+   (bit 62 = [min_int] as a mask) is known. *)
+let itv_of_kb kb =
+  if kb.bzero land min_int <> 0 || kb.bone land min_int <> 0 then
+    let unknown = lnot (kb.bzero lor kb.bone) in
+    Some { lo = kb.bone; hi = kb.bone lor unknown }
+  else None
+
+(* Mutual interval<->bits refinement. Both components over-approximate
+   the value set independently, so on an (unreachable-code) contradiction
+   we keep the unrefined component — still sound. *)
+let normalize f =
+  let kb =
+    let k = kb_of_itv f.itv in
+    let m = { bzero = f.kb.bzero lor k.bzero; bone = f.kb.bone lor k.bone } in
+    if m.bzero land m.bone <> 0 then f.kb else m
+  in
+  let itv =
+    match itv_of_kb kb with
+    | None -> f.itv
+    | Some i ->
+        let m = meet_itv f.itv i in
+        if m.lo > m.hi then f.itv else m
+  in
+  { itv; kb }
+
+let exact v =
+  { itv = { lo = v; hi = v }; kb = { bzero = lnot v; bone = v } }
+
+let of_interval lo hi =
+  if lo > hi then invalid_arg "Ranges.of_interval: empty interval";
+  normalize { itv = { lo; hi }; kb = top_kb }
+
+let width_bounds w =
+  if w >= 63 then (min_int, max_int)
+  else (-(1 lsl (w - 1)), (1 lsl (w - 1)) - 1)
+
+let of_width w =
+  let lo, hi = width_bounds w in
+  of_interval lo hi
+
+let contains f v =
+  f.itv.lo <= v && v <= f.itv.hi
+  && v land f.kb.bzero = 0
+  && lnot v land f.kb.bone = 0
+
+let leq a b =
+  b.itv.lo <= a.itv.lo && a.itv.hi <= b.itv.hi
+  && b.kb.bzero land lnot a.kb.bzero = 0
+  && b.kb.bone land lnot a.kb.bone = 0
+
+let join a b =
+  {
+    itv = { lo = min a.itv.lo b.itv.lo; hi = max a.itv.hi b.itv.hi };
+    kb =
+      { bzero = a.kb.bzero land b.kb.bzero;
+        bone = a.kb.bone land b.kb.bone };
+  }
+
+let widen old next =
+  {
+    itv =
+      { lo = (if next.itv.lo < old.itv.lo then min_int else old.itv.lo);
+        hi = (if next.itv.hi > old.itv.hi then max_int else old.itv.hi) };
+    kb =
+      { bzero = old.kb.bzero land next.kb.bzero;
+        bone = old.kb.bone land next.kb.bone };
+  }
+
+let min_width f =
+  let rec go w =
+    if w >= 63 then 63
+    else
+      let lo_w, hi_w = width_bounds w in
+      if f.itv.lo >= lo_w && f.itv.hi <= hi_w then w else go (w + 1)
+  in
+  go 1
+
+(* ---- Overflow-checked arithmetic ----------------------------------- *)
+
+let add_ov a b =
+  let s = a + b in
+  if (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s >= 0) then None
+  else Some s
+
+let neg_ov a = if a = min_int then None else Some (-a)
+let sub_ov a b = match neg_ov b with None -> None | Some nb -> add_ov a nb
+
+let mul_ov a b =
+  if a = 0 || b = 0 then Some 0
+  else if a = 1 then Some b
+  else if b = 1 then Some a
+  else if a = -1 then neg_ov b
+  else if b = -1 then neg_ov a
+  else
+    (* |b| >= 2, so the divide-back test is exact (any wrap displaces the
+       product by k * 2^62 > |b|). *)
+    let p = a * b in
+    if p / b = a then Some p else None
+
+let abs_sat x = if x = min_int then max_int else abs x
+
+(* ---- Interval transfers -------------------------------------------- *)
+
+let t_add a b =
+  match (add_ov a.lo b.lo, add_ov a.hi b.hi) with
+  | Some lo, Some hi -> { lo; hi }
+  | _ -> top_itv
+
+let t_sub a b =
+  match (sub_ov a.lo b.hi, sub_ov a.hi b.lo) with
+  | Some lo, Some hi -> { lo; hi }
+  | _ -> top_itv
+
+let t_neg a =
+  match (neg_ov a.hi, neg_ov a.lo) with
+  | Some lo, Some hi -> { lo; hi }
+  | _ -> top_itv
+
+let hull = function
+  | [] -> top_itv
+  | v :: vs ->
+      List.fold_left
+        (fun acc x -> { lo = min acc.lo x; hi = max acc.hi x })
+        { lo = v; hi = v } vs
+
+let t_mul a b =
+  let corners =
+    [ mul_ov a.lo b.lo; mul_ov a.lo b.hi; mul_ov a.hi b.lo; mul_ov a.hi b.hi ]
+  in
+  if List.mem None corners then top_itv
+  else hull (List.filter_map Fun.id corners)
+
+(* Quotient extremes over the operand box occur at numerator endpoints
+   combined with divisor endpoints or the smallest-magnitude divisors
+   (+-1); a divisor range containing 0 contributes the result 0. *)
+let t_div a b =
+  let divisors =
+    List.sort_uniq compare
+      (List.filter (fun d -> d <> 0 && d >= b.lo && d <= b.hi)
+         [ b.lo; b.hi; 1; -1 ])
+  in
+  let q =
+    List.concat_map
+      (fun d ->
+        List.map
+          (fun n -> if n = min_int && d = -1 then None else Some (n / d))
+          [ a.lo; a.hi ])
+      divisors
+  in
+  let q = if b.lo <= 0 && b.hi >= 0 then Some 0 :: q else q in
+  if q = [] then { lo = 0; hi = 0 }
+  else if List.mem None q then top_itv
+  else hull (List.filter_map Fun.id q)
+
+let t_mod a b =
+  let m = max (abs_sat b.lo) (abs_sat b.hi) in
+  if m = 0 then { lo = 0; hi = 0 }
+  else
+    let k = min (m - 1) (max (abs_sat a.lo) (abs_sat a.hi)) in
+    { lo = (if a.lo >= 0 then 0 else -k);
+      hi = (if a.hi <= 0 then 0 else k) }
+
+let t_shl a b =
+  if b.lo = b.hi then
+    let c = b.lo in
+    if c < 0 || c > 62 then { lo = 0; hi = 0 }
+    else if c > 61 then top_itv
+    else t_mul a { lo = 1 lsl c; hi = 1 lsl c }
+  else top_itv
+
+let t_shr a b =
+  if b.lo = b.hi then
+    let c = b.lo in
+    if c < 0 || c > 62 then { lo = 0; hi = 0 }
+    else { lo = a.lo asr c; hi = a.hi asr c }
+  else if a.lo >= 0 && b.lo >= 0 then
+    (* Right shifts of a non-negative value only shrink it; shifts past
+       62 bits yield 0, also within the hull. *)
+    { lo = 0; hi = a.hi asr min b.lo 62 }
+  else top_itv
+
+(* ---- Known-bits transfers ------------------------------------------ *)
+
+let trailing_known kb =
+  let known = kb.bzero lor kb.bone in
+  let rec go i =
+    if i >= 63 then 63
+    else if (known lsr i) land 1 = 1 then go (i + 1)
+    else i
+  in
+  go 0
+
+(* Low bits of +, -, *, neg depend only on the operands' low bits:
+   carries propagate strictly upward. *)
+let kb_lowbits op a b =
+  let t = min (trailing_known a) (trailing_known b) in
+  if t = 0 then top_kb
+  else
+    let m = if t >= 62 then max_int else (1 lsl t) - 1 in
+    let v = op (a.bone land m) (b.bone land m) land m in
+    { bzero = lnot v land m; bone = v }
+
+let kb_and a b = { bzero = a.bzero lor b.bzero; bone = a.bone land b.bone }
+let kb_or a b = { bzero = a.bzero land b.bzero; bone = a.bone lor b.bone }
+
+let kb_xor a b =
+  let known = (a.bzero lor a.bone) land (b.bzero lor b.bone) in
+  let v = (a.bone lxor b.bone) land known in
+  { bzero = known land lnot v; bone = v }
+
+let kb_not a = { bzero = a.bone; bone = a.bzero }
+
+let kb_shl a c =
+  { bzero = (a.bzero lsl c) lor ((1 lsl c) - 1); bone = a.bone lsl c }
+
+(* asr on the masks sign-extends exactly the knowledge we have about the
+   sign bit: known sign replicates, unknown sign stays unknown. *)
+let kb_shr a c = { bzero = a.bzero asr c; bone = a.bone asr c }
+
+(* ---- Operation transfer -------------------------------------------- *)
+
+let decide = function
+  | Some true -> exact 1
+  | Some false -> exact 0
+  | None -> of_interval 0 1
+
+let kb_disagree a b =
+  a.kb.bone land b.kb.bzero <> 0 || b.kb.bone land a.kb.bzero <> 0
+
+let transfer kind fs =
+  let f2 () =
+    match fs with
+    | [ a; b ] -> (a, b)
+    | _ ->
+        invalid_arg
+          (Printf.sprintf "Ranges.transfer: %s expects 2 operands, got %d"
+             (Dfg.Op.to_string kind) (List.length fs))
+  in
+  let f1 () =
+    match fs with
+    | [ a ] -> a
+    | _ ->
+        invalid_arg
+          (Printf.sprintf "Ranges.transfer: %s expects 1 operand, got %d"
+             (Dfg.Op.to_string kind) (List.length fs))
+  in
+  let r =
+    match kind with
+    | Dfg.Op.Add ->
+        let a, b = f2 () in
+        { itv = t_add a.itv b.itv; kb = kb_lowbits ( + ) a.kb b.kb }
+    | Sub ->
+        let a, b = f2 () in
+        { itv = t_sub a.itv b.itv; kb = kb_lowbits ( - ) a.kb b.kb }
+    | Mul ->
+        let a, b = f2 () in
+        { itv = t_mul a.itv b.itv; kb = kb_lowbits ( * ) a.kb b.kb }
+    | Div ->
+        let a, b = f2 () in
+        { itv = t_div a.itv b.itv; kb = top_kb }
+    | Mod ->
+        let a, b = f2 () in
+        { itv = t_mod a.itv b.itv; kb = top_kb }
+    | And ->
+        let a, b = f2 () in
+        let hi_bound =
+          match (a.itv.lo >= 0, b.itv.lo >= 0) with
+          | true, true -> { lo = 0; hi = min a.itv.hi b.itv.hi }
+          | true, false -> { lo = 0; hi = a.itv.hi }
+          | false, true -> { lo = 0; hi = b.itv.hi }
+          | false, false -> top_itv
+        in
+        { itv = hi_bound; kb = kb_and a.kb b.kb }
+    | Or ->
+        let a, b = f2 () in
+        let itv =
+          if a.itv.lo >= 0 && b.itv.lo >= 0 then
+            { lo = max a.itv.lo b.itv.lo; hi = max_int }
+          else top_itv
+        in
+        { itv; kb = kb_or a.kb b.kb }
+    | Xor ->
+        let a, b = f2 () in
+        { itv = top_itv; kb = kb_xor a.kb b.kb }
+    | Not ->
+        let a = f1 () in
+        { itv = { lo = lnot a.itv.hi; hi = lnot a.itv.lo }; kb = kb_not a.kb }
+    | Neg ->
+        let a = f1 () in
+        { itv = t_neg a.itv; kb = kb_lowbits (fun x _ -> -x) a.kb a.kb }
+    | Lt ->
+        let a, b = f2 () in
+        decide
+          (if a.itv.hi < b.itv.lo then Some true
+           else if a.itv.lo >= b.itv.hi then Some false
+           else None)
+    | Le ->
+        let a, b = f2 () in
+        decide
+          (if a.itv.hi <= b.itv.lo then Some true
+           else if a.itv.lo > b.itv.hi then Some false
+           else None)
+    | Gt ->
+        let a, b = f2 () in
+        decide
+          (if a.itv.lo > b.itv.hi then Some true
+           else if a.itv.hi <= b.itv.lo then Some false
+           else None)
+    | Ge ->
+        let a, b = f2 () in
+        decide
+          (if a.itv.lo >= b.itv.hi then Some true
+           else if a.itv.hi < b.itv.lo then Some false
+           else None)
+    | Eq ->
+        let a, b = f2 () in
+        decide
+          (if a.itv.lo = a.itv.hi && b.itv.lo = b.itv.hi
+              && a.itv.lo = b.itv.lo
+           then Some true
+           else if a.itv.hi < b.itv.lo || b.itv.hi < a.itv.lo
+                   || kb_disagree a b
+           then Some false
+           else None)
+    | Ne ->
+        let a, b = f2 () in
+        decide
+          (if a.itv.lo = a.itv.hi && b.itv.lo = b.itv.hi
+              && a.itv.lo = b.itv.lo
+           then Some false
+           else if a.itv.hi < b.itv.lo || b.itv.hi < a.itv.lo
+                   || kb_disagree a b
+           then Some true
+           else None)
+    | Shl ->
+        let a, b = f2 () in
+        let kb =
+          if b.itv.lo = b.itv.hi && b.itv.lo >= 0 && b.itv.lo <= 61 then
+            kb_shl a.kb b.itv.lo
+          else top_kb
+        in
+        { itv = t_shl a.itv b.itv; kb }
+    | Shr ->
+        let a, b = f2 () in
+        let kb =
+          if b.itv.lo = b.itv.hi && b.itv.lo >= 0 && b.itv.lo <= 62 then
+            kb_shr a.kb b.itv.lo
+          else top_kb
+        in
+        { itv = t_shr a.itv b.itv; kb }
+    | Mov -> f1 ()
+  in
+  normalize r
+
+(* ---- Fixpoint ------------------------------------------------------- *)
+
+type t = {
+  graph : Dfg.Graph.t;
+  tbl : (string, fact) Hashtbl.t;
+  n_passes : int;
+}
+
+let meet_seed base extra =
+  let itv = meet_itv base.itv extra.itv in
+  if itv.lo > itv.hi then base
+  else
+    normalize
+      { itv;
+        kb =
+          { bzero = base.kb.bzero lor extra.kb.bzero;
+            bone = base.kb.bone lor extra.kb.bone } }
+
+let seed_input g name =
+  let f = top in
+  let f =
+    match Dfg.Graph.declared_width g name with
+    | Some w -> meet_seed f (of_width w)
+    | None -> f
+  in
+  match Dfg.Graph.range_of g name with
+  | Some (lo, hi) -> meet_seed f (of_interval lo hi)
+  | None -> f
+
+let max_passes = 16
+
+let analyze g =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun n -> Hashtbl.replace tbl n (seed_input g n))
+    (Dfg.Graph.inputs g);
+  let order = Dfg.Graph.topological g in
+  let fact_of_name n = Option.value ~default:top (Hashtbl.find_opt tbl n) in
+  let one_pass () =
+    List.iter
+      (fun i ->
+        let nd = Dfg.Graph.node g i in
+        let args = List.map fact_of_name nd.Dfg.Graph.args in
+        Hashtbl.replace tbl nd.Dfg.Graph.name
+          (transfer nd.Dfg.Graph.kind args))
+      order
+  in
+  one_pass ();
+  let passes = ref 1 in
+  (* Loop-carried inputs: input [x] paired with node [x ^ "__next"]
+     (Core.Loops.add_iteration_control). Each round folds the back edge
+     into the input's seed; widening after a couple of rounds bounds the
+     iteration count independently of loop trip counts. *)
+  let carried =
+    List.filter_map
+      (fun x ->
+        if Dfg.Graph.find g (x ^ "__next") <> None then
+          Some (x, x ^ "__next")
+        else None)
+      (Dfg.Graph.inputs g)
+  in
+  if carried <> [] then begin
+    let continue_ = ref true in
+    while !continue_ && !passes < max_passes do
+      let changed = ref false in
+      List.iter
+        (fun (x, nx) ->
+          let cur = fact_of_name x in
+          let incoming = join cur (fact_of_name nx) in
+          let next = if !passes >= 3 then widen cur incoming else incoming in
+          if not (leq next cur) then begin
+            Hashtbl.replace tbl x next;
+            changed := true
+          end)
+        carried;
+      if !changed then begin
+        one_pass ();
+        incr passes
+      end
+      else continue_ := false
+    done;
+    if !continue_ && !passes >= max_passes then begin
+      (* Safety net: force the carried inputs to top and settle. *)
+      List.iter (fun (x, _) -> Hashtbl.replace tbl x top) carried;
+      one_pass ();
+      incr passes
+    end
+  end;
+  { graph = g; tbl; n_passes = !passes }
+
+let fact_of t name = Option.value ~default:top (Hashtbl.find_opt t.tbl name)
+let width_of t name = min_width (fact_of t name)
+let passes t = t.n_passes
+
+let op_width t nd =
+  let ws =
+    width_of t nd.Dfg.Graph.name
+    :: List.map (width_of t) nd.Dfg.Graph.args
+  in
+  min Celllib.Library.word_width (List.fold_left max 1 ws)
+
+(* ---- Findings ------------------------------------------------------- *)
+
+let check g =
+  if Dfg.Graph.ranges g = [] && Dfg.Graph.declared_widths g = [] then []
+  else begin
+    let r = analyze g in
+    let acc = ref [] in
+    let add f = acc := f :: !acc in
+    (* Declared widths on operations are narrowing contracts. On inputs
+       they are seeds — already honoured by construction. *)
+    List.iter
+      (fun (name, w) ->
+        match Dfg.Graph.find g name with
+        | None -> ()
+        | Some _ ->
+            let f = fact_of r name in
+            let lo_w, hi_w = width_bounds w in
+            if f.itv.lo > hi_w || f.itv.hi < lo_w then
+              add
+                (Finding.error ~nodes:[ name ] Diag.Internal
+                   ~code:"width.overflow"
+                   "value %S provably overflows its declared %d-bit width: \
+                    every value in the inferred range [%d, %d] is outside \
+                    [%d, %d]"
+                   name w f.itv.lo f.itv.hi lo_w hi_w)
+            else if f.itv.lo < lo_w || f.itv.hi > hi_w then
+              add
+                (Finding.warning ~nodes:[ name ] Diag.Input
+                   ~code:"width.truncation"
+                   "value %S may overflow its declared %d-bit width: \
+                    inferred range [%d, %d] exceeds [%d, %d]"
+                   name w f.itv.lo f.itv.hi lo_w hi_w))
+      (Dfg.Graph.declared_widths g);
+    List.iter
+      (fun nd ->
+        List.iter
+          (fun (c, arm) ->
+            let f = fact_of r c in
+            let never_zero =
+              f.itv.lo > 0 || f.itv.hi < 0 || f.kb.bone <> 0
+            in
+            let always_zero = f.itv.lo = 0 && f.itv.hi = 0 in
+            if (arm && always_zero) || ((not arm) && never_zero) then
+              add
+                (Finding.warning
+                   ~nodes:[ nd.Dfg.Graph.name; c ]
+                   Diag.Input ~code:"width.unreachable-arm"
+                   "operation %S is guarded on %s%S, but %S is provably %s \
+                    — the arm never executes"
+                   nd.Dfg.Graph.name
+                   (if arm then "" else "!")
+                   c c
+                   (if always_zero then "zero" else "non-zero")))
+          nd.Dfg.Graph.guards)
+      (Dfg.Graph.nodes g);
+    List.iter
+      (fun nd ->
+        if nd.Dfg.Graph.kind <> Dfg.Op.Mov then begin
+          let f = fact_of r nd.Dfg.Graph.name in
+          if f.itv.lo = f.itv.hi then
+            let has_varying_arg =
+              List.exists
+                (fun a ->
+                  let fa = fact_of r a in
+                  fa.itv.lo <> fa.itv.hi)
+                nd.Dfg.Graph.args
+            in
+            if has_varying_arg then
+              add
+                (Finding.warning ~nodes:[ nd.Dfg.Graph.name ] Diag.Input
+                   ~code:"width.constant-result"
+                   "operation %S always produces %d despite non-constant \
+                    operand(s) — it can be replaced by a constant"
+                   nd.Dfg.Graph.name f.itv.lo)
+        end)
+      (Dfg.Graph.nodes g);
+    List.rev !acc
+  end
+
+(* ---- Width-aware consumers ------------------------------------------ *)
+
+let node_delays lib g r =
+  List.filter_map
+    (fun nd ->
+      let w = op_width r nd in
+      if w >= Celllib.Library.word_width then None
+      else
+        let d =
+          Celllib.Library.scaled_prop_delay lib nd.Dfg.Graph.kind ~width:w
+        in
+        if d < lib.Celllib.Library.prop_delay nd.Dfg.Graph.kind then
+          Some (nd.Dfg.Graph.name, d)
+        else None)
+    (Dfg.Graph.nodes g)
+
+let width_table g r =
+  let buf = Buffer.create 256 in
+  let line name =
+    let f = fact_of r name in
+    let w = min_width f in
+    let range =
+      if f.itv.lo = min_int && f.itv.hi = max_int then "(top)"
+      else Printf.sprintf "[%d, %d]" f.itv.lo f.itv.hi
+    in
+    let declared =
+      match Dfg.Graph.declared_width g name with
+      | Some dw -> Printf.sprintf "  (declared %d)" dw
+      | None -> ""
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "  %-16s %-24s %2d bit(s)%s\n" name range
+         (min w Celllib.Library.word_width)
+         declared)
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "value widths (%d pass(es)):\n" r.n_passes);
+  List.iter line (Dfg.Graph.inputs g);
+  List.iter (fun nd -> line nd.Dfg.Graph.name) (Dfg.Graph.nodes g);
+  Buffer.contents buf

@@ -1,0 +1,100 @@
+(** Value-range and bitwidth abstract interpretation over the DFG.
+
+    A sound forward analysis on a product domain of {e intervals} and
+    {e known bits}, seeded from the graph's [range]/[width] declarations
+    ({!Dfg.Graph.ranges}, {!Dfg.Graph.declared_widths}). Unannotated
+    inputs start at top — never wrong, only imprecise — so on a plain
+    graph the analysis infers nothing and flags nothing.
+
+    Loop-carried inputs (an input [x] paired with a node [x ^ "__next"],
+    the {!Core.Loops.add_iteration_control} convention) are iterated to a
+    fixpoint with widening; everything else converges in one topological
+    pass, so the analysis is near-linear in the number of operations.
+
+    From the fixpoint each value gets a minimal signed two's-complement
+    bit width; {!check} turns the facts into [width.*] findings, and the
+    width/delay helpers feed the width-aware cost model
+    ({!Celllib.Library.scaled_alu_area}, [Core.Config.node_delay]). *)
+
+type interval = { lo : int; hi : int }
+(** Inclusive; never empty. Top is [[min_int, max_int]], which also
+    soundly covers OCaml's wrap-on-overflow concrete semantics. *)
+
+type bits = { bzero : int; bone : int }
+(** Bit masks: [bzero] marks bits known to be 0, [bone] bits known to be
+    1. Disjoint; both 0 = nothing known. *)
+
+type fact = { itv : interval; kb : bits }
+(** A value conforms to a fact when it lies in the interval {e and}
+    matches both masks. *)
+
+type t
+(** Analysis result: a fact per value (inputs and nodes). *)
+
+val top : fact
+val exact : int -> fact
+val of_interval : int -> int -> fact
+
+val of_width : int -> fact
+(** All values representable in the given signed width. *)
+
+val contains : fact -> int -> bool
+val leq : fact -> fact -> bool
+
+val join : fact -> fact -> fact
+(** Least upper bound (interval hull, mask intersection). *)
+
+val widen : fact -> fact -> fact
+(** [widen old next]: jump growing interval bounds to top, intersect
+    masks — guarantees termination of the loop-carried fixpoint. *)
+
+val transfer : Dfg.Op.kind -> fact list -> fact
+(** Abstract transfer of one operation; over-approximates
+    {!Dfg.Op.eval}, including its total-function edge cases (division by
+    zero yields 0, out-of-range shifts yield 0) and OCaml's wrapping
+    arithmetic. Raises [Invalid_argument] on an arity mismatch, like
+    [Op.eval]. *)
+
+val min_width : fact -> int
+(** Minimal signed two's-complement width holding every conforming
+    value, in [1..63]; [>= Celllib.Library.word_width] means "full
+    width" to every consumer. *)
+
+val analyze : Dfg.Graph.t -> t
+
+val fact_of : t -> string -> fact
+(** Fact for a value name; [top] for unknown names. *)
+
+val width_of : t -> string -> int
+(** [min_width (fact_of t name)]. *)
+
+val op_width : t -> Dfg.Graph.node -> int
+(** Width the operation itself needs: max over its result and operands,
+    capped at {!Celllib.Library.word_width}. *)
+
+val passes : t -> int
+(** Topological passes the fixpoint took (1 on loop-free graphs). *)
+
+val check : Dfg.Graph.t -> Finding.t list
+(** The [width.*] lint family:
+    - [width.overflow] (error): the inferred fact of a width-annotated
+      value lies entirely outside the declared representable range —
+      every execution overflows.
+    - [width.truncation] (warning): the inferred fact exceeds the
+      declared width, so overflow cannot be ruled out.
+    - [width.unreachable-arm] (warning): a guard condition is provably
+      always or never zero, so one arm never executes.
+    - [width.constant-result] (warning): an operation with at least one
+      non-constant operand provably always produces the same value.
+
+    Unannotated graphs yield no findings. *)
+
+val node_delays :
+  Celllib.Library.t -> Dfg.Graph.t -> t -> (string * float) list
+(** Per-node width-scaled propagation delays
+    ({!Celllib.Library.scaled_prop_delay} at {!op_width}), listing only
+    nodes that are provably faster than the full-width delay. Feeds
+    [Core.Config.node_delay] so chaining probes see narrow adders. *)
+
+val width_table : Dfg.Graph.t -> t -> string
+(** Human-readable per-value range/width table ([synth lint --widths]). *)

@@ -1,5 +1,19 @@
-let pre ?cs ?limits config g =
-  Dfg_lint.check ~config g @ Feasibility.check ?cs ?limits config g
+let pre_timed ?cs ?limits config g =
+  let timings = ref [] in
+  let timed name f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    timings := (name, (Unix.gettimeofday () -. t0) *. 1000.) :: !timings;
+    r
+  in
+  (* Explicit lets: [@] evaluates right-to-left, which would reverse the
+     recorded pass order. *)
+  let lint = timed "dfg-lint" (fun () -> Dfg_lint.check ~config g) in
+  let feas = timed "feasibility" (fun () -> Feasibility.check ?cs ?limits config g) in
+  let rng = timed "widths" (fun () -> Ranges.check g) in
+  (lint @ feas @ rng, List.rev !timings)
+
+let pre ?cs ?limits config g = fst (pre_timed ?cs ?limits config g)
 
 let post_schedule ?regs ?trace s =
   Sched_lint.schedule s

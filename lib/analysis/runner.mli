@@ -1,13 +1,20 @@
-(** Entry points bundling the four analysis passes for the CLI and the
+(** Entry points bundling the five analysis passes for the CLI and the
     harness gates.
 
     [pre] runs on the input DFG before any scheduling (DFG lint +
-    feasibility bounds); [post_schedule] and [post_rtl] audit pipeline
-    artefacts. *)
+    feasibility bounds + range/width analysis); [post_schedule] and
+    [post_rtl] audit pipeline artefacts. *)
 
 val pre :
   ?cs:int -> ?limits:(string * int) list -> Core.Config.t -> Dfg.Graph.t ->
   Finding.t list
+
+val pre_timed :
+  ?cs:int -> ?limits:(string * int) list -> Core.Config.t -> Dfg.Graph.t ->
+  Finding.t list * (string * float) list
+(** {!pre} plus per-pass wall-clock timings in milliseconds, in run order
+    ([dfg-lint], [feasibility], [widths]) — the [synth lint --json]
+    report's [timings_ms] object. *)
 
 val post_schedule :
   ?regs:Rtl.Left_edge.t -> ?trace:Core.Liapunov.Trace.t -> Core.Schedule.t ->

@@ -61,6 +61,7 @@ let parse_line ~file ~line text =
         | "--two-cycle-mult" :: rest -> go { o with two_cycle = true } fault rest
         | "--pipelined-mult" :: rest -> go { o with pipelined = true } fault rest
         | "--cse" :: rest -> go { o with cse = true } fault rest
+        | "--widths" :: rest -> go { o with widths = true } fault rest
         | "--baseline-only" :: rest -> go { o with baseline_only = true } fault rest
         | "--cs" :: v :: rest | "--steps" :: v :: rest -> (
             match int_of_string_opt v with

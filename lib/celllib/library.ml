@@ -125,3 +125,56 @@ let generated ?(max_ops = 4) ?(mux_cost = default_mux_cost)
   { alus; mux_cost; reg_cost; cycles; prop_delay }
 
 let pp_alu ppf a = Format.fprintf ppf "%s:%.0fum2" a.aname a.area
+
+(* ---- Width-parametric scaling -------------------------------------- *)
+
+let word_width = 32
+
+(* Fraction of a full-word operator needed at [width] bits. Array
+   multipliers and dividers scale ~quadratically with operand width;
+   adders, shifters and bitwise logic scale ~linearly. A fixed floor
+   keeps narrow units from becoming free (control, wiring, drivers), and
+   the factor is exactly 1.0 at the full word so unannotated designs cost
+   what they always did. *)
+let width_fraction w =
+  let w = max 1 (min word_width w) in
+  float_of_int w /. float_of_int word_width
+
+let area_factor kind ~width =
+  let f = width_fraction width in
+  match kind with
+  | Dfg.Op.Mul | Div | Mod -> 0.10 +. (0.90 *. f *. f)
+  | _ -> 0.15 +. (0.85 *. f)
+
+let delay_factor kind ~width =
+  let f = width_fraction width in
+  match kind with
+  | Dfg.Op.Mul | Div | Mod -> 0.20 +. (0.80 *. f)
+  | Add | Sub | Lt | Le | Gt | Ge | Eq | Ne -> 0.30 +. (0.70 *. f)
+  | Shl | Shr -> 0.50 +. (0.50 *. f)
+  | And | Or | Xor | Not | Neg | Mov -> 0.70 +. (0.30 *. f)
+
+let scaled_capability_area kind ~width =
+  capability_area kind *. area_factor kind ~width
+
+(* Mirror of [make_alu] with every capability priced at [width] bits.
+   Overhead is width-independent; pipeline stage registers scale like
+   registers (linearly). *)
+let scaled_alu_area a ~width =
+  let areas =
+    List.map
+      (fun k -> scaled_capability_area k ~width)
+      (Op_set.elements a.ops)
+  in
+  let biggest = List.fold_left max 0. areas in
+  let total = List.fold_left ( +. ) 0. areas in
+  let area = alu_overhead +. biggest +. (merge_discount *. (total -. biggest)) in
+  area
+  +. float_of_int (a.stages - 1) *. 500.
+     *. (0.15 +. (0.85 *. width_fraction width))
+
+let scaled_prop_delay lib kind ~width =
+  lib.prop_delay kind *. delay_factor kind ~width
+
+let scaled_reg_cost lib ~width =
+  lib.reg_cost *. (0.15 +. (0.85 *. width_fraction width))

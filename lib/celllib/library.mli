@@ -61,3 +61,34 @@ val generated :
     (full crossbars of heavy units are unrealistic). *)
 
 val pp_alu : Format.formatter -> alu_kind -> unit
+
+(** {2 Width-parametric scaling}
+
+    The base library prices every unit at the full machine word.
+    [Analysis.Ranges] infers per-value bit widths; these scalers price a
+    unit instantiated at a narrower width. All factors are exactly [1.0]
+    at {!word_width} bits, so unannotated designs cost what they always
+    did; floors keep narrow units from becoming free. *)
+
+val word_width : int
+(** The machine word, in bits (32). *)
+
+val area_factor : Dfg.Op.kind -> width:int -> float
+(** Area multiplier at [width] bits: ~quadratic for multiply/divide,
+    ~linear otherwise. Clamped to [1..word_width]. *)
+
+val delay_factor : Dfg.Op.kind -> width:int -> float
+(** Propagation-delay multiplier at [width] bits (linear with a
+    kind-dependent floor — carry chains shorten, wiring does not). *)
+
+val scaled_capability_area : Dfg.Op.kind -> width:int -> float
+
+val scaled_alu_area : alu_kind -> width:int -> float
+(** {!make_alu}'s area model with every capability priced at [width]
+    bits; the fixed overhead is width-independent and pipeline-stage
+    registers scale linearly. *)
+
+val scaled_prop_delay : t -> Dfg.Op.kind -> width:int -> float
+
+val scaled_reg_cost : t -> width:int -> float
+(** One register storing a [width]-bit value. *)

@@ -7,6 +7,7 @@ type t = {
   delays : Dfg.Op.kind -> int;
   pipelined : Dfg.Op.kind -> bool;
   chaining : chaining option;
+  node_delay : (string * float) list;
   functional_latency : int option;
   share_mutex : bool;
 }
@@ -16,6 +17,7 @@ let default =
     delays = (fun _ -> 1);
     pipelined = (fun _ -> false);
     chaining = None;
+    node_delay = [];
     functional_latency = None;
     share_mutex = true;
   }
@@ -33,6 +35,16 @@ let of_library lib =
 
 let delay t kind = max 1 (t.delays kind)
 let span t kind = if t.pipelined kind then 1 else delay t kind
+
+let node_prop_override t (nd : Dfg.Graph.node) =
+  match t.node_delay with
+  | [] -> None
+  | l -> List.assoc_opt nd.Dfg.Graph.name l
+
+let node_prop t prop_delay (nd : Dfg.Graph.node) =
+  match node_prop_override t nd with
+  | Some d -> d
+  | None -> prop_delay nd.Dfg.Graph.kind
 
 (* Canonical form: the functional fields are sampled over the closed kind
    alphabet, every field is rendered as "name=value", and the fields are
@@ -57,6 +69,18 @@ let canonical t =
               (per_kind float_repr c.prop_delay) );
       (* Effective (clamped) delays: a raw delay of 0 behaves as 1. *)
       ("delays", per_kind string_of_int (delay t));
+      ( "node_delay",
+        match t.node_delay with
+        | [] -> "none"
+        | l ->
+            "{"
+            ^ String.concat ","
+                (List.map
+                   (fun (n, d) -> n ^ ":" ^ float_repr d)
+                   (List.sort
+                      (fun (a, _) (b, _) -> String.compare a b)
+                      l))
+            ^ "}" );
       ( "functional_latency",
         match t.functional_latency with
         | None -> "none"

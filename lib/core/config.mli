@@ -16,6 +16,11 @@ type t = {
   chaining : chaining option;
       (** When set, data-dependent operations may share a control step if
           their accumulated propagation delay fits in the clock period. *)
+  node_delay : (string * float) list;
+      (** Per-node propagation-delay overrides (ns), keyed by node name.
+          Takes precedence over [chaining.prop_delay] for chaining
+          probes; typically width-scaled delays from [Analysis.Ranges]
+          ([node_delays]). Empty = per-kind delays everywhere. *)
   functional_latency : int option;
       (** Loop-folding latency L: positions [t] and [t + k*L] run
           concurrently, so they conflict on the same FU instance (§5.5.2). *)
@@ -38,6 +43,13 @@ val delay : t -> Dfg.Op.kind -> int
 val span : t -> Dfg.Op.kind -> int
 (** Steps during which the op {e occupies} its FU: 1 for pipelined kinds,
     [delay] otherwise. *)
+
+val node_prop_override : t -> Dfg.Graph.node -> float option
+(** The node's [node_delay] entry, if any. *)
+
+val node_prop : t -> (Dfg.Op.kind -> float) -> Dfg.Graph.node -> float
+(** The node's effective propagation delay: its [node_delay] override or
+    the given per-kind fallback. *)
 
 val canonical : t -> string
 (** Canonical one-line rendering of the full option vector. The

@@ -30,7 +30,12 @@ let add_iteration_control g ~counter ~bound =
       [ counter; "c1" ];
     Dfg.Graph.Builder.add_op b ~name:(counter ^ "__continue") Dfg.Op.Lt
       [ counter ^ "__next"; bound ];
-    Dfg.Graph.Builder.build b
+    (* The unit constant is exact; loop-carried widening in the range
+       analysis keys off the [counter]/[counter ^ "__next"] pairing. *)
+    Dfg.Graph.Builder.declare_range b "c1" (1, 1);
+    Result.map
+      (Dfg.Graph.copy_annotations ~from:g)
+      (Dfg.Graph.Builder.build b)
   end
 
 let expand_placeholder g ~name ~cycles =
@@ -63,7 +68,9 @@ let expand_placeholder g ~name ~cycles =
               Dfg.Graph.Builder.add_op b ~guards:nd.Dfg.Graph.guards
                 ~name:nd.Dfg.Graph.name nd.Dfg.Graph.kind nd.Dfg.Graph.args)
           (Dfg.Graph.nodes g);
-        Dfg.Graph.Builder.build b
+        Result.map
+          (Dfg.Graph.copy_annotations ~from:g)
+          (Dfg.Graph.Builder.build b)
 
 let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
 

@@ -8,7 +8,13 @@ let add_instance b g suffix =
         ~name:(rename nd.Dfg.Graph.name)
         nd.Dfg.Graph.kind
         (List.map rename nd.Dfg.Graph.args))
-    (Dfg.Graph.nodes g)
+    (Dfg.Graph.nodes g);
+  List.iter
+    (fun (v, r) -> Dfg.Graph.Builder.declare_range b (rename v) r)
+    (Dfg.Graph.ranges g);
+  List.iter
+    (fun (v, w) -> Dfg.Graph.Builder.declare_width b (rename v) w)
+    (Dfg.Graph.declared_widths g)
 
 let replicate ~copies g =
   if copies < 1 then

@@ -109,10 +109,11 @@ let chain_allowed t p i =
   match t.config.Config.chaining with
   | None -> false
   | Some { Config.prop_delay; clock } ->
+      let pd j = Config.node_prop t.config prop_delay (Dfg.Graph.node t.graph j) in
       delay t p = 1 && delay t i = 1
       && t.start.(i) = t.start.(p)
-      && t.offset.(i) +. 1e-9 >= t.offset.(p) +. prop_delay (kind t p)
-      && t.offset.(i) +. prop_delay (kind t i) <= clock +. 1e-9
+      && t.offset.(i) +. 1e-9 >= t.offset.(p) +. pd p
+      && t.offset.(i) +. pd i <= clock +. 1e-9
 
 (* Violations are typed diagnostics so the CLI, the static analyzer and the
    harness all render through one code path; [check] below keeps the legacy

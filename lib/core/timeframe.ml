@@ -7,6 +7,7 @@ let step_admissible cfg g ~start ~offset i s =
       if List.for_all (fun p -> s >= start.(p) + d p) preds then Some 0.0
       else None
   | Some { Config.prop_delay; clock } ->
+      let pd j = Config.node_prop cfg prop_delay (Dfg.Graph.node g j) in
       let eps = 1e-9 in
       let rec go off = function
         | [] ->
@@ -14,12 +15,12 @@ let step_admissible cfg g ~start ~offset i s =
                registers per stage: the single-period fit test applies to
                combinational (1-cycle) operations only. *)
             if d i > 1 then Some off
-            else if off +. prop_delay (kind i) <= clock +. eps then Some off
+            else if off +. pd i <= clock +. eps then Some off
             else None
         | p :: rest ->
             if s >= start.(p) + d p then go off rest
             else if d p = 1 && d i = 1 && s = start.(p) then
-              go (Float.max off (offset.(p) +. prop_delay (kind p))) rest
+              go (Float.max off (offset.(p) +. pd p)) rest
             else None
       in
       go 0.0 preds
@@ -29,8 +30,8 @@ let bounds cfg g ~cs =
   | None -> Dfg.Bounds.compute ~delays:(Config.delay cfg) g ~cs
   | Some { Config.prop_delay; clock } -> (
       match
-        Dfg.Bounds.compute_chained ~delays:(Config.delay cfg) ~prop_delay
-          ~clock g ~cs
+        Dfg.Bounds.compute_chained ~delays:(Config.delay cfg)
+          ~node_prop:(Config.node_prop_override cfg) ~prop_delay ~clock g ~cs
       with
       | Error _ as e -> e
       | Ok ch ->
@@ -47,7 +48,7 @@ let min_cs cfg g =
   | Some { Config.prop_delay; clock } -> (
       match
         Dfg.Bounds.chained_critical_path ~delays:(Config.delay cfg)
-          ~prop_delay ~clock g
+          ~node_prop:(Config.node_prop_override cfg) ~prop_delay ~clock g
       with
       | Ok v -> max 1 v
       | Error _ ->

@@ -92,14 +92,24 @@ type chained = {
 
 let eps = 1e-9
 
-let check_fits ?(delays = unit_delays) ~prop_delay ~clock g =
+(* Per-node propagation delays: [node_prop] overrides the per-kind
+   [prop_delay] (width-scaled delays from the range analysis). *)
+let no_override (_ : Graph.node) : float option = None
+
+let pd_of node_prop prop_delay nd =
+  match node_prop nd with
+  | Some d -> d
+  | None -> prop_delay nd.Graph.kind
+
+let check_fits ?(delays = unit_delays) ?(node_prop = no_override) ~prop_delay
+    ~clock g =
+  let pd = pd_of node_prop prop_delay in
   (* Multi-cycle operations span several clock periods by design; the
      single-period fit requirement applies to combinational (1-cycle)
      operations only. *)
   let offender =
     List.find_opt
-      (fun nd ->
-        delay_of delays nd = 1 && prop_delay nd.Graph.kind > clock +. eps)
+      (fun nd -> delay_of delays nd = 1 && pd nd > clock +. eps)
       (Graph.nodes g)
   in
   match offender with
@@ -109,16 +119,18 @@ let check_fits ?(delays = unit_delays) ~prop_delay ~clock g =
            "operation %S (%s) has delay %.2f ns > clock period %.2f ns"
            nd.Graph.name
            (Op.to_string nd.Graph.kind)
-           (prop_delay nd.Graph.kind) clock)
+           (pd nd) clock)
   | None -> Ok ()
 
-let chained_asap ?(delays = unit_delays) ~prop_delay ~clock g =
+let chained_asap ?(delays = unit_delays) ?(node_prop = no_override)
+    ~prop_delay ~clock g =
+  let pd = pd_of node_prop prop_delay in
   let n = Graph.num_nodes g in
   let start = Array.make n (1, 0.0) in
   List.iter
     (fun i ->
       let nd = Graph.node g i in
-      let d = prop_delay nd.Graph.kind in
+      let d = pd nd in
       let di = delay_of delays nd in
       (* Ready time of the latest-arriving operand, as (step, offset). An
          edge chains only between two 1-cycle operations; a multi-cycle
@@ -129,10 +141,10 @@ let chained_asap ?(delays = unit_delays) ~prop_delay ~clock g =
           (fun (bs, bo) p ->
             let ps, po = start.(p) in
             let pnd = Graph.node g p in
-            let pd = prop_delay pnd.Graph.kind in
+            let p_delay = pd pnd in
             let pdi = delay_of delays pnd in
             let fs, fo =
-              if pdi = 1 && di = 1 then (ps, po +. pd)
+              if pdi = 1 && di = 1 then (ps, po +. p_delay)
               else (ps + pdi, 0.0)
             in
             if fs > bs || (fs = bs && fo > bo) then (fs, fo) else (bs, bo))
@@ -144,22 +156,25 @@ let chained_asap ?(delays = unit_delays) ~prop_delay ~clock g =
     (Graph.topological g);
   start
 
-let chained_critical_path ?(delays = unit_delays) ~prop_delay ~clock g =
-  match check_fits ~delays ~prop_delay ~clock g with
+let chained_critical_path ?(delays = unit_delays) ?(node_prop = no_override)
+    ~prop_delay ~clock g =
+  match check_fits ~delays ~node_prop ~prop_delay ~clock g with
   | Error _ as e -> e
   | Ok () ->
-      let start = chained_asap ~delays ~prop_delay ~clock g in
+      let start = chained_asap ~delays ~node_prop ~prop_delay ~clock g in
       let finish i (s, _) = s + delay_of delays (Graph.node g i) - 1 in
       let cp = ref 0 in
       Array.iteri (fun i pos -> cp := max !cp (finish i pos)) start;
       Ok !cp
 
-let compute_chained ?(delays = unit_delays) ~prop_delay ~clock g ~cs =
-  match check_fits ~delays ~prop_delay ~clock g with
+let compute_chained ?(delays = unit_delays) ?(node_prop = no_override)
+    ~prop_delay ~clock g ~cs =
+  match check_fits ~delays ~node_prop ~prop_delay ~clock g with
   | Error _ as e -> e
   | Ok () ->
+      let pd = pd_of node_prop prop_delay in
       let n = Graph.num_nodes g in
-      let ch_asap = chained_asap ~delays ~prop_delay ~clock g in
+      let ch_asap = chained_asap ~delays ~node_prop ~prop_delay ~clock g in
       (* Backward pass: latest (step, start offset) such that every successor
          still meets its own latest start. *)
       let ch_alap = Array.make n (cs, 0.0) in
@@ -167,7 +182,7 @@ let compute_chained ?(delays = unit_delays) ~prop_delay ~clock g ~cs =
       List.iter
         (fun i ->
           let nd = Graph.node g i in
-          let d = prop_delay nd.Graph.kind in
+          let d = pd nd in
           let di = delay_of delays nd in
           let latest =
             match Graph.succs g i with

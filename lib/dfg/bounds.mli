@@ -48,15 +48,18 @@ type chained = {
 }
 
 val compute_chained :
-  ?delays:delays -> prop_delay:(Op.kind -> float) -> clock:float ->
+  ?delays:delays -> ?node_prop:(Graph.node -> float option) ->
+  prop_delay:(Op.kind -> float) -> clock:float ->
   Graph.t -> cs:int -> (chained, string) result
 (** Chaining-aware frames. Each 1-cycle operation must individually fit in
     the clock period; [Error] otherwise, or when the chained critical path
     exceeds [cs]. With [delays], multi-cycle operations occupy their full
     span and never chain — their edges register the value, available at
-    offset 0 of the following step. *)
+    offset 0 of the following step. [node_prop] overrides the per-kind
+    propagation delay for individual nodes (width-scaled delays). *)
 
 val chained_critical_path :
-  ?delays:delays -> prop_delay:(Op.kind -> float) -> clock:float ->
+  ?delays:delays -> ?node_prop:(Graph.node -> float option) ->
+  prop_delay:(Op.kind -> float) -> clock:float ->
   Graph.t -> (int, string) result
 (** Minimum step count with chaining (and multi-cycle [delays]). *)

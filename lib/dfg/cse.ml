@@ -37,7 +37,7 @@ let eliminate_once g =
             ~name:nd.Graph.name nd.Graph.kind
             (List.map resolve nd.Graph.args))
       (Graph.nodes g);
-    Graph.Builder.build b
+    Result.map (Graph.copy_annotations ~from:g) (Graph.Builder.build b)
   end
 
 (* Iterate to a fixpoint: forward references can hide duplicates from a

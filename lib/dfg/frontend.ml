@@ -243,6 +243,9 @@ let ensure_const env v =
   if not (List.mem v env.consts) then begin
     env.consts <- v :: env.consts;
     Graph.Builder.add_input env.builder (const_name v);
+    (* Constants have an exact value; seed the range analysis with the
+       singleton so .beh programs narrow without annotations. *)
+    Graph.Builder.declare_range env.builder (const_name v) (v, v);
     env.defined <- const_name v :: env.defined
   end;
   const_name v

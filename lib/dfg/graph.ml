@@ -12,6 +12,8 @@ type t = {
   succ_arr : int list array;
   input_list : string list;
   index : (string, int) Hashtbl.t;
+  range_list : (string * (int * int)) list;
+  width_list : (string * int) list;
 }
 
 module Builder = struct
@@ -25,13 +27,22 @@ module Builder = struct
   type t = {
     mutable rev_inputs : string list;
     mutable rev_ops : pending list;
+    mutable rev_ranges : (string * (int * int)) list;
+    mutable rev_widths : (string * int) list;
   }
 
-  let create () = { rev_inputs = []; rev_ops = [] }
+  let create () =
+    { rev_inputs = []; rev_ops = []; rev_ranges = []; rev_widths = [] }
 
   let add_input b name =
     if not (List.mem name b.rev_inputs) then
       b.rev_inputs <- name :: b.rev_inputs
+
+  let declare_range b name (lo, hi) =
+    b.rev_ranges <- (name, (lo, hi)) :: List.remove_assoc name b.rev_ranges
+
+  let declare_width b name w =
+    b.rev_widths <- (name, w) :: List.remove_assoc name b.rev_widths
 
   let add_op ?(guards = []) b ~name kind args =
     b.rev_ops <-
@@ -148,13 +159,46 @@ module Builder = struct
     done;
     if !count = num_nodes then Ok (List.rev !order) else Error "cycle in DFG"
 
+  (* Annotations may name inputs or nodes; ranges must be non-empty and
+     widths representable (1..64 bits — the word itself is 32, wider
+     declarations are legal no-ops for forward compatibility). *)
+  let check_annotations inputs ops ranges widths =
+    let known = Hashtbl.create 64 in
+    List.iter (fun n -> Hashtbl.replace known n ()) inputs;
+    List.iter (fun p -> Hashtbl.replace known p.p_name ()) ops;
+    let rec go_r = function
+      | [] -> Ok ()
+      | (name, (lo, hi)) :: rest ->
+          if not (Hashtbl.mem known name) then
+            Error (Printf.sprintf "range declared for unknown value %S" name)
+          else if lo > hi then
+            Error
+              (Printf.sprintf "range for %S is empty (%d > %d)" name lo hi)
+          else go_r rest
+    in
+    let rec go_w = function
+      | [] -> Ok ()
+      | (name, w) :: rest ->
+          if not (Hashtbl.mem known name) then
+            Error (Printf.sprintf "width declared for unknown value %S" name)
+          else if w < 1 || w > 64 then
+            Error
+              (Printf.sprintf "width for %S out of range (%d bits)" name w)
+          else go_w rest
+    in
+    let* () = go_r ranges in
+    go_w widths
+
   let build b =
     let inputs = List.rev b.rev_inputs in
     let ops = List.rev b.rev_ops in
+    let ranges = List.rev b.rev_ranges in
+    let widths = List.rev b.rev_widths in
     let* () = check_unique inputs ops in
     let* () = check_arities ops in
     let* () = check_refs inputs ops in
     let* () = check_guard_scoping ops in
+    let* () = check_annotations inputs ops ranges widths in
     let n = List.length ops in
     let index = Hashtbl.create (2 * n) in
     List.iteri (fun i p -> Hashtbl.replace index p.p_name i) ops;
@@ -182,7 +226,9 @@ module Builder = struct
       node_arr;
     Array.iteri (fun i l -> succ_arr.(i) <- List.sort_uniq compare l) succ_arr;
     let* _order = topo_ids n pred_arr succ_arr in
-    Ok { node_arr; pred_arr; succ_arr; input_list = inputs; index }
+    Ok
+      { node_arr; pred_arr; succ_arr; input_list = inputs; index;
+        range_list = ranges; width_list = widths }
 end
 
 let of_ops ~inputs rows =
@@ -203,6 +249,25 @@ let node g i =
 let nodes g = Array.to_list g.node_arr
 let find g name = Option.map (fun i -> g.node_arr.(i)) (Hashtbl.find_opt g.index name)
 let inputs g = g.input_list
+let ranges g = g.range_list
+let declared_widths g = g.width_list
+let range_of g name = List.assoc_opt name g.range_list
+let declared_width g name = List.assoc_opt name g.width_list
+
+let copy_annotations ~from g =
+  let keep name =
+    Hashtbl.mem g.index name || List.mem name g.input_list
+  in
+  let merge old extra =
+    old @ List.filter (fun (n, _) -> not (List.mem_assoc n old)) extra
+  in
+  {
+    g with
+    range_list =
+      merge g.range_list (List.filter (fun (n, _) -> keep n) from.range_list);
+    width_list =
+      merge g.width_list (List.filter (fun (n, _) -> keep n) from.width_list);
+  }
 let preds g i = g.pred_arr.(i)
 let succs g i = g.succ_arr.(i)
 

@@ -36,6 +36,18 @@ module Builder : sig
   (** Add an operation producing value [name]. Operand references may be
       forward: resolution happens in {!build}. *)
 
+  val declare_range : t -> string -> int * int -> unit
+  (** Declare that value [name] always lies in [[lo, hi]]. On a primary
+      input this is an assumption seeding the range analysis; on a node it
+      is redundant documentation (inference is authoritative). Later
+      declarations for the same name replace earlier ones. *)
+
+  val declare_width : t -> string -> int -> unit
+  (** Declare a signed two's-complement bit width for a value. On an input
+      it seeds the range [[-2^(w-1), 2^(w-1)-1]]; on a node it is a
+      narrowing contract checked for provable overflow by
+      [Analysis.Ranges]. *)
+
   val build : t -> (graph, string) result
   (** Validate and freeze: unique names, known operand/guard references,
       arity match, acyclicity, and guard scoping — a value is defined
@@ -63,6 +75,23 @@ val find : t -> string -> node option
 
 val inputs : t -> string list
 (** Declared primary inputs, in declaration order. *)
+
+val ranges : t -> (string * (int * int)) list
+(** Declared value ranges, in declaration order (see
+    {!Builder.declare_range}). *)
+
+val declared_widths : t -> (string * int) list
+(** Declared bit widths, in declaration order (see
+    {!Builder.declare_width}). *)
+
+val range_of : t -> string -> (int * int) option
+val declared_width : t -> string -> int option
+
+val copy_annotations : from:t -> t -> t
+(** Carry range/width declarations from [from] onto a rewritten graph,
+    dropping entries whose value no longer exists and keeping any
+    declarations already present on the target. Used by graph rewriters
+    (CSE, loop expansion, mutex encoding) so annotations survive. *)
 
 val preds : t -> int -> int list
 (** Data predecessors: nodes whose value this node consumes as an operand

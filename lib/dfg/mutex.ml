@@ -60,4 +60,4 @@ let merge_shared g =
           (List.map rename nd.Graph.args)
       end)
     (Graph.nodes g);
-  Graph.Builder.build b
+  Result.map (Graph.copy_annotations ~from:g) (Graph.Builder.build b)

@@ -53,14 +53,18 @@ let err ~line word ~code fmt =
       Error (Diag.input ~span:(Diag.span_of_word ~line ~col:word.col word.w) ~code s))
     fmt
 
+type annot =
+  | A_range of word * int * int
+  | A_width of word * int
+
 let parse src =
   let lines = List.map strip_cr (String.split_on_char '\n' src) in
   (* First pass: collect declarations, with spans. *)
-  let rec collect lineno inputs rows = function
-    | [] -> Ok (List.rev inputs, List.rev rows)
+  let rec collect lineno inputs rows annots = function
+    | [] -> Ok (List.rev inputs, List.rev rows, List.rev annots)
     | line :: rest -> (
         match split_words line with
-        | [] -> collect (lineno + 1) inputs rows rest
+        | [] -> collect (lineno + 1) inputs rows annots rest
         | { w = "input"; col } :: names ->
             if names = [] then
               err ~line:lineno { w = "input"; col } ~code:"parse.empty-input"
@@ -70,7 +74,37 @@ let parse src =
                 (List.rev_append
                    (List.map (fun n -> (n, lineno)) names)
                    inputs)
-                rows rest
+                rows annots rest
+        | { w = "range"; _ } :: name :: lo :: hi :: [] -> (
+            match (int_of_string_opt lo.w, int_of_string_opt hi.w) with
+            | Some lo_v, Some hi_v when lo_v <= hi_v ->
+                collect (lineno + 1) inputs rows
+                  ((A_range (name, lo_v, hi_v), lineno) :: annots)
+                  rest
+            | Some lo_v, Some hi_v ->
+                err ~line:lineno name ~code:"parse.bad-range"
+                  "range for %S is empty (%d > %d)" name.w lo_v hi_v
+            | _ ->
+                err ~line:lineno lo ~code:"parse.bad-range"
+                  "range bounds must be integers")
+        | { w = "range"; col } :: _ ->
+            err ~line:lineno { w = "range"; col } ~code:"parse.bad-range"
+              "expected: range <value> <lo> <hi>"
+        | { w = "width"; _ } :: name :: bits :: [] -> (
+            match int_of_string_opt bits.w with
+            | Some w_v when w_v >= 1 && w_v <= 64 ->
+                collect (lineno + 1) inputs rows
+                  ((A_width (name, w_v), lineno) :: annots)
+                  rest
+            | Some w_v ->
+                err ~line:lineno bits ~code:"parse.bad-width"
+                  "width must be 1..64 bits, got %d" w_v
+            | None ->
+                err ~line:lineno bits ~code:"parse.bad-width"
+                  "width must be an integer")
+        | { w = "width"; col } :: _ ->
+            err ~line:lineno { w = "width"; col } ~code:"parse.bad-width"
+              "expected: width <value> <bits>"
         | name :: { w = "="; _ } :: op :: tail -> (
             match Op.of_string op.w with
             | None ->
@@ -90,14 +124,14 @@ let parse src =
                   ({ r_name = name; r_kind = kind; r_args = args;
                      r_guards = guards; r_line = lineno }
                   :: rows)
-                  rest)
+                  annots rest)
         | w :: _ ->
             err ~line:lineno w ~code:"parse.bad-declaration"
               "cannot parse declaration near %S" w.w)
   in
-  match collect 1 [] [] lines with
+  match collect 1 [] [] [] lines with
   | Error _ as e -> e
-  | Ok (inputs, rows) -> (
+  | Ok (inputs, rows, annots) -> (
       (* Second pass: span-carrying validation of names, operand references
          and arities. Operand references may be forward, so they resolve
          against the full set of declared names. *)
@@ -138,7 +172,20 @@ let parse src =
         | [] -> Ok ()
         | r :: rest -> ( match check_row r with Ok () -> check rest | e -> e)
       in
-      match check rows with
+      let rec check_annots = function
+        | [] -> Ok ()
+        | (a, line) :: rest ->
+            let name =
+              match a with A_range (n, _, _) -> n | A_width (n, _) -> n
+            in
+            if not (Hashtbl.mem defined name.w) then
+              err ~line name ~code:"parse.unknown-value"
+                "annotation names no input or operation: %S" name.w
+            else check_annots rest
+      in
+      match
+        match check rows with Error _ as e -> e | Ok () -> check_annots annots
+      with
       | Error _ as e -> e
       | Ok () -> (
           let b = Graph.Builder.create () in
@@ -150,6 +197,12 @@ let parse src =
                 b ~name:r.r_name.w r.r_kind
                 (List.map (fun a -> a.w) r.r_args))
             rows;
+          List.iter
+            (fun (a, _) ->
+              match a with
+              | A_range (n, lo, hi) -> Graph.Builder.declare_range b n.w (lo, hi)
+              | A_width (n, w) -> Graph.Builder.declare_width b n.w w)
+            annots;
           (* Whole-graph properties (cycles, guard scoping) have no single
              source position. *)
           match Graph.Builder.build b with
@@ -181,4 +234,12 @@ let to_source g =
                (List.map (fun (c, arm) -> (if arm then "" else "!") ^ c) gs)));
       Buffer.add_char buf '\n')
     (Graph.nodes g);
+  List.iter
+    (fun (v, (lo, hi)) ->
+      Buffer.add_string buf (Printf.sprintf "range %s %d %d\n" v lo hi))
+    (Graph.ranges g);
+  List.iter
+    (fun (v, w) ->
+      Buffer.add_string buf (Printf.sprintf "width %s %d\n" v w))
+    (Graph.declared_widths g);
   Buffer.contents buf

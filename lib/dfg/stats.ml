@@ -3,7 +3,7 @@ type t = {
   inputs : int;
   edges : int;
   depth : int;
-  width : int;
+  level_width : int;
   avg_fanout : float;
   guarded : int;
   by_class : (string * int) list;
@@ -35,7 +35,7 @@ let compute g =
     inputs = List.length (Graph.inputs g);
     edges;
     depth;
-    width;
+    level_width = width;
     avg_fanout =
       (if ops = 0 then 0. else float_of_int edges /. float_of_int ops);
     guarded;
@@ -46,9 +46,10 @@ let compute g =
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>%d ops over %d inputs, %d edges@,\
-     depth %d, width %d, parallelism %.2f, fanout %.2f@,\
+     depth %d, level_width %d, parallelism %.2f, fanout %.2f@,\
      %d guarded op(s)@,\
      classes: %s@]"
-    t.ops t.inputs t.edges t.depth t.width t.parallelism t.avg_fanout t.guarded
+    t.ops t.inputs t.edges t.depth t.level_width t.parallelism t.avg_fanout
+    t.guarded
     (String.concat ", "
        (List.map (fun (c, n) -> Printf.sprintf "%d %s" n c) t.by_class))

@@ -6,7 +6,10 @@ type t = {
   inputs : int;
   edges : int;  (** Data-dependency edges (guard edges included). *)
   depth : int;  (** Unit-delay critical path. *)
-  width : int;  (** Peak number of operations per ASAP level. *)
+  level_width : int;
+      (** Peak number of operations per ASAP level — a measure of available
+          parallelism, {e not} a bitwidth (bit widths live in
+          [Analysis.Ranges]). *)
   avg_fanout : float;  (** Mean successors per operation. *)
   guarded : int;  (** Operations under at least one guard. *)
   by_class : (string * int) list;

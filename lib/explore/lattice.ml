@@ -5,6 +5,7 @@ type point = {
   weights : Core.Mfsa.weights;
   constr : Spec.constraint_;
   library : Spec.library_variant;
+  widths : bool;
   clock : float option;
   cse : bool;
   fault : Harness.Fault.t option;
@@ -30,6 +31,7 @@ let axes_name p =
        "w=" ^ Spec.weights_name p.weights;
        Spec.constraint_name p.constr;
      ]
+    @ (if p.widths then [ "widths" ] else [])
     @ (match p.clock with
       | None -> []
       | Some c -> [ Printf.sprintf "clock=%g" c ])
@@ -51,34 +53,38 @@ let expand (spec : Spec.t) =
       List.iter
         (fun library ->
           List.iter
-            (fun style ->
+            (fun widths ->
               List.iter
-                (fun weights ->
+                (fun style ->
                   List.iter
-                    (fun constr ->
-                      let p =
-                        normalize
-                          {
-                            index = !n;
-                            engine;
-                            style;
-                            weights;
-                            constr;
-                            library;
-                            clock = spec.Spec.clock;
-                            cse = spec.Spec.cse;
-                            fault = None;
-                          }
-                      in
-                      let key = axes_name p in
-                      if not (Hashtbl.mem seen key) then begin
-                        Hashtbl.add seen key ();
-                        points := { p with index = !n } :: !points;
-                        incr n
-                      end)
-                    spec.Spec.constraints)
-                spec.Spec.weights)
-            spec.Spec.styles)
+                    (fun weights ->
+                      List.iter
+                        (fun constr ->
+                          let p =
+                            normalize
+                              {
+                                index = !n;
+                                engine;
+                                style;
+                                weights;
+                                constr;
+                                library;
+                                widths;
+                                clock = spec.Spec.clock;
+                                cse = spec.Spec.cse;
+                                fault = None;
+                              }
+                          in
+                          let key = axes_name p in
+                          if not (Hashtbl.mem seen key) then begin
+                            Hashtbl.add seen key ();
+                            points := { p with index = !n } :: !points;
+                            incr n
+                          end)
+                        spec.Spec.constraints)
+                    spec.Spec.weights)
+                spec.Spec.styles)
+            spec.Spec.widths)
         spec.Spec.libraries)
     spec.Spec.engines;
   List.rev_map
@@ -103,10 +109,26 @@ let config_for lib ~clock =
             { Core.Config.prop_delay = lib.Celllib.Library.prop_delay;
               clock = clk } }
 
+(* Width-aware points run the range analysis up front: the facts feed the
+   chaining probes (node_delay), the cost model and the cache key. *)
+let facts_for ~graph p =
+  if p.widths then Some (Analysis.Ranges.analyze graph) else None
+
+let point_config ~graph lib ~facts ~clock =
+  let cfg = config_for lib ~clock in
+  match facts with
+  | None -> cfg
+  | Some f ->
+      { cfg with
+        Core.Config.node_delay = Analysis.Ranges.node_delays lib graph f }
+
 (* --- Content-addressed keys --------------------------------------------- *)
 
 let options_canonical ~graph p =
-  let config = config_for (library_for graph p.library) ~clock:p.clock in
+  let facts = facts_for ~graph p in
+  let config =
+    point_config ~graph (library_for graph p.library) ~facts ~clock:p.clock
+  in
   String.concat ";"
     [
       "config=" ^ Core.Config.canonical config;
@@ -120,6 +142,7 @@ let options_canonical ~graph p =
       "library=" ^ Spec.library_name p.library;
       "style=" ^ Spec.style_name p.style;
       "weights=" ^ Spec.weights_name p.weights;
+      "widths=" ^ string_of_bool p.widths;
     ]
 
 let key ~graph p =
@@ -185,10 +208,10 @@ let effective_cs config g cs = if cs <= 0 then Core.Timeframe.min_cs config g el
 (* MFS and the list baseline do not bind; cost them through the fallback
    column binding (one single-function ALU per schedule column), the same
    accounting the harness degradation chain uses. *)
-let colbind_cost lib config g s =
+let colbind_cost ?widths lib config g s =
   match Harness.Driver.colbind_datapath lib config g s with
   | Error e -> Error (Diag.of_msg Diag.Internal ~code:"explore.bind" e)
-  | Ok dp -> Ok (s, Rtl.Cost.of_datapath lib dp)
+  | Ok dp -> Ok (s, Rtl.Cost.of_datapath ?widths lib dp)
 
 let evaluate ~graph:g p =
   (match p.fault with
@@ -197,18 +220,29 @@ let evaluate ~graph:g p =
   | Some _ | None -> ());
   let t0 = Unix.gettimeofday () in
   let lib = library_for g p.library in
-  let config = config_for lib ~clock:p.clock in
+  let facts = facts_for ~graph:g p in
+  let config = point_config ~graph:g lib ~facts ~clock:p.clock in
+  let widths =
+    Option.map (fun f name -> Analysis.Ranges.width_of f name) facts
+  in
+  (* MFSA costs its own binding at the full word; width-aware points
+     re-price the winning datapath at inferred widths. *)
+  let recost (o : Core.Mfsa.outcome) =
+    match widths with
+    | None -> (o.Core.Mfsa.schedule, o.Core.Mfsa.cost)
+    | Some _ ->
+        ( o.Core.Mfsa.schedule,
+          Rtl.Cost.of_datapath ?widths lib o.Core.Mfsa.datapath )
+  in
   let outcome =
     match (p.engine, p.constr) with
     | Spec.Mfsa, Spec.Time cs ->
         let cs = effective_cs config g cs in
-        Result.map
-          (fun (o : Core.Mfsa.outcome) -> (o.Core.Mfsa.schedule, o.Core.Mfsa.cost))
+        Result.map recost
           (Core.Mfsa.run ~config ~style:p.style ~weights:p.weights ~library:lib
              ~cs g)
     | Spec.Mfsa, Spec.Resource limits ->
-        Result.map
-          (fun (o : Core.Mfsa.outcome) -> (o.Core.Mfsa.schedule, o.Core.Mfsa.cost))
+        Result.map recost
           (Core.Mfsa.run_resource ~config ~style:p.style ~weights:p.weights
              ~library:lib ~limits g)
     | Spec.Mfs, constr ->
@@ -219,7 +253,7 @@ let evaluate ~graph:g p =
         in
         Result.bind
           (Core.Mfs.schedule ~config g spec_kind)
-          (colbind_cost lib config g)
+          (colbind_cost ?widths lib config g)
     | Spec.List_sched, constr ->
         let sched =
           match constr with
@@ -232,7 +266,7 @@ let evaluate ~graph:g p =
           (Result.map_error
              (Diag.of_msg Diag.Infeasible ~code:"explore.engine")
              sched)
-          (colbind_cost lib config g)
+          (colbind_cost ?widths lib config g)
   in
   Result.map
     (fun ((s : Core.Schedule.t), (cost : Rtl.Cost.breakdown)) ->

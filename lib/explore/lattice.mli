@@ -8,6 +8,7 @@ type point = {
   weights : Core.Mfsa.weights;
   constr : Spec.constraint_;
   library : Spec.library_variant;
+  widths : bool;  (** Width-aware costing via [Analysis.Ranges]. *)
   clock : float option;
   cse : bool;
   fault : Harness.Fault.t option;

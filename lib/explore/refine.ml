@@ -27,7 +27,9 @@ let drop_sink g name =
               nd.Dfg.Graph.guards ))
       (Dfg.Graph.nodes g)
   in
-  Dfg.Graph.of_ops ~inputs:(Dfg.Graph.inputs g) rows
+  Result.map
+    (Dfg.Graph.copy_annotations ~from:g)
+    (Dfg.Graph.of_ops ~inputs:(Dfg.Graph.inputs g) rows)
 
 let sensitivity ?(config = Core.Config.default) ?limit ~graph ~base ~cs () =
   let sinks =

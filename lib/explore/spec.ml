@@ -9,6 +9,7 @@ type t = {
   weights : Core.Mfsa.weights list;
   constraints : constraint_ list;
   libraries : library_variant list;
+  widths : bool list;
   clock : float option;
   cse : bool;
   budget : int;
@@ -23,6 +24,7 @@ let default ~graph =
     weights = [ Core.Mfsa.equal_weights ];
     constraints = [ Time 0 ];
     libraries = [ Default ];
+    widths = [ false ];
     clock = None;
     cse = false;
     budget = 0;
@@ -156,6 +158,11 @@ let parse_line ~file ~line acc text =
       map_values ~what:"library variant (default, two-cycle, pipelined)"
         library_of_name vs (fun ls ->
           Ok { acc with libraries = acc.libraries @ ls })
+  | "widths" :: (_ :: _ as vs) ->
+      map_values ~what:"widths switch (on or off)"
+        (function "on" -> Some true | "off" -> Some false | _ -> None)
+        vs
+        (fun ws -> Ok { acc with widths = acc.widths @ ws })
   | [ "clock"; v ] -> (
       match float_of_string_opt v with
       | Some c when c > 0. -> Ok { acc with clock = Some c }
@@ -179,13 +186,14 @@ let parse_line ~file ~line acc text =
       fail
         (d
        ^ ": unknown directive (graph, engine, style, weights, cs, limits, \
-          library, clock, cse, budget, inject)")
+          library, widths, clock, cse, budget, inject)")
 
 let parse ~file text =
   let lines = String.split_on_char '\n' text in
   let empty =
     { (default ~graph:"") with
-      engines = []; styles = []; weights = []; constraints = []; libraries = []
+      engines = []; styles = []; weights = []; constraints = []; libraries = [];
+      widths = []
     }
   in
   let rec go acc line = function
@@ -211,6 +219,7 @@ let parse ~file text =
             weights = or_default [ Core.Mfsa.equal_weights ] acc.weights;
             constraints = or_default [ Time 0 ] acc.constraints;
             libraries = or_default [ Default ] acc.libraries;
+            widths = or_default [ false ] acc.widths;
           }
 
 let load path =

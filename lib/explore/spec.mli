@@ -13,6 +13,7 @@
     cs 17 19 21              # time-constrained points (0 = critical path)
     limits *=1,+=1 *=2,+=2   # resource-constrained points
     library default two-cycle pipelined
+    widths on off            # width-aware costing (range analysis) axis
     clock 100                # enable chaining, period in ns
     cse
     budget 8                 # adaptive-refinement point budget
@@ -41,6 +42,9 @@ type t = {
   weights : Core.Mfsa.weights list;
   constraints : constraint_ list;
   libraries : library_variant list;
+  widths : bool list;
+      (** Width-aware axis: points with [true] run [Analysis.Ranges] and
+          price the datapath (and chaining delays) at inferred widths. *)
   clock : float option;  (** Chaining clock period, applied to every point. *)
   cse : bool;  (** Run CSE on the graph before the sweep. *)
   budget : int;  (** Adaptive-refinement point budget (0 = seed lattice only). *)

@@ -7,6 +7,7 @@ type options = {
   clock : float option;
   style2 : bool;
   cse : bool;
+  widths : bool;
   baseline_only : bool;
 }
 
@@ -20,6 +21,7 @@ let default_options =
     clock = None;
     style2 = false;
     cse = false;
+    widths = false;
     baseline_only = false;
   }
 
@@ -27,6 +29,7 @@ let options_to_flags o =
   let b flag on acc = if on then flag :: acc else acc in
   []
   |> b "--baseline-only" o.baseline_only
+  |> b "--widths" o.widths
   |> b "--cse" o.cse
   |> b "--two-cycle-mult" o.two_cycle
   |> b "--pipelined-mult" o.pipelined
@@ -177,6 +180,16 @@ let run ?fault ?(budgets = default_budgets) ?(options = default_options) g0 =
   in
   let lib = make_library g ~two_cycle:options.two_cycle ~pipelined:options.pipelined in
   let config = make_config lib ~clock:options.clock ~latency:options.latency in
+  (* Width-aware runs compute the range facts once; they feed the chaining
+     probes (per-node delays) and the narrowing-safety simulation below. *)
+  let facts = if options.widths then Some (Analysis.Ranges.analyze g) else None in
+  let config =
+    match facts with
+    | None -> config
+    | Some f ->
+        { config with
+          Core.Config.node_delay = Analysis.Ranges.node_delays lib g f }
+  in
   let cs =
     if options.cs <= 0 then Core.Timeframe.min_cs config g else options.cs
   in
@@ -398,5 +411,18 @@ let run ?fault ?(budgets = default_budgets) ?(options = default_options) g0 =
                     Sim.Equiv.check_random ~runs:budgets.sim_runs dp ctrl
                   with
                   | Ok () -> ()
-                  | Error d -> violate d));
+                  | Error d -> violate d);
+              (* --- Narrowing safety: the width-truncated machine must stay
+                 bit-exact against the full-width golden model. *)
+              match facts with
+              | None -> ()
+              | Some f ->
+                  timed "narrowing" (fun () ->
+                      match
+                        Sim.Equiv.check_narrowing ~runs:budgets.sim_runs
+                          ~widths:(fun n -> Analysis.Ranges.width_of f n)
+                          dp ctrl
+                      with
+                      | Ok () -> ()
+                      | Error d -> violate d));
           finish ~schedule:!sched ~sched_via ~bind_via ()

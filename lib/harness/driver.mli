@@ -21,6 +21,11 @@ type options = {
   clock : float option;
   style2 : bool;
   cse : bool;
+  widths : bool;
+      (** Width-aware mode: run [Analysis.Ranges], feed width-scaled
+          per-node delays to the chaining probes, and add a
+          narrowing-safety simulation stage ([Sim.Equiv.check_narrowing])
+          after the random-equivalence stage. *)
   baseline_only : bool;
       (** Skip the MFS/MFSA primaries and run the degradation chain
           directly (list scheduling + column packing, column-packed

@@ -223,6 +223,7 @@ let sample_options rng g =
       | _ -> None);
     style2 = Workloads.Prng.int rng 4 = 0;
     cse = Workloads.Prng.int rng 3 = 0;
+    widths = Workloads.Prng.int rng 4 = 0;
     baseline_only = false;
   }
 

@@ -9,11 +9,33 @@ type breakdown = {
   n_mux_inputs : int;
 }
 
-let of_datapath lib dp =
+let of_datapath ?widths lib dp =
+  (* With [widths], each ALU is priced at the widest value it computes and
+     each register at the widest value it latches; the mux tree carries
+     control-sized selects and is left at the library price. A width at or
+     above the machine word falls back to the library's own figure, so
+     custom libraries keep their exact areas when nothing narrows. *)
+  let alu_area_of a =
+    let full = a.Datapath.a_kind.Celllib.Library.area in
+    match widths with
+    | None -> full
+    | Some w ->
+        (* A unit must be as wide as any value it consumes or produces. *)
+        let width =
+          List.fold_left
+            (fun acc i ->
+              let nd = Dfg.Graph.node dp.Datapath.graph i in
+              List.fold_left
+                (fun acc v -> max acc (w v))
+                (max acc (w nd.Dfg.Graph.name))
+                nd.Dfg.Graph.args)
+            1 a.Datapath.a_ops
+        in
+        if width >= Celllib.Library.word_width then full
+        else Celllib.Library.scaled_alu_area a.Datapath.a_kind ~width
+  in
   let alu_area =
-    List.fold_left
-      (fun acc a -> acc +. a.Datapath.a_kind.Celllib.Library.area)
-      0. dp.Datapath.alus
+    List.fold_left (fun acc a -> acc +. alu_area_of a) 0. dp.Datapath.alus
   in
   let mux_area =
     List.fold_left
@@ -24,7 +46,23 @@ let of_datapath lib dp =
       0. dp.Datapath.alus
   in
   let n_regs = dp.Datapath.regs.Left_edge.count in
-  let reg_area = float_of_int n_regs *. lib.Celllib.Library.reg_cost in
+  let reg_area =
+    match widths with
+    | None -> float_of_int n_regs *. lib.Celllib.Library.reg_cost
+    | Some w ->
+        let rec go acc r =
+          if r >= n_regs then acc
+          else
+            let width =
+              List.fold_left
+                (fun acc v -> max acc (w v))
+                1
+                (Left_edge.values_of dp.Datapath.regs r)
+            in
+            go (acc +. Celllib.Library.scaled_reg_cost lib ~width) (r + 1)
+        in
+        go 0. 0
+  in
   {
     alu_area;
     mux_area;

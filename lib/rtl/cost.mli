@@ -12,7 +12,13 @@ type breakdown = {
   n_mux_inputs : int;  (** Their total data inputs (Table 2's MUXin). *)
 }
 
-val of_datapath : Celllib.Library.t -> Datapath.t -> breakdown
+val of_datapath :
+  ?widths:(string -> int) -> Celllib.Library.t -> Datapath.t -> breakdown
+(** [widths] maps a value name to its inferred bit width
+    ({!Analysis.Ranges.width_table}); when given, ALUs are priced at the
+    widest operation they execute and registers at the widest value they
+    hold, via the {!Celllib.Library} width scalers. Omitted, every unit is
+    priced at the full machine word as before. *)
 
 val alu_config : Datapath.t -> string
 (** Table-2 style ALU column, e.g. ["2(+-); (*)"] — instance counts per ALU

@@ -11,16 +11,31 @@ let source_expr = function
   | Datapath.From_alu a -> Printf.sprintf "alu_out_%d" a
   | Datapath.From_input v -> sanitize v
 
-let emit ?(module_name = "design") dp ctrl =
+let emit ?(module_name = "design") ?widths dp ctrl =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   let g = dp.Datapath.graph in
+  (* Bus width per value name, capped at the machine word: the range
+     analysis reports up to 63 bits, but the datapath is a 32-bit machine
+     and a value needing more than the word is simply a full-width bus. *)
+  let width_of name =
+    match widths with
+    | None -> 32
+    | Some w -> max 1 (min 32 (w name))
+  in
+  let widest names = List.fold_left (fun acc v -> max acc (width_of v)) 1 names in
+  let alu_width a =
+    widest
+      (List.map (fun i -> (Dfg.Graph.node g i).Dfg.Graph.name) a.Datapath.a_ops)
+  in
   let inputs = List.map sanitize (Dfg.Graph.inputs g) in
   add "module %s(clk, rst%s%s);\n" (sanitize module_name)
     (if inputs = [] then "" else ", ")
     (String.concat ", " inputs);
   add "  input clk, rst;\n";
-  List.iter (fun i -> add "  input [31:0] %s;\n" i) inputs;
+  List.iter2
+    (fun raw i -> add "  input [%d:0] %s;\n" (width_of raw - 1) i)
+    (Dfg.Graph.inputs g) inputs;
   add "  // %d control steps, %d ALUs, %d registers\n" ctrl.Controller.steps
     (List.length dp.Datapath.alus)
     dp.Datapath.regs.Left_edge.count;
@@ -28,13 +43,17 @@ let emit ?(module_name = "design") dp ctrl =
     (let rec bits n = if n <= 1 then 1 else 1 + bits (n / 2) in
      bits ctrl.Controller.steps - 1);
   for r = 0 to dp.Datapath.regs.Left_edge.count - 1 do
-    add "  reg [31:0] reg_%d; // holds: %s\n" r
-      (String.concat ", " (Left_edge.values_of dp.Datapath.regs r))
+    let vals = Left_edge.values_of dp.Datapath.regs r in
+    add "  reg [%d:0] reg_%d; // holds: %s\n"
+      (widest vals - 1)
+      r
+      (String.concat ", " vals)
   done;
   List.iter
     (fun a ->
-      add "  wire [31:0] alu_out_%d; // %s ops: %s\n" a.Datapath.a_id
-        a.Datapath.a_kind.Celllib.Library.aname
+      add "  wire [%d:0] alu_out_%d; // %s ops: %s\n"
+        (alu_width a - 1)
+        a.Datapath.a_id a.Datapath.a_kind.Celllib.Library.aname
         (String.concat ","
            (List.map
               (fun i -> (Dfg.Graph.node g i).Dfg.Graph.name)
@@ -87,12 +106,12 @@ let emit ?(module_name = "design") dp ctrl =
             | [ x; y ], k ->
                 Printf.sprintf "(%s %s %s)" (source_expr x) (Dfg.Op.symbol k)
                   (source_expr y)
-            | _ -> "32'hx"
+            | _ -> Printf.sprintf "%d'hx" (alu_width a)
           in
           add "    (state == %d) ? %s : // %s\n" m.Controller.m_step expr
             nd.Dfg.Graph.name)
         cases;
-      add "    32'hx;\n")
+      add "    %d'hx;\n" (alu_width a))
     dp.Datapath.alus;
   add "endmodule\n";
   Buffer.contents buf

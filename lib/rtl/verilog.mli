@@ -3,4 +3,10 @@
     (datapath module + FSM controller) and is exercised by golden tests; it
     is not round-tripped through a Verilog simulator in this repository. *)
 
-val emit : ?module_name:string -> Datapath.t -> Controller.t -> string
+val emit :
+  ?module_name:string -> ?widths:(string -> int) ->
+  Datapath.t -> Controller.t -> string
+(** [widths] maps a value name to its inferred bit width; declarations then
+    size each input, register and ALU output bus at the widest value it
+    carries (capped at the 32-bit machine word). Omitted, every bus is
+    [[31:0]] as before. *)

@@ -354,6 +354,7 @@ let handle_request st conn (env : P.envelope) =
               weights = opts.P.weights;
               constr = opts.P.constr;
               library = opts.P.library;
+              widths = false;
               clock = opts.P.clock;
               cse = opts.P.cse;
               fault = opts.P.fault;

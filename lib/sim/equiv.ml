@@ -4,12 +4,12 @@ type mismatch = {
   got : int option;
 }
 
-let mismatches dp ctrl ~env =
+let mismatches ?widths dp ctrl ~env =
   let g = dp.Rtl.Datapath.graph in
   match Eval.run g env with
   | Error e -> Error (Diag.input ~code:"sim.golden" ("golden model: " ^ e))
   | Ok golden -> (
-      match Machine.run dp ctrl ~env with
+      match Machine.run ?widths dp ctrl ~env with
       | Error e ->
           Error (Diag.internal ~code:"sim.machine" ("machine: " ^ e))
       | Ok r ->
@@ -31,8 +31,8 @@ let describe m =
   Printf.sprintf "%s: expected %d, got %s" m.node m.expected
     (match m.got with Some v -> string_of_int v | None -> "nothing")
 
-let check dp ctrl ~env =
-  match mismatches dp ctrl ~env with
+let check ?widths dp ctrl ~env =
+  match mismatches ?widths dp ctrl ~env with
   | Error _ as e -> e
   | Ok [] -> Ok ()
   | Ok bad ->
@@ -68,3 +68,55 @@ let check_random ?(runs = 20) ?(seed = 42) dp ctrl =
           Error { e with Diag.message = Printf.sprintf "run %d: %s" k e.Diag.message }
   in
   go 0
+
+(* Narrowing safety: the machine with every bus cut down to its inferred
+   width must agree with the full-width golden model on every vector drawn
+   from the declared input ranges. Directed vectors hit the corners the
+   interval analysis reasons about (range endpoints, zero, plus/minus one);
+   randomized vectors sample the interior. *)
+let check_narrowing ?(runs = 20) ?(seed = 7) ~widths dp ctrl =
+  let g = dp.Rtl.Datapath.graph in
+  let inputs = Dfg.Graph.inputs g in
+  let range v =
+    match Dfg.Graph.range_of g v with Some r -> r | None -> (-100, 100)
+  in
+  let clamp (lo, hi) v = if v < lo then lo else if v > hi then hi else v in
+  let directed =
+    List.map
+      (fun pick -> List.map (fun v -> (v, pick (range v))) inputs)
+      [
+        fst;
+        snd;
+        (fun r -> clamp r 0);
+        (fun r -> clamp r 1);
+        (fun r -> clamp r (-1));
+      ]
+  in
+  let state = ref (Int64.of_int seed) in
+  let draw (lo, hi) =
+    let s, v = mix !state in
+    state := s;
+    (* [v] is nonnegative (61 significant bits); [span <= 0] means the
+       declared range covers more than the positive int range — sample
+       raw. *)
+    let span = hi - lo + 1 in
+    if span <= 0 then v else lo + (v mod span)
+  in
+  let rec randoms k acc =
+    if k >= runs then List.rev acc
+    else randoms (k + 1) (List.map (fun v -> (v, draw (range v))) inputs :: acc)
+  in
+  let rec go k = function
+    | [] -> Ok ()
+    | env :: rest -> (
+        match check ~widths dp ctrl ~env with
+        | Ok () -> go (k + 1) rest
+        | Error e ->
+            Error
+              {
+                e with
+                Diag.message =
+                  Printf.sprintf "narrowing vector %d: %s" k e.Diag.message;
+              })
+  in
+  go 0 (directed @ randoms 0 [])

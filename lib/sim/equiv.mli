@@ -12,8 +12,8 @@ type mismatch = {
 }
 
 val check :
-  Rtl.Datapath.t -> Rtl.Controller.t -> env:Eval.env ->
-  (unit, Diag.t) result
+  ?widths:(string -> int) -> Rtl.Datapath.t -> Rtl.Controller.t ->
+  env:Eval.env -> (unit, Diag.t) result
 (** [Ok] when every active node matches; the [Error] diagnostic carries the
     first few mismatches ([sim.mismatch], internal), the machine's failure
     ([sim.machine], internal) or the golden model's ([sim.golden], input —
@@ -24,3 +24,14 @@ val check_random :
   (unit, Diag.t) result
 (** {!check} over randomly drawn input environments (default 20 runs,
     deterministic seed). *)
+
+val check_narrowing :
+  ?runs:int -> ?seed:int -> widths:(string -> int) ->
+  Rtl.Datapath.t -> Rtl.Controller.t -> (unit, Diag.t) result
+(** Narrowing safety: {!Machine.run} with buses truncated to their
+    inferred [widths] must be bit-exact against the full-width golden
+    model. Vectors are drawn from each input's declared range (default
+    [[-100, 100]] when unannotated): five directed profiles (all-low,
+    all-high, and zero / one / minus-one clamped into range) plus [runs]
+    randomized draws. A failure means the width inference was unsound for
+    this design and is reported as [sim.mismatch]. *)

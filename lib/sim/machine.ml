@@ -12,8 +12,29 @@ and step_snapshot = {
 
 exception Stuck of string
 
-let run dp ctrl ~env =
+(* Two's-complement truncation to [w] bits. Identity at [w >= 63]: the
+   abstract machine is an OCaml [int] machine, so 63 bits means "the full
+   word" and there is nothing to drop. *)
+let truncate ~width:w v =
+  if w >= 63 then v
+  else
+    let m = 1 lsl w in
+    let r = ((v mod m) + m) mod m in
+    if r >= 1 lsl (w - 1) then r - m else r
+
+let run ?widths dp ctrl ~env =
   let g = dp.Rtl.Datapath.graph in
+  (* Under [widths], every bus and register is as narrow as the range
+     analysis proved sufficient: values are truncated wherever the real
+     hardware would physically drop bits — at input latching, on input
+     wires, and on every ALU output. If the analysis is sound the
+     truncations are identities; if not, the golden comparison in
+     [Equiv.check_narrowing] sees the damage. *)
+  let trunc name v =
+    match widths with
+    | None -> v
+    | Some w -> truncate ~width:(w name) v
+  in
   let regs = Array.make (max 1 dp.Rtl.Datapath.regs.Rtl.Left_edge.count) None in
   let computed : (string, int) Hashtbl.t = Hashtbl.create 64 in
   let lookup_value name =
@@ -25,7 +46,7 @@ let run dp ctrl ~env =
     List.iter
       (fun (v, r) ->
         match List.assoc_opt v env with
-        | Some x -> regs.(r) <- Some x
+        | Some x -> regs.(r) <- Some (trunc v x)
         | None -> raise (Stuck (Printf.sprintf "input %S missing" v)))
       ctrl.Rtl.Controller.input_loads;
     let pending = ref [] (* (latch_step, reg, value) *) in
@@ -70,12 +91,12 @@ let run dp ctrl ~env =
                                 nd.Dfg.Graph.name a s)))
                 | Rtl.Datapath.From_input v -> (
                     match List.assoc_opt v env with
-                    | Some x -> x
+                    | Some x -> trunc v x
                     | None ->
                         raise (Stuck (Printf.sprintf "input %S missing" v)))
               in
               let args = List.map read m.Rtl.Controller.m_sources in
-              let v = Dfg.Op.eval nd.Dfg.Graph.kind args in
+              let v = trunc nd.Dfg.Graph.name (Dfg.Op.eval nd.Dfg.Graph.kind args) in
               Hashtbl.replace computed nd.Dfg.Graph.name v;
               Hashtbl.replace wires m.Rtl.Controller.m_alu v;
               match m.Rtl.Controller.m_dest with

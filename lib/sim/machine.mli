@@ -23,9 +23,18 @@ and step_snapshot = {
   snap_wires : (int * int) list;  (** Live ALU outputs during the step. *)
 }
 
+val truncate : width:int -> int -> int
+(** Two's-complement truncation to [width] bits; identity at 63 or more. *)
+
 val run :
-  Rtl.Datapath.t -> Rtl.Controller.t -> env:Eval.env ->
-  (run_result, string) result
+  ?widths:(string -> int) -> Rtl.Datapath.t -> Rtl.Controller.t ->
+  env:Eval.env -> (run_result, string) result
 (** Execute one iteration. Errors on reads of never-written registers or
     wires — which is how binding bugs (register clashes, broken chaining)
-    surface in tests. *)
+    surface in tests.
+
+    [widths] maps a value name to its inferred bit width; when given, the
+    machine models a width-annotated datapath: inputs and every ALU output
+    are truncated ({!truncate}) to their inferred widths, exactly as buses
+    of that size would behave. If the widths are sound, no truncation ever
+    changes a value. *)

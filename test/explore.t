@@ -39,10 +39,10 @@ membership and source:
 
   $ ../bin/synth.exe explore sweep.spec --cache cache.jsonl --csv
   index,key,engine,library,style,weights,constraint,status,csteps,units,alu_um2,mux_um2,reg,total_um2,front,source
-  0,462da05d250660cc04f47308252cea64,mfsa,default,1,1/1/1/1,T=4,ok,4,5,34690,3360,8,43250,yes,cache
-  1,55e4b0de273911b229548a32422abe9f,mfsa,default,1,1/1/1/1,T=6,ok,6,5,30862,3900,8,39962,yes,cache
-  2,9963ecc004923dd073f2f44df7060d63,mfsa,default,1,1/1/1/20,T=4,ok,4,5,34690,3360,8,43250,yes,cache
-  3,d708156efd9728c991863c5aa7f9ef84,mfsa,default,1,1/1/1/20,T=6,ok,6,5,30862,3900,8,39962,yes,cache
+  0,ebc28d13601e76c677f989309087df3e,mfsa,default,1,1/1/1/1,T=4,ok,4,5,34690,3360,8,43250,yes,cache
+  1,21ca3669600a5a59a66878ae2cec45d9,mfsa,default,1,1/1/1/1,T=6,ok,6,5,30862,3900,8,39962,yes,cache
+  2,a65250c53b18cec430249c65c52d1f44,mfsa,default,1,1/1/1/20,T=4,ok,4,5,34690,3360,8,43250,yes,cache
+  3,4f3beb76b2438bedb8ffa31ef4ca55dd,mfsa,default,1,1/1/1/20,T=6,ok,6,5,30862,3900,8,39962,yes,cache
 
 --dot-front draws the dominance graph (all four points tie onto the
 front here, so there are no edges):
@@ -105,8 +105,8 @@ is an input error (exit 3) with a file:line span:
 synth compare shares the CSV renderer:
 
   $ ../bin/synth.exe compare diffeq --cs 4 --csv
-  scheduler,units,valid,via
-  MFS,"2 x *, 1 x -, 1 x +, 1 x <",yes,primary
-  list,"2 x *, 1 x -, 1 x +, 1 x <",yes,primary
-  FDS,"2 x *, 1 x -, 1 x +, 1 x <",yes,primary
-  annealing,"2 x *, 1 x -, 1 x +, 1 x <",yes,primary
+  scheduler,units,widths,valid,via
+  MFS,"2 x *, 1 x -, 1 x +, 1 x <",42780,yes,primary
+  list,"2 x *, 1 x -, 1 x +, 1 x <",42580,yes,primary
+  FDS,"2 x *, 1 x -, 1 x +, 1 x <",42580,yes,primary
+  annealing,"2 x *, 1 x -, 1 x +, 1 x <",41860,yes,primary

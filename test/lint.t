@@ -22,10 +22,12 @@ Warnings do not fail the run:
   warning[lint.dead-input] primary input "z" is never read
   lint: 0 error(s), 1 warning(s)
 
---json renders the findings with their implicated nodes:
+--json renders a report object: the findings with their implicated
+nodes plus per-pass wall-clock timings (normalized here — wall time is
+not reproducible):
 
-  $ ../bin/synth.exe lint dead.dfg --json
-  [{"nodes":["z"],"diag":{"code":"lint.dead-input","category":"input","severity":"warning","message":"primary input \"z\" is never read"}}]
+  $ ../bin/synth.exe lint dead.dfg --json | sed 's/:[0-9][0-9]*\.[0-9]*/:T/g'
+  {"findings":[{"nodes":["z"],"diag":{"code":"lint.dead-input","category":"input","severity":"warning","message":"primary input \"z\" is never read"}}],"timings_ms":{"dfg-lint":T,"feasibility":T,"widths":T,"post-schedule":T,"post-rtl":T}}
 
 --dot-lint overlays the findings on the graph (warning = yellow fill):
 
@@ -97,6 +99,54 @@ Each fault-injection mode is caught by a static pass (exit 5, internal):
   error[lint.operand-not-ready] c2 reads c1 from reg0 at step 2 but it only latches at edge 2
   lint: 3 error(s), 0 warning(s)
   [5]
+
+Range/width annotations feed the bitwidth analysis; --widths prints the
+inferred value-width table. Unannotated values would be top (full
+width) — here every input is bounded, so everything narrows:
+
+  $ printf 'input a b\nrange a 0 15\nrange b 0 15\ns = add a b\np = mul s b\n' > narrow.dfg
+  $ ../bin/synth.exe lint narrow.dfg --widths
+  critical path: 2 step(s); budget: 2
+  FU lower bounds: + >= 1, * >= 1
+  registers: 2 used; lower bound 2
+  value widths (1 pass(es)):
+    a                [0, 15]                   5 bit(s)
+    b                [0, 15]                   5 bit(s)
+    s                [0, 30]                   6 bit(s)
+    p                [0, 450]                 10 bit(s)
+  lint: clean
+
+A width declaration is a narrowing contract. When the inferred range
+lies entirely outside it, every execution overflows — an internal error
+(exit 5) caught statically, never first by simulation (the reproducer
+also lives in test/corpus/widths/overflow-mov.dfg for the CI gate):
+
+  $ printf 'input a b\nrange a 16 31\nrange b 0 3\ns = mov a\nwidth s 4\np = mul s b\n' > overflow.dfg
+  $ ../bin/synth.exe lint overflow.dfg --widths
+  critical path: 2 step(s); budget: 2
+  FU lower bounds: mov >= 1, * >= 1
+  value widths (1 pass(es)):
+    a                [16, 31]                  6 bit(s)
+    b                [0, 3]                    3 bit(s)
+    s                [16, 31]                  6 bit(s)  (declared 4)
+    p                [0, 93]                   8 bit(s)
+  error[width.overflow] value "s" provably overflows its declared 4-bit width: every value in the inferred range [16, 31] is outside [-8, 7]
+  lint: 1 error(s), 0 warning(s)
+  [5]
+
+When overflow is possible but not certain, the contract gets a warning
+instead — the run still exits 0:
+
+  $ printf 'input a\nrange a 0 31\ns = mov a\nwidth s 4\n' > trunc.dfg
+  $ ../bin/synth.exe lint trunc.dfg --widths
+  critical path: 1 step(s); budget: 1
+  FU lower bounds: mov >= 1
+  registers: 1 used; lower bound 1
+  value widths (1 pass(es)):
+    a                [0, 31]                   6 bit(s)
+    s                [0, 31]                   6 bit(s)  (declared 4)
+  warning[width.truncation] value "s" may overflow its declared 4-bit width: inferred range [0, 31] exceeds [-8, 7]
+  lint: 0 error(s), 1 warning(s)
 
 Bad input stays a bad-input error:
 

@@ -61,14 +61,14 @@ let options_flags_roundtrip () =
   let o =
     { Harness.Driver.cs = 7; limits = [ ("*", 2) ]; two_cycle = true;
       pipelined = false; latency = Some 3; clock = Some 40.0; style2 = true;
-      cse = true; baseline_only = true }
+      cse = true; widths = true; baseline_only = true }
   in
   let flags = Harness.Driver.options_to_flags o in
   List.iter
     (fun sub ->
       Alcotest.(check bool) ("flag " ^ sub) true (Helpers.contains ~sub flags))
     [ "--cs 7"; "--limit '*=2'"; "--two-cycle-mult"; "--latency 3";
-      "--clock 40"; "--style 2"; "--cse"; "--baseline-only" ]
+      "--clock 40"; "--style 2"; "--cse"; "--widths"; "--baseline-only" ]
 
 let campaign_clean () =
   (* A bounded campaign without injection: no crashes, no invariant

@@ -5,7 +5,7 @@ let diffeq_stats () =
   Alcotest.(check int) "ops" 11 s.Dfg.Stats.ops;
   Alcotest.(check int) "inputs" 6 s.Dfg.Stats.inputs;
   Alcotest.(check int) "depth" 4 s.Dfg.Stats.depth;
-  Alcotest.(check int) "width (asap level 1)" 5 s.Dfg.Stats.width;
+  Alcotest.(check int) "level_width (asap level 1)" 5 s.Dfg.Stats.level_width;
   Alcotest.(check (float 0.01)) "parallelism" 2.75 s.Dfg.Stats.parallelism;
   Alcotest.(check int) "no guards" 0 s.Dfg.Stats.guarded
 
@@ -16,7 +16,7 @@ let cond_stats () =
 let chain_stats () =
   let s = Dfg.Stats.compute (Helpers.chain4 ()) in
   Alcotest.(check int) "depth = ops" 4 s.Dfg.Stats.depth;
-  Alcotest.(check int) "width 1" 1 s.Dfg.Stats.width;
+  Alcotest.(check int) "level_width 1" 1 s.Dfg.Stats.level_width;
   Alcotest.(check (float 0.01)) "no parallelism" 1.0 s.Dfg.Stats.parallelism;
   (* Three internal edges in a four-op chain. *)
   Alcotest.(check int) "edges" 3 s.Dfg.Stats.edges
@@ -28,13 +28,13 @@ let pp_smoke () =
     (Helpers.contains ~sub:"26 +" out)
 
 let width_never_exceeds_ops =
-  Helpers.qcheck ~count:60 "width and depth bounded by ops"
+  Helpers.qcheck ~count:60 "level_width and depth bounded by ops"
     (Helpers.dag_gen ())
     (fun g ->
       let s = Dfg.Stats.compute g in
-      s.Dfg.Stats.width <= s.Dfg.Stats.ops
+      s.Dfg.Stats.level_width <= s.Dfg.Stats.ops
       && s.Dfg.Stats.depth <= s.Dfg.Stats.ops
-      && s.Dfg.Stats.width >= 1)
+      && s.Dfg.Stats.level_width >= 1)
 
 let suite =
   [
