@@ -593,8 +593,22 @@ let batch_cmd =
            ~doc:"Advisory per-stage budget passed to the driver; the \
                  hard limit is --deadline.")
   in
+  let hosts_arg =
+    Arg.(value & opt (some string) None & info [ "hosts" ] ~docv:"ENDPOINTS"
+           ~doc:"Comma-separated endpoints to bind (socket paths or \
+                 tcp:PORT). Jobs are fanned out to connected synth \
+                 worker processes as time-bounded leases with fencing \
+                 epochs, heartbeat liveness and jittered re-lease on \
+                 worker failure.")
+  in
+  let local_fallback_arg =
+    Arg.(value & flag & info [ "local-fallback" ]
+           ~doc:"With --hosts: escalate a job to in-process execution \
+                 when its lease retries are exhausted or no worker is \
+                 live.")
+  in
   let run manifest jobs journal resume deadline retries heap_mb stage_seconds
-      verbose json =
+      hosts local_fallback verbose json =
     if resume && journal = None then
       die ~json
         (Diag.usage ~code:"batch.usage" "--resume requires --journal PATH");
@@ -612,10 +626,40 @@ let batch_cmd =
     let log = if verbose then prerr_endline else fun _ -> () in
     Batch.Pool.install_signal_handlers ();
     let o =
-      or_die ~json
-        (Batch.Pool.run ~workers:jobs
-           ~retry:(Batch.Retry.of_retries retries)
-           ?journal ~resume ?heap_words ~log ~deadline pool_jobs)
+      match hosts with
+      | None ->
+          or_die ~json
+            (Batch.Pool.run ~workers:jobs
+               ~retry:(Batch.Retry.of_retries retries)
+               ?journal ~resume ?heap_words ~log ~deadline pool_jobs)
+      | Some hosts ->
+          let endpoints =
+            or_die ~json (Cluster.Endpoint.parse_list hosts)
+          in
+          let pairs =
+            List.mapi
+              (fun i (j : Batch.Pool.job) ->
+                let entry = List.nth entries i in
+                ( j,
+                  Some (Cluster.Wire.of_entry ~stage_seconds ~seed:i entry)
+                ))
+              pool_jobs
+          in
+          let config =
+            {
+              Cluster.Dispatcher.default_config with
+              Cluster.Dispatcher.endpoints;
+              local_workers = jobs;
+              heap_words;
+              local_fallback;
+              log;
+            }
+          in
+          Result.map fst
+            (Cluster.Dispatcher.run ~config
+               ~retry:(Batch.Retry.of_retries retries)
+               ?journal ~resume ~deadline pairs)
+          |> or_die ~json
     in
     if o.Batch.Pool.interrupted then begin
       prerr_endline "batch: interrupted; workers killed, journal flushed";
@@ -638,7 +682,7 @@ let batch_cmd =
     Term.(
       const run $ manifest_arg $ jobs_arg $ journal_arg $ resume_arg
       $ deadline_arg $ retries_arg $ heap_mb_arg $ stage_seconds_arg
-      $ verbose_arg $ json_arg)
+      $ hosts_arg $ local_fallback_arg $ verbose_arg $ json_arg)
 
 (* --- explore ----------------------------------------------------------- *)
 
@@ -703,18 +747,52 @@ let explore_cmd =
     Arg.(value & flag & info [ "verbose" ]
            ~doc:"Narrate batches, spawns and verdicts on stderr.")
   in
+  let hosts_arg =
+    Arg.(value & opt (some string) None & info [ "hosts" ] ~docv:"ENDPOINTS"
+           ~doc:"Comma-separated endpoints to bind (socket paths or \
+                 tcp:PORT); lattice points are leased to connected synth \
+                 worker processes with heartbeat failover.")
+  in
+  let local_fallback_arg =
+    Arg.(value & flag & info [ "local-fallback" ]
+           ~doc:"With --hosts: evaluate a point in-process when its \
+                 lease retries are exhausted or no worker is live.")
+  in
   let run spec_file jobs cache journal resume budget deadline csv json_out
-      dot_front verbose json =
+      dot_front hosts local_fallback verbose json =
     if resume && journal = None then
       die ~json
         (Diag.usage ~code:"explore.usage" "--resume requires --journal PATH");
     let spec = or_die ~json (Explore.Spec.load spec_file) in
     let log = if verbose then prerr_endline else fun _ -> () in
     Batch.Pool.install_signal_handlers ();
+    let runner =
+      match hosts with
+      | None -> None
+      | Some hosts ->
+          let endpoints =
+            or_die ~json (Cluster.Endpoint.parse_list hosts)
+          in
+          let config =
+            {
+              Cluster.Dispatcher.default_config with
+              Cluster.Dispatcher.endpoints;
+              local_workers = jobs;
+              local_fallback;
+              log;
+            }
+          in
+          Some
+            (fun ~deadline jobs ->
+              Result.map fst
+                (Cluster.Dispatcher.run ~config ~retry:Batch.Retry.none
+                   ?journal ~resume ~deadline
+                   (List.map (fun (j, w) -> (j, Some w)) jobs)))
+    in
     let o =
       or_die ~json
         (Explore.Engine.run ~workers:jobs ?cache ?journal ~resume ~deadline
-           ?budget ~log spec)
+           ?budget ?runner ~log spec)
     in
     if o.Explore.Engine.interrupted then begin
       prerr_endline "explore: interrupted; workers killed, journal flushed";
@@ -740,7 +818,7 @@ let explore_cmd =
     Term.(
       const run $ spec_arg $ jobs_arg $ cache_arg $ journal_arg $ resume_arg
       $ budget_arg $ deadline_arg $ csv_arg $ json_out_arg $ dot_front_arg
-      $ verbose_arg $ json_arg)
+      $ hosts_arg $ local_fallback_arg $ verbose_arg $ json_arg)
 
 (* --- lint ------------------------------------------------------------- *)
 
@@ -1139,11 +1217,199 @@ let bombard_cmd =
       $ hang_arg $ oversize_arg $ half_close_arg $ timeout_arg
       $ hit_rate_arg $ verbose_arg $ json_arg)
 
+(* --- worker ------------------------------------------------------------ *)
+
+let worker_cmd =
+  let doc =
+    "Join a batch/explore cluster as an execution host: dial the \
+     dispatcher endpoint, register capacity, execute leased jobs through \
+     a local supervised pool (fork isolation, deadline SIGKILL, heap \
+     ceiling), heartbeat, and reconnect with jittered backoff if the \
+     dispatcher restarts. Holds no durable state — a crashed worker's \
+     leases are replayed elsewhere and its late results are fenced off."
+  in
+  let connect_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ENDPOINT"
+           ~doc:"Dispatcher endpoint: a Unix socket path or tcp:PORT \
+                 (as given to --hosts).")
+  in
+  let jobs_arg =
+    Arg.(value & opt int 2 & info [ "jobs" ] ~docv:"N"
+           ~doc:"Concurrent leases to execute (local pool width).")
+  in
+  let name_arg =
+    Arg.(value & opt (some string) None & info [ "name" ] ~docv:"NAME"
+           ~doc:"Cluster-unique worker name (default: host-pid).")
+  in
+  let heap_mb_arg =
+    Arg.(value & opt int 512 & info [ "heap-mb" ] ~docv:"MB"
+           ~doc:"OCaml-heap ceiling per leased job; 0 disables it.")
+  in
+  let heartbeat_arg =
+    Arg.(value & opt float 0.5 & info [ "heartbeat" ] ~docv:"S"
+           ~doc:"Heartbeat interval; the dispatcher declares a worker \
+                 dead after a few missed beats.")
+  in
+  let max_reconnects_arg =
+    Arg.(value & opt int 0 & info [ "max-reconnects" ] ~docv:"N"
+           ~doc:"Give up after N consecutive failed dials (exit with a \
+                 typed cluster.disconnected error); 0 retries forever.")
+  in
+  let libraries_arg =
+    Arg.(value & opt (some string) None & info [ "libraries" ] ~docv:"LIBS"
+           ~doc:"Comma-separated cell-library variants this host keeps \
+                 warm, advertised in the registration.")
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "verbose" ] ~doc:"Narrate on stderr.")
+  in
+  let run endpoint jobs name heap_mb heartbeat max_reconnects libraries
+      verbose json =
+    let endpoint = or_die ~json (Cluster.Endpoint.parse endpoint) in
+    let name =
+      match name with
+      | Some n -> n
+      | None ->
+          Printf.sprintf "%s-%d" (Unix.gethostname ()) (Unix.getpid ())
+    in
+    let heap_words =
+      if heap_mb <= 0 then None
+      else Some (heap_mb * 1024 * 1024 / (Sys.word_size / 8))
+    in
+    Batch.Pool.install_signal_handlers ();
+    let cfg =
+      {
+        (Cluster.Worker.default_config ~endpoint ~name) with
+        Cluster.Worker.capacity = jobs;
+        heap_words;
+        heap_mb = (if heap_mb <= 0 then None else Some heap_mb);
+        heartbeat_interval = heartbeat;
+        max_sessions = (if max_reconnects <= 0 then max_int
+                        else max_reconnects);
+        libraries =
+          (match libraries with
+          | None -> []
+          | Some s ->
+              List.filter
+                (fun l -> l <> "")
+                (List.map String.trim (String.split_on_char ',' s)));
+        log = (if verbose then prerr_endline else fun _ -> ());
+      }
+    in
+    or_die ~json (Cluster.Worker.run ~stop:Batch.Pool.stop_pending cfg)
+  in
+  Cmd.v (Cmd.info "worker" ~doc)
+    Term.(
+      const run $ connect_arg $ jobs_arg $ name_arg $ heap_mb_arg
+      $ heartbeat_arg $ max_reconnects_arg $ libraries_arg $ verbose_arg
+      $ json_arg)
+
+(* --- chaos ------------------------------------------------------------- *)
+
+let chaos_cmd =
+  let doc =
+    "Chaos-test the cluster dispatcher: run a builtin-graph workload \
+     once undisturbed and once across forked synth workers with planted \
+     faults (kill -9 mid-lease, optional SIGSTOP partition and \
+     slow-loris worker, duplicated result frames), then assert the \
+     fault-tolerance contract — every job reaches a terminal verdict \
+     exactly once in the journal, verdicts and exit code match the \
+     undisturbed run, a warm --resume replays zero jobs, and an \
+     all-workers-dead cluster still completes via local fallback. \
+     Exits 5 when a check fails."
+  in
+  let dir_arg =
+    Arg.(value & opt string "_chaos" & info [ "dir" ] ~docv:"DIR"
+           ~doc:"Scratch directory for sockets and journals.")
+  in
+  let workers_arg =
+    Arg.(value & opt int 3 & info [ "workers" ] ~docv:"N"
+           ~doc:"Forked worker processes.")
+  in
+  let jobs_arg =
+    Arg.(value & opt int 12 & info [ "jobs" ] ~docv:"N"
+           ~doc:"Workload size (builtin graphs, one planted hang).")
+  in
+  let deadline_arg =
+    Arg.(value & opt float 10.0 & info [ "deadline" ] ~docv:"S"
+           ~doc:"Per-attempt wall-clock watchdog.")
+  in
+  let stage_seconds_arg =
+    Arg.(value & opt float 5.0 & info [ "stage-seconds" ] ~docv:"S"
+           ~doc:"Advisory per-stage budget.")
+  in
+  let no_kill_arg =
+    Arg.(value & flag & info [ "no-kill" ]
+           ~doc:"Skip the kill -9 of a worker mid-lease.")
+  in
+  let stop_arg =
+    Arg.(value & flag & info [ "sigstop" ]
+           ~doc:"SIGSTOP a worker at half-way: a half-open partition \
+                 (process alive, heartbeats stopped).")
+  in
+  let loris_arg =
+    Arg.(value & flag & info [ "slow-loris" ]
+           ~doc:"Add a worker that registers and heartbeats but never \
+                 finishes a lease; its leases must be reclaimed by \
+                 expiry.")
+  in
+  let no_duplicate_arg =
+    Arg.(value & flag & info [ "no-duplicate" ]
+           ~doc:"Skip the worker that delivers every result twice.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc:"Workload seed.")
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "verbose" ] ~doc:"Narrate on stderr.")
+  in
+  let json_out_arg =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Print the report as one JSON object on stdout.")
+  in
+  let run dir workers jobs deadline stage_seconds no_kill sigstop slow_loris
+      no_duplicate seed verbose json_out =
+    let json = json_out in
+    let cfg =
+      {
+        Cluster.Chaos.dir;
+        workers;
+        jobs;
+        kill_worker = not no_kill;
+        stop_worker = sigstop;
+        slow_loris;
+        duplicate = not no_duplicate;
+        stage_seconds;
+        deadline;
+        seed;
+        log = (if verbose then prerr_endline else fun _ -> ());
+      }
+    in
+    let report = or_die ~json (Cluster.Chaos.run cfg) in
+    if json_out then
+      print_endline (Batch.Jsonl.to_string (Cluster.Chaos.report_json report))
+    else Cluster.Chaos.print report print_endline;
+    if not (Cluster.Chaos.passed report) then
+      die ~json
+        (Diag.internal ~code:"cluster.chaos-failed"
+           (Printf.sprintf "%d check(s) failed"
+              (List.length
+                 (List.filter
+                    (fun c -> not c.Cluster.Chaos.k_pass)
+                    report.Cluster.Chaos.checks))))
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(
+      const run $ dir_arg $ workers_arg $ jobs_arg $ deadline_arg
+      $ stage_seconds_arg $ no_kill_arg $ stop_arg $ loris_arg
+      $ no_duplicate_arg $ seed_arg $ verbose_arg $ json_out_arg)
+
 let main =
   let doc = "MFS/MFSA high-level synthesis (DAC 1992 reproduction)" in
   Cmd.group (Cmd.info "synth" ~doc)
     [ show_cmd; mfs_cmd; mfsa_cmd; lint_cmd; compare_cmd; explore_cmd;
-      fuzz_cmd; batch_cmd; compile_cmd; serve_cmd; bombard_cmd ]
+      fuzz_cmd; batch_cmd; compile_cmd; serve_cmd; bombard_cmd; worker_cmd;
+      chaos_cmd ]
 
 let () =
   (* A vanished peer (redirected stderr, daemon client, journal sink) must

@@ -14,6 +14,8 @@ let oom_exit_code = 9
    polled by the supervision loop is race-free enough. *)
 let stop_requested = ref false
 let request_stop () = stop_requested := true
+let stop_pending () = !stop_requested
+let clear_stop () = stop_requested := false
 
 let install_signal_handlers () =
   let handle = Sys.Signal_handle (fun _ -> request_stop ()) in
@@ -253,6 +255,29 @@ let step t =
           | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()))
     t.p_slots;
   List.rev !finished
+
+(* Revocation: a specific attempt is no longer wanted. A queued attempt
+   just leaves the FIFO; a live one is SIGKILLed and reaped here so the
+   caller never sees a completion for it. *)
+let kill_job t id =
+  let found = ref false in
+  let kept = Queue.create () in
+  Queue.iter
+    (fun ((j, _, _) as item) ->
+      if j.id = id then found := true else Queue.add item kept)
+    t.p_queue;
+  Queue.clear t.p_queue;
+  Queue.transfer kept t.p_queue;
+  Array.iteri
+    (fun i -> function
+      | Some slot when slot.s_job.id = id ->
+          found := true;
+          kill_slot slot;
+          ignore (reap_blocking slot);
+          t.p_slots.(i) <- None
+      | _ -> ())
+    t.p_slots;
+  !found
 
 let kill_all t =
   Queue.clear t.p_queue;

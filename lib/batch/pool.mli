@@ -45,6 +45,15 @@ val request_stop : unit -> unit
     journal stays flushed (it is fsynced per record), and {!run} returns
     with [interrupted = true]. Safe to call from a signal handler. *)
 
+val stop_pending : unit -> bool
+(** Whether {!request_stop} has fired since the last {!run} started —
+    for external batch drivers (the cluster dispatcher) that implement
+    their own supervision loop but share the interrupt discipline. *)
+
+val clear_stop : unit -> unit
+(** Reset the stop flag before starting a supervision loop ({!run} does
+    this itself). *)
+
 val install_signal_handlers : unit -> unit
 (** Route SIGINT and SIGTERM to {!request_stop}. The CLI exits 130
     when [interrupted] is set. *)
@@ -101,6 +110,12 @@ val step : t -> completion list
     reap exited workers. Returns completions in reap order (possibly
     none). Call it at least every ~50ms while {!load} is positive so
     deadlines are enforced promptly. *)
+
+val kill_job : t -> string -> bool
+(** Revoke one job by id: a queued attempt is dropped, a live one is
+    SIGKILLed and reaped with {e no} completion surfaced — the caller
+    has already decided the attempt's fate (lease revoked, duplicate).
+    Returns [false] when no queued or live attempt matches. *)
 
 val kill_all : t -> completion list
 (** SIGKILL every live worker, reap them all (blocking, but workers die

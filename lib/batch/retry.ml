@@ -1,8 +1,28 @@
-type policy = { max_attempts : int; deadline_scale : float }
+type policy = {
+  max_attempts : int;
+  deadline_scale : float;
+  base_delay : float;
+  max_delay : float;
+}
 
-let default = { max_attempts = 2; deadline_scale = 0.5 }
-let none = { max_attempts = 1; deadline_scale = 1.0 }
+let default =
+  { max_attempts = 2; deadline_scale = 0.5; base_delay = 0.05; max_delay = 2.0 }
+
+let none = { default with max_attempts = 1; deadline_scale = 1.0 }
 let of_retries n = { default with max_attempts = 1 + max 0 n }
+
+let backoff ?(max_attempts = 4) ?(base_delay = 0.05) ?(max_delay = 2.0) () =
+  {
+    max_attempts = max 1 max_attempts;
+    deadline_scale = 1.0;
+    base_delay = Float.max 0.001 base_delay;
+    max_delay = Float.max base_delay max_delay;
+  }
+
+let forever ?base_delay ?max_delay () =
+  { (backoff ?base_delay ?max_delay ()) with max_attempts = max_int }
+
+let exhausted p ~attempt = attempt >= p.max_attempts
 
 let should_retry p ~attempt verdict =
   attempt < p.max_attempts
@@ -10,3 +30,13 @@ let should_retry p ~attempt verdict =
 
 let deadline p ~attempt base =
   base *. (p.deadline_scale ** float_of_int (attempt - 1))
+
+(* Decorrelated jitter (the "decorrelated" variant of capped exponential
+   backoff): each delay is drawn uniformly from [base, 3 * previous],
+   capped at the ceiling, so independent clients that failed together
+   spread back out instead of retrying in lockstep. *)
+let next_delay p ~rng ~prev =
+  let prev = Float.max p.base_delay prev in
+  let hi = Float.min p.max_delay (prev *. 3.0) in
+  let span = Float.max 0.0 (hi -. p.base_delay) in
+  p.base_delay +. Random.State.float rng span

@@ -1,0 +1,457 @@
+module P = Serve.Protocol
+module Frame = Serve.Frame
+module Pool = Batch.Pool
+module Journal = Batch.Journal
+module Retry = Batch.Retry
+module Jsonl = Batch.Jsonl
+module Verdict = Batch.Verdict
+
+type config = {
+  endpoints : Endpoint.t list;
+  local_workers : int;
+  heap_words : int option;
+  lease : Lease.config;
+  local_fallback : bool;
+  max_frame : int;
+  log : string -> unit;
+}
+
+let default_config =
+  {
+    endpoints = [];
+    local_workers = 1;
+    heap_words = None;
+    lease = Lease.default_config;
+    local_fallback = true;
+    max_frame = Jsonl.default_max_document_bytes;
+    log = (fun (_ : string) -> ());
+  }
+
+(* Same crash-only connection idiom as the serve daemon: nonblocking
+   reads through a frame decoder, writes buffered and flushed
+   opportunistically, a vanished peer closes the connection. *)
+type conn = {
+  c_fd : Unix.file_descr;
+  c_dec : Frame.decoder;
+  mutable c_out : string;
+  mutable c_name : string option;  (* set by a register frame *)
+  mutable c_alive : bool;
+}
+
+let close_conn c =
+  if c.c_alive then begin
+    c.c_alive <- false;
+    try Unix.close c.c_fd with Unix.Unix_error _ -> ()
+  end
+
+let flush_conn c =
+  if c.c_alive && c.c_out <> "" then begin
+    let b = Bytes.unsafe_of_string c.c_out in
+    let rec go off =
+      if off >= Bytes.length b then off
+      else
+        match Unix.write c.c_fd b off (Bytes.length b - off) with
+        | n -> go (off + n)
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          ->
+            off
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+        | exception Unix.Unix_error (_, _, _) ->
+            close_conn c;
+            Bytes.length b
+    in
+    let off = go 0 in
+    if c.c_alive then
+      c.c_out <-
+        (if off >= String.length c.c_out then ""
+         else String.sub c.c_out off (String.length c.c_out - off))
+  end
+
+let enqueue c payload =
+  if c.c_alive then begin
+    c.c_out <- c.c_out ^ Frame.encode payload;
+    flush_conn c
+  end
+
+type t = {
+  cfg : config;
+  table : Lease.t;
+  pool : Pool.t;
+  listeners : Unix.file_descr list;
+  mutable conns : conn list;
+  jobs : (string, Pool.job * Jsonl.t option) Hashtbl.t;
+  mutable local_runs : int;
+  mutable remote_runs : int;
+  mutable finished : int;
+}
+
+let local_ok t = t.cfg.local_fallback || t.cfg.endpoints = []
+
+let create ?(config = default_config) () =
+  let rec bind acc = function
+    | [] -> Ok (List.rev acc)
+    | e :: rest -> (
+        match Endpoint.listen e with
+        | Ok fd -> bind (fd :: acc) rest
+        | Error d ->
+            List.iter (fun fd -> try Unix.close fd with _ -> ()) acc;
+            Error d)
+  in
+  match bind [] config.endpoints with
+  | Error d -> Error d
+  | Ok listeners ->
+      Ok
+        {
+          cfg = config;
+          table =
+            Lease.create ~config:config.lease ~now:(Unix.gettimeofday ()) ();
+          pool =
+            Pool.create ~workers:config.local_workers
+              ?heap_words:config.heap_words ();
+          listeners;
+          conns = [];
+          jobs = Hashtbl.create 64;
+          local_runs = 0;
+          remote_runs = 0;
+          finished = 0;
+        }
+
+let submit t ?(attempt = 1) ?wire ~deadline job =
+  Hashtbl.replace t.jobs job.Pool.id (job, wire);
+  let remote = wire <> None && t.listeners <> [] in
+  Lease.submit t.table ~now:(Unix.gettimeofday ()) ~id:job.Pool.id ~attempt
+    ~deadline ~remote
+
+let pending t = Lease.pending t.table
+let local_runs t = t.local_runs
+let remote_runs t = t.remote_runs
+let completed t = t.finished
+let fenced t = Lease.fenced t.table
+let releases t = Lease.releases t.table
+let worker_deaths t = Lease.worker_deaths t.table
+
+let fds t =
+  t.listeners
+  @ List.filter_map (fun c -> if c.c_alive then Some c.c_fd else None) t.conns
+  @ Pool.worker_fds t.pool
+
+let stats_json t ~now =
+  Jsonl.Obj
+    [
+      ("pending", Jsonl.Int (pending t));
+      ("completed", Jsonl.Int t.finished);
+      ("local_runs", Jsonl.Int t.local_runs);
+      ("remote_runs", Jsonl.Int t.remote_runs);
+      ("fenced", Jsonl.Int (fenced t));
+      ("releases", Jsonl.Int (releases t));
+      ("worker_deaths", Jsonl.Int (worker_deaths t));
+      ("workers", Jsonl.List (Lease.workers_json t.table ~now));
+    ]
+
+let accept_conns t =
+  List.iter
+    (fun lfd ->
+      let rec loop () =
+        match Unix.accept ~cloexec:true lfd with
+        | fd, _ ->
+            Unix.set_nonblock fd;
+            t.conns <-
+              {
+                c_fd = fd;
+                c_dec = Frame.decoder ~max_frame:t.cfg.max_frame ();
+                c_out = "";
+                c_name = None;
+                c_alive = true;
+              }
+              :: t.conns;
+            loop ()
+        | exception
+            Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+            ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+        | exception Unix.Unix_error (_, _, _) -> ()
+      in
+      loop ())
+    t.listeners
+
+let find_conn t name =
+  List.find_opt
+    (fun c -> c.c_alive && c.c_name = Some name)
+    t.conns
+
+let handle_control t c (env : P.envelope) ~now =
+  match env.P.request with
+  | P.Ping ->
+      enqueue c
+        (P.ok_response ~id:env.P.req_id (Jsonl.Obj [ ("pong", Jsonl.Bool true) ]))
+  | P.Health | P.Stats ->
+      enqueue c (P.ok_response ~id:env.P.req_id (stats_json t ~now))
+  | _ ->
+      enqueue c
+        (P.error_response ~id:env.P.req_id
+           (Diag.input ~code:"cluster.unsupported"
+              "dispatcher socket accepts worker frames and ping/health/stats only"))
+
+(* Returns the completions produced by accepted remote results. *)
+let handle_payload t c payload ~now =
+  match P.parse_cluster_msg ~max_bytes:t.cfg.max_frame payload with
+  | Error d ->
+      t.cfg.log (Diag.to_string d);
+      enqueue c (P.error_response ~id:"?" d);
+      []
+  | Ok (P.Control env) ->
+      handle_control t c env ~now;
+      []
+  | Ok (P.Worker (P.Register r)) ->
+      (* A reconnecting worker re-registers under the same name; the
+         fresh registration supersedes the dead connection's state. *)
+      (match find_conn t r.P.g_worker with
+      | Some old when old != c -> close_conn old
+      | _ -> ());
+      c.c_name <- Some r.P.g_worker;
+      Lease.register t.table ~now ~name:r.P.g_worker
+        ~capacity:r.P.g_capacity ~libraries:r.P.g_libraries;
+      t.cfg.log (Printf.sprintf "cluster: worker %s registered (capacity %d)"
+                   r.P.g_worker r.P.g_capacity);
+      enqueue c
+        (P.ok_response ~id:"register"
+           (Jsonl.Obj [ ("worker", Jsonl.String r.P.g_worker) ]));
+      []
+  | Ok (P.Worker (P.Heartbeat { h_worker; _ })) ->
+      Lease.heartbeat t.table ~now ~name:h_worker;
+      []
+  | Ok
+      (P.Worker
+        (P.Lease_result { u_job; u_epoch; u_attempt; u_seconds; u_verdict }))
+    -> (
+      let worker = Option.value ~default:"?" c.c_name in
+      match Lease.result t.table ~worker ~job:u_job ~epoch:u_epoch with
+      | `Accept -> (
+          match Hashtbl.find_opt t.jobs u_job with
+          | Some (job, _) ->
+              t.remote_runs <- t.remote_runs + 1;
+              [
+                {
+                  Pool.c_job = job;
+                  c_attempt = u_attempt;
+                  c_verdict = u_verdict;
+                  c_seconds = u_seconds;
+                };
+              ]
+          | None -> [])
+      | `Stale | `Unknown ->
+          t.cfg.log
+            (Printf.sprintf "cluster: fenced result for %s (epoch %d from %s)"
+               u_job u_epoch worker);
+          [])
+
+let read_conn t c ~now =
+  if not c.c_alive then []
+  else
+    let buf = Bytes.create 65536 in
+    let rec drain acc =
+      match Unix.read c.c_fd buf 0 (Bytes.length buf) with
+      | 0 ->
+          (* Peer gone: requeue its leases under the backoff policy. *)
+          (match c.c_name with
+          | Some name -> Lease.disconnect t.table ~now ~name
+          | None -> ());
+          close_conn c;
+          acc
+      | n -> (
+          match Frame.feed c.c_dec (Bytes.sub_string buf 0 n) with
+          | Error d ->
+              t.cfg.log (Diag.to_string d);
+              (match c.c_name with
+              | Some name -> Lease.disconnect t.table ~now ~name
+              | None -> ());
+              close_conn c;
+              acc
+          | Ok payloads ->
+              drain
+                (acc
+                @ List.concat_map
+                    (fun p -> handle_payload t c p ~now)
+                    payloads))
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          acc
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain acc
+      | exception Unix.Unix_error (_, _, _) ->
+          (match c.c_name with
+          | Some name -> Lease.disconnect t.table ~now ~name
+          | None -> ());
+          close_conn c;
+          acc
+    in
+    drain []
+
+let apply_action t ~now = function
+  | Lease.Grant { a_worker; a_job; a_epoch; a_attempt; a_deadline } -> (
+      match (find_conn t a_worker, Hashtbl.find_opt t.jobs a_job) with
+      | Some c, Some (_, Some wire) ->
+          enqueue c
+            (P.lease_msg ~job:a_job ~epoch:a_epoch ~attempt:a_attempt
+               ~deadline:a_deadline wire)
+      | _ ->
+          (* Connection raced away between tick and send: treat as a
+             disconnect so the lease fails over instead of hanging. *)
+          Lease.disconnect t.table ~now ~name:a_worker)
+  | Lease.Rescind { a_worker; a_job; a_epoch } -> (
+      t.cfg.log
+        (Printf.sprintf "cluster: lease on %s expired at %s (epoch %d)"
+           a_job a_worker a_epoch);
+      match find_conn t a_worker with
+      | Some c -> enqueue c (P.revoke_msg ~job:a_job ~epoch:a_epoch)
+      | None -> ())
+  | Lease.Run_local { a_job; a_attempt; a_deadline } -> (
+      match Hashtbl.find_opt t.jobs a_job with
+      | Some (job, _) ->
+          t.local_runs <- t.local_runs + 1;
+          Pool.submit t.pool ~attempt:a_attempt ~deadline:a_deadline job
+      | None -> ())
+  | Lease.Expire name -> (
+      t.cfg.log (Printf.sprintf "cluster: worker %s missed heartbeats" name);
+      match find_conn t name with Some c -> close_conn c | None -> ())
+
+let step t =
+  let now = Unix.gettimeofday () in
+  accept_conns t;
+  let remote =
+    List.concat_map (fun c -> read_conn t c ~now) t.conns
+  in
+  List.iter (apply_action t ~now) (Lease.tick t.table ~now ~local_ok:(local_ok t));
+  let local = Pool.step t.pool in
+  List.iter (fun c -> Lease.local_done t.table ~job:c.Pool.c_job.Pool.id) local;
+  List.iter flush_conn t.conns;
+  t.conns <- List.filter (fun c -> c.c_alive) t.conns;
+  let completions = remote @ local in
+  t.finished <- t.finished + List.length completions;
+  completions
+
+let shutdown t =
+  List.iter (fun c -> close_conn c) t.conns;
+  t.conns <- [];
+  List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+    t.listeners;
+  List.iter Endpoint.unlink t.cfg.endpoints;
+  ignore (Pool.kill_all t.pool)
+
+let run ?(config = default_config) ?(retry = Retry.default) ?journal
+    ?(resume = false) ?(tick = fun (_ : t) -> ()) ~deadline jobs =
+  Pool.clear_stop ();
+  let previous =
+    if resume then
+      match journal with None -> Ok [] | Some path -> Journal.load path
+    else Ok []
+  in
+  match previous with
+  | Error d -> Error d
+  | Ok previous -> (
+      match create ~config () with
+      | Error d -> Error d
+      | Ok t ->
+          let log = config.log in
+          let finals = Journal.finals previous in
+          let lasts = Journal.last_attempts previous in
+          let writer = Option.map Journal.open_writer journal in
+          let results : (string, Journal.record) Hashtbl.t =
+            Hashtbl.create (List.length jobs)
+          in
+          let resumed = ref 0 in
+          List.iter
+            (fun ((j : Pool.job), wire) ->
+              match Hashtbl.find_opt finals j.Pool.id with
+              | Some r ->
+                  incr resumed;
+                  Hashtbl.replace results j.Pool.id r;
+                  log
+                    (Printf.sprintf "%s: resumed (%s)" j.Pool.descr
+                       (Verdict.describe r.Journal.verdict))
+              | None ->
+                  let attempt =
+                    match Hashtbl.find_opt lasts j.Pool.id with
+                    | Some r -> r.Journal.attempt + 1
+                    | None -> 1
+                  in
+                  submit t ~attempt ?wire
+                    ~deadline:(Retry.deadline retry ~attempt deadline) j)
+            jobs;
+          let journal_record r =
+            Option.iter
+              (fun w ->
+                match Journal.append w r with
+                | Ok () -> ()
+                | Error d -> log (Diag.to_string d))
+              writer
+          in
+          let finish (c : Pool.completion) =
+            let final =
+              not (Retry.should_retry retry ~attempt:c.Pool.c_attempt
+                     c.Pool.c_verdict)
+            in
+            let record =
+              {
+                Journal.id = c.Pool.c_job.Pool.id;
+                seed = c.Pool.c_job.Pool.seed;
+                descr = c.Pool.c_job.Pool.descr;
+                attempt = c.Pool.c_attempt;
+                final;
+                verdict = c.Pool.c_verdict;
+                seconds = c.Pool.c_seconds;
+              }
+            in
+            journal_record record;
+            if final then begin
+              Hashtbl.replace results c.Pool.c_job.Pool.id record;
+              log
+                (Printf.sprintf "%s: %s (%.1fs%s)" c.Pool.c_job.Pool.descr
+                   (Verdict.describe c.Pool.c_verdict) c.Pool.c_seconds
+                   (if c.Pool.c_attempt > 1 then ", retry" else ""))
+            end
+            else begin
+              log
+                (Printf.sprintf "%s: %s (%.1fs) — retrying degraded"
+                   c.Pool.c_job.Pool.descr
+                   (Verdict.describe c.Pool.c_verdict) c.Pool.c_seconds);
+              let attempt = c.Pool.c_attempt + 1 in
+              let wire =
+                match Hashtbl.find_opt t.jobs c.Pool.c_job.Pool.id with
+                | Some (_, w) -> w
+                | None -> None
+              in
+              submit t ~attempt ?wire
+                ~deadline:(Retry.deadline retry ~attempt deadline)
+                c.Pool.c_job
+            end
+          in
+          let interrupted = ref false in
+          let rec supervise () =
+            if Pool.stop_pending () && not !interrupted then
+              (* In-flight attempts (local and leased) stay unrecorded,
+                 so a resume re-runs them from their last journalled
+                 attempt — the same discipline as Pool.run. *)
+              interrupted := true
+            else if pending t > 0 then begin
+              tick t;
+              let completions = step t in
+              List.iter finish completions;
+              (if completions = [] then
+                 match Unix.select (fds t) [] [] 0.05 with
+                 | _ -> ()
+                 | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+                 | exception Unix.Unix_error (Unix.EBADF, _, _) -> ());
+              supervise ()
+            end
+          in
+          supervise ();
+          shutdown t;
+          Option.iter Journal.close writer;
+          let records =
+            List.filter_map
+              (fun ((j : Pool.job), _) ->
+                Hashtbl.find_opt results j.Pool.id)
+              jobs
+          in
+          Ok
+            ( { Pool.records; resumed = !resumed; interrupted = !interrupted },
+              t ))

@@ -1,0 +1,69 @@
+type t = Unix_path of string | Tcp of int
+
+let describe = function
+  | Unix_path p -> p
+  | Tcp port -> Printf.sprintf "tcp:%d" port
+
+let parse s =
+  let s = String.trim s in
+  if s = "" then
+    Error (Diag.usage ~code:"cluster.endpoint" "empty endpoint")
+  else if String.length s > 4 && String.sub s 0 4 = "tcp:" then
+    match int_of_string_opt (String.sub s 4 (String.length s - 4)) with
+    | Some port when port > 0 && port < 65536 -> Ok (Tcp port)
+    | _ ->
+        Error
+          (Diag.usage ~code:"cluster.endpoint"
+             (Printf.sprintf "%s: want tcp:PORT with 0 < PORT < 65536" s))
+  else Ok (Unix_path s)
+
+let parse_list s =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | part :: rest -> (
+        match parse part with
+        | Ok e -> go (e :: acc) rest
+        | Error d -> Error d)
+  in
+  go []
+    (List.filter
+       (fun p -> String.trim p <> "")
+       (String.split_on_char ',' s))
+
+let bind_error what err =
+  Diag.input ~code:"cluster.bind"
+    (Printf.sprintf "cannot listen on %s: %s" what (Unix.error_message err))
+
+let listen t =
+  match t with
+  | Unix_path path -> (
+      match
+        (try Unix.unlink path with Unix.Unix_error _ -> ());
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.set_nonblock fd;
+        Unix.bind fd (Unix.ADDR_UNIX path);
+        Unix.listen fd 64;
+        fd
+      with
+      | fd -> Ok fd
+      | exception Unix.Unix_error (err, _, _) -> Error (bind_error path err))
+  | Tcp port -> (
+      match
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt fd Unix.SO_REUSEADDR true;
+        Unix.set_nonblock fd;
+        Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        Unix.listen fd 64;
+        fd
+      with
+      | fd -> Ok fd
+      | exception Unix.Unix_error (err, _, _) ->
+          Error (bind_error (describe t) err))
+
+let connect ?timeout ?backoff = function
+  | Unix_path path -> Serve.Client.connect ?timeout ?backoff path
+  | Tcp port -> Serve.Client.connect_tcp ?timeout ?backoff ~port ()
+
+let unlink = function
+  | Unix_path path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Tcp _ -> ()

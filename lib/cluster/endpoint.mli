@@ -1,0 +1,26 @@
+(** Cluster endpoints: where a dispatcher listens and a worker dials.
+
+    The textual form is either a Unix-domain socket path or [tcp:PORT]
+    (loopback); [--hosts] takes a comma-separated list. *)
+
+type t = Unix_path of string | Tcp of int
+
+val parse : string -> (t, Diag.t) result
+(** [cluster.endpoint] usage error on malformed input. *)
+
+val parse_list : string -> (t list, Diag.t) result
+(** Comma-separated endpoints; empty segments are skipped. *)
+
+val describe : t -> string
+
+val listen : t -> (Unix.file_descr, Diag.t) result
+(** Bind a non-blocking listener ([cluster.bind] on failure). A stale
+    Unix socket file is unlinked first — crash-only restarts. *)
+
+val connect :
+  ?timeout:float -> ?backoff:Batch.Retry.policy -> t ->
+  (Serve.Client.t, Diag.t) result
+(** Dial the endpoint through {!Serve.Client}'s backoff connect. *)
+
+val unlink : t -> unit
+(** Remove a Unix socket file on shutdown (no-op for TCP). *)

@@ -1,0 +1,311 @@
+module Retry = Batch.Retry
+module Jsonl = Batch.Jsonl
+
+type config = {
+  retry : Retry.policy;
+  grace : float;
+  heartbeat_window : float;
+  warmup : float;
+}
+
+let default_config =
+  {
+    retry = Retry.backoff ~max_attempts:4 ~base_delay:0.05 ~max_delay:2.0 ();
+    grace = 2.0;
+    heartbeat_window = 3.0;
+    warmup = 1.0;
+  }
+
+type wstate = {
+  w_name : string;
+  mutable w_capacity : int;
+  mutable w_inflight : int;
+  mutable w_last_seen : float;
+  mutable w_libraries : string list;
+  mutable w_alive : bool;
+  mutable w_leased_total : int;
+}
+
+type phase =
+  | Queued
+  | Leased of { lw : string; l_expires : float }
+  | Local
+  | Finished
+
+type entry = {
+  e_id : string;
+  e_order : int;
+  mutable e_attempt : int;
+  mutable e_deadline : float;
+  mutable e_remote : bool;
+  mutable e_phase : phase;
+  mutable e_epoch : int;
+  mutable e_tries : int;
+  mutable e_prev_delay : float;
+  mutable e_not_before : float;
+}
+
+type action =
+  | Grant of {
+      a_worker : string;
+      a_job : string;
+      a_epoch : int;
+      a_attempt : int;
+      a_deadline : float;
+    }
+  | Rescind of { a_worker : string; a_job : string; a_epoch : int }
+  | Run_local of { a_job : string; a_attempt : int; a_deadline : float }
+  | Expire of string
+
+type t = {
+  cfg : config;
+  rng : Random.State.t;
+  jobs : (string, entry) Hashtbl.t;
+  mutable order : entry list;  (* reverse submission order *)
+  workers : (string, wstate) Hashtbl.t;
+  started : float;
+  mutable seq : int;
+  mutable fenced : int;
+  mutable releases : int;
+  mutable worker_deaths : int;
+}
+
+let create ?(seed = 0) ?(config = default_config) ~now () =
+  {
+    cfg = config;
+    rng = Random.State.make [| seed; 0x1ea5e |];
+    jobs = Hashtbl.create 64;
+    order = [];
+    workers = Hashtbl.create 8;
+    started = now;
+    seq = 0;
+    fenced = 0;
+    releases = 0;
+    worker_deaths = 0;
+  }
+
+let fenced t = t.fenced
+let releases t = t.releases
+let worker_deaths t = t.worker_deaths
+
+let pending t =
+  Hashtbl.fold
+    (fun _ e n -> if e.e_phase = Finished then n else n + 1)
+    t.jobs 0
+
+let submit t ~now ~id ~attempt ~deadline ~remote =
+  match Hashtbl.find_opt t.jobs id with
+  | Some e ->
+      (* Resubmission: the verdict-level retry ladder re-runs the job
+         (degraded) — a fresh attempt with a fresh transport budget. *)
+      e.e_attempt <- attempt;
+      e.e_deadline <- deadline;
+      e.e_remote <- remote;
+      e.e_phase <- Queued;
+      e.e_tries <- 0;
+      e.e_prev_delay <- 0.;
+      e.e_not_before <- now
+  | None ->
+      let e =
+        {
+          e_id = id;
+          e_order = t.seq;
+          e_attempt = attempt;
+          e_deadline = deadline;
+          e_remote = remote;
+          e_phase = Queued;
+          e_epoch = 0;
+          e_tries = 0;
+          e_prev_delay = 0.;
+          e_not_before = now;
+        }
+      in
+      t.seq <- t.seq + 1;
+      Hashtbl.replace t.jobs id e;
+      t.order <- e :: t.order
+
+let register t ~now ~name ~capacity ~libraries =
+  Hashtbl.replace t.workers name
+    {
+      w_name = name;
+      w_capacity = max 1 capacity;
+      w_inflight = 0;
+      w_last_seen = now;
+      w_libraries = libraries;
+      w_alive = true;
+      w_leased_total = 0;
+    }
+
+let heartbeat t ~now ~name =
+  match Hashtbl.find_opt t.workers name with
+  | Some w -> w.w_last_seen <- now
+  | None -> ()
+
+(* Put a lost lease back in the queue under decorrelated-jitter backoff;
+   the stale epoch keeps any late result a discard. *)
+let requeue t ~now e =
+  t.releases <- t.releases + 1;
+  e.e_tries <- e.e_tries + 1;
+  let delay = Retry.next_delay t.cfg.retry ~rng:t.rng ~prev:e.e_prev_delay in
+  e.e_prev_delay <- delay;
+  e.e_not_before <- now +. delay;
+  e.e_phase <- Queued
+
+let drop_worker t ~now name =
+  match Hashtbl.find_opt t.workers name with
+  | Some w when w.w_alive ->
+      w.w_alive <- false;
+      w.w_inflight <- 0;
+      t.worker_deaths <- t.worker_deaths + 1;
+      Hashtbl.iter
+        (fun _ e ->
+          match e.e_phase with
+          | Leased { lw; _ } when lw = name -> requeue t ~now e
+          | _ -> ())
+        t.jobs;
+      true
+  | _ -> false
+
+let disconnect t ~now ~name = ignore (drop_worker t ~now name)
+
+let result t ~worker ~job ~epoch =
+  match Hashtbl.find_opt t.jobs job with
+  | None -> `Unknown
+  | Some e -> (
+      match e.e_phase with
+      | Leased { lw; _ } when lw = worker && epoch = e.e_epoch ->
+          e.e_phase <- Finished;
+          (match Hashtbl.find_opt t.workers worker with
+          | Some w when w.w_alive && w.w_inflight > 0 ->
+              w.w_inflight <- w.w_inflight - 1
+          | _ -> ());
+          `Accept
+      | Finished | Leased _ | Queued | Local ->
+          t.fenced <- t.fenced + 1;
+          `Stale)
+
+let local_done t ~job =
+  match Hashtbl.find_opt t.jobs job with
+  | Some e when e.e_phase = Local -> e.e_phase <- Finished
+  | _ -> ()
+
+let alive_workers t =
+  Hashtbl.fold (fun _ w acc -> if w.w_alive then w :: acc else acc) t.workers []
+
+(* Most free capacity first; ties by name so scheduling is stable. *)
+let pick_worker ws =
+  let free w = w.w_capacity - w.w_inflight in
+  List.fold_left
+    (fun best w ->
+      if free w <= 0 then best
+      else
+        match best with
+        | None -> Some w
+        | Some b ->
+            if
+              free w > free b
+              || (free w = free b && String.compare w.w_name b.w_name < 0)
+            then Some w
+            else best)
+    None ws
+
+let tick t ~now ~local_ok =
+  let actions = ref [] in
+  let emit a = actions := a :: !actions in
+  (* 1. Heartbeat liveness: a silent worker's leases fail over. *)
+  Hashtbl.iter
+    (fun name w ->
+      if w.w_alive && now -. w.w_last_seen > t.cfg.heartbeat_window then
+        if drop_worker t ~now name then emit (Expire name))
+    t.workers;
+  (* 2. Lease expiry: revoke and fail over (slow-loris worker — alive on
+     the heartbeat plane, dead on the work plane). *)
+  Hashtbl.iter
+    (fun _ e ->
+      match e.e_phase with
+      | Leased { lw; l_expires } when now > l_expires ->
+          let epoch = e.e_epoch in
+          (match Hashtbl.find_opt t.workers lw with
+          | Some w when w.w_alive ->
+              if w.w_inflight > 0 then w.w_inflight <- w.w_inflight - 1;
+              emit (Rescind { a_worker = lw; a_job = e.e_id; a_epoch = epoch })
+          | _ -> ());
+          requeue t ~now e
+      | _ -> ())
+    t.jobs;
+  (* 3. Assignment, submission order. *)
+  let warm = now -. t.started >= t.cfg.warmup in
+  let ws = alive_workers t in
+  List.iter
+    (fun e ->
+      if e.e_phase = Queued && now >= e.e_not_before then begin
+        let go_local () =
+          if local_ok then begin
+            e.e_phase <- Local;
+            emit
+              (Run_local
+                 {
+                   a_job = e.e_id;
+                   a_attempt = e.e_attempt;
+                   a_deadline = e.e_deadline;
+                 })
+          end
+        in
+        if not e.e_remote then go_local ()
+        else if Retry.exhausted t.cfg.retry ~attempt:e.e_tries && local_ok
+        then go_local ()
+        else
+          match pick_worker ws with
+          | Some w ->
+              w.w_inflight <- w.w_inflight + 1;
+              w.w_leased_total <- w.w_leased_total + 1;
+              e.e_epoch <- e.e_epoch + 1;
+              e.e_phase <-
+                Leased
+                  {
+                    lw = w.w_name;
+                    l_expires = now +. e.e_deadline +. t.cfg.grace;
+                  };
+              emit
+                (Grant
+                   {
+                     a_worker = w.w_name;
+                     a_job = e.e_id;
+                     a_epoch = e.e_epoch;
+                     a_attempt = e.e_attempt;
+                     a_deadline = e.e_deadline;
+                   })
+          | None ->
+              (* Every remote down (or none ever joined): degrade to
+                 single-host execution once past warmup. *)
+              if ws = [] && warm then go_local ()
+      end)
+    (List.rev t.order);
+  List.rev !actions
+
+let epoch_of t ~job =
+  match Hashtbl.find_opt t.jobs job with
+  | Some e -> Some e.e_epoch
+  | None -> None
+
+let attempt_of t ~job =
+  match Hashtbl.find_opt t.jobs job with
+  | Some e -> Some e.e_attempt
+  | None -> None
+
+let workers_json t ~now =
+  Hashtbl.fold (fun _ w acc -> w :: acc) t.workers []
+  |> List.sort (fun a b -> String.compare a.w_name b.w_name)
+  |> List.map (fun w ->
+         Jsonl.Obj
+           [
+             ("name", Jsonl.String w.w_name);
+             ("alive", Jsonl.Bool w.w_alive);
+             ("capacity", Jsonl.Int w.w_capacity);
+             ("inflight", Jsonl.Int w.w_inflight);
+             ("leased_total", Jsonl.Int w.w_leased_total);
+             ("last_seen_age", Jsonl.Float (Float.max 0. (now -. w.w_last_seen)));
+             ( "libraries",
+               Jsonl.List
+                 (List.map (fun l -> Jsonl.String l) w.w_libraries) );
+           ])

@@ -1,0 +1,99 @@
+(** Lease table: the dispatcher's fault-tolerance state machine.
+
+    Pure bookkeeping — no sockets, no clocks of its own. The dispatcher
+    feeds it events ([register]/[heartbeat]/[disconnect]/[result]) and
+    calls {!tick} with the current time; it returns the actions to
+    perform (grant a lease, rescind one, run locally, expire a worker).
+    Keeping it I/O-free makes every failover property unit-testable.
+
+    Fencing: each grant bumps the job's epoch. A result is accepted only
+    if the job is still leased to that worker at that epoch — anything
+    else (duplicate delivery, a revoked worker finishing late, a replay)
+    is counted in {!fenced} and discarded, never double-journaled.
+
+    Failover ladder for a remote job: re-lease with decorrelated-jitter
+    backoff after each lost lease; once the transport-retry budget is
+    exhausted (or no live worker remains past warmup), fall back to
+    in-process execution when the dispatcher allows it. Transport tries
+    are deliberately separate from the verdict-level [attempt] counter —
+    a worker crash is not evidence the job itself misbehaves. *)
+
+type config = {
+  retry : Batch.Retry.policy;
+      (** Transport-level re-lease schedule (tries, base/ceiling delay). *)
+  grace : float;
+      (** Seconds past the job deadline before a lease is rescinded. Must
+          exceed the worker's own kill window so a genuine timeout comes
+          back as a Timeout verdict rather than a lost lease. *)
+  heartbeat_window : float;
+      (** Seconds of heartbeat silence before a worker is declared dead. *)
+  warmup : float;
+      (** Seconds after creation during which an empty worker table does
+          not yet trigger local fallback (workers are still dialing in). *)
+}
+
+val default_config : config
+
+type t
+
+type action =
+  | Grant of {
+      a_worker : string;
+      a_job : string;
+      a_epoch : int;
+      a_attempt : int;
+      a_deadline : float;
+    }
+  | Rescind of { a_worker : string; a_job : string; a_epoch : int }
+  | Run_local of { a_job : string; a_attempt : int; a_deadline : float }
+  | Expire of string  (** Worker missed its heartbeat window; drop it. *)
+
+val create : ?seed:int -> ?config:config -> now:float -> unit -> t
+
+val submit :
+  t -> now:float -> id:string -> attempt:int -> deadline:float ->
+  remote:bool -> unit
+(** Add a job (or resubmit it for a fresh verdict-level attempt, which
+    resets its transport-try budget). [remote:false] jobs only ever run
+    locally — e.g. fuzz jobs with no wire form. *)
+
+val register :
+  t -> now:float -> name:string -> capacity:int -> libraries:string list ->
+  unit
+(** A (re-)registration replaces any previous state under that name. *)
+
+val heartbeat : t -> now:float -> name:string -> unit
+
+val disconnect : t -> now:float -> name:string -> unit
+(** Connection lost: mark the worker dead and requeue its leases. *)
+
+val result :
+  t -> worker:string -> job:string -> epoch:int ->
+  [ `Accept | `Stale | `Unknown ]
+(** [`Accept] transitions the job to finished — journal it. [`Stale] is
+    a fenced discard (wrong epoch, wrong worker, or already finished). *)
+
+val local_done : t -> job:string -> unit
+(** The local pool finished a job handed out via [Run_local]. *)
+
+val tick : t -> now:float -> local_ok:bool -> action list
+(** Sweep liveness and lease expiry, then assign queued jobs. [local_ok]
+    gates the in-process fallback (both the all-remotes-dead path and
+    the tries-exhausted escalation). *)
+
+val pending : t -> int
+(** Jobs not yet finished. *)
+
+val epoch_of : t -> job:string -> int option
+val attempt_of : t -> job:string -> int option
+
+val fenced : t -> int
+(** Results discarded by the fencing check. *)
+
+val releases : t -> int
+(** Leases lost to worker death or expiry and requeued. *)
+
+val worker_deaths : t -> int
+
+val workers_json : t -> now:float -> Batch.Jsonl.t list
+(** Connected-worker table for [health]/[stats]. *)

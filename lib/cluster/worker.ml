@@ -1,0 +1,255 @@
+module P = Serve.Protocol
+module Frame = Serve.Frame
+module Pool = Batch.Pool
+module Retry = Batch.Retry
+module Jsonl = Batch.Jsonl
+module Verdict = Batch.Verdict
+
+type config = {
+  endpoint : Endpoint.t;
+  name : string;
+  capacity : int;
+  heap_words : int option;
+  heap_mb : int option;
+  heartbeat_interval : float;
+  reconnect : Retry.policy;
+  max_sessions : int;
+      (** Consecutive failed dials tolerated before giving up;
+          [max_int] reconnects forever. *)
+  libraries : string list;
+  duplicate_results : bool;
+      (** Chaos hook: deliver every result frame twice, exercising the
+          dispatcher's fencing discard. *)
+  max_frame : int;
+  log : string -> unit;
+}
+
+let default_config ~endpoint ~name =
+  {
+    endpoint;
+    name;
+    capacity = 1;
+    heap_words = None;
+    heap_mb = None;
+    heartbeat_interval = 0.5;
+    reconnect = Retry.backoff ~max_attempts:6 ~base_delay:0.1 ~max_delay:2.0 ();
+    max_sessions = max_int;
+    libraries = [];
+    duplicate_results = false;
+    max_frame = Jsonl.default_max_document_bytes;
+    log = (fun (_ : string) -> ());
+  }
+
+type session = {
+  s_fd : Unix.file_descr;
+  s_dec : Frame.decoder;
+  mutable s_out : string;
+  mutable s_alive : bool;
+}
+
+let close_session s =
+  if s.s_alive then begin
+    s.s_alive <- false;
+    try Unix.close s.s_fd with Unix.Unix_error _ -> ()
+  end
+
+let flush_session s =
+  if s.s_alive && s.s_out <> "" then begin
+    let b = Bytes.unsafe_of_string s.s_out in
+    let rec go off =
+      if off >= Bytes.length b then off
+      else
+        match Unix.write s.s_fd b off (Bytes.length b - off) with
+        | n -> go (off + n)
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          ->
+            off
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+        | exception Unix.Unix_error (_, _, _) ->
+            close_session s;
+            Bytes.length b
+    in
+    let off = go 0 in
+    if s.s_alive then
+      s.s_out <-
+        (if off >= String.length s.s_out then ""
+         else String.sub s.s_out off (String.length s.s_out - off))
+  end
+
+let enqueue s payload =
+  if s.s_alive then begin
+    s.s_out <- s.s_out ^ Frame.encode payload;
+    flush_session s
+  end
+
+(* One connected session: register, then execute leases until the
+   dispatcher goes away or [stop] fires. Returns [`Stopped] or
+   [`Disconnected]. *)
+let session cfg ~stop ~pool s =
+  (* job id -> (fencing epoch, verdict attempt) for in-flight leases. *)
+  let leases : (string, int * int) Hashtbl.t = Hashtbl.create 16 in
+  enqueue s
+    (P.register_msg ~worker:cfg.name ~capacity:cfg.capacity
+       ?heap_mb:cfg.heap_mb ~libraries:cfg.libraries ());
+  let send_result ~job ~epoch ~attempt ~seconds verdict =
+    let payload = P.result_msg ~job ~epoch ~attempt ~seconds verdict in
+    enqueue s payload;
+    if cfg.duplicate_results then enqueue s payload
+  in
+  let handle_payload payload =
+    match P.parse_downstream ~max_bytes:cfg.max_frame payload with
+    | Error d ->
+        cfg.log (Diag.to_string d);
+        close_session s
+    | Ok (P.Ack _) -> ()
+    | Ok (P.Revoke { v_job; v_epoch }) -> (
+        match Hashtbl.find_opt leases v_job with
+        | Some (epoch, _) when epoch = v_epoch ->
+            Hashtbl.remove leases v_job;
+            ignore (Pool.kill_job pool v_job)
+        | _ -> ())
+    | Ok (P.Lease { l_job; l_epoch; l_attempt; l_deadline; l_wire }) -> (
+        match Wire.to_job l_wire with
+        | Error d ->
+            cfg.log (Diag.to_string d);
+            send_result ~job:l_job ~epoch:l_epoch ~attempt:l_attempt
+              ~seconds:0. (Verdict.Rejected d)
+        | Ok job ->
+            if job.Pool.id <> l_job then
+              (* The dispatcher and this host disagree on the job's
+                 content digest — e.g. a manifest line naming a graph
+                 file this host does not have. Refuse loudly rather
+                 than journal a verdict under the wrong identity. *)
+              send_result ~job:l_job ~epoch:l_epoch ~attempt:l_attempt
+                ~seconds:0.
+                (Verdict.Rejected
+                   (Diag.input ~code:"cluster.bad-wire"
+                      (Printf.sprintf
+                         "wire job rebuilt with id %s, lease names %s"
+                         job.Pool.id l_job)))
+            else begin
+              (match Hashtbl.find_opt leases l_job with
+              | Some _ -> ignore (Pool.kill_job pool l_job)
+              | None -> ());
+              Hashtbl.replace leases l_job (l_epoch, l_attempt);
+              Pool.submit pool ~attempt:l_attempt ~deadline:l_deadline job
+            end)
+  in
+  let buf = Bytes.create 65536 in
+  let read_socket () =
+    let rec drain () =
+      match Unix.read s.s_fd buf 0 (Bytes.length buf) with
+      | 0 -> close_session s
+      | n -> (
+          match Frame.feed s.s_dec (Bytes.sub_string buf 0 n) with
+          | Error d ->
+              cfg.log (Diag.to_string d);
+              close_session s
+          | Ok payloads ->
+              List.iter handle_payload payloads;
+              if s.s_alive then drain ())
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+      | exception Unix.Unix_error (_, _, _) -> close_session s
+    in
+    drain ()
+  in
+  let last_heartbeat = ref (Unix.gettimeofday ()) in
+  let rec loop () =
+    if stop () then `Stopped
+    else if not s.s_alive then `Disconnected
+    else begin
+      (match
+         Unix.select (s.s_fd :: Pool.worker_fds pool) [] [] 0.05
+       with
+      | _ -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error (Unix.EBADF, _, _) -> ());
+      read_socket ();
+      List.iter
+        (fun (c : Pool.completion) ->
+          match Hashtbl.find_opt leases c.Pool.c_job.Pool.id with
+          | Some (epoch, _) ->
+              Hashtbl.remove leases c.Pool.c_job.Pool.id;
+              send_result ~job:c.Pool.c_job.Pool.id ~epoch
+                ~attempt:c.Pool.c_attempt ~seconds:c.Pool.c_seconds
+                c.Pool.c_verdict
+          | None -> ())
+        (Pool.step pool);
+      let now = Unix.gettimeofday () in
+      if now -. !last_heartbeat >= cfg.heartbeat_interval then begin
+        last_heartbeat := now;
+        enqueue s
+          (P.heartbeat_msg ~worker:cfg.name ~inflight:(Pool.load pool))
+      end;
+      flush_session s;
+      loop ()
+    end
+  in
+  let outcome = loop () in
+  close_session s;
+  (* Leases die with the session: the dispatcher has already (or will)
+     requeue them elsewhere; finishing them here would only produce
+     fenced discards. *)
+  ignore (Pool.kill_all pool);
+  Hashtbl.reset leases;
+  outcome
+
+let run ?(stop = fun () -> false) cfg =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let pool =
+    Pool.create ~workers:(max 1 cfg.capacity) ?heap_words:cfg.heap_words ()
+  in
+  let rng = Random.State.make_self_init () in
+  let rec connect_loop ~failures ~prev_delay =
+    if stop () then Ok ()
+    else if failures >= cfg.max_sessions then
+      Error
+        (Diag.input ~code:"cluster.disconnected"
+           (Printf.sprintf
+              "worker %s: gave up dialing %s after %d attempt(s)" cfg.name
+              (Endpoint.describe cfg.endpoint)
+              failures))
+    else
+      match Endpoint.connect ~backoff:cfg.reconnect cfg.endpoint with
+      | Error d ->
+          cfg.log (Diag.to_string d);
+          let delay = Retry.next_delay cfg.reconnect ~rng ~prev:prev_delay in
+          let rec sleep left =
+            if left > 0. && not (stop ()) then begin
+              (match Unix.select [] [] [] (Float.min left 0.1) with
+              | _ -> ()
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+              sleep (left -. 0.1)
+            end
+          in
+          sleep delay;
+          connect_loop ~failures:(failures + 1) ~prev_delay:delay
+      | Ok client ->
+          let fd = Serve.Client.fd client in
+          Unix.set_nonblock fd;
+          let s =
+            {
+              s_fd = fd;
+              s_dec = Frame.decoder ~max_frame:cfg.max_frame ();
+              s_out = "";
+              s_alive = true;
+            }
+          in
+          cfg.log
+            (Printf.sprintf "worker %s: connected to %s" cfg.name
+               (Endpoint.describe cfg.endpoint));
+          (match session cfg ~stop ~pool s with
+          | `Stopped -> Ok ()
+          | `Disconnected ->
+              cfg.log
+                (Printf.sprintf "worker %s: dispatcher went away, redialing"
+                   cfg.name);
+              (* A dispatcher restart is survivable: redial with a fresh
+                 failure budget. *)
+              connect_loop ~failures:0 ~prev_delay:0.)
+  in
+  let result = connect_loop ~failures:0 ~prev_delay:0. in
+  ignore (Pool.kill_all pool);
+  result

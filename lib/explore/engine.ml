@@ -71,11 +71,19 @@ let status_of_record (r : Batch.Journal.record) =
   | Batch.Verdict.Oom -> Failed "oom"
   | Batch.Verdict.Crashed _ as v -> Failed (Batch.Verdict.describe v)
 
+type runner =
+  deadline:float ->
+  (Batch.Pool.job * Batch.Jsonl.t) list ->
+  (Batch.Pool.outcome, Diag.t) result
+
 (* Evaluate one batch of points: cache hits short-circuit, the rest run
-   under the supervised pool; completed verdicts (solved or infeasible —
-   never failures) are appended to the cache. *)
-let evaluate_batch ~graph ~store ~writer ~workers ~journal ~resume ~deadline
-    ~log points =
+   through the runner — the local supervised pool by default, a cluster
+   dispatcher when the caller injects one; completed verdicts (solved or
+   infeasible — never failures) are appended to the cache. Miss keys are
+   pinned in the cache for the duration of the run so a concurrent
+   eviction scan (shared store, other hosts' results arriving) cannot
+   drop an entry the batch is about to need. *)
+let evaluate_batch ~graph ~store ~writer ~runner ~deadline ~log points =
   let keyed =
     List.map
       (fun p ->
@@ -102,11 +110,15 @@ let evaluate_batch ~graph ~store ~writer ~workers ~journal ~resume ~deadline
   let* miss_evals, fresh, resumed, interrupted =
     if misses = [] then Ok ([], 0, 0, false)
     else begin
-      let jobs = List.map (fun (p, _) -> Lattice.job ~graph p) misses in
-      let* o =
-        Batch.Pool.run ~workers ~retry:Batch.Retry.none ?journal ~resume ~log
-          ~deadline jobs
+      let jobs =
+        List.map
+          (fun (p, _) -> (Lattice.job ~graph p, Lattice.wire ~graph p))
+          misses
       in
+      List.iter (fun (_, k) -> Cache.pin store k) misses;
+      let run = runner ~deadline jobs in
+      List.iter (fun (_, k) -> Cache.unpin store k) misses;
+      let* o = run in
       let by_id = Hashtbl.create 16 in
       List.iter
         (fun (r : Batch.Journal.record) ->
@@ -154,7 +166,15 @@ let evaluate_batch ~graph ~store ~writer ~workers ~journal ~resume ~deadline
   Ok (hit_evals @ miss_evals, List.length hits, fresh, resumed, interrupted)
 
 let run ?(workers = 1) ?cache ?journal ?(resume = false) ?(deadline = 60.)
-    ?budget ?(log = ignore) (spec : Spec.t) =
+    ?budget ?(log = ignore) ?runner (spec : Spec.t) =
+  let runner =
+    match runner with
+    | Some r -> r
+    | None ->
+        fun ~deadline jobs ->
+          Batch.Pool.run ~workers ~retry:Batch.Retry.none ?journal ~resume
+            ~log ~deadline (List.map fst jobs)
+  in
   let* g0 = Batch.Manifest.load_graph spec.Spec.graph in
   let* graph =
     if spec.Spec.cse then
@@ -173,8 +193,7 @@ let run ?(workers = 1) ?cache ?journal ?(resume = false) ?(deadline = 60.)
     r
   in
   let batch points =
-    evaluate_batch ~graph ~store ~writer ~workers ~journal ~resume ~deadline
-      ~log points
+    evaluate_batch ~graph ~store ~writer ~runner ~deadline ~log points
   in
   match
     let* evals, hits, fresh, resumed, interrupted = batch seed_points in

@@ -47,6 +47,15 @@ val front : outcome -> (Lattice.point * Lattice.metrics) list
 val front_indices : outcome -> (int, unit) Hashtbl.t
 (** Point indices of the front members, for report row marking. *)
 
+type runner =
+  deadline:float ->
+  (Batch.Pool.job * Batch.Jsonl.t) list ->
+  (Batch.Pool.outcome, Diag.t) result
+(** How a batch of cache-miss points is executed: each element pairs the
+    locally-runnable {!Batch.Pool.job} with its {!Lattice.wire} document
+    for remote leasing. The default runner is {!Batch.Pool.run}; the CLI
+    injects a cluster dispatcher when [--hosts] is given. *)
+
 val run :
   ?workers:int ->
   ?cache:string ->
@@ -55,6 +64,7 @@ val run :
   ?deadline:float ->
   ?budget:int ->
   ?log:(string -> unit) ->
+  ?runner:runner ->
   Spec.t ->
   (outcome, Diag.t) result
 (** Run the sweep. [cache] is the JSONL store path (loaded before, new

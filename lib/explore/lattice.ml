@@ -284,3 +284,128 @@ let evaluate ~graph:g p =
 let job ~graph p =
   Batch.Jobs.generic ~id:(key ~graph p) ~seed:p.index ~descr:(descr p)
     (fun () -> Result.map metrics_to_json (evaluate ~graph p))
+
+(* --- Wire form ----------------------------------------------------------- *)
+
+module J = Batch.Jsonl
+
+let style_of_int = function
+  | 1 -> Some Core.Mfsa.Unrestricted
+  | 2 -> Some Core.Mfsa.No_self_loop
+  | _ -> None
+
+let style_to_int = function
+  | Core.Mfsa.Unrestricted -> 1
+  | Core.Mfsa.No_self_loop -> 2
+
+let point_to_json p =
+  J.Obj
+    ([
+       ("index", J.Int p.index);
+       ("engine", J.String (Spec.engine_name p.engine));
+       ("style", J.Int (style_to_int p.style));
+       ("weights", J.String (Spec.weights_name p.weights));
+       ("library", J.String (Spec.library_name p.library));
+       ("widths", J.Bool p.widths);
+       ("cse", J.Bool p.cse);
+     ]
+    @ (match p.constr with
+      | Spec.Time cs -> [ ("cs", J.Int cs) ]
+      | Spec.Resource limits ->
+          [
+            ( "limits",
+              J.Obj (List.map (fun (cls, n) -> (cls, J.Int n)) limits) );
+          ])
+    @ (match p.clock with None -> [] | Some c -> [ ("clock", J.Float c) ])
+    @
+    match p.fault with
+    | None -> []
+    | Some f -> [ ("fault", J.String (Harness.Fault.to_string f)) ])
+
+let point_of_json doc =
+  let ( let* ) = Result.bind in
+  let req name = function
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "point is missing %S" name)
+  in
+  let* index = req "index" (J.int "index" doc) in
+  let* engine =
+    let* name = req "engine" (J.str "engine" doc) in
+    req "engine" (Spec.engine_of_name name)
+  in
+  let* style =
+    let* n = req "style" (J.int "style" doc) in
+    req "style" (style_of_int n)
+  in
+  let* weights =
+    let* name = req "weights" (J.str "weights" doc) in
+    req "weights" (Spec.weights_of_name name)
+  in
+  let* library =
+    let* name = req "library" (J.str "library" doc) in
+    req "library" (Spec.library_of_name name)
+  in
+  let* constr =
+    match (J.int "cs" doc, J.member "limits" doc) with
+    | Some cs, None -> Ok (Spec.Time cs)
+    | None, Some (J.Obj fields) ->
+        let rec go acc = function
+          | [] -> Ok (Spec.Resource (List.rev acc))
+          | (cls, J.Int n) :: rest when n > 0 -> go ((cls, n) :: acc) rest
+          | (cls, _) :: _ ->
+              Error (Printf.sprintf "bad limit for class %S" cls)
+        in
+        go [] fields
+    | _ -> Error "point needs exactly one of cs / limits"
+  in
+  let widths =
+    match J.member "widths" doc with Some (J.Bool b) -> b | _ -> false
+  in
+  let cse =
+    match J.member "cse" doc with Some (J.Bool b) -> b | _ -> false
+  in
+  let clock = J.float "clock" doc in
+  let* fault =
+    match J.str "fault" doc with
+    | None -> Ok None
+    | Some name -> (
+        match Harness.Fault.of_string name with
+        | Some f -> Ok (Some f)
+        | None -> Error (Printf.sprintf "unknown fault %S" name))
+  in
+  Ok
+    {
+      index;
+      engine;
+      style;
+      weights;
+      constr;
+      library;
+      widths;
+      clock;
+      cse;
+      fault;
+    }
+
+let wire ~graph p =
+  J.Obj
+    [
+      ("family", J.String "explore");
+      ("graph", J.String (Dfg.Parser.to_source graph));
+      ("point", point_to_json p);
+    ]
+
+let job_of_wire doc =
+  let ( let* ) = Result.bind in
+  let* src =
+    match J.str "graph" doc with
+    | Some s -> Ok s
+    | None -> Error "explore wire job is missing graph source"
+  in
+  let* point =
+    match J.member "point" doc with
+    | Some p -> point_of_json p
+    | None -> Error "explore wire job is missing its point"
+  in
+  let* graph = Result.map_error Diag.to_string (Dfg.Parser.parse src) in
+  Ok (job ~graph point)

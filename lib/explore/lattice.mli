@@ -73,3 +73,21 @@ val evaluate : graph:Dfg.Graph.t -> point -> (metrics, Diag.t) result
 val job : graph:Dfg.Graph.t -> point -> Batch.Pool.job
 (** The point as a supervised pool job: id = {!key}, seed = [index],
     payload = {!metrics_to_json}. *)
+
+(** {2 Wire form}
+
+    Serialization for remote evaluation: a pool job's closure cannot
+    cross a socket, so the cluster ships the graph source plus the point
+    and the worker rebuilds the job — arriving at the {e same}
+    content-addressed {!key} (the key digests the canonicalized source,
+    which round-trips through {!Dfg.Parser.to_source}). *)
+
+val point_to_json : point -> Batch.Jsonl.t
+val point_of_json : Batch.Jsonl.t -> (point, string) result
+
+val wire : graph:Dfg.Graph.t -> point -> Batch.Jsonl.t
+(** [{"family":"explore","graph":SOURCE,"point":{…}}] — the lease
+    payload a [synth worker] turns back into a pool job. *)
+
+val job_of_wire : Batch.Jsonl.t -> (Batch.Pool.job, string) result
+(** Rebuild {!job} from a {!wire} document. *)

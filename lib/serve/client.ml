@@ -5,33 +5,49 @@ type t = { c_fd : Unix.file_descr }
 let fd t = t.c_fd
 let close t = try Unix.close t.c_fd with Unix.Unix_error _ -> ()
 
-let connect_error what err =
+let connect_error what ~attempts err =
   Diag.input ~code:"serve.connect"
-    (Printf.sprintf "cannot connect to %s: %s" what (Unix.error_message err))
+    (Printf.sprintf "cannot connect to %s after %d attempt%s: %s" what
+       attempts
+       (if attempts = 1 then "" else "s")
+       (Unix.error_message err))
 
-(* Retry briefly on the races a crash-only daemon makes routine: the
-   socket file exists before listen, or not yet at all after a restart. *)
-let connect_addr ?(timeout = 5.) what domain addr =
+(* Retry on the races a crash-only daemon makes routine — the socket
+   file exists before listen, or not yet at all after a restart — pacing
+   the attempts with the shared decorrelated-jitter backoff policy so a
+   herd of clients hitting a restarting daemon spreads back out. *)
+let connect_addr ?(timeout = 5.) ?(backoff = Batch.Retry.backoff ()) what
+    domain addr =
   let deadline = Unix.gettimeofday () +. timeout in
-  let rec attempt () =
+  let rng = Random.State.make_self_init () in
+  let rec attempt n prev_delay =
     let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
     match Unix.connect fd addr with
     | () -> Ok { c_fd = fd }
     | exception Unix.Unix_error (err, _, _) ->
         (try Unix.close fd with Unix.Unix_error _ -> ());
-        if Unix.gettimeofday () < deadline then begin
-          ignore (Unix.select [] [] [] 0.05);
-          attempt ()
+        if
+          Batch.Retry.exhausted backoff ~attempt:n
+          || Unix.gettimeofday () >= deadline
+        then Error (connect_error what ~attempts:n err)
+        else begin
+          let delay = Batch.Retry.next_delay backoff ~rng ~prev:prev_delay in
+          let delay =
+            Float.min delay (Float.max 0.01 (deadline -. Unix.gettimeofday ()))
+          in
+          (match Unix.select [] [] [] delay with
+          | _ -> ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+          attempt (n + 1) delay
         end
-        else Error (connect_error what err)
   in
-  attempt ()
+  attempt 1 0.
 
-let connect ?timeout path =
-  connect_addr ?timeout path Unix.PF_UNIX (Unix.ADDR_UNIX path)
+let connect ?timeout ?backoff path =
+  connect_addr ?timeout ?backoff path Unix.PF_UNIX (Unix.ADDR_UNIX path)
 
-let connect_tcp ?timeout ~port () =
-  connect_addr ?timeout
+let connect_tcp ?timeout ?backoff ~port () =
+  connect_addr ?timeout ?backoff
     (Printf.sprintf "127.0.0.1:%d" port)
     Unix.PF_INET
     (Unix.ADDR_INET (Unix.inet_addr_loopback, port))

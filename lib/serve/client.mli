@@ -3,12 +3,19 @@
 
 type t
 
-val connect : ?timeout:float -> string -> (t, Diag.t) result
-(** Connect to a Unix-domain socket path ([serve.connect] on failure;
-    [timeout], default 5s, bounds the attempt). *)
+val connect :
+  ?timeout:float -> ?backoff:Batch.Retry.policy -> string ->
+  (t, Diag.t) result
+(** Connect to a Unix-domain socket path, retrying under the shared
+    decorrelated-jitter [backoff] policy (default {!Batch.Retry.backoff}:
+    4 attempts, 50ms–2s delays) until the policy or [timeout] (default
+    5s) is exhausted. The typed [serve.connect] failure reports how many
+    attempts were made. *)
 
-val connect_tcp : ?timeout:float -> port:int -> unit -> (t, Diag.t) result
-(** Connect to 127.0.0.1:[port]. *)
+val connect_tcp :
+  ?timeout:float -> ?backoff:Batch.Retry.policy -> port:int -> unit ->
+  (t, Diag.t) result
+(** Connect to 127.0.0.1:[port], same retry discipline as {!connect}. *)
 
 val fd : t -> Unix.file_descr
 (** For fault injection in tests (half-close via [Unix.shutdown], raw

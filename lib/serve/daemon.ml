@@ -324,6 +324,7 @@ let handle_request st conn (env : P.envelope) =
   | P.Ping ->
       respond_ok st conn (P.ok_response ~id (Jsonl.Obj [ ("pong", Jsonl.Bool true) ]))
   | P.Health ->
+      let c = Cache.stats st.cache in
       respond_ok st conn
         (P.ok_response ~id
            (Jsonl.Obj
@@ -331,6 +332,17 @@ let handle_request st conn (env : P.envelope) =
                 ( "status",
                   Jsonl.String (if st.draining then "draining" else "ok") );
                 ("pid", Jsonl.Int (Unix.getpid ()));
+                ("queue_depth", Jsonl.Int (Admission.depth st.adm));
+                ("in_flight", Jsonl.Int (Pool.in_flight st.pool));
+                ("connections", Jsonl.Int (List.length st.conns));
+                ("workers", Jsonl.Int 0);
+                ( "cache",
+                  Jsonl.Obj
+                    [
+                      ("hits", Jsonl.Int c.Cache.hits);
+                      ("misses", Jsonl.Int c.Cache.misses);
+                      ("evictions", Jsonl.Int c.Cache.evictions);
+                    ] );
               ]))
   | P.Stats ->
       respond_ok st conn
@@ -340,6 +352,7 @@ let handle_request st conn (env : P.envelope) =
               ~in_flight:(Pool.in_flight st.pool)
               ~connections:(List.length st.conns)
               ~shed:(Admission.shed_count st.adm)
+              ~workers:[]
               ~cache:(Cache.stats st.cache)))
   | P.Lint { source; clock } -> handle_lint st conn ~id source clock
   | P.Schedule { source; opts } -> (

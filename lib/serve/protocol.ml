@@ -173,8 +173,7 @@ let parse_deltas doc =
       go [] items
   | Some _ -> Error (bad "\"deltas\" must be a list")
 
-let parse_request ?max_bytes payload =
-  let* doc = Jsonl.parse_bounded ?max_bytes payload in
+let parse_request_doc doc =
   let req_id = Option.value ~default:"" (Jsonl.str "id" doc) in
   let* req_deadline =
     match Jsonl.member "deadline" doc with
@@ -231,6 +230,10 @@ let parse_request ?max_bytes payload =
   in
   Ok { req_id; req_deadline; request }
 
+let parse_request ?max_bytes payload =
+  let* doc = Jsonl.parse_bounded ?max_bytes payload in
+  parse_request_doc doc
+
 (* --- Responses ---------------------------------------------------------- *)
 
 let ok_response ~id ?(cached = false) payload =
@@ -265,8 +268,7 @@ type response = {
   r_diag : Diag.t option;
 }
 
-let parse_response ?max_bytes payload =
-  let* doc = Jsonl.parse_bounded ?max_bytes payload in
+let parse_response_doc doc =
   let r_id = Option.value ~default:"" (Jsonl.str "id" doc) in
   match Jsonl.str "status" doc with
   | Some "ok" ->
@@ -299,3 +301,186 @@ let parse_response ?max_bytes payload =
                   r_diag = Some d;
                 }))
   | _ -> Error (bad "response missing \"status\"")
+
+let parse_response ?max_bytes payload =
+  let* doc = Jsonl.parse_bounded ?max_bytes payload in
+  parse_response_doc doc
+
+(* --- Worker plane -------------------------------------------------------- *)
+
+type registration = {
+  g_worker : string;
+  g_capacity : int;
+  g_heap_mb : int option;
+  g_libraries : string list;
+}
+
+type worker_msg =
+  | Register of registration
+  | Heartbeat of { h_worker : string; h_inflight : int }
+  | Lease_result of {
+      u_job : string;
+      u_epoch : int;
+      u_attempt : int;
+      u_seconds : float;
+      u_verdict : Batch.Verdict.t;
+    }
+
+type cluster_msg = Worker of worker_msg | Control of envelope
+
+let register_msg ~worker ~capacity ?heap_mb ~libraries () =
+  Jsonl.to_string
+    (Jsonl.Obj
+       ([
+          ("op", Jsonl.String "register");
+          ("worker", Jsonl.String worker);
+          ("capacity", Jsonl.Int capacity);
+          ( "libraries",
+            Jsonl.List (List.map (fun l -> Jsonl.String l) libraries) );
+        ]
+       @
+       match heap_mb with
+       | None -> []
+       | Some mb -> [ ("heap_mb", Jsonl.Int mb) ]))
+
+let heartbeat_msg ~worker ~inflight =
+  Jsonl.to_string
+    (Jsonl.Obj
+       [
+         ("op", Jsonl.String "heartbeat");
+         ("worker", Jsonl.String worker);
+         ("inflight", Jsonl.Int inflight);
+       ])
+
+let result_msg ~job ~epoch ~attempt ~seconds verdict =
+  Jsonl.to_string
+    (Jsonl.Obj
+       ([
+          ("op", Jsonl.String "result");
+          ("job", Jsonl.String job);
+          ("epoch", Jsonl.Int epoch);
+          ("attempt", Jsonl.Int attempt);
+          ("seconds", Jsonl.Float seconds);
+        ]
+       @ Batch.Verdict.to_fields verdict))
+
+let parse_worker_msg_doc doc op =
+  let worker () =
+    match Jsonl.str "worker" doc with
+    | Some w when w <> "" -> Ok w
+    | _ -> Error (badf "%s needs a non-empty \"worker\"" op)
+  in
+  match op with
+  | "register" ->
+      let* g_worker = worker () in
+      let* g_capacity =
+        match Jsonl.int "capacity" doc with
+        | Some n when n > 0 -> Ok n
+        | _ -> Error (bad "register needs a positive \"capacity\"")
+      in
+      let g_heap_mb = Jsonl.int "heap_mb" doc in
+      let g_libraries =
+        match Jsonl.member "libraries" doc with
+        | Some (Jsonl.List l) ->
+            List.filter_map
+              (function Jsonl.String s -> Some s | _ -> None)
+              l
+        | _ -> []
+      in
+      Ok (Register { g_worker; g_capacity; g_heap_mb; g_libraries })
+  | "heartbeat" ->
+      let* h_worker = worker () in
+      let h_inflight = Option.value ~default:0 (Jsonl.int "inflight" doc) in
+      Ok (Heartbeat { h_worker; h_inflight })
+  | "result" -> (
+      let* u_job =
+        match Jsonl.str "job" doc with
+        | Some j when j <> "" -> Ok j
+        | _ -> Error (bad "result needs a non-empty \"job\"")
+      in
+      let* u_epoch =
+        match Jsonl.int "epoch" doc with
+        | Some e when e >= 0 -> Ok e
+        | _ -> Error (bad "result needs a non-negative \"epoch\"")
+      in
+      let u_attempt = Option.value ~default:1 (Jsonl.int "attempt" doc) in
+      let u_seconds = Option.value ~default:0. (Jsonl.float "seconds" doc) in
+      match Batch.Verdict.of_fields doc with
+      | Ok u_verdict ->
+          Ok (Lease_result { u_job; u_epoch; u_attempt; u_seconds; u_verdict })
+      | Error msg -> Error (badf "result verdict: %s" msg))
+  | _ -> Error (badf "unknown worker op %S" op)
+
+let parse_cluster_msg ?max_bytes payload =
+  let* doc = Jsonl.parse_bounded ?max_bytes payload in
+  match Jsonl.str "op" doc with
+  | Some (("register" | "heartbeat" | "result") as op) ->
+      Result.map (fun m -> Worker m) (parse_worker_msg_doc doc op)
+  | _ -> Result.map (fun e -> Control e) (parse_request_doc doc)
+
+type downstream =
+  | Lease of {
+      l_job : string;
+      l_epoch : int;
+      l_attempt : int;
+      l_deadline : float;
+      l_wire : Jsonl.t;
+    }
+  | Revoke of { v_job : string; v_epoch : int }
+  | Ack of response
+
+let lease_msg ~job ~epoch ~attempt ~deadline wire =
+  Jsonl.to_string
+    (Jsonl.Obj
+       [
+         ("op", Jsonl.String "lease");
+         ("job", Jsonl.String job);
+         ("epoch", Jsonl.Int epoch);
+         ("attempt", Jsonl.Int attempt);
+         ("deadline", Jsonl.Float deadline);
+         ("wire", wire);
+       ])
+
+let revoke_msg ~job ~epoch =
+  Jsonl.to_string
+    (Jsonl.Obj
+       [
+         ("op", Jsonl.String "revoke");
+         ("job", Jsonl.String job);
+         ("epoch", Jsonl.Int epoch);
+       ])
+
+let parse_downstream ?max_bytes payload =
+  let* doc = Jsonl.parse_bounded ?max_bytes payload in
+  let job_epoch op =
+    let* job =
+      match Jsonl.str "job" doc with
+      | Some j when j <> "" -> Ok j
+      | _ -> Error (badf "%s needs a non-empty \"job\"" op)
+    in
+    let* epoch =
+      match Jsonl.int "epoch" doc with
+      | Some e when e >= 0 -> Ok e
+      | _ -> Error (badf "%s needs a non-negative \"epoch\"" op)
+    in
+    Ok (job, epoch)
+  in
+  match Jsonl.str "op" doc with
+  | Some "lease" ->
+      let* l_job, l_epoch = job_epoch "lease" in
+      let l_attempt = Option.value ~default:1 (Jsonl.int "attempt" doc) in
+      let* l_deadline =
+        match Jsonl.float "deadline" doc with
+        | Some d when d > 0. -> Ok d
+        | _ -> Error (bad "lease needs a positive \"deadline\"")
+      in
+      let* l_wire =
+        match Jsonl.member "wire" doc with
+        | Some w -> Ok w
+        | None -> Error (bad "lease needs a \"wire\" job description")
+      in
+      Ok (Lease { l_job; l_epoch; l_attempt; l_deadline; l_wire })
+  | Some "revoke" ->
+      let* v_job, v_epoch = job_epoch "revoke" in
+      Ok (Revoke { v_job; v_epoch })
+  | _ -> Result.map (fun r -> Ack r) (parse_response_doc doc)

@@ -88,3 +88,71 @@ type response = {
 }
 
 val parse_response : ?max_bytes:int -> string -> (response, Diag.t) result
+
+(** {2 Worker plane}
+
+    Envelopes for the cluster distribution layer ({!Cluster.Dispatcher}
+    / [synth worker]), carried over the same {!Frame} stream. Workers
+    send [register] / [heartbeat] / [result]; the dispatcher sends
+    [lease] / [revoke] and plain {!ok_response} acks. A lease names a
+    job id, a per-attempt deadline and a {e fencing epoch}; a result is
+    only accepted when its epoch matches the job's current lease, so a
+    revoked worker's late result is a discard, never a double-write. *)
+
+type registration = {
+  g_worker : string;  (** Self-chosen worker name (unique per cluster). *)
+  g_capacity : int;  (** Concurrent leases the worker will execute. *)
+  g_heap_mb : int option;  (** Worker-side heap ceiling, advertised. *)
+  g_libraries : string list;
+      (** Cell-library variants the worker keeps warm. *)
+}
+
+type worker_msg =
+  | Register of registration
+  | Heartbeat of { h_worker : string; h_inflight : int }
+  | Lease_result of {
+      u_job : string;
+      u_epoch : int;  (** Fencing epoch copied from the lease. *)
+      u_attempt : int;
+      u_seconds : float;
+      u_verdict : Batch.Verdict.t;
+    }
+
+type cluster_msg =
+  | Worker of worker_msg
+  | Control of envelope  (** ping/health/stats on the dispatcher socket. *)
+
+val parse_cluster_msg : ?max_bytes:int -> string -> (cluster_msg, Diag.t) result
+(** Dispatcher-side parse: worker ops first, any other op through
+    {!parse_request}. Same typed errors as {!parse_request}. *)
+
+val register_msg :
+  worker:string -> capacity:int -> ?heap_mb:int -> libraries:string list ->
+  unit -> string
+
+val heartbeat_msg : worker:string -> inflight:int -> string
+
+val result_msg :
+  job:string -> epoch:int -> attempt:int -> seconds:float ->
+  Batch.Verdict.t -> string
+(** Verdict fields spliced via {!Batch.Verdict.to_fields}. *)
+
+type downstream =
+  | Lease of {
+      l_job : string;
+      l_epoch : int;
+      l_attempt : int;  (** Verdict attempt; >1 runs the degraded closure. *)
+      l_deadline : float;  (** Per-attempt wall-clock budget, seconds. *)
+      l_wire : Batch.Jsonl.t;  (** Serialized job (see [Cluster.Wire]). *)
+    }
+  | Revoke of { v_job : string; v_epoch : int }
+  | Ack of response  (** Plain response frames (register ack). *)
+
+val lease_msg :
+  job:string -> epoch:int -> attempt:int -> deadline:float ->
+  Batch.Jsonl.t -> string
+
+val revoke_msg : job:string -> epoch:int -> string
+
+val parse_downstream : ?max_bytes:int -> string -> (downstream, Diag.t) result
+(** Worker-side parse of dispatcher frames. *)

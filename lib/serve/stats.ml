@@ -39,7 +39,7 @@ let note_verdict t = function
 let note_ok t = t.ok <- t.ok + 1
 let note_error t = t.error <- t.error + 1
 
-let to_json t ~queue_depth ~in_flight ~connections ~shed ~cache =
+let to_json t ~queue_depth ~in_flight ~connections ~shed ~workers ~cache =
   let ops =
     Hashtbl.fold (fun op n acc -> (op, Jsonl.Int n) :: acc) t.by_op []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
@@ -66,6 +66,7 @@ let to_json t ~queue_depth ~in_flight ~connections ~shed ~cache =
       ("responses_ok", Jsonl.Int t.ok);
       ("responses_error", Jsonl.Int t.error);
       ("queue_depth", Jsonl.Int queue_depth);
+      ("workers", Jsonl.List workers);
       ("in_flight", Jsonl.Int in_flight);
       ("connections", Jsonl.Int connections);
       ("shed", Jsonl.Int shed);

@@ -24,7 +24,12 @@ val to_json :
   in_flight:int ->
   connections:int ->
   shed:int ->
+  workers:Batch.Jsonl.t list ->
   cache:Explore.Cache.stats ->
   Batch.Jsonl.t
 (** One stats snapshot: uptime, per-op and per-verdict counters, load
-    and cache counters with the derived hit rate. *)
+    and cache counters with the derived hit rate, plus the
+    connected-worker table ([workers], one object per registered remote
+    worker — empty for a plain single-host daemon) so load generators
+    and the chaos harness can assert cluster state without parsing
+    logs. *)
