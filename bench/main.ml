@@ -350,6 +350,7 @@ let scaling_opts_hash g ~cs =
       constr = Explore.Spec.Time cs;
       library = Explore.Spec.Default;
       widths = false;
+      ports = None;
       clock = None;
       cse = false;
       fault = None;

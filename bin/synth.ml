@@ -137,6 +137,14 @@ let widths_arg =
   in
   Arg.(value & flag & info [ "widths" ] ~doc)
 
+let ports_arg =
+  let doc =
+    "Override every memory bank's port count (scheduling cap and port \
+     binding). Without it, the graph's own 'mem BANK ports N' declarations \
+     apply (default 1)."
+  in
+  Arg.(value & opt (some int) None & info [ "ports" ] ~docv:"N" ~doc)
+
 let make_library g ~two_cycle ~pipelined =
   let lib = Celllib.Ncr.for_graph g in
   if pipelined then Celllib.Ncr.pipelined_multiplier lib
@@ -152,8 +160,8 @@ let width_support lib g ~widths =
     ( Some (facts, fun name -> Analysis.Ranges.width_of facts name),
       Analysis.Ranges.node_delays lib g facts )
 
-let make_config lib ~clock ~latency =
-  let cfg = Core.Config.of_library lib in
+let make_config ?ports lib ~clock ~latency =
+  let cfg = { (Core.Config.of_library lib) with Core.Config.mem_ports = ports } in
   let cfg =
     match clock with
     | None -> cfg
@@ -175,7 +183,7 @@ let fault_conv =
         Error
           (`Msg
              (s ^ ": unknown fault (corrupt-start, corrupt-col, \
-                   corrupt-trace, skew-delay)"))
+                   corrupt-trace, collide-mem, skew-delay)"))
   in
   let print ppf f = Format.pp_print_string ppf (Harness.Fault.to_string f) in
   Arg.conv (parse, print)
@@ -211,11 +219,11 @@ let show_cmd =
 
 let mfs_cmd =
   let doc = "Move Frame Scheduling (time- or resource-constrained)." in
-  let run spec cs two_cycle pipelined latency clock limits cse json =
+  let run spec cs two_cycle pipelined latency clock limits ports cse json =
     let g = or_die ~json (load_graph spec) in
     let g = apply_cse ~json g cse in
     let lib = make_library g ~two_cycle ~pipelined in
-    let config = make_config lib ~clock ~latency in
+    let config = make_config ?ports lib ~clock ~latency in
     let spec_kind =
       if limits = [] then Core.Mfs.Time { cs = effective_cs config g cs }
       else Core.Mfs.Resource { limits }
@@ -243,18 +251,18 @@ let mfs_cmd =
   Cmd.v (Cmd.info "mfs" ~doc)
     Term.(
       const run $ graph_arg $ cs_arg $ two_cycle_arg $ pipelined_arg
-      $ latency_arg $ clock_arg $ limits_arg $ cse_arg $ json_arg)
+      $ latency_arg $ clock_arg $ limits_arg $ ports_arg $ cse_arg $ json_arg)
 
 (* --- mfsa ------------------------------------------------------------- *)
 
 let mfsa_cmd =
   let doc = "Mixed scheduling-allocation: schedule, bind ALUs/REGs/MUXes." in
-  let run spec cs two_cycle pipelined latency clock style verilog simulate cse
-      widths vcd netlist fsm json =
+  let run spec cs two_cycle pipelined latency clock ports style verilog
+      simulate cse widths vcd netlist fsm json =
     let g = or_die ~json (load_graph spec) in
     let g = apply_cse ~json g cse in
     let lib = make_library g ~two_cycle ~pipelined in
-    let config = make_config lib ~clock ~latency in
+    let config = make_config ?ports lib ~clock ~latency in
     let wsup, node_delay = width_support lib g ~widths in
     let config = { config with Core.Config.node_delay } in
     let cs = effective_cs config g cs in
@@ -337,8 +345,9 @@ let mfsa_cmd =
   Cmd.v (Cmd.info "mfsa" ~doc)
     Term.(
       const run $ graph_arg $ cs_arg $ two_cycle_arg $ pipelined_arg
-      $ latency_arg $ clock_arg $ style_arg $ verilog_arg $ simulate_arg
-      $ cse_arg $ widths_arg $ vcd_arg $ netlist_arg $ fsm_arg $ json_arg)
+      $ latency_arg $ clock_arg $ ports_arg $ style_arg $ verilog_arg
+      $ simulate_arg $ cse_arg $ widths_arg $ vcd_arg $ netlist_arg $ fsm_arg
+      $ json_arg)
 
 (* --- compare ---------------------------------------------------------- *)
 
@@ -842,9 +851,9 @@ let lint_cmd =
            ~doc:"Corrupt the synthesised artefacts with a seeded fault \
                  before the post passes run — demonstrates that the fault \
                  is statically detectable (corrupt-start, corrupt-col, \
-                 corrupt-trace, skew-delay).")
+                 corrupt-trace, collide-mem, skew-delay).")
   in
-  let run spec cs two_cycle pipelined latency clock limits style inject
+  let run spec cs two_cycle pipelined latency clock limits ports style inject
       json_out dot_lint cse widths json =
     (match inject with
     | Some f when Harness.Fault.is_process f ->
@@ -860,7 +869,7 @@ let lint_cmd =
     let g = or_die ~json (load_graph spec) in
     let g = apply_cse ~json g cse in
     let lib = make_library g ~two_cycle ~pipelined in
-    let config = make_config lib ~clock ~latency in
+    let config = make_config ?ports lib ~clock ~latency in
     let time_mode = limits = [] in
     let cs = effective_cs config g cs in
     let pre, pre_times =
@@ -930,6 +939,10 @@ let lint_cmd =
             match Option.map Harness.Fault.corrupt_trace !trace with
             | Some (Some tr) -> trace := Some tr
             | _ -> ())
+        | Some Harness.Fault.Collide_mem -> (
+            match Harness.Fault.collide_mem !sched with
+            | Some s -> sched := s
+            | None -> ())
         | Some Harness.Fault.Skew_delay -> (
             match Harness.Fault.skew_delay dp ~delay with
             | Some d -> eff_delay := d
@@ -1003,8 +1016,9 @@ let lint_cmd =
   Cmd.v (Cmd.info "lint" ~doc)
     Term.(
       const run $ graph_arg $ cs_arg $ two_cycle_arg $ pipelined_arg
-      $ latency_arg $ clock_arg $ limits_arg $ style_arg $ inject_arg
-      $ json_out_arg $ dot_lint_arg $ cse_arg $ widths_arg $ json_arg)
+      $ latency_arg $ clock_arg $ limits_arg $ ports_arg $ style_arg
+      $ inject_arg $ json_out_arg $ dot_lint_arg $ cse_arg $ widths_arg
+      $ json_arg)
 
 (* --- compile ------------------------------------------------------------ *)
 
@@ -1404,12 +1418,23 @@ let chaos_cmd =
       $ stage_seconds_arg $ no_kill_arg $ stop_arg $ loris_arg
       $ no_duplicate_arg $ seed_arg $ verbose_arg $ json_out_arg)
 
+(* --- version ----------------------------------------------------------- *)
+
+(* Kept in sync by hand: there is no release pipeline stamping builds, and
+   a stable literal keeps the cram expectation exact. *)
+let version_string = "synth 0.6.0"
+
+let version_cmd =
+  let doc = "Print the tool name and version." in
+  let run () = print_endline version_string in
+  Cmd.v (Cmd.info "version" ~doc) Term.(const run $ const ())
+
 let main =
   let doc = "MFS/MFSA high-level synthesis (DAC 1992 reproduction)" in
-  Cmd.group (Cmd.info "synth" ~doc)
+  Cmd.group (Cmd.info "synth" ~doc ~version:version_string)
     [ show_cmd; mfs_cmd; mfsa_cmd; lint_cmd; compare_cmd; explore_cmd;
       fuzz_cmd; batch_cmd; compile_cmd; serve_cmd; bombard_cmd; worker_cmd;
-      chaos_cmd ]
+      chaos_cmd; version_cmd ]
 
 let () =
   (* A vanished peer (redirected stderr, daemon client, journal sink) must

@@ -1,6 +1,7 @@
 let is_arith = function
   | Dfg.Op.Add | Sub | Mul | Div | Mod | Shl | Shr | Neg -> true
-  | And | Or | Xor | Not | Lt | Le | Gt | Ge | Eq | Ne | Mov -> false
+  | And | Or | Xor | Not | Lt | Le | Gt | Ge | Eq | Ne | Mov
+  | Load | Store -> false
 
 (* Kahn's algorithm; [Graph.topological] assumes acyclicity, so the cycle
    check re-derives the order from scratch. *)
@@ -72,7 +73,13 @@ let check ?config g =
   List.iter
     (fun nd ->
       let is_sink = List.mem nd.Dfg.Graph.id sink_ids in
-      if (not is_sink) && not (Hashtbl.mem used nd.Dfg.Graph.name) then
+      (* A store's effect is the memory write; its pass-through value is a
+         convenience and address edges give it successors anyway. *)
+      if
+        (not is_sink)
+        && nd.Dfg.Graph.kind <> Dfg.Op.Store
+        && not (Hashtbl.mem used nd.Dfg.Graph.name)
+      then
         add
           (Finding.warning ~nodes:[ nd.Dfg.Graph.name ] Diag.Input
              ~code:"lint.dead-value" "value %S is computed but never read"

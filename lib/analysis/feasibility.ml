@@ -22,7 +22,7 @@ let class_cells config g =
          cells exclusively. *)
       if nd.Dfg.Graph.guards <> [] then acc
       else
-        let c = Dfg.Op.fu_class nd.Dfg.Graph.kind in
+        let c = Dfg.Graph.node_class g nd in
         let sp =
           let sp = Core.Config.span config nd.Dfg.Graph.kind in
           (* Folded modulo the latency, a span covers at most L distinct
@@ -85,5 +85,29 @@ let check ?cs ?(limits = []) config g =
                      c need cells h k)
             | _ -> ())
       limits;
+    (* Bank ports are implicit hard caps: a bank with p ports serves at
+       most p accesses per step, so ceil(cells / ports) steps is a lower
+       bound on any schedule touching it. *)
+    (match horizon config ~cs with
+    | Some h when h >= 1 ->
+        List.iter
+          (fun (c, ports) ->
+            match List.assoc_opt c b.class_cells with
+            | Some cells when ports >= 1 && (cells + ports - 1) / ports > h ->
+                add
+                  (Finding.error Diag.Infeasible ~code:"mem.infeasible-ports"
+                     "bank %s needs at least %d step(s) for %d access(es) \
+                      through %d port(s), but the horizon is %d"
+                     (Dfg.Graph.bank_of_class c)
+                     ((cells + ports - 1) / ports)
+                     cells ports h)
+            | Some _ when ports < 1 ->
+                add
+                  (Finding.error Diag.Infeasible ~code:"mem.infeasible-ports"
+                     "bank %s offers %d port(s) but the graph accesses it"
+                     (Dfg.Graph.bank_of_class c) ports)
+            | _ -> ())
+          (Core.Config.mem_limits config g)
+    | _ -> ());
     List.rev !fs
   end

@@ -385,6 +385,19 @@ let transfer kind fs =
         in
         { itv = t_shr a.itv b.itv; kb }
     | Mov -> f1 ()
+    | Load ->
+        (* The evaluator reads whatever was stored (or the zero fill), so
+           nothing narrower than top is sound without tracking per-array
+           contents. *)
+        { itv = top_itv; kb = top_kb }
+    | Store -> (
+        (* The produced value is the stored data, passed through. *)
+        match fs with
+        | [ _arr; _idx; d ] -> d
+        | _ ->
+            invalid_arg
+              (Printf.sprintf "Ranges.transfer: st expects 3 operands, got %d"
+                 (List.length fs)))
   in
   normalize r
 
@@ -492,7 +505,11 @@ let op_width t nd =
 (* ---- Findings ------------------------------------------------------- *)
 
 let check g =
-  if Dfg.Graph.ranges g = [] && Dfg.Graph.declared_widths g = [] then []
+  if
+    Dfg.Graph.ranges g = []
+    && Dfg.Graph.declared_widths g = []
+    && Dfg.Graph.arrays g = []
+  then []
   else begin
     let r = analyze g in
     let acc = ref [] in
@@ -564,6 +581,39 @@ let check g =
                     operand(s) — it can be replaced by a constant"
                    nd.Dfg.Graph.name f.itv.lo)
         end)
+      (Dfg.Graph.nodes g);
+    (* Memory index bounds: an access whose inferred index interval lies
+       entirely outside [0, size-1] never touches the array (reads 0,
+       drops the write) — certainly a bug. A bounded interval that only
+       sticks out partially may still go out of bounds on some input. *)
+    List.iter
+      (fun nd ->
+        match (nd.Dfg.Graph.kind, nd.Dfg.Graph.args) with
+        | (Dfg.Op.Load | Dfg.Op.Store), arr :: idx :: _ -> (
+            match Dfg.Graph.array_of g arr with
+            | None -> ()
+            | Some a ->
+                let size = a.Dfg.Graph.a_size in
+                let f = fact_of r idx in
+                if f.itv.lo >= size || f.itv.hi < 0 then
+                  add
+                    (Finding.error
+                       ~nodes:[ nd.Dfg.Graph.name; idx ]
+                       Diag.Input ~code:"mem.index-out-of-bounds"
+                       "access %S indexes %S[%s] outside 0..%d: the index \
+                        range is [%d, %d]"
+                       nd.Dfg.Graph.name arr idx (size - 1) f.itv.lo f.itv.hi)
+                else if
+                  (not (leq top f)) && (f.itv.lo < 0 || f.itv.hi >= size)
+                then
+                  add
+                    (Finding.warning
+                       ~nodes:[ nd.Dfg.Graph.name; idx ]
+                       Diag.Input ~code:"mem.index-may-overflow"
+                       "access %S may index %S[%s] outside 0..%d: the index \
+                        range is [%d, %d]"
+                       nd.Dfg.Graph.name arr idx (size - 1) f.itv.lo f.itv.hi))
+        | _ -> ())
       (Dfg.Graph.nodes g);
     List.rev !acc
   end

@@ -86,6 +86,31 @@ let check ?bus ?(share_mutex = true) ?latency dp ctrl ~delay =
       in
       pairs a.Rtl.Datapath.a_ops)
     dp.Rtl.Datapath.alus;
+  (* Bank-port occupancy: a port serves one access at a time. *)
+  List.iter
+    (fun m ->
+      let rec pairs = function
+        | [] -> ()
+        | i :: rest ->
+            List.iter
+              (fun j ->
+                if
+                  Core.Grid.steps_overlap ~latency (start i) (delay i)
+                    (start j) (delay j)
+                  && not (share_mutex && exclusive i j)
+                then
+                  add
+                    (internal
+                       ~nodes:[ name i; name j ]
+                       ~code:"mem.port-conflict"
+                       "bank %s port %d runs %s and %s in overlapping steps"
+                       m.Rtl.Datapath.m_bank m.Rtl.Datapath.m_port (name i)
+                       (name j)))
+              rest;
+            pairs rest
+      in
+      pairs m.Rtl.Datapath.m_ops)
+    dp.Rtl.Datapath.mems;
   (* Reaching definitions: every operand and guard of every micro-order. *)
   let clobbers ~reg ~from_edge ~upto_edge ~reader ~stored =
     (* Another micro latching into [reg] on an edge in (from_edge, upto_edge]
@@ -226,7 +251,22 @@ let check ?bus ?(share_mutex = true) ?latency dp ctrl ~delay =
                      ~code:"lint.operand-route"
                      "operand %d of %s reads input %S but %s is computed by \
                       %s"
-                     k (name i) v arg (name p.Dfg.Graph.id)))
+                     k (name i) v arg (name p.Dfg.Graph.id))
+            | None, Rtl.Datapath.From_mem a ->
+                if not (String.equal a arg) then
+                  add
+                    (internal ~nodes:[ name i ] ~code:"lint.operand-route"
+                       "operand %d of %s should access array %S, source says \
+                        %S"
+                       k (name i) arg a)
+            | Some p, Rtl.Datapath.From_mem a ->
+                add
+                  (internal
+                     ~nodes:[ name i; name p.Dfg.Graph.id ]
+                     ~code:"lint.operand-route"
+                     "operand %d of %s accesses array %S but %s is computed \
+                      by %s"
+                     k (name i) a arg (name p.Dfg.Graph.id)))
           m.Rtl.Controller.m_sources;
       (* Guard conditions must be computed before (or earlier in) step s. *)
       List.iter

@@ -6,6 +6,7 @@ let schedule (s : Core.Schedule.t) =
   let add f = fs := f :: !fs in
   let name i = (Dfg.Graph.node g i).Dfg.Graph.name in
   let kind i = (Dfg.Graph.node g i).Dfg.Graph.kind in
+  let klass i = Dfg.Graph.node_class g (Dfg.Graph.node g i) in
   let delay i = Core.Config.delay s.Core.Schedule.config (kind i) in
   let span i = Core.Config.span s.Core.Schedule.config (kind i) in
   let finish i = s.Core.Schedule.start.(i) + delay i - 1 in
@@ -50,7 +51,7 @@ let schedule (s : Core.Schedule.t) =
                "op %s is bound to column %d < 1" (name i) col.(i));
         for j = i + 1 to n - 1 do
           if
-            String.equal (Dfg.Op.fu_class (kind i)) (Dfg.Op.fu_class (kind j))
+            String.equal (klass i) (klass j)
             && col.(i) = col.(j)
             && Core.Grid.steps_overlap ~latency s.Core.Schedule.start.(i)
                  (span i) s.Core.Schedule.start.(j) (span j)
@@ -61,11 +62,66 @@ let schedule (s : Core.Schedule.t) =
                  ~nodes:[ name i; name j ]
                  ~code:"lint.fu-conflict"
                  "ops %s and %s occupy %s unit %d in the same step" (name i)
-                 (name j)
-                 (Dfg.Op.fu_class (kind i))
-                 col.(i))
+                 (name j) (klass i) col.(i))
         done
       done);
+  (* Post-schedule memory audit: re-derive a first-fit port binding per
+     bank. Needing more concurrent ports than the bank offers means the
+     scheduler let simultaneous accesses exceed the physical interface —
+     an internal defect, not an input problem. *)
+  let latency = s.Core.Schedule.config.Core.Config.functional_latency in
+  let exclusive i j =
+    s.Core.Schedule.config.Core.Config.share_mutex
+    && Dfg.Graph.mutually_exclusive g i j
+  in
+  List.iter
+    (fun bank ->
+      let ports = Core.Config.bank_ports s.Core.Schedule.config g bank in
+      let accesses =
+        List.filter_map
+          (fun nd ->
+            if
+              Dfg.Op.is_mem nd.Dfg.Graph.kind
+              && String.equal
+                   (Dfg.Graph.node_class g nd)
+                   (Dfg.Graph.mem_class bank)
+            then Some nd.Dfg.Graph.id
+            else None)
+          (Dfg.Graph.nodes g)
+        |> List.sort (fun i j ->
+               compare
+                 (s.Core.Schedule.start.(i), i)
+                 (s.Core.Schedule.start.(j), j))
+      in
+      let needed =
+        List.length
+          (List.fold_left
+             (fun bound i ->
+               let fits p =
+                 List.for_all
+                   (fun j ->
+                     exclusive i j
+                     || not
+                          (Core.Grid.steps_overlap ~latency
+                             s.Core.Schedule.start.(i) (span i)
+                             s.Core.Schedule.start.(j) (span j)))
+                   p
+               in
+               let rec insert = function
+                 | [] -> [ [ i ] ]
+                 | p :: rest ->
+                     if fits p then (i :: p) :: rest else p :: insert rest
+               in
+               insert bound)
+             [] accesses)
+      in
+      if needed > ports then
+        add
+          (internal ~code:"mem.bank-conflict"
+             "bank %s needs %d concurrent port(s) in this schedule but \
+              offers %d"
+             bank needed ports))
+    (Dfg.Graph.bank_names g);
   List.rev !fs
 
 let value_intervals (s : Core.Schedule.t) =

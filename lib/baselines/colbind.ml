@@ -13,7 +13,7 @@ let columns cfg g ~start =
     (fun c ->
       let members =
         List.filter
-          (fun nd -> String.equal (Dfg.Op.fu_class nd.Dfg.Graph.kind) c)
+          (fun nd -> String.equal (Dfg.Graph.node_class g nd) c)
           (Dfg.Graph.nodes g)
         |> List.map (fun nd -> nd.Dfg.Graph.id)
         |> List.sort (fun i j ->

@@ -22,7 +22,7 @@ let run ?(config = Core.Config.default) ?(unit_weight = fun _ -> 1.)
     | Error _ as e -> e
     | Ok bounds ->
         let n = Dfg.Graph.num_nodes g in
-        let klass i = Dfg.Op.fu_class (Dfg.Graph.node g i).Dfg.Graph.kind in
+        let klass i = Dfg.Graph.node_class g (Dfg.Graph.node g i) in
         let delay i =
           Core.Config.delay config (Dfg.Graph.node g i).Dfg.Graph.kind
         in

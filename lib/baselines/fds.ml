@@ -12,7 +12,7 @@ let distribution_internal cfg g bounds ~fixed klass =
   List.iter
     (fun nd ->
       let i = nd.Dfg.Graph.id in
-      if String.equal (Dfg.Op.fu_class nd.Dfg.Graph.kind) klass then begin
+      if String.equal (Dfg.Graph.node_class g nd) klass then begin
         let p = frame_probability bounds ~fixed i in
         let d = Core.Config.span cfg nd.Dfg.Graph.kind in
         (* A d-cycle operation starting at t loads steps t .. t+d-1. *)
@@ -63,7 +63,7 @@ let refreshed_bounds cfg g ~cs ~fixed =
   if !ok then Some { Dfg.Bounds.asap; alap; cs } else None
 
 let self_force cfg g bounds ~fixed i s =
-  let klass = Dfg.Op.fu_class (Dfg.Graph.node g i).Dfg.Graph.kind in
+  let klass = Dfg.Graph.node_class g (Dfg.Graph.node g i) in
   let dg = distribution_internal cfg g bounds ~fixed klass in
   let p = frame_probability bounds ~fixed i in
   let d = Core.Config.span cfg (Dfg.Graph.node g i).Dfg.Graph.kind in

@@ -17,7 +17,7 @@ let run_rc cfg g ~units =
   let prio = priority cfg g in
   let delay i = Core.Config.delay cfg (Dfg.Graph.node g i).Dfg.Graph.kind in
   let span i = Core.Config.span cfg (Dfg.Graph.node g i).Dfg.Graph.kind in
-  let klass i = Dfg.Op.fu_class (Dfg.Graph.node g i).Dfg.Graph.kind in
+  let klass i = Dfg.Graph.node_class g (Dfg.Graph.node g i) in
   let start = Array.make n 0 in
   let unplaced = ref (Dfg.Graph.num_nodes g) in
   (* busy.(c) tracks (op, until_step) pairs per class (span occupancy). *)
@@ -119,7 +119,7 @@ let time ?(config = Core.Config.default) g ~cs =
               if budget <= 0 then
                 Error "list scheduling: deferment budget exhausted"
               else begin
-                let c = Dfg.Op.fu_class nd.Dfg.Graph.kind in
+                let c = Dfg.Graph.node_class g nd in
                 Hashtbl.replace units c (Hashtbl.find units c + 1);
                 refine (budget - 1)
               end

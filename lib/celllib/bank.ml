@@ -1,0 +1,42 @@
+(* Memory-bank resource model. A bank is a RAM macro with a fixed number
+   of access ports; scheduling treats each port as a pseudo functional
+   unit of class "mem:BANK", and the cost model prices the macro with
+   this module instead of the per-capability ALU areas. *)
+
+type t = {
+  ports : int;
+  read_latency : int;
+  write_latency : int;
+}
+
+let default = { ports = 1; read_latency = 1; write_latency = 1 }
+
+let with_ports t ports =
+  if ports < 1 then invalid_arg "Bank.with_ports: ports must be positive";
+  { t with ports }
+
+let latency t = function
+  | Dfg.Op.Load -> t.read_latency
+  | Dfg.Op.Store -> t.write_latency
+  | k ->
+      invalid_arg
+        (Printf.sprintf "Bank.latency: %s is not a memory access"
+           (Dfg.Op.to_string k))
+
+(* Area of the macro itself (µm², same loose NCR scale as the ALU
+   library): a fixed decoder/sense base, a per-word bit-cell row, and a
+   per-port surcharge — every extra port roughly replicates the word
+   lines and sense amplifiers, hence the steep slope. *)
+let base_area = 2200.
+let word_area = 110.
+let port_area = 1450.
+
+let area t ~words =
+  if words < 1 then invalid_arg "Bank.area: words must be positive";
+  base_area
+  +. (word_area *. float_of_int words)
+  +. (port_area *. float_of_int t.ports)
+
+let pp ppf t =
+  Format.fprintf ppf "bank: %d port(s), rd %d cy, wr %d cy" t.ports
+    t.read_latency t.write_latency

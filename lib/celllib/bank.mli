@@ -1,0 +1,33 @@
+(** Memory-bank resource model.
+
+    Arrays live in banks; a bank serves at most [ports] accesses per
+    control step. Scheduling treats each port as a pseudo functional
+    unit of class ["mem:BANK"] ({!Dfg.Graph.mem_class}), so port
+    conflicts fold into the same Forbidden-Frame calculus as ALU
+    conflicts. The cost model prices the macro here, separately from
+    the per-capability ALU areas. *)
+
+type t = {
+  ports : int;  (** Simultaneous accesses per control step. *)
+  read_latency : int;  (** Load latency in control steps. *)
+  write_latency : int;  (** Store latency in control steps. *)
+}
+
+val default : t
+(** Single-port, one-cycle reads and writes. *)
+
+val with_ports : t -> int -> t
+(** Same bank with a different port count.
+    @raise Invalid_argument when [ports < 1]. *)
+
+val latency : t -> Dfg.Op.kind -> int
+(** Access latency of a memory kind.
+    @raise Invalid_argument on a non-memory kind. *)
+
+val area : t -> words:int -> float
+(** Macro area (µm²): decoder/sense base + per-word bit cells + a
+    per-port surcharge (extra ports replicate word lines and sense
+    amplifiers).
+    @raise Invalid_argument when [words < 1]. *)
+
+val pp : Format.formatter -> t -> unit

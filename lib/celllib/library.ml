@@ -27,6 +27,9 @@ let capability_area : Dfg.Op.kind -> float = function
   | And | Or | Xor -> 620.
   | Not | Neg -> 400.
   | Mov -> 250.
+  (* Access-port control logic (address decode + data steering); the bank
+     macro itself is priced by [Bank.area], not per capability. *)
+  | Load | Store -> 520.
 
 let alu_overhead = 800.
 let merge_discount = 0.55
@@ -93,6 +96,7 @@ let default_prop_delay : Dfg.Op.kind -> float = function
   | Shl | Shr -> 25.
   | Lt | Le | Gt | Ge | Eq | Ne -> 30.
   | And | Or | Xor | Not | Neg | Mov -> 12.
+  | Load | Store -> 45.
 
 let heavy = function Dfg.Op.Mul | Div | Mod -> true | _ -> false
 
@@ -120,7 +124,11 @@ let combos ~max_ops universe =
 let generated ?(max_ops = 4) ?(mux_cost = default_mux_cost)
     ?(reg_cost = default_reg_cost) ?(cycles = default_cycles)
     ?(prop_delay = default_prop_delay) universe =
-  let universe = List.sort_uniq compare universe in
+  (* Memory accesses run on bank ports, never on ALUs: they contribute no
+     combinational unit to the library. *)
+  let universe =
+    List.sort_uniq compare (List.filter (fun k -> not (Dfg.Op.is_mem k)) universe)
+  in
   let alus = List.map make_alu (combos ~max_ops universe) in
   { alus; mux_cost; reg_cost; cycles; prop_delay }
 
@@ -153,6 +161,8 @@ let delay_factor kind ~width =
   | Add | Sub | Lt | Le | Gt | Ge | Eq | Ne -> 0.30 +. (0.70 *. f)
   | Shl | Shr -> 0.50 +. (0.50 *. f)
   | And | Or | Xor | Not | Neg | Mov -> 0.70 +. (0.30 *. f)
+  (* Bank access time is dominated by the word line, not the data width. *)
+  | Load | Store -> 0.85 +. (0.15 *. f)
 
 let scaled_capability_area kind ~width =
   capability_area kind *. area_factor kind ~width

@@ -10,6 +10,7 @@ type t = {
   node_delay : (string * float) list;
   functional_latency : int option;
   share_mutex : bool;
+  mem_ports : int option;
 }
 
 let default =
@@ -20,6 +21,7 @@ let default =
     node_delay = [];
     functional_latency = None;
     share_mutex = true;
+    mem_ports = None;
   }
 
 let of_library lib =
@@ -35,6 +37,19 @@ let of_library lib =
 
 let delay t kind = max 1 (t.delays kind)
 let span t kind = if t.pipelined kind then 1 else delay t kind
+
+(* Ports a bank offers per control step: the configuration override (the
+   explore/CLI axis) wins over the graph's own [mem] declaration. *)
+let bank_ports t g bank =
+  match t.mem_ports with
+  | Some p -> p
+  | None -> Dfg.Graph.bank_ports g bank
+
+(* Hard per-class capacity limits induced by memory banks: every access
+   class "mem:BANK" is capped at the bank's port count. *)
+let mem_limits t g =
+  List.map (fun b -> (Dfg.Graph.mem_class b, bank_ports t g b))
+    (Dfg.Graph.bank_names g)
 
 let node_prop_override t (nd : Dfg.Graph.node) =
   match t.node_delay with
@@ -87,6 +102,10 @@ let canonical t =
         | Some l -> string_of_int l );
       ("pipelined", per_kind string_of_bool t.pipelined);
       ("share_mutex", string_of_bool t.share_mutex);
+      ( "mem_ports",
+        match t.mem_ports with
+        | None -> "declared"
+        | Some p -> string_of_int p );
     ]
   in
   String.concat ";"

@@ -27,6 +27,11 @@ type t = {
   share_mutex : bool;
       (** Allow mutually-exclusive operations to share an FU instance and a
           control step (§5.1). *)
+  mem_ports : int option;
+      (** Override of every memory bank's port count. [None] honours the
+          graph's own [mem BANK ports N] declarations (1 when
+          undeclared); [Some p] forces [p] ports on every bank — the
+          bank/port axis the CLI and the design-space explorer sweep. *)
 }
 
 val default : t
@@ -43,6 +48,16 @@ val delay : t -> Dfg.Op.kind -> int
 val span : t -> Dfg.Op.kind -> int
 (** Steps during which the op {e occupies} its FU: 1 for pipelined kinds,
     [delay] otherwise. *)
+
+val bank_ports : t -> Dfg.Graph.t -> string -> int
+(** Effective port count of a bank under this configuration:
+    [mem_ports] when set, else the graph's declaration (default 1). *)
+
+val mem_limits : t -> Dfg.Graph.t -> (string * int) list
+(** Hard capacity limits induced by the graph's memory banks: one
+    [("mem:BANK", ports)] pair per bank in use. Schedulers fold these
+    into their per-class unit limits so port conflicts land in the
+    Forbidden Frame instead of producing invalid schedules. *)
 
 val node_prop_override : t -> Dfg.Graph.node -> float option
 (** The node's [node_delay] entry, if any. *)

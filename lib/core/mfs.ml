@@ -75,7 +75,7 @@ let attempt ?(seed = []) cfg g bounds order ~objective ~current ~trace ~st =
   List.iter
     (fun (i, (pos : Frames.pos), off) ->
       let nd = Dfg.Graph.node g i in
-      let c = Dfg.Op.fu_class nd.Dfg.Graph.kind in
+      let c = Dfg.Graph.node_class g nd in
       let grid = Hashtbl.find st.grids c in
       Grid.place grid ~op:i ~col:pos.Frames.col ~step:pos.Frames.step
         ~span:(Config.span cfg nd.Dfg.Graph.kind);
@@ -91,7 +91,7 @@ let attempt ?(seed = []) cfg g bounds order ~objective ~current ~trace ~st =
   List.iter
     (fun i ->
       let nd = Dfg.Graph.node g i in
-      let c = Dfg.Op.fu_class nd.Dfg.Graph.kind in
+      let c = Dfg.Graph.node_class g nd in
       let grid = Hashtbl.find st.grids c in
       let sp = Config.span cfg nd.Dfg.Graph.kind in
       (* Chaining probe, memoized per (op, step): the forward (best) and
@@ -312,9 +312,13 @@ let run ?(config = Config.default) ?(max_units = []) g spec =
   if Dfg.Graph.num_nodes g = 0 then
     Error (Diag.input ~code:"mfs.empty-graph" "MFS: empty graph")
   else
+    (* Bank ports are hard per-class caps: they join the user limits (user
+       entries first, so an explicit cap still wins) and are never widened —
+       exceeding them is an infeasibility, not a unit-allocation choice. *)
+    let mem = Config.mem_limits config g in
     match spec with
-    | Time { cs } -> run_time config g ~cs ~user_limits:max_units
-    | Resource { limits } -> run_resource config g ~limits
+    | Time { cs } -> run_time config g ~cs ~user_limits:(max_units @ mem)
+    | Resource { limits } -> run_resource config g ~limits:(limits @ mem)
 
 let schedule ?config ?max_units g spec =
   Result.map (fun o -> o.schedule) (run ?config ?max_units g spec)
@@ -432,7 +436,9 @@ let reschedule ?(config = Config.default) ?(max_units = []) ~old g deltas
                   ostart.(ond.Dfg.Graph.id))
             in
             let current, max_j, user_limited =
-              initial_counts config g bounds ~user_limits:max_units ~cs
+              initial_counts config g bounds
+                ~user_limits:(max_units @ Config.mem_limits config g)
+                ~cs
             in
             (* Provision every column a kept placement occupies; a kept
                column above a user-given cap means the old schedule is
@@ -443,9 +449,7 @@ let reschedule ?(config = Config.default) ?(max_units = []) ~old g deltas
                 (fun i prev ->
                   match prev with
                   | Some (ond : Dfg.Graph.node) when not in_cone.(i) ->
-                      let c =
-                        Dfg.Op.fu_class (Dfg.Graph.node g i).Dfg.Graph.kind
-                      in
+                      let c = Dfg.Graph.node_class g (Dfg.Graph.node g i) in
                       let col = ocol.(ond.Dfg.Graph.id) in
                       if col > Hashtbl.find max_j c then begin
                         if Hashtbl.find user_limited c then

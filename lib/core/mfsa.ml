@@ -69,9 +69,11 @@ let run_at ?(config = Config.default) ?(style = Unrestricted)
         let missing =
           List.find_opt
             (fun nd ->
-              covering_kind library
-                (Celllib.Op_set.singleton nd.Dfg.Graph.kind)
-              = None)
+              (* Memory accesses run on bank ports, not library ALUs. *)
+              (not (Dfg.Op.is_mem nd.Dfg.Graph.kind))
+              && covering_kind library
+                   (Celllib.Op_set.singleton nd.Dfg.Graph.kind)
+                 = None)
             (Dfg.Graph.nodes g)
         in
         match missing with
@@ -94,16 +96,29 @@ let run_at ?(config = Config.default) ?(style = Unrestricted)
                initialised to ceil(N_c / cs) as in MFS and grown by local
                rescheduling when a move frame comes up empty. *)
             let cs_eff = match latency with Some l -> min l cs | None -> cs in
+            let mem_caps = Config.mem_limits config g in
             let current = Hashtbl.create 8 in
             List.iter
               (fun (c, n_c) ->
                 let budget =
-                  match unit_caps with
-                  | None -> max 1 ((n_c + cs_eff - 1) / cs_eff)
-                  | Some caps ->
-                      (* Resource-constrained: the caps are hard; a class
-                         without a cap may use one unit per operation. *)
-                      max 1 (Option.value ~default:n_c (List.assoc_opt c caps))
+                  match List.assoc_opt c mem_caps with
+                  | Some ports ->
+                      (* Bank ports are a hard physical capacity: never
+                         grown by rescheduling, and a tighter explicit cap
+                         only narrows it. *)
+                      let explicit =
+                        Option.bind unit_caps (List.assoc_opt c)
+                      in
+                      max 1 (min ports (Option.value ~default:ports explicit))
+                  | None -> (
+                      match unit_caps with
+                      | None -> max 1 ((n_c + cs_eff - 1) / cs_eff)
+                      | Some caps ->
+                          (* Resource-constrained: the caps are hard; a class
+                             without a cap may use one unit per operation. *)
+                          max 1
+                            (Option.value ~default:n_c (List.assoc_opt c caps))
+                      )
                 in
                 Hashtbl.replace current c budget)
               (Dfg.Graph.count_by_class g);
@@ -276,10 +291,95 @@ let run_at ?(config = Config.default) ?(style = Unrestricted)
                   +. 1.
             in
             let iterations = ref [] in
+            (* Memory accesses are placed on bank ports rather than ALUs:
+               the candidate set is admissible steps x lowest free port, and
+               a port-pressure term steers accesses away from steps whose
+               lower ports are already busy — the memory analogue of the
+               ALU-area term. *)
+            let mem_grids : (string, Grid.t) Hashtbl.t = Hashtbl.create 4 in
+            let place_mem i c =
+              let bank = Dfg.Graph.bank_of_class c in
+              let ports = Hashtbl.find current c in
+              let mgrid =
+                match Hashtbl.find_opt mem_grids bank with
+                | Some gr -> gr
+                | None ->
+                    let gr = Grid.create ~steps:cs ~cols:ports in
+                    Hashtbl.replace mem_grids bank gr;
+                    gr
+              in
+              let span = node_delay i in
+              let regs_before = partial_reg_count None in
+              let free_port s =
+                let rec find p =
+                  if p > ports then None
+                  else if
+                    Grid.free_at mgrid ~exclusive ~latency ~op:i ~span ~col:p
+                      ~step:s
+                  then Some p
+                  else find (p + 1)
+                in
+                find 1
+              in
+              let candidates =
+                let lo = bounds.Dfg.Bounds.asap.(i)
+                and hi = bounds.Dfg.Bounds.alap.(i) in
+                List.init (hi - lo + 1) (fun k -> lo + k)
+                |> List.filter_map (fun s ->
+                       match
+                         Timeframe.step_admissible config g ~start ~offset i s
+                       with
+                       | None -> None
+                       | Some off ->
+                           Option.map (fun p -> (s, off, p)) (free_port s))
+                |> List.map (fun (s, off, p) ->
+                       let f_time =
+                         weights.w_time *. c_const *. float_of_int s
+                       in
+                       let f_reg =
+                         weights.w_reg
+                         *. float_of_int
+                              (partial_reg_count (Some (i, s)) - regs_before)
+                         *. library.Celllib.Library.reg_cost
+                       in
+                       let f_port =
+                         weights.w_alu
+                         *. float_of_int (p - 1)
+                         /. float_of_int ports
+                       in
+                       (f_time +. f_reg +. f_port, s, off, p))
+              in
+              match List.sort compare candidates with
+              | [] -> raise (Grow c)
+              | ((energy, s, off, p) :: _) as all ->
+                  let worst =
+                    List.fold_left
+                      (fun acc (e, _, _, _) -> Float.max acc e)
+                      energy all
+                  in
+                  Grid.place mgrid ~op:i ~col:p ~step:s ~span;
+                  start.(i) <- s;
+                  offset.(i) <- off;
+                  placed.(i) <- true;
+                  iterations :=
+                    {
+                      it_node = i;
+                      it_step = s;
+                      it_alu = -1;
+                      it_fresh = false;
+                      it_widened = false;
+                      it_energy = energy;
+                      it_worst = worst;
+                    }
+                    :: !iterations
+            in
             let place_all () =
               List.iter
                 (fun i ->
                   let ki = kind_of i in
+                  if Dfg.Op.is_mem ki then
+                    place_mem i (Dfg.Graph.node_class g (Dfg.Graph.node g i))
+                  else begin
                   let regs_before = partial_reg_count None in
                   (* Per-iteration cache: the "before" mux cost of an ALU
                      does not depend on the candidate step. *)
@@ -432,7 +532,8 @@ let run_at ?(config = Config.default) ?(style = Unrestricted)
                           it_energy = energy;
                           it_worst = worst;
                         }
-                        :: !iterations)
+                        :: !iterations
+                  end)
                 order
             in
             let reset_state () =
@@ -445,7 +546,8 @@ let run_at ?(config = Config.default) ?(style = Unrestricted)
               iterations := [];
               (* Keep the grid's allocation (and grown columns) across
                  local-rescheduling restarts. *)
-              Grid.clear grid
+              Grid.clear grid;
+              Hashtbl.iter (fun _ gr -> Grid.clear gr) mem_grids
             in
             let budget = ref ((2 * n) + 8) in
             let rec attempt () =
@@ -476,6 +578,20 @@ let run_at ?(config = Config.default) ?(style = Unrestricted)
                           iterations = List.rev !iterations;
                           style;
                         })
+              | exception Grow c when Dfg.Graph.is_mem_class c ->
+                  (* A bank's port count is physical: there is no unit to
+                     add and the placement is deterministic, so retrying
+                     cannot help. Under hard caps the outer search widens
+                     the time budget instead. *)
+                  if unit_caps <> None then raise Infeasible_at_cs
+                  else
+                    Error
+                      (Diag.infeasible ~code:"mfsa.port-limit"
+                         (Printf.sprintf
+                            "MFSA: bank %s cannot serve its accesses in %d \
+                             steps with %d port(s)"
+                            (Dfg.Graph.bank_of_class c) cs
+                            (Hashtbl.find current c)))
               | exception Grow c ->
                   decr budget;
                   if !budget <= 0 then

@@ -98,7 +98,7 @@ let folded_profile sched ~latency =
   List.iter
     (fun nd ->
       let i = nd.Dfg.Graph.id in
-      let c = Dfg.Op.fu_class nd.Dfg.Graph.kind in
+      let c = Dfg.Graph.node_class g nd in
       let arr = List.assoc c profile in
       let sp =
         Config.span sched.Schedule.config nd.Dfg.Graph.kind
@@ -121,7 +121,7 @@ let min_latency g cfg ~limits =
            delay; find a representative node. *)
         match
           List.find_opt
-            (fun nd -> String.equal (Dfg.Op.fu_class nd.Dfg.Graph.kind) c)
+            (fun nd -> String.equal (Dfg.Graph.node_class g nd) c)
             (Dfg.Graph.nodes g)
         with
         | Some nd -> Config.span cfg nd.Dfg.Graph.kind

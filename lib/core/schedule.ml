@@ -51,7 +51,7 @@ let fu_counts t =
           let used =
             List.fold_left
               (fun acc nd ->
-                if String.equal (Dfg.Op.fu_class nd.Dfg.Graph.kind) c then
+                if String.equal (Dfg.Graph.node_class t.graph nd) c then
                   max acc col.(nd.Dfg.Graph.id)
                 else acc)
               0 (Dfg.Graph.nodes t.graph)
@@ -65,7 +65,7 @@ let fu_counts t =
         (fun c ->
           let members =
             List.filter
-              (fun nd -> String.equal (Dfg.Op.fu_class nd.Dfg.Graph.kind) c)
+              (fun nd -> String.equal (Dfg.Graph.node_class t.graph nd) c)
               (Dfg.Graph.nodes t.graph)
             |> List.map (fun nd -> nd.Dfg.Graph.id)
           in
@@ -154,8 +154,8 @@ let check_diags t =
         for j = i + 1 to n - 1 do
           let same_class =
             String.equal
-              (Dfg.Op.fu_class (kind t i))
-              (Dfg.Op.fu_class (kind t j))
+              (Dfg.Graph.node_class t.graph (Dfg.Graph.node t.graph i))
+              (Dfg.Graph.node_class t.graph (Dfg.Graph.node t.graph j))
           in
           if
             same_class && col.(i) = col.(j)
@@ -166,7 +166,7 @@ let check_diags t =
               "FU conflict: %s and %s share %s unit %d"
               (Dfg.Graph.node t.graph i).Dfg.Graph.name
               (Dfg.Graph.node t.graph j).Dfg.Graph.name
-              (Dfg.Op.fu_class (kind t i))
+              (Dfg.Graph.node_class t.graph (Dfg.Graph.node t.graph i))
               col.(i)
         done
       done);
@@ -200,7 +200,7 @@ let pp ppf t =
       match t.col with
       | Some col ->
           Printf.sprintf "%s@%s%d" nd.Dfg.Graph.name
-            (Dfg.Op.fu_class nd.Dfg.Graph.kind)
+            (Dfg.Graph.node_class t.graph nd)
             col.(i)
       | None -> nd.Dfg.Graph.name
     in

@@ -66,7 +66,7 @@ let concurrency ?(delays = unit_delays) g ~start ~cs =
   List.iter (fun c -> Hashtbl.replace profile c (Array.make (cs + 1) 0)) classes;
   List.iter
     (fun nd ->
-      let c = Op.fu_class nd.Graph.kind in
+      let c = Graph.node_class g nd in
       let arr = Hashtbl.find profile c in
       let d = delay_of delays nd in
       for s = start.(nd.Graph.id) to min cs (start.(nd.Graph.id) + d - 1) do

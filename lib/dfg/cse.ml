@@ -20,15 +20,21 @@ let eliminate_once g =
   let seen = Hashtbl.create 32 in
   List.iter
     (fun nd ->
-      let key = node_key resolve nd in
-      match Hashtbl.find_opt seen key with
-      | Some keeper -> Hashtbl.replace redirect nd.Graph.name keeper
-      | None -> Hashtbl.replace seen key nd.Graph.name)
+      (* Memory accesses are never merged: two textually equal loads may
+         read different values when a store sits between them, and stores
+         are effects, not expressions. *)
+      if not (Op.is_mem nd.Graph.kind) then begin
+        let key = node_key resolve nd in
+        match Hashtbl.find_opt seen key with
+        | Some keeper -> Hashtbl.replace redirect nd.Graph.name keeper
+        | None -> Hashtbl.replace seen key nd.Graph.name
+      end)
     (Graph.nodes g);
   if Hashtbl.length redirect = 0 then Ok g
   else begin
     let b = Graph.Builder.create () in
     List.iter (Graph.Builder.add_input b) (Graph.inputs g);
+    Graph.Builder.import_memory b ~from:g;
     List.iter
       (fun nd ->
         if not (Hashtbl.mem redirect nd.Graph.name) then

@@ -6,6 +6,9 @@ type node = {
   guards : (string * bool) list;
 }
 
+type array_decl = { a_name : string; a_size : int; a_bank : string }
+type bank_decl = { b_name : string; b_ports : int }
+
 type t = {
   node_arr : node array;
   pred_arr : int list array;
@@ -14,6 +17,8 @@ type t = {
   index : (string, int) Hashtbl.t;
   range_list : (string * (int * int)) list;
   width_list : (string * int) list;
+  array_list : array_decl list;
+  bank_list : bank_decl list;
 }
 
 module Builder = struct
@@ -29,10 +34,13 @@ module Builder = struct
     mutable rev_ops : pending list;
     mutable rev_ranges : (string * (int * int)) list;
     mutable rev_widths : (string * int) list;
+    mutable rev_arrays : array_decl list;
+    mutable rev_banks : bank_decl list;
   }
 
   let create () =
-    { rev_inputs = []; rev_ops = []; rev_ranges = []; rev_widths = [] }
+    { rev_inputs = []; rev_ops = []; rev_ranges = []; rev_widths = [];
+      rev_arrays = []; rev_banks = [] }
 
   let add_input b name =
     if not (List.mem name b.rev_inputs) then
@@ -44,6 +52,15 @@ module Builder = struct
   let declare_width b name w =
     b.rev_widths <- (name, w) :: List.remove_assoc name b.rev_widths
 
+  (* An array lives in a bank (defaulting to a private bank of its own
+     name); the bank's port count caps simultaneous accesses per step. *)
+  let declare_array ?bank b ~name ~size =
+    let a_bank = Option.value ~default:name bank in
+    b.rev_arrays <- { a_name = name; a_size = size; a_bank } :: b.rev_arrays
+
+  let declare_bank b ~name ~ports =
+    b.rev_banks <- { b_name = name; b_ports = ports } :: b.rev_banks
+
   let add_op ?(guards = []) b ~name kind args =
     b.rev_ops <-
       { p_name = name; p_kind = kind; p_args = args; p_guards = guards }
@@ -51,7 +68,7 @@ module Builder = struct
 
   let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
 
-  let check_unique inputs ops =
+  let check_unique inputs arrays ops =
     let seen = Hashtbl.create 64 in
     let rec go kind_of = function
       | [] -> Ok ()
@@ -64,7 +81,67 @@ module Builder = struct
           end
     in
     let* () = go "input" inputs in
+    (* Arrays share the value namespace: an operand position holds either
+       a value name or (first operand of a memory access only) an array. *)
+    let* () = go "array" (List.map (fun a -> a.a_name) arrays) in
     go "node" (List.map (fun p -> p.p_name) ops)
+
+  let check_mem arrays banks ops =
+    let rec go_a = function
+      | [] -> Ok ()
+      | a :: rest ->
+          if a.a_size < 1 then
+            Error
+              (Printf.sprintf "array %S has non-positive size %d" a.a_name
+                 a.a_size)
+          else go_a rest
+    in
+    let rec go_b seen = function
+      | [] -> Ok ()
+      | b :: rest ->
+          if List.mem b.b_name seen then
+            Error (Printf.sprintf "duplicate bank declaration %S" b.b_name)
+          else if b.b_ports < 1 then
+            Error
+              (Printf.sprintf "bank %S has non-positive port count %d"
+                 b.b_name b.b_ports)
+          else go_b (b.b_name :: seen) rest
+    in
+    let is_array n = List.exists (fun a -> String.equal a.a_name n) arrays in
+    let rec go_ops = function
+      | [] -> Ok ()
+      | p :: rest -> (
+          match (Op.is_mem p.p_kind, p.p_args) with
+          | true, arr :: _ when not (is_array arr) ->
+              Error
+                (Printf.sprintf
+                   "node %S: %s expects a declared array first, got %S"
+                   p.p_name (Op.to_string p.p_kind) arr)
+          | true, _ ->
+              let offender =
+                List.find_opt is_array
+                  (List.tl p.p_args @ List.map fst p.p_guards)
+              in
+              (match offender with
+              | Some arr ->
+                  Error
+                    (Printf.sprintf
+                       "node %S uses array %S as a plain value" p.p_name arr)
+              | None -> go_ops rest)
+          | false, args ->
+              let offender =
+                List.find_opt is_array (args @ List.map fst p.p_guards)
+              in
+              (match offender with
+              | Some arr ->
+                  Error
+                    (Printf.sprintf
+                       "node %S uses array %S as a plain value" p.p_name arr)
+              | None -> go_ops rest))
+    in
+    let* () = go_a arrays in
+    let* () = go_b [] banks in
+    go_ops ops
 
   let check_arities ops =
     let rec go = function
@@ -119,9 +196,10 @@ module Builder = struct
     in
     go ops
 
-  let check_refs inputs ops =
+  let check_refs inputs arrays ops =
     let known = Hashtbl.create 64 in
     List.iter (fun n -> Hashtbl.replace known n ()) inputs;
+    List.iter (fun (a : array_decl) -> Hashtbl.replace known a.a_name ()) arrays;
     List.iter (fun p -> Hashtbl.replace known p.p_name ()) ops;
     let rec go = function
       | [] -> Ok ()
@@ -194,9 +272,12 @@ module Builder = struct
     let ops = List.rev b.rev_ops in
     let ranges = List.rev b.rev_ranges in
     let widths = List.rev b.rev_widths in
-    let* () = check_unique inputs ops in
+    let arrays = List.rev b.rev_arrays in
+    let banks = List.rev b.rev_banks in
+    let* () = check_unique inputs arrays ops in
     let* () = check_arities ops in
-    let* () = check_refs inputs ops in
+    let* () = check_mem arrays banks ops in
+    let* () = check_refs inputs arrays ops in
     let* () = check_guard_scoping ops in
     let* () = check_annotations inputs ops ranges widths in
     let n = List.length ops in
@@ -224,11 +305,51 @@ module Builder = struct
         pred_arr.(nd.id) <- ps;
         List.iter (fun p -> succ_arr.(p) <- nd.id :: succ_arr.(p)) ps)
       node_arr;
-    Array.iteri (fun i l -> succ_arr.(i) <- List.sort_uniq compare l) succ_arr;
+    (* Address-dependence edges serialize accesses to one array in program
+       order: a load depends on the latest preceding store (read-after-
+       write); a store depends on that store (write-after-write) and on
+       every load since it (write-after-read). Loads between two stores
+       stay unordered, so they can still issue in parallel across ports.
+       Program order is definition order, so every edge points forward —
+       these edges can never create a cycle. *)
+    List.iter
+      (fun (a : array_decl) ->
+        let last_store = ref None in
+        let loads_since = ref [] in
+        let add_edge p s =
+          if not (List.mem p pred_arr.(s)) then begin
+            pred_arr.(s) <- List.sort_uniq compare (p :: pred_arr.(s));
+            succ_arr.(p) <- List.sort_uniq compare (s :: succ_arr.(p))
+          end
+        in
+        Array.iter
+          (fun nd ->
+            match (nd.kind, nd.args) with
+            | Op.Load, arr :: _ when String.equal arr a.a_name ->
+                Option.iter (fun p -> add_edge p nd.id) !last_store;
+                loads_since := nd.id :: !loads_since
+            | Op.Store, arr :: _ when String.equal arr a.a_name ->
+                Option.iter (fun p -> add_edge p nd.id) !last_store;
+                List.iter (fun p -> add_edge p nd.id) !loads_since;
+                last_store := Some nd.id;
+                loads_since := []
+            | _ -> ())
+          node_arr)
+      arrays;
     let* _order = topo_ids n pred_arr succ_arr in
     Ok
       { node_arr; pred_arr; succ_arr; input_list = inputs; index;
-        range_list = ranges; width_list = widths }
+        range_list = ranges; width_list = widths; array_list = arrays;
+        bank_list = banks }
+
+  let import_memory b ~from =
+    List.iter
+      (fun (a : array_decl) ->
+        declare_array ~bank:a.a_bank b ~name:a.a_name ~size:a.a_size)
+      from.array_list;
+    List.iter
+      (fun (bk : bank_decl) -> declare_bank b ~name:bk.b_name ~ports:bk.b_ports)
+      from.bank_list
 end
 
 let of_ops ~inputs rows =
@@ -253,6 +374,45 @@ let ranges g = g.range_list
 let declared_widths g = g.width_list
 let range_of g name = List.assoc_opt name g.range_list
 let declared_width g name = List.assoc_opt name g.width_list
+let arrays g = g.array_list
+let banks g = g.bank_list
+
+let array_of g name =
+  List.find_opt (fun a -> String.equal a.a_name name) g.array_list
+
+(* Banks may be declared implicitly by an array's [bank] clause; an
+   undeclared bank has one port. *)
+let bank_names g =
+  List.sort_uniq String.compare
+    (List.map (fun (b : bank_decl) -> b.b_name) g.bank_list
+    @ List.map (fun a -> a.a_bank) g.array_list)
+
+let bank_ports g name =
+  match List.find_opt (fun b -> String.equal b.b_name name) g.bank_list with
+  | Some b -> b.b_ports
+  | None -> 1
+
+let mem_class bank = "mem:" ^ bank
+
+let is_mem_class c =
+  String.length c > 4 && String.equal (String.sub c 0 4) "mem:"
+
+let bank_of_class c = if is_mem_class c then String.sub c 4 (String.length c - 4) else c
+
+(* The bank whose port the access occupies; total on well-formed graphs
+   ([Builder.build] guarantees a memory op's first operand is a declared
+   array). *)
+let node_bank g nd =
+  if not (Op.is_mem nd.kind) then None
+  else
+    match nd.args with
+    | arr :: _ -> Option.map (fun a -> a.a_bank) (array_of g arr)
+    | [] -> None
+
+let node_class g nd =
+  match node_bank g nd with
+  | Some bank -> mem_class bank
+  | None -> Op.fu_class nd.kind
 
 let copy_annotations ~from g =
   let keep name =
@@ -287,7 +447,7 @@ let classes g =
   let seen = Hashtbl.create 8 in
   Array.fold_left
     (fun acc nd ->
-      let c = Op.fu_class nd.kind in
+      let c = node_class g nd in
       if Hashtbl.mem seen c then acc
       else begin
         Hashtbl.add seen c ();
@@ -300,7 +460,7 @@ let count_by_class g =
   let counts = Hashtbl.create 8 in
   Array.iter
     (fun nd ->
-      let c = Op.fu_class nd.kind in
+      let c = node_class g nd in
       let cur = Option.value ~default:0 (Hashtbl.find_opt counts c) in
       Hashtbl.replace counts c (cur + 1))
     g.node_arr;

@@ -19,6 +19,17 @@ type node = {
           condition value [c] is non-zero iff [arm]. *)
 }
 
+type array_decl = {
+  a_name : string;  (** Array name; shares the value namespace. *)
+  a_size : int;  (** Number of words, indexed [0 .. a_size-1]. *)
+  a_bank : string;  (** Memory bank holding the array (default: own name). *)
+}
+
+type bank_decl = {
+  b_name : string;
+  b_ports : int;  (** Simultaneous accesses the bank serves per step. *)
+}
+
 type t
 
 module Builder : sig
@@ -47,6 +58,23 @@ module Builder : sig
       it seeds the range [[-2^(w-1), 2^(w-1)-1]]; on a node it is a
       narrowing contract checked for provable overflow by
       [Analysis.Ranges]. *)
+
+  val declare_array : ?bank:string -> t -> name:string -> size:int -> unit
+  (** Declare an array of [size] words living in [bank] (default: a
+      private bank named after the array). Array names share the value
+      namespace but may only appear as the first operand of a memory
+      access. Accesses to one array gain address-dependence edges in
+      program order: load-after-store, store-after-store and
+      store-after-load; loads between two stores stay unordered. *)
+
+  val declare_bank : t -> name:string -> ports:int -> unit
+  (** Declare a memory bank with [ports] access ports. Banks referenced
+      by an array but never declared default to one port. *)
+
+  val import_memory : t -> from:graph -> unit
+  (** Re-declare every array and bank of [from] into the builder. Graph
+      rewriters (CSE, mutex encoding) use this so memory declarations
+      survive a rebuild. *)
 
   val build : t -> (graph, string) result
   (** Validate and freeze: unique names, known operand/guard references,
@@ -86,6 +114,38 @@ val declared_widths : t -> (string * int) list
 
 val range_of : t -> string -> (int * int) option
 val declared_width : t -> string -> int option
+
+val arrays : t -> array_decl list
+(** Declared arrays, in declaration order. *)
+
+val banks : t -> bank_decl list
+(** Explicitly declared banks, in declaration order. *)
+
+val array_of : t -> string -> array_decl option
+(** Look an array up by name. *)
+
+val bank_names : t -> string list
+(** Every bank name in use — declared or implied by an array — sorted. *)
+
+val bank_ports : t -> string -> int
+(** Declared port count of a bank; 1 when the bank was never declared. *)
+
+val mem_class : string -> string
+(** Resource-class name of a bank's ports, ["mem:BANK"]. Memory accesses
+    compete for these pseudo-FU classes instead of ALU classes. *)
+
+val is_mem_class : string -> bool
+(** Whether a resource-class name denotes bank ports ({!mem_class}). *)
+
+val bank_of_class : string -> string
+(** Inverse of {!mem_class}; identity on non-memory class names. *)
+
+val node_bank : t -> node -> string option
+(** The bank a memory access occupies, [None] for compute nodes. *)
+
+val node_class : t -> node -> string
+(** Resource class of a node: {!Op.fu_class} for compute nodes,
+    {!mem_class} of the accessed array's bank for loads and stores. *)
 
 val copy_annotations : from:t -> t -> t
 (** Carry range/width declarations from [from] onto a rewritten graph,

@@ -3,6 +3,8 @@ let operand_key kind args =
 
 let same_computation a b =
   a.Graph.kind = b.Graph.kind
+  (* Never merge memory accesses: address dependences order them. *)
+  && not (Op.is_mem a.Graph.kind)
   && operand_key a.Graph.kind a.Graph.args = operand_key b.Graph.kind b.Graph.args
 
 let shared_pairs g =
@@ -42,6 +44,7 @@ let merge_shared g =
   in
   let b = Graph.Builder.create () in
   List.iter (Graph.Builder.add_input b) (Graph.inputs g);
+  Graph.Builder.import_memory b ~from:g;
   List.iter
     (fun nd ->
       let i = nd.Graph.id in

@@ -18,10 +18,12 @@ type kind =
   | Shr
   | Neg
   | Mov
+  | Load
+  | Store
 
 let all =
   [ Add; Sub; Mul; Div; Mod; And; Or; Xor; Not;
-    Lt; Le; Gt; Ge; Eq; Ne; Shl; Shr; Neg; Mov ]
+    Lt; Le; Gt; Ge; Eq; Ne; Shl; Shr; Neg; Mov; Load; Store ]
 
 let to_string = function
   | Add -> "add"
@@ -43,6 +45,8 @@ let to_string = function
   | Shr -> "shr"
   | Neg -> "neg"
   | Mov -> "mov"
+  | Load -> "load"
+  | Store -> "store"
 
 let symbol = function
   | Add -> "+"
@@ -64,6 +68,8 @@ let symbol = function
   | Shr -> ">>"
   | Neg -> "neg"
   | Mov -> "mov"
+  | Load -> "ld"
+  | Store -> "st"
 
 let of_string s =
   let rec find = function
@@ -78,10 +84,15 @@ let arity = function
   | Not | Neg | Mov -> 1
   | Add | Sub | Mul | Div | Mod | And | Or | Xor
   | Lt | Le | Gt | Ge | Eq | Ne | Shl | Shr -> 2
+  | Load -> 2 (* array, index *)
+  | Store -> 3 (* array, index, data *)
+
+let is_mem = function Load | Store -> true | _ -> false
 
 let is_commutative = function
   | Add | Mul | And | Or | Xor | Eq | Ne -> true
-  | Sub | Div | Mod | Not | Lt | Le | Gt | Ge | Shl | Shr | Neg | Mov -> false
+  | Sub | Div | Mod | Not | Lt | Le | Gt | Ge | Shl | Shr | Neg | Mov
+  | Load | Store -> false
 
 let fu_class k = symbol k
 
@@ -124,5 +135,10 @@ let eval k args =
   | Shr -> binary (fun a b -> if b < 0 || b > 62 then 0 else a asr b)
   | Neg -> unary (fun a -> -a)
   | Mov -> unary (fun a -> a)
+  | Load | Store ->
+      (* Memory accesses read/update array state the pure evaluator does not
+         carry; the simulators special-case them before reaching here. *)
+      invalid_arg
+        (Printf.sprintf "Op.eval: %s needs memory state" (to_string k))
 
 let pp ppf k = Format.pp_print_string ppf (symbol k)

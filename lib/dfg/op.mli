@@ -24,6 +24,8 @@ type kind =
   | Shr
   | Neg
   | Mov
+  | Load  (** Array read: [v = ld A i]. *)
+  | Store  (** Array write: [v = st A i x]; the value is [x] passed through. *)
 
 val all : kind list
 (** Every kind, in declaration order. *)
@@ -38,7 +40,13 @@ val symbol : kind -> string
 (** Operator symbol used in reports, e.g. ["*"] for {!Mul}. *)
 
 val arity : kind -> int
-(** Number of operands: 1 for {!Not}, {!Neg}, {!Mov}; 2 otherwise. *)
+(** Number of operands: 1 for {!Not}, {!Neg}, {!Mov}; 2 for {!Load}
+    (array, index); 3 for {!Store} (array, index, data); 2 otherwise. *)
+
+val is_mem : kind -> bool
+(** Whether the kind is a memory access ({!Load} or {!Store}). Memory
+    accesses occupy bank ports, not ALUs, and their first operand names a
+    declared array rather than a value. *)
 
 val is_commutative : kind -> bool
 (** Whether operand order is irrelevant — drives multiplexer input sharing. *)
@@ -53,7 +61,9 @@ val eval : kind -> int list -> int
     0/1; division by zero yields 0 (a total model keeps property tests
     simple and is irrelevant to scheduling).
 
-    @raise Invalid_argument if the operand count differs from {!arity}. *)
+    @raise Invalid_argument if the operand count differs from {!arity}, or
+    for {!Load}/{!Store}, which need memory state the pure evaluator does
+    not carry (the simulators special-case them). *)
 
 val pp : Format.formatter -> kind -> unit
 (** Prints the {!symbol}. *)

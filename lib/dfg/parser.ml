@@ -56,6 +56,8 @@ let err ~line word ~code fmt =
 type annot =
   | A_range of word * int * int
   | A_width of word * int
+  | A_array of word * int * string option
+  | A_bank of word * int
 
 let parse src =
   let lines = List.map strip_cr (String.split_on_char '\n' src) in
@@ -75,6 +77,43 @@ let parse src =
                    (List.map (fun n -> (n, lineno)) names)
                    inputs)
                 rows annots rest
+        | { w = "array"; _ } :: name :: size :: bank_tail
+          when bank_tail = []
+               || (match bank_tail with
+                  | [ { w = "bank"; _ }; _ ] -> true
+                  | _ -> false) -> (
+            let bank =
+              match bank_tail with [ _; b ] -> Some b.w | _ -> None
+            in
+            match int_of_string_opt size.w with
+            | Some n when n >= 1 ->
+                collect (lineno + 1) inputs rows
+                  ((A_array (name, n, bank), lineno) :: annots)
+                  rest
+            | Some n ->
+                err ~line:lineno size ~code:"parse.bad-array"
+                  "array %S needs a positive size, got %d" name.w n
+            | None ->
+                err ~line:lineno size ~code:"parse.bad-array"
+                  "array size must be an integer")
+        | { w = "array"; col } :: _ ->
+            err ~line:lineno { w = "array"; col } ~code:"parse.bad-array"
+              "expected: array <name> <size> [bank <bank>]"
+        | { w = "mem"; _ } :: name :: { w = "ports"; _ } :: ports :: [] -> (
+            match int_of_string_opt ports.w with
+            | Some n when n >= 1 ->
+                collect (lineno + 1) inputs rows
+                  ((A_bank (name, n), lineno) :: annots)
+                  rest
+            | Some n ->
+                err ~line:lineno ports ~code:"parse.bad-mem"
+                  "bank %S needs a positive port count, got %d" name.w n
+            | None ->
+                err ~line:lineno ports ~code:"parse.bad-mem"
+                  "port count must be an integer")
+        | { w = "mem"; col } :: _ ->
+            err ~line:lineno { w = "mem"; col } ~code:"parse.bad-mem"
+              "expected: mem <bank> ports <n>"
         | { w = "range"; _ } :: name :: lo :: hi :: [] -> (
             match (int_of_string_opt lo.w, int_of_string_opt hi.w) with
             | Some lo_v, Some hi_v when lo_v <= hi_v ->
@@ -138,8 +177,33 @@ let parse src =
       let defined = Hashtbl.create 32 in
       List.iter (fun (n, _) -> Hashtbl.replace defined n.w ()) inputs;
       List.iter (fun r -> Hashtbl.replace defined r.r_name.w ()) rows;
+      let array_names = Hashtbl.create 8 in
+      List.iter
+        (fun (a, _) ->
+          match a with
+          | A_array (n, _, _) -> Hashtbl.replace array_names n.w ()
+          | A_range _ | A_width _ | A_bank _ -> ())
+        annots;
       let seen = Hashtbl.create 32 in
       List.iter (fun (n, _) -> Hashtbl.replace seen n.w `Input) inputs;
+      (* Array names share the value namespace; bank names have their own. *)
+      let rec check_decls bank_seen = function
+        | [] -> Ok ()
+        | (A_array (n, _, _), line) :: rest ->
+            if Hashtbl.mem seen n.w then
+              err ~line n ~code:"parse.duplicate-name"
+                "value %S is defined twice" n.w
+            else begin
+              Hashtbl.replace seen n.w `Array;
+              check_decls bank_seen rest
+            end
+        | (A_bank (n, _), line) :: rest ->
+            if List.mem n.w bank_seen then
+              err ~line n ~code:"parse.duplicate-name"
+                "bank %S is declared twice" n.w
+            else check_decls (n.w :: bank_seen) rest
+        | ((A_range _ | A_width _), _) :: rest -> check_decls bank_seen rest
+      in
       let check_row r =
         (match Hashtbl.find_opt seen r.r_name.w with
         | Some _ ->
@@ -157,16 +221,37 @@ let parse src =
                 "operation %s takes %d operand(s), got %d"
                 (Op.to_string r.r_kind) expected (List.length r.r_args)
             else
-              let bad_ref =
-                List.find_opt
-                  (fun a -> not (Hashtbl.mem defined a.w))
-                  (r.r_args @ List.map fst r.r_guards)
+              (* A memory access names a declared array first; everywhere
+                 else an array name is not a value. *)
+              let value_args =
+                if Op.is_mem r.r_kind then List.tl r.r_args else r.r_args
               in
-              match bad_ref with
-              | Some a ->
-                  err ~line:r.r_line a ~code:"parse.unknown-value"
-                    "operand %S names no input or operation" a.w
-              | None -> Ok ())
+              let arr_check =
+                match (Op.is_mem r.r_kind, r.r_args) with
+                | true, a :: _ when not (Hashtbl.mem array_names a.w) ->
+                    err ~line:r.r_line a ~code:"parse.unknown-array"
+                      "%s expects a declared array, got %S"
+                      (Op.to_string r.r_kind) a.w
+                | _ -> Ok ()
+              in
+              match arr_check with
+              | Error _ as e -> e
+              | Ok () -> (
+                  let bad_ref =
+                    List.find_opt
+                      (fun a ->
+                        Hashtbl.mem array_names a.w
+                        || not (Hashtbl.mem defined a.w))
+                      (value_args @ List.map fst r.r_guards)
+                  in
+                  match bad_ref with
+                  | Some a when Hashtbl.mem array_names a.w ->
+                      err ~line:r.r_line a ~code:"parse.array-as-value"
+                        "array %S cannot be used as a plain value" a.w
+                  | Some a ->
+                      err ~line:r.r_line a ~code:"parse.unknown-value"
+                        "operand %S names no input or operation" a.w
+                  | None -> Ok ()))
       in
       let rec check = function
         | [] -> Ok ()
@@ -174,9 +259,12 @@ let parse src =
       in
       let rec check_annots = function
         | [] -> Ok ()
+        | ((A_array _ | A_bank _), _) :: rest -> check_annots rest
         | (a, line) :: rest ->
             let name =
-              match a with A_range (n, _, _) -> n | A_width (n, _) -> n
+              match a with
+              | A_range (n, _, _) | A_width (n, _) -> n
+              | A_array _ | A_bank _ -> assert false
             in
             if not (Hashtbl.mem defined name.w) then
               err ~line name ~code:"parse.unknown-value"
@@ -184,7 +272,12 @@ let parse src =
             else check_annots rest
       in
       match
-        match check rows with Error _ as e -> e | Ok () -> check_annots annots
+        match check_decls [] annots with
+        | Error _ as e -> e
+        | Ok () -> (
+            match check rows with
+            | Error _ as e -> e
+            | Ok () -> check_annots annots)
       with
       | Error _ as e -> e
       | Ok () -> (
@@ -201,7 +294,10 @@ let parse src =
             (fun (a, _) ->
               match a with
               | A_range (n, lo, hi) -> Graph.Builder.declare_range b n.w (lo, hi)
-              | A_width (n, w) -> Graph.Builder.declare_width b n.w w)
+              | A_width (n, w) -> Graph.Builder.declare_width b n.w w
+              | A_array (n, size, bank) ->
+                  Graph.Builder.declare_array ?bank b ~name:n.w ~size
+              | A_bank (n, ports) -> Graph.Builder.declare_bank b ~name:n.w ~ports)
             annots;
           (* Whole-graph properties (cycles, guard scoping) have no single
              source position. *)
@@ -219,6 +315,20 @@ let to_source g =
   (match Graph.inputs g with
   | [] -> ()
   | ins -> Buffer.add_string buf ("input " ^ String.concat " " ins ^ "\n"));
+  List.iter
+    (fun (bk : Graph.bank_decl) ->
+      Buffer.add_string buf
+        (Printf.sprintf "mem %s ports %d\n" bk.Graph.b_name bk.Graph.b_ports))
+    (Graph.banks g);
+  List.iter
+    (fun (a : Graph.array_decl) ->
+      Buffer.add_string buf
+        (if String.equal a.Graph.a_bank a.Graph.a_name then
+           Printf.sprintf "array %s %d\n" a.Graph.a_name a.Graph.a_size
+         else
+           Printf.sprintf "array %s %d bank %s\n" a.Graph.a_name
+             a.Graph.a_size a.Graph.a_bank))
+    (Graph.arrays g);
   List.iter
     (fun nd ->
       Buffer.add_string buf

@@ -6,6 +6,7 @@ type point = {
   constr : Spec.constraint_;
   library : Spec.library_variant;
   widths : bool;
+  ports : int option;
   clock : float option;
   cse : bool;
   fault : Harness.Fault.t option;
@@ -32,6 +33,9 @@ let axes_name p =
        Spec.constraint_name p.constr;
      ]
     @ (if p.widths then [ "widths" ] else [])
+    @ (match p.ports with
+      | None -> []
+      | Some n -> [ Printf.sprintf "ports=%d" n ])
     @ (match p.clock with
       | None -> []
       | Some c -> [ Printf.sprintf "clock=%g" c ])
@@ -55,35 +59,39 @@ let expand (spec : Spec.t) =
           List.iter
             (fun widths ->
               List.iter
-                (fun style ->
+                (fun ports ->
                   List.iter
-                    (fun weights ->
+                    (fun style ->
                       List.iter
-                        (fun constr ->
-                          let p =
-                            normalize
-                              {
-                                index = !n;
-                                engine;
-                                style;
-                                weights;
-                                constr;
-                                library;
-                                widths;
-                                clock = spec.Spec.clock;
-                                cse = spec.Spec.cse;
-                                fault = None;
-                              }
-                          in
-                          let key = axes_name p in
-                          if not (Hashtbl.mem seen key) then begin
-                            Hashtbl.add seen key ();
-                            points := { p with index = !n } :: !points;
-                            incr n
-                          end)
-                        spec.Spec.constraints)
-                    spec.Spec.weights)
-                spec.Spec.styles)
+                        (fun weights ->
+                          List.iter
+                            (fun constr ->
+                              let p =
+                                normalize
+                                  {
+                                    index = !n;
+                                    engine;
+                                    style;
+                                    weights;
+                                    constr;
+                                    library;
+                                    widths;
+                                    ports;
+                                    clock = spec.Spec.clock;
+                                    cse = spec.Spec.cse;
+                                    fault = None;
+                                  }
+                              in
+                              let key = axes_name p in
+                              if not (Hashtbl.mem seen key) then begin
+                                Hashtbl.add seen key ();
+                                points := { p with index = !n } :: !points;
+                                incr n
+                              end)
+                            spec.Spec.constraints)
+                        spec.Spec.weights)
+                    spec.Spec.styles)
+                spec.Spec.ports)
             spec.Spec.widths)
         spec.Spec.libraries)
     spec.Spec.engines;
@@ -114,8 +122,8 @@ let config_for lib ~clock =
 let facts_for ~graph p =
   if p.widths then Some (Analysis.Ranges.analyze graph) else None
 
-let point_config ~graph lib ~facts ~clock =
-  let cfg = config_for lib ~clock in
+let point_config ~graph lib ~facts ~clock ~ports =
+  let cfg = { (config_for lib ~clock) with Core.Config.mem_ports = ports } in
   match facts with
   | None -> cfg
   | Some f ->
@@ -128,6 +136,7 @@ let options_canonical ~graph p =
   let facts = facts_for ~graph p in
   let config =
     point_config ~graph (library_for graph p.library) ~facts ~clock:p.clock
+      ~ports:p.ports
   in
   String.concat ";"
     [
@@ -221,7 +230,7 @@ let evaluate ~graph:g p =
   let t0 = Unix.gettimeofday () in
   let lib = library_for g p.library in
   let facts = facts_for ~graph:g p in
-  let config = point_config ~graph:g lib ~facts ~clock:p.clock in
+  let config = point_config ~graph:g lib ~facts ~clock:p.clock ~ports:p.ports in
   let widths =
     Option.map (fun f name -> Analysis.Ranges.width_of f name) facts
   in
@@ -309,6 +318,7 @@ let point_to_json p =
        ("widths", J.Bool p.widths);
        ("cse", J.Bool p.cse);
      ]
+    @ (match p.ports with None -> [] | Some n -> [ ("ports", J.Int n) ])
     @ (match p.constr with
       | Spec.Time cs -> [ ("cs", J.Int cs) ]
       | Spec.Resource limits ->
@@ -364,6 +374,7 @@ let point_of_json doc =
   let cse =
     match J.member "cse" doc with Some (J.Bool b) -> b | _ -> false
   in
+  let ports = J.int "ports" doc in
   let clock = J.float "clock" doc in
   let* fault =
     match J.str "fault" doc with
@@ -382,6 +393,7 @@ let point_of_json doc =
       constr;
       library;
       widths;
+      ports;
       clock;
       cse;
       fault;

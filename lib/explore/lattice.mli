@@ -9,6 +9,9 @@ type point = {
   constr : Spec.constraint_;
   library : Spec.library_variant;
   widths : bool;  (** Width-aware costing via [Analysis.Ranges]. *)
+  ports : int option;
+      (** Bank-port override ({!Core.Config.mem_ports}); [None] keeps the
+          graph's [mem] declarations. *)
   clock : float option;
   cse : bool;
   fault : Harness.Fault.t option;

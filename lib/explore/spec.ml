@@ -10,6 +10,7 @@ type t = {
   constraints : constraint_ list;
   libraries : library_variant list;
   widths : bool list;
+  ports : int option list;
   clock : float option;
   cse : bool;
   budget : int;
@@ -25,6 +26,7 @@ let default ~graph =
     constraints = [ Time 0 ];
     libraries = [ Default ];
     widths = [ false ];
+    ports = [ None ];
     clock = None;
     cse = false;
     budget = 0;
@@ -163,6 +165,16 @@ let parse_line ~file ~line acc text =
         (function "on" -> Some true | "off" -> Some false | _ -> None)
         vs
         (fun ws -> Ok { acc with widths = acc.widths @ ws })
+  | "ports" :: (_ :: _ as vs) ->
+      map_values ~what:"bank port count (positive int, or 'declared')"
+        (function
+          | "declared" -> Some None
+          | v -> (
+              match int_of_string_opt v with
+              | Some p when p >= 1 -> Some (Some p)
+              | _ -> None))
+        vs
+        (fun ps -> Ok { acc with ports = acc.ports @ ps })
   | [ "clock"; v ] -> (
       match float_of_string_opt v with
       | Some c when c > 0. -> Ok { acc with clock = Some c }
@@ -186,14 +198,14 @@ let parse_line ~file ~line acc text =
       fail
         (d
        ^ ": unknown directive (graph, engine, style, weights, cs, limits, \
-          library, widths, clock, cse, budget, inject)")
+          library, widths, ports, clock, cse, budget, inject)")
 
 let parse ~file text =
   let lines = String.split_on_char '\n' text in
   let empty =
     { (default ~graph:"") with
       engines = []; styles = []; weights = []; constraints = []; libraries = [];
-      widths = []
+      widths = []; ports = []
     }
   in
   let rec go acc line = function
@@ -220,6 +232,7 @@ let parse ~file text =
             constraints = or_default [ Time 0 ] acc.constraints;
             libraries = or_default [ Default ] acc.libraries;
             widths = or_default [ false ] acc.widths;
+            ports = or_default [ None ] acc.ports;
           }
 
 let load path =

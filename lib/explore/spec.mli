@@ -14,6 +14,7 @@
     limits *=1,+=1 *=2,+=2   # resource-constrained points
     library default two-cycle pipelined
     widths on off            # width-aware costing (range analysis) axis
+    ports 1 2 declared       # memory bank port override axis
     clock 100                # enable chaining, period in ns
     cse
     budget 8                 # adaptive-refinement point budget
@@ -45,6 +46,10 @@ type t = {
   widths : bool list;
       (** Width-aware axis: points with [true] run [Analysis.Ranges] and
           price the datapath (and chaining delays) at inferred widths. *)
+  ports : int option list;
+      (** Memory-port axis: [Some n] overrides every bank's port count
+          ({!Core.Config.mem_ports}); [None] keeps the graph's [mem]
+          declarations. *)
   clock : float option;  (** Chaining clock period, applied to every point. *)
   cse : bool;  (** Run CSE on the graph before the sweep. *)
   budget : int;  (** Adaptive-refinement point budget (0 = seed lattice only). *)

@@ -279,6 +279,12 @@ let run ?fault ?(budgets = default_budgets) ?(options = default_options) g0 =
                   trace := Some tr;
                   fault_applied := true
               | _ -> ())
+          | Some Fault.Collide_mem -> (
+              match Fault.collide_mem !sched with
+              | Some s ->
+                  sched := s;
+                  fault_applied := true
+              | None -> ())
           | Some Fault.Skew_delay -> ()
           | Some Fault.Hang ->
               (* A process fault: the pipeline never returns from here.

@@ -2,10 +2,14 @@ type t =
   | Corrupt_start
   | Corrupt_col
   | Corrupt_trace
+  | Collide_mem
   | Skew_delay
   | Hang
   | Segv
 
+(* [Collide_mem] is deliberately absent: it only applies to graphs with
+   memory accesses, and the fuzz campaigns iterate [all] over array-free
+   workloads where it would always report "not applicable". *)
 let all = [ Corrupt_start; Corrupt_col; Corrupt_trace; Skew_delay ]
 let process = [ Hang; Segv ]
 let is_process = function Hang | Segv -> true | _ -> false
@@ -14,6 +18,7 @@ let to_string = function
   | Corrupt_start -> "corrupt-start"
   | Corrupt_col -> "corrupt-col"
   | Corrupt_trace -> "corrupt-trace"
+  | Collide_mem -> "collide-mem"
   | Skew_delay -> "skew-delay"
   | Hang -> "hang"
   | Segv -> "segv"
@@ -22,6 +27,7 @@ let of_string = function
   | "corrupt-start" -> Some Corrupt_start
   | "corrupt-col" -> Some Corrupt_col
   | "corrupt-trace" -> Some Corrupt_trace
+  | "collide-mem" -> Some Collide_mem
   | "skew-delay" -> Some Skew_delay
   | "hang" -> Some Hang
   | "segv" -> Some Segv
@@ -83,6 +89,39 @@ let corrupt_col s =
             col.(n - 1) <- 0);
         Some { s with Core.Schedule.col = Some col }
       end
+
+let collide_mem s =
+  let g = s.Core.Schedule.graph in
+  (* Two loads of one bank at distinct steps: loads carry no address edges
+     between each other, so folding one onto the other breaks only the
+     bank's port capacity, never precedence or the horizon. *)
+  let loads =
+    List.filter
+      (fun nd -> nd.Dfg.Graph.kind = Dfg.Op.Load)
+      (Dfg.Graph.nodes g)
+  in
+  let rec pick = function
+    | [] -> None
+    | nd :: rest -> (
+        match
+          List.find_opt
+            (fun nd' ->
+              String.equal
+                (Dfg.Graph.node_class g nd)
+                (Dfg.Graph.node_class g nd')
+              && s.Core.Schedule.start.(nd.Dfg.Graph.id)
+                 <> s.Core.Schedule.start.(nd'.Dfg.Graph.id))
+            rest
+        with
+        | Some nd' -> Some (nd.Dfg.Graph.id, nd'.Dfg.Graph.id)
+        | None -> pick rest)
+  in
+  match pick loads with
+  | None -> None
+  | Some (i, j) ->
+      let start = Array.copy s.Core.Schedule.start in
+      start.(j) <- start.(i);
+      Some { s with Core.Schedule.start }
 
 let corrupt_trace tr =
   match Core.Liapunov.Trace.entries tr with

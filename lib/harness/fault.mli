@@ -20,6 +20,11 @@ type t =
       (** Merge two concurrent same-class operations onto one FU column
           (or bind out of range when no such pair exists). *)
   | Corrupt_trace  (** Make the first Liapunov move energy-increasing. *)
+  | Collide_mem
+      (** Fold one memory load onto a same-bank load's step, oversubscribing
+          the bank's ports without disturbing precedence. Only applicable to
+          graphs with at least two loads of one bank at distinct steps, so it
+          is excluded from {!all} (the fuzz workloads are array-free). *)
   | Skew_delay
       (** Lengthen one operation's occupancy as seen by the datapath
           checker, creating an ALU overlap. *)
@@ -44,6 +49,9 @@ val of_string : string -> t option
 val corrupt_start : Core.Schedule.t -> Core.Schedule.t option
 val corrupt_col : Core.Schedule.t -> Core.Schedule.t option
 val corrupt_trace : Core.Liapunov.Trace.t -> Core.Liapunov.Trace.t option
+
+val collide_mem : Core.Schedule.t -> Core.Schedule.t option
+(** [None] when no bank has two loads scheduled at distinct steps. *)
 
 val skew_delay :
   Rtl.Datapath.t -> delay:(int -> int) -> (int -> int) option

@@ -87,7 +87,7 @@ let attempt cfg g bounds order ~objective ~max_j ~current ~trace =
   List.iter
     (fun i ->
       let nd = Dfg.Graph.node g i in
-      let c = Dfg.Op.fu_class nd.Dfg.Graph.kind in
+      let c = Dfg.Graph.node_class g nd in
       let grid = Hashtbl.find st.grids c in
       let sp = Core.Config.span cfg nd.Dfg.Graph.kind in
       let offsets_at = Hashtbl.create 4 in

@@ -24,6 +24,7 @@ let allocate (dp : Datapath.t) =
     |> List.filter_map (fun (node, operand, step, src) ->
            match src with
            | Datapath.From_alu _ -> None (* chained: a direct wire *)
+           | Datapath.From_mem _ -> None (* bank interface: dedicated wiring *)
            | Datapath.From_reg _ | Datapath.From_input _ ->
                let bus = per_step.(step) in
                per_step.(step) <- bus + 1;

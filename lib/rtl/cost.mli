@@ -5,11 +5,15 @@ type breakdown = {
   alu_area : float;
   mux_area : float;
   reg_area : float;
+  mem_area : float;
+      (** Memory-bank macros ({!Celllib.Bank.area}), at the port counts the
+          binding uses; 0 on designs without arrays. *)
   total : float;
   n_alus : int;
   n_regs : int;
   n_mux : int;  (** Multiplexers with fan-in >= 2. *)
   n_mux_inputs : int;  (** Their total data inputs (Table 2's MUXin). *)
+  n_mem_ports : int;  (** Bank ports in use across all banks. *)
 }
 
 val of_datapath :

@@ -2,12 +2,20 @@ type source =
   | From_reg of int
   | From_alu of int
   | From_input of string
+  | From_mem of string
 
 type alu = {
   a_id : int;
   a_kind : Celllib.Library.alu_kind;
   a_ops : int list;
   a_share : Mux_share.t;
+}
+
+type mem_port = {
+  m_id : int;
+  m_bank : string;
+  m_port : int;
+  m_ops : int list;
 }
 
 type t = {
@@ -17,6 +25,7 @@ type t = {
   alus : alu list;
   alu_of : int array;
   regs : Left_edge.t;
+  mems : mem_port list;
   operand_sources : (int * source list) list;
 }
 
@@ -24,6 +33,7 @@ let source_tag = function
   | From_reg r -> Printf.sprintf "reg%d" r
   | From_alu a -> Printf.sprintf "alu%d" a
   | From_input v -> Printf.sprintf "in:%s" v
+  | From_mem a -> Printf.sprintf "mem:%s" a
 
 let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
 
@@ -41,7 +51,13 @@ let validate_assignments g assignments =
               else begin
                 seen.(i) <- seen.(i) + 1;
                 let nd = Dfg.Graph.node g i in
-                if not (Celllib.Op_set.mem nd.Dfg.Graph.kind kind.Celllib.Library.ops)
+                if Dfg.Op.is_mem nd.Dfg.Graph.kind then
+                  Error
+                    (Printf.sprintf
+                       "memory access %s runs on a bank port, not ALU %s"
+                       nd.Dfg.Graph.name kind.Celllib.Library.aname)
+                else if
+                  not (Celllib.Op_set.mem nd.Dfg.Graph.kind kind.Celllib.Library.ops)
                 then
                   Error
                     (Printf.sprintf "op %s (%s) assigned to incapable ALU %s"
@@ -57,7 +73,12 @@ let validate_assignments g assignments =
   let missing = ref None and dup = ref None in
   Array.iteri
     (fun i c ->
-      if c = 0 && !missing = None then missing := Some i
+      (* Memory accesses are bound to bank ports by [elaborate] itself, so
+         their absence from the ALU assignment is the expected state. *)
+      if
+        c = 0 && !missing = None
+        && not (Dfg.Op.is_mem (Dfg.Graph.node g i).Dfg.Graph.kind)
+      then missing := Some i
       else if c > 1 && !dup = None then dup := Some i)
     seen;
   match (!missing, !dup) with
@@ -80,6 +101,75 @@ let elaborate ?(include_inputs = true) g ~start ~delay ~cs ~assignments =
   List.iteri
     (fun a (_, ops) -> List.iter (fun i -> alu_of.(i) <- a) ops)
     assignments;
+  (* Bank-port binding: first-fit per bank in start order, so accesses
+     share a port exactly when their occupancy intervals are disjoint.
+     Port instances get pseudo-unit ids continuing after the ALU ids —
+     chained reads tag as [alu<id>] and reuse the wire machinery. *)
+  let mem_nodes =
+    List.filter (fun nd -> Dfg.Op.is_mem nd.Dfg.Graph.kind) (Dfg.Graph.nodes g)
+  in
+  let* mems =
+    match
+      List.find_opt (fun nd -> Dfg.Graph.node_bank g nd = None) mem_nodes
+    with
+    | Some nd ->
+        Error
+          (Printf.sprintf "memory access %s names no declared array"
+             nd.Dfg.Graph.name)
+    | None ->
+        let banks =
+          List.sort_uniq String.compare
+            (List.filter_map (Dfg.Graph.node_bank g) mem_nodes)
+        in
+        let bind_bank ops =
+          let ops =
+            List.sort
+              (fun i j ->
+                let c = compare start.(i) start.(j) in
+                if c <> 0 then c else compare i j)
+              ops
+          in
+          let overlap i j =
+            start.(i) + delay i - 1 >= start.(j)
+            && start.(j) + delay j - 1 >= start.(i)
+          in
+          let ports = ref ([] : int list list) in
+          List.iter
+            (fun i ->
+              let rec insert = function
+                | [] -> [ [ i ] ]
+                | p :: rest ->
+                    if List.for_all (fun j -> not (overlap i j)) p then
+                      (i :: p) :: rest
+                    else p :: insert rest
+              in
+              ports := insert !ports)
+            ops;
+          List.map List.rev !ports
+        in
+        let next = ref (List.length assignments) in
+        Ok
+          (List.concat_map
+             (fun b ->
+               let ops =
+                 List.filter_map
+                   (fun nd ->
+                     if Dfg.Graph.node_bank g nd = Some b then
+                       Some nd.Dfg.Graph.id
+                     else None)
+                   mem_nodes
+               in
+               List.mapi
+                 (fun k port_ops ->
+                   let id = !next in
+                   incr next;
+                   { m_id = id; m_bank = b; m_port = k; m_ops = port_ops })
+                 (bind_bank ops))
+             banks)
+  in
+  List.iter
+    (fun m -> List.iter (fun i -> alu_of.(i) <- m.m_id) m.m_ops)
+    mems;
   (* A value is read from a register when latched before the consumer's
      step, or chained straight from the producing ALU inside the step. *)
   let resolve consumer arg =
@@ -111,8 +201,17 @@ let elaborate ?(include_inputs = true) g ~start ~delay ~cs ~assignments =
               | Ok s -> operands (s :: srcs) more
               | Error _ as e -> e)
         in
-        (match operands [] nd.Dfg.Graph.args with
-        | Ok srcs -> resolve_all ((nd.Dfg.Graph.id, srcs) :: acc) rest
+        (* A memory access names its array first; the array is the bank
+           interface, not a routed value. *)
+        let direct, prefix =
+          if Dfg.Op.is_mem nd.Dfg.Graph.kind then
+            match nd.Dfg.Graph.args with
+            | arr :: more -> (more, [ From_mem arr ])
+            | [] -> ([], [])
+          else (nd.Dfg.Graph.args, [])
+        in
+        (match operands [] direct with
+        | Ok srcs -> resolve_all ((nd.Dfg.Graph.id, prefix @ srcs) :: acc) rest
         | Error _ as e -> e)
   in
   let* operand_sources = resolve_all [] (Dfg.Graph.nodes g) in
@@ -139,7 +238,7 @@ let elaborate ?(include_inputs = true) g ~start ~delay ~cs ~assignments =
         { a_id = a; a_kind = kind; a_ops = ops; a_share = Mux_share.assign rows })
       assignments
   in
-  Ok { graph = g; start; cs; alus; alu_of; regs; operand_sources }
+  Ok { graph = g; start; cs; alus; alu_of; regs; mems; operand_sources }
 
 let self_loop_alus t =
   List.filter_map
@@ -183,6 +282,14 @@ let pp ppf t =
         (String.concat ";" a.a_share.Mux_share.l1)
         (String.concat ";" a.a_share.Mux_share.l2))
     t.alus;
+  List.iter
+    (fun m ->
+      Format.fprintf ppf "  mem %s.p%d <- {%s}@," m.m_bank m.m_port
+        (String.concat ","
+           (List.map
+              (fun i -> (Dfg.Graph.node t.graph i).Dfg.Graph.name)
+              m.m_ops)))
+    t.mems;
   for r = 0 to t.regs.Left_edge.count - 1 do
     Format.fprintf ppf "  reg%d <- {%s}@," r
       (String.concat "," (Left_edge.values_of t.regs r))

@@ -14,6 +14,10 @@ type source =
   | From_input of string
       (** Primary input wired directly (only when input registering is
           disabled). *)
+  | From_mem of string
+      (** The array a memory access reads or writes — the bank interface
+          itself, not a routed data value. Always a memory op's first
+          source. *)
 
 type alu = {
   a_id : int;
@@ -22,13 +26,26 @@ type alu = {
   a_share : Mux_share.t;  (** Port source lists after sharing. *)
 }
 
+type mem_port = {
+  m_id : int;
+      (** Pseudo-unit id, continuing after the ALU ids, so chained reads
+          out of a port reuse the [alu<id>] wire tags. *)
+  m_bank : string;
+  m_port : int;  (** Port index within the bank, from 0. *)
+  m_ops : int list;  (** Accesses bound to this port, by start step. *)
+}
+
 type t = {
   graph : Dfg.Graph.t;
   start : int array;
   cs : int;
   alus : alu list;
-  alu_of : int array;  (** ALU instance per node id. *)
+  alu_of : int array;
+      (** ALU instance per node id; a memory access holds its bank port's
+          pseudo-unit id. *)
   regs : Left_edge.t;  (** Register allocation over value lifetimes. *)
+  mems : mem_port list;
+      (** Bank ports in use, bound first-fit from the schedule. *)
   operand_sources : (int * source list) list;
       (** Resolved operand sources per node, in operand order. *)
 }

@@ -37,12 +37,20 @@ let of_datapath ?(name = "datapath") (dp : Datapath.t) =
                 Printf.sprintf "  alu%d -> alu%d [style=dashed];\n" a dst
             | Datapath.From_input v ->
                 Printf.sprintf "  in_%s -> alu%d;\n" v dst
+            | Datapath.From_mem a ->
+                Printf.sprintf "  mem_%s -> alu%d [dir=both];\n" a dst
           in
           if not (Hashtbl.mem seen line) then begin
             Hashtbl.replace seen line ();
             (match src with
             | Datapath.From_input v ->
                 let decl = Printf.sprintf "  in_%s [shape=plaintext];\n" v in
+                if not (Hashtbl.mem seen decl) then begin
+                  Hashtbl.replace seen decl ();
+                  Buffer.add_string buf decl
+                end
+            | Datapath.From_mem a ->
+                let decl = Printf.sprintf "  mem_%s [shape=box3d];\n" a in
                 if not (Hashtbl.mem seen decl) then begin
                   Hashtbl.replace seen decl ();
                   Buffer.add_string buf decl

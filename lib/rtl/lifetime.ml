@@ -15,12 +15,12 @@ let intervals ?(include_inputs = true) ?(hold_outputs = true) g ~start ~delay
       (* The controller reads guard conditions at the guarded op's step. *)
       List.iter (fun (c, _) -> use c) nd.Dfg.Graph.guards)
     (Dfg.Graph.nodes g);
-  let death_of ~birth value =
+  let death_of ?(hold = hold_outputs) ~birth value =
     let uses = Option.value ~default:[] (Hashtbl.find_opt consumers value) in
     let last_use =
       List.fold_left (fun acc i -> max acc (start.(i) - 1)) (birth - 1) uses
     in
-    if uses = [] && hold_outputs then cs else last_use
+    if uses = [] && hold then cs else last_use
   in
   let input_intervals =
     if include_inputs then
@@ -34,7 +34,11 @@ let intervals ?(include_inputs = true) ?(hold_outputs = true) g ~start ~delay
       (fun nd ->
         let i = nd.Dfg.Graph.id in
         let birth = start.(i) + delay i - 1 in
-        { value = nd.Dfg.Graph.name; birth; death = death_of ~birth nd.Dfg.Graph.name })
+        (* A store's architectural output is the memory content; its
+           pass-through value only needs a register when actually read. *)
+        let hold = hold_outputs && nd.Dfg.Graph.kind <> Dfg.Op.Store in
+        { value = nd.Dfg.Graph.name; birth;
+          death = death_of ~hold ~birth nd.Dfg.Graph.name })
       (Dfg.Graph.nodes g)
   in
   input_intervals @ node_intervals

@@ -10,6 +10,7 @@ let source_expr = function
   | Datapath.From_reg r -> Printf.sprintf "reg_%d" r
   | Datapath.From_alu a -> Printf.sprintf "alu_out_%d" a
   | Datapath.From_input v -> sanitize v
+  | Datapath.From_mem a -> "mem_" ^ sanitize a
 
 let emit ?(module_name = "design") ?widths dp ctrl =
   let buf = Buffer.create 4096 in
@@ -39,6 +40,11 @@ let emit ?(module_name = "design") ?widths dp ctrl =
   add "  // %d control steps, %d ALUs, %d registers\n" ctrl.Controller.steps
     (List.length dp.Datapath.alus)
     dp.Datapath.regs.Left_edge.count;
+  List.iter
+    (fun (a : Dfg.Graph.array_decl) ->
+      add "  reg [31:0] mem_%s [0:%d]; // bank %s\n" (sanitize a.Dfg.Graph.a_name)
+        (a.Dfg.Graph.a_size - 1) a.Dfg.Graph.a_bank)
+    (Dfg.Graph.arrays g);
   add "  reg [%d:0] state;\n"
     (let rec bits n = if n <= 1 then 1 else 1 + bits (n / 2) in
      bits ctrl.Controller.steps - 1);
@@ -59,6 +65,24 @@ let emit ?(module_name = "design") ?widths dp ctrl =
               (fun i -> (Dfg.Graph.node g i).Dfg.Graph.name)
               a.Datapath.a_ops)))
     dp.Datapath.alus;
+  List.iter
+    (fun (mp : Datapath.mem_port) ->
+      add "  wire [31:0] alu_out_%d; // bank %s port %d: %s\n"
+        mp.Datapath.m_id mp.Datapath.m_bank mp.Datapath.m_port
+        (String.concat ","
+           (List.map
+              (fun i -> (Dfg.Graph.node g i).Dfg.Graph.name)
+              mp.Datapath.m_ops)))
+    dp.Datapath.mems;
+  let guard_expr gs =
+    String.concat ""
+      (List.map
+         (fun (c, arm) ->
+           Printf.sprintf " && (%s%s != 0)"
+             (if arm then "" else "!")
+             (sanitize c))
+         gs)
+  in
   add "  always @(posedge clk) begin\n";
   add "    if (rst) begin\n      state <= 1;\n";
   List.iter
@@ -73,18 +97,24 @@ let emit ?(module_name = "design") ?widths dp ctrl =
       | None -> ()
       | Some dest ->
           let nd = Dfg.Graph.node g m.Controller.m_node in
-          let guard =
-            String.concat ""
-              (List.map
-                 (fun (c, arm) ->
-                   Printf.sprintf " && (%s%s != 0)"
-                     (if arm then "" else "!")
-                     (sanitize c))
-                 m.Controller.m_guards)
-          in
           add "      if (state == %d%s) reg_%d <= alu_out_%d; // %s\n"
-            m.Controller.m_latch_step guard dest m.Controller.m_alu
-            nd.Dfg.Graph.name)
+            m.Controller.m_latch_step
+            (guard_expr m.Controller.m_guards)
+            dest m.Controller.m_alu nd.Dfg.Graph.name)
+    ctrl.Controller.micros;
+  (* Memory writes commit on the store's latch edge, like registers. *)
+  List.iter
+    (fun m ->
+      let nd = Dfg.Graph.node g m.Controller.m_node in
+      if nd.Dfg.Graph.kind = Dfg.Op.Store then
+        match m.Controller.m_sources with
+        | [ Datapath.From_mem a; idx; data ] ->
+            add "      if (state == %d%s) mem_%s[%s] <= %s; // %s\n"
+              m.Controller.m_latch_step
+              (guard_expr m.Controller.m_guards)
+              (sanitize a) (source_expr idx) (source_expr data)
+              nd.Dfg.Graph.name
+        | _ -> ())
     ctrl.Controller.micros;
   add "    end\n  end\n";
   (* Combinational ALU outputs: a per-state operand selection. *)
@@ -113,5 +143,32 @@ let emit ?(module_name = "design") ?widths dp ctrl =
         cases;
       add "    %d'hx;\n" (alu_width a))
     dp.Datapath.alus;
+  (* Bank-port outputs: a load reads its array asynchronously; a store's
+     port output is the written data, so chained consumers of either work
+     like chained ALU reads. *)
+  List.iter
+    (fun (mp : Datapath.mem_port) ->
+      let cases =
+        List.filter
+          (fun mi -> mi.Controller.m_alu = mp.Datapath.m_id)
+          ctrl.Controller.micros
+      in
+      add "  assign alu_out_%d =\n" mp.Datapath.m_id;
+      List.iter
+        (fun mi ->
+          let nd = Dfg.Graph.node g mi.Controller.m_node in
+          let expr =
+            match (mi.Controller.m_sources, nd.Dfg.Graph.kind) with
+            | [ Datapath.From_mem a; idx ], Dfg.Op.Load ->
+                Printf.sprintf "mem_%s[%s]" (sanitize a) (source_expr idx)
+            | [ Datapath.From_mem _; _; data ], Dfg.Op.Store ->
+                source_expr data
+            | _ -> "32'hx"
+          in
+          add "    (state == %d) ? %s : // %s\n" mi.Controller.m_step expr
+            nd.Dfg.Graph.name)
+        cases;
+      add "    32'hx;\n")
+    dp.Datapath.mems;
   add "endmodule\n";
   Buffer.contents buf

@@ -106,6 +106,7 @@ type state = {
   mutable conns : conn list;
   inflight : (string, inflight) Hashtbl.t;  (* job id -> *)
   graphs : (string, Dfg.Graph.t) Hashtbl.t;  (* parsed-DFG memo *)
+  libs : (string, Celllib.Library.t) Hashtbl.t;  (* warm cell-library memo *)
   mutable draining : bool;
   mutable drain_at : float;
 }
@@ -157,6 +158,33 @@ let resolve_graph st source ~cse =
           Hashtbl.replace st.graphs memo_key g;
           g)
         parsed
+
+(* Warm cell-library cache: building the per-graph NCR library walks the
+   whole graph, and a daemon serves the same few graphs over and over.
+   Keyed by graph identity plus the library variant so two-cycle /
+   pipelined libraries get their own slots. *)
+let library_for st graph variant =
+  let key =
+    Batch.Jobs.digest
+      (Dfg.Parser.to_source graph ^ "|" ^ Explore.Spec.library_name variant)
+  in
+  match Hashtbl.find_opt st.libs key with
+  | Some lib ->
+      Stats.note_lib_hit st.stats;
+      lib
+  | None ->
+      Stats.note_lib_miss st.stats;
+      let lib =
+        match variant with
+        | Explore.Spec.Default -> Celllib.Ncr.for_graph graph
+        | Explore.Spec.Two_cycle ->
+            Celllib.Ncr.two_cycle_multiplier (Celllib.Ncr.for_graph graph)
+        | Explore.Spec.Pipelined ->
+            Celllib.Ncr.pipelined_multiplier (Celllib.Ncr.for_graph graph)
+      in
+      if Hashtbl.length st.libs > 128 then Hashtbl.reset st.libs;
+      Hashtbl.replace st.libs key lib;
+      lib
 
 (* --- Verdicts to responses ---------------------------------------------- *)
 
@@ -234,7 +262,7 @@ let handle_lint st conn ~id source clock =
   match resolve_graph st source ~cse:false with
   | Error d -> respond_error st conn (P.error_response ~id d)
   | Ok graph ->
-      let lib = Celllib.Ncr.for_graph graph in
+      let lib = library_for st graph Explore.Spec.Default in
       let config = Core.Config.of_library lib in
       let config =
         match clock with
@@ -353,7 +381,8 @@ let handle_request st conn (env : P.envelope) =
               ~connections:(List.length st.conns)
               ~shed:(Admission.shed_count st.adm)
               ~workers:[]
-              ~cache:(Cache.stats st.cache)))
+              ~cache:(Cache.stats st.cache)
+              ~lib_entries:(Hashtbl.length st.libs)))
   | P.Lint { source; clock } -> handle_lint st conn ~id source clock
   | P.Schedule { source; opts } -> (
       match resolve_graph st source ~cse:opts.P.cse with
@@ -368,6 +397,7 @@ let handle_request st conn (env : P.envelope) =
               constr = opts.P.constr;
               library = opts.P.library;
               widths = false;
+              ports = None;
               clock = opts.P.clock;
               cse = opts.P.cse;
               fault = opts.P.fault;
@@ -576,6 +606,7 @@ let run ?(ready = fun () -> ()) cfg =
       conns = [];
       inflight = Hashtbl.create 32;
       graphs = Hashtbl.create 32;
+      libs = Hashtbl.create 32;
       draining = false;
       drain_at = 0.;
     }

@@ -36,6 +36,14 @@ let run ?widths dp ctrl ~env =
     | Some w -> truncate ~width:(w name) v
   in
   let regs = Array.make (max 1 dp.Rtl.Datapath.regs.Rtl.Left_edge.count) None in
+  (* Banked memories, zero-initialised like the golden model. A store's
+     write commits on its latch edge (with the register latches below), so
+     a same-step WAR load still reads the old value. *)
+  let mems : (string, int array) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (fun (a : Dfg.Graph.array_decl) ->
+      Hashtbl.replace mems a.Dfg.Graph.a_name (Array.make a.Dfg.Graph.a_size 0))
+    (Dfg.Graph.arrays g);
   let computed : (string, int) Hashtbl.t = Hashtbl.create 64 in
   let lookup_value name =
     match Hashtbl.find_opt computed name with
@@ -50,6 +58,7 @@ let run ?widths dp ctrl ~env =
         | None -> raise (Stuck (Printf.sprintf "input %S missing" v)))
       ctrl.Rtl.Controller.input_loads;
     let pending = ref [] (* (latch_step, reg, value) *) in
+    let mem_pending = ref [] (* (latch_step, array, index, value) *) in
     let rev_trace = ref [] in
     for s = 1 to ctrl.Rtl.Controller.steps do
       let wires = Hashtbl.create 8 in
@@ -94,9 +103,33 @@ let run ?widths dp ctrl ~env =
                     | Some x -> trunc v x
                     | None ->
                         raise (Stuck (Printf.sprintf "input %S missing" v)))
+                | Rtl.Datapath.From_mem a ->
+                    raise
+                      (Stuck
+                         (Printf.sprintf
+                            "%s routes bank interface mem:%s as a data operand"
+                            nd.Dfg.Graph.name a))
               in
-              let args = List.map read m.Rtl.Controller.m_sources in
-              let v = trunc nd.Dfg.Graph.name (Dfg.Op.eval nd.Dfg.Graph.kind args) in
+              let v =
+                match (nd.Dfg.Graph.kind, m.Rtl.Controller.m_sources) with
+                | Dfg.Op.Load, [ Rtl.Datapath.From_mem a; idx ] ->
+                    let mem = Hashtbl.find mems a in
+                    let idx = read idx in
+                    if idx >= 0 && idx < Array.length mem then mem.(idx) else 0
+                | Dfg.Op.Store, [ Rtl.Datapath.From_mem a; idx; data ] ->
+                    let idx = read idx and data = read data in
+                    mem_pending :=
+                      (m.Rtl.Controller.m_latch_step, a, idx, data)
+                      :: !mem_pending;
+                    data
+                | k, _ when Dfg.Op.is_mem k ->
+                    raise
+                      (Stuck
+                         (Printf.sprintf "%s has malformed memory sources"
+                            nd.Dfg.Graph.name))
+                | k, srcs -> Dfg.Op.eval k (List.map read srcs)
+              in
+              let v = trunc nd.Dfg.Graph.name v in
               Hashtbl.replace computed nd.Dfg.Graph.name v;
               Hashtbl.replace wires m.Rtl.Controller.m_alu v;
               match m.Rtl.Controller.m_dest with
@@ -112,6 +145,16 @@ let run ?widths dp ctrl ~env =
       in
       List.iter (fun (_, r, v) -> regs.(r) <- Some v) now;
       pending := later;
+      let mem_now, mem_later =
+        List.partition (fun (latch, _, _, _) -> latch = s) !mem_pending
+      in
+      (* Same-edge writes commit in issue order; out-of-bounds are dropped. *)
+      List.iter
+        (fun (_, a, idx, v) ->
+          let mem = Hashtbl.find mems a in
+          if idx >= 0 && idx < Array.length mem then mem.(idx) <- v)
+        (List.rev mem_now);
+      mem_pending := mem_later;
       rev_trace :=
         {
           snap_step = s;

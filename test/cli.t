@@ -113,3 +113,28 @@ where they belong:
 
   $ ../bin/synth.exe lint diffeq --inject segv 2>&1 | head -n 1
   error: error[lint.process-fault] --inject segv is a process fault: it takes the worker down instead of corrupting an artefact a static pass could catch. Use 'synth batch' with a manifest fault to prove containment.
+
+The version surface is stable — 'synth version' and '--version' print
+one identical line:
+
+  $ ../bin/synth.exe version
+  synth 0.6.0
+  $ ../bin/synth.exe --version
+  synth 0.6.0
+
+Malformed memory declarations carry spans like every other parse error —
+a truncated array directive points at the keyword, a bad size at the
+number, and a mem line without its ports clause at the keyword:
+
+  $ printf 'input a\narray A\nx = ld A a\n' > badarr.dfg
+  $ ../bin/synth.exe mfs badarr.dfg
+  error: error[parse.bad-array] badarr.dfg:2:1: expected: array <name> <size> [bank <bank>]
+  [3]
+  $ printf 'input a\narray A 0\nx = ld A a\n' > badsize.dfg
+  $ ../bin/synth.exe mfs badsize.dfg
+  error: error[parse.bad-array] badsize.dfg:2:9: array "A" needs a positive size, got 0
+  [3]
+  $ printf 'input a\narray A 4\nmem A gates 2\nx = ld A a\n' > badmem.dfg
+  $ ../bin/synth.exe mfs badmem.dfg
+  error: error[parse.bad-mem] badmem.dfg:3:1: expected: mem <bank> ports <n>
+  [3]

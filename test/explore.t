@@ -39,10 +39,10 @@ membership and source:
 
   $ ../bin/synth.exe explore sweep.spec --cache cache.jsonl --csv
   index,key,engine,library,style,weights,constraint,status,csteps,units,alu_um2,mux_um2,reg,total_um2,front,source
-  0,ebc28d13601e76c677f989309087df3e,mfsa,default,1,1/1/1/1,T=4,ok,4,5,34690,3360,8,43250,yes,cache
-  1,21ca3669600a5a59a66878ae2cec45d9,mfsa,default,1,1/1/1/1,T=6,ok,6,5,30862,3900,8,39962,yes,cache
-  2,a65250c53b18cec430249c65c52d1f44,mfsa,default,1,1/1/1/20,T=4,ok,4,5,34690,3360,8,43250,yes,cache
-  3,4f3beb76b2438bedb8ffa31ef4ca55dd,mfsa,default,1,1/1/1/20,T=6,ok,6,5,30862,3900,8,39962,yes,cache
+  0,b1f8a6dd3350bd05bf1d10a7b9c700aa,mfsa,default,1,1/1/1/1,T=4,ok,4,5,34690,3360,8,43250,yes,cache
+  1,58af5cfd5efbc5acad2c541b0b96182d,mfsa,default,1,1/1/1/1,T=6,ok,6,5,30862,3900,8,39962,yes,cache
+  2,b987c21a2d36f21577b4b6bedceeff95,mfsa,default,1,1/1/1/20,T=4,ok,4,5,34690,3360,8,43250,yes,cache
+  3,b83c02d9b659dbba5829a8703a922c9c,mfsa,default,1,1/1/1/20,T=6,ok,6,5,30862,3900,8,39962,yes,cache
 
 --dot-front draws the dominance graph (all four points tie onto the
 front here, so there are no edges):

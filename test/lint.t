@@ -153,3 +153,47 @@ Bad input stays a bad-input error:
   $ ../bin/synth.exe lint /nonexistent/no-such.dfg
   error: error[io.no-such-input] /nonexistent/no-such.dfg: no such file or built-in example (try ex1..ex6, diffeq, ewf, fir16, dct8, ar, tseng, chained, facet, cond)
   [3]
+
+The mem.* family: memory-bank feasibility, index bounds, and the
+post-schedule port audit.
+
+A bank whose access count can never fit through its ports within the
+horizon is rejected up front — exit 4, before any scheduler runs:
+
+  $ printf 'input x y z i\nrange i 0 0\narray A 1 bank B\narray C 1 bank B\narray D 1 bank B\nsa = st A i x\nsb = st C i y\nsc = st D i z\nla = ld A i\nlb = ld C i\nlc = ld D i\nt = + la lb\nu = + t lc\n' > doomed.dfg
+  $ ../bin/synth.exe lint doomed.dfg --cs 4
+  critical path: 4 step(s); budget: 4
+  FU lower bounds: mem:B >= 2, + >= 1
+  error[mem.infeasible-ports] bank B needs at least 6 step(s) for 6 access(es) through 1 port(s), but the horizon is 4
+  lint: 1 error(s), 0 warning(s)
+  [4]
+
+A constant index provably outside the array is a bad-input error (the
+range analysis sees every access lands out of bounds):
+
+  $ printf 'input x i\nrange i 5 5\narray A 4\nw = st A i x\ny = ld A i\n' > oob.dfg
+  $ ../bin/synth.exe lint oob.dfg
+  critical path: 2 step(s); budget: 2
+  FU lower bounds: mem:A >= 1
+  error[mem.index-out-of-bounds] access "w" indexes "A"[i] outside 0..3: the index range is [5, 5]
+  error[mem.index-out-of-bounds] access "y" indexes "A"[i] outside 0..3: the index range is [5, 5]
+  lint: 2 error(s), 0 warning(s)
+  [3]
+
+A planted port collision is an internal defect — the schedule audit
+re-derives a first-fit port binding and finds the bank oversubscribed:
+
+  $ printf 'input u i0 i1\nrange i0 0 0\nrange i1 1 1\narray S 2 bank SB\nmem SB ports 1\ns1 = ld S i0\ns2 = ld S i1\nt = + s1 u\ny = + t s2\n' > planted.dfg
+  $ ../bin/synth.exe lint planted.dfg
+  critical path: 3 step(s); budget: 3
+  FU lower bounds: mem:SB >= 1, + >= 1
+  registers: 3 used; lower bound 3
+  lint: clean
+  $ ../bin/synth.exe lint planted.dfg --inject collide-mem
+  critical path: 3 step(s); budget: 3
+  FU lower bounds: mem:SB >= 1, + >= 1
+  registers: 3 used; lower bound 3
+  error[lint.fu-conflict] ops s1 and s2 occupy mem:SB unit 1 in the same step
+  error[mem.bank-conflict] bank SB needs 2 concurrent port(s) in this schedule but offers 1
+  lint: 2 error(s), 0 warning(s)
+  [5]

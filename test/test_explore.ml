@@ -88,8 +88,8 @@ let config_canonical_sorted () =
   let c = canonical_fields (Core.Config.canonical (test_config ())) in
   Alcotest.(check (list string))
     "field names, sorted"
-    [ "chaining"; "delays"; "functional_latency"; "node_delay"; "pipelined";
-      "share_mutex" ]
+    [ "chaining"; "delays"; "functional_latency"; "mem_ports"; "node_delay";
+      "pipelined"; "share_mutex" ]
     c
 
 let config_hash_stable () =

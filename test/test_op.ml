@@ -27,9 +27,15 @@ let arities () =
   Alcotest.(check int) "not is unary" 1 (Dfg.Op.arity Dfg.Op.Not);
   Alcotest.(check int) "neg is unary" 1 (Dfg.Op.arity Dfg.Op.Neg);
   Alcotest.(check int) "mov is unary" 1 (Dfg.Op.arity Dfg.Op.Mov);
+  Alcotest.(check int) "load is array+index" 2 (Dfg.Op.arity Dfg.Op.Load);
+  Alcotest.(check int) "store is array+index+data" 3
+    (Dfg.Op.arity Dfg.Op.Store);
   List.iter
     (fun k ->
-      if k <> Dfg.Op.Not && k <> Dfg.Op.Neg && k <> Dfg.Op.Mov then
+      if
+        k <> Dfg.Op.Not && k <> Dfg.Op.Neg && k <> Dfg.Op.Mov
+        && k <> Dfg.Op.Store
+      then
         Alcotest.(check int) (Dfg.Op.to_string k ^ " binary") 2 (Dfg.Op.arity k))
     Dfg.Op.all
 
